@@ -1,0 +1,396 @@
+//! A concurrent B+-tree with hand-over-hand (crabbing) lock coupling — the
+//! stronger Masstree stand-in for the §7 comparisons.
+//!
+//! Masstree is a trie of B+-trees with optimistic concurrency; the property
+//! the paper's comparison exercises is an *in-memory ordered index paying
+//! per-operation tree traversal*. This tree reproduces that class with safe
+//! Rust: readers couple shared locks root→leaf; writers couple exclusive
+//! locks, releasing all ancestors once the child is *safe* (non-full), and
+//! split full nodes on the way down. Deletes are lazy (no rebalancing), the
+//! common choice in in-memory B-trees.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+const ORDER: usize = 32; // max keys per node
+
+type NodeRef<V> = Arc<RwLock<Node<V>>>;
+
+enum Node<V> {
+    Internal {
+        /// Separators: child `i` holds keys `< keys[i]`; the last child holds
+        /// the rest. `children.len() == keys.len() + 1`.
+        keys: Vec<u64>,
+        children: Vec<NodeRef<V>>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<V>,
+    },
+}
+
+impl<V: Clone> Node<V> {
+    fn is_full(&self) -> bool {
+        match self {
+            Node::Internal { keys, .. } => keys.len() >= ORDER,
+            Node::Leaf { keys, .. } => keys.len() >= ORDER,
+        }
+    }
+
+    /// Splits a full node; returns (separator, right sibling).
+    fn split(&mut self) -> (u64, Node<V>) {
+        match self {
+            Node::Leaf { keys, vals } => {
+                let mid = keys.len() / 2;
+                let rk = keys.split_off(mid);
+                let rv = vals.split_off(mid);
+                let sep = rk[0];
+                (sep, Node::Leaf { keys: rk, vals: rv })
+            }
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let sep = keys[mid];
+                let rk = keys.split_off(mid + 1);
+                keys.pop(); // the separator moves up
+                let rc = children.split_off(mid + 1);
+                (sep, Node::Internal { keys: rk, children: rc })
+            }
+        }
+    }
+
+    fn child_index(keys: &[u64], key: u64) -> usize {
+        keys.partition_point(|&k| k <= key)
+    }
+}
+
+/// A concurrent ordered map over `u64` keys (Masstree stand-in).
+pub struct BTreeIndex<V> {
+    root: RwLock<NodeRef<V>>,
+}
+
+impl<V: Clone> Default for BTreeIndex<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> BTreeIndex<V> {
+    pub fn new() -> Self {
+        Self {
+            root: RwLock::new(Arc::new(RwLock::new(Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+            }))),
+        }
+    }
+
+    /// Point lookup with shared-lock coupling.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let root = self.root.read().clone();
+        let mut node = root;
+        loop {
+            // Hold the parent guard only until the child guard is taken.
+            let next = {
+                let g = node.read();
+                match &*g {
+                    Node::Leaf { keys, vals } => {
+                        return keys
+                            .binary_search(&key)
+                            .ok()
+                            .map(|i| vals[i].clone());
+                    }
+                    Node::Internal { keys, children } => {
+                        children[Node::<V>::child_index(keys, key)].clone()
+                    }
+                }
+            };
+            node = next;
+        }
+    }
+
+    /// Insert-or-replace.
+    pub fn upsert(&self, key: u64, value: V) {
+        self.write_leaf(key, |keys, vals, idx| match idx {
+            Ok(i) => vals[i] = value,
+            Err(i) => {
+                keys.insert(i, key);
+                vals.insert(i, value);
+            }
+        });
+    }
+
+    /// Read-modify-write: `update` mutates in place; `init` seeds new keys.
+    pub fn rmw<U, I>(&self, key: u64, update: U, init: I)
+    where
+        U: FnOnce(&mut V),
+        I: FnOnce() -> V,
+    {
+        self.write_leaf(key, |keys, vals, idx| match idx {
+            Ok(i) => update(&mut vals[i]),
+            Err(i) => {
+                keys.insert(i, key);
+                vals.insert(i, init());
+            }
+        });
+    }
+
+    /// Lazy delete (no rebalancing). Returns true if present.
+    pub fn delete(&self, key: u64) -> bool {
+        let mut removed = false;
+        self.write_leaf(key, |keys, vals, idx| {
+            if let Ok(i) = idx {
+                keys.remove(i);
+                vals.remove(i);
+                removed = true;
+            }
+        });
+        removed
+    }
+
+    /// Descends with exclusive lock crabbing, splitting full nodes on the
+    /// way down, and applies `f` to the target leaf.
+    fn write_leaf<Fx>(&self, key: u64, f: Fx)
+    where
+        Fx: FnOnce(&mut Vec<u64>, &mut Vec<V>, Result<usize, usize>),
+    {
+        loop {
+            // Root handling: if the root is full, grow the tree by a level
+            // (needs the outer write lock — rare).
+            {
+                let root_guard = self.root.read();
+                if root_guard.read().is_full() {
+                    drop(root_guard);
+                    let outer = self.root.write();
+                    let mut g = outer.write();
+                    if g.is_full() {
+                        let (sep, right) = g.split();
+                        let left_node = std::mem::replace(
+                            &mut *g,
+                            Node::Internal { keys: Vec::new(), children: Vec::new() },
+                        );
+                        *g = Node::Internal {
+                            keys: vec![sep],
+                            children: vec![
+                                Arc::new(RwLock::new(left_node)),
+                                Arc::new(RwLock::new(right)),
+                            ],
+                        };
+                    }
+                    continue; // restart descent
+                }
+            }
+
+            let root = self.root.read().clone();
+            // `parent` exists to keep the currently-locked node's Arc alive
+            // across guard hand-offs (see the transmute note below).
+            #[allow(unused_assignments)]
+            let mut parent = root.clone();
+            let mut parent_guard = root.write();
+            loop {
+                let child_ref = match &*parent_guard {
+                    Node::Leaf { .. } => {
+                        // parent IS the leaf (root-leaf case).
+                        if let Node::Leaf { keys, vals } = &mut *parent_guard {
+                            let idx = keys.binary_search(&key);
+                            f(keys, vals, idx);
+                            return;
+                        }
+                        unreachable!()
+                    }
+                    Node::Internal { keys, children } => {
+                        children[Node::<V>::child_index(keys, key)].clone()
+                    }
+                };
+                let mut child_guard = child_ref.write();
+                if child_guard.is_full() {
+                    // Split the child under the (still-held) parent lock.
+                    let (sep, right) = child_guard.split();
+                    if let Node::Internal { keys, children } = &mut *parent_guard {
+                        let pos = keys.partition_point(|&k| k < sep);
+                        keys.insert(pos, sep);
+                        children.insert(pos + 1, Arc::new(RwLock::new(right)));
+                    } else {
+                        unreachable!("parent of a child is internal");
+                    }
+                    drop(child_guard);
+                    // Re-choose the correct child after the split.
+                    continue;
+                }
+                match &mut *child_guard {
+                    Node::Leaf { keys, vals } => {
+                        drop(parent_guard); // child is safe: release ancestor
+                        let idx = keys.binary_search(&key);
+                        f(keys, vals, idx);
+                        return;
+                    }
+                    Node::Internal { .. } => {
+                        // Crab: child is safe (not full), release the parent.
+                        drop(parent_guard);
+                        parent = child_ref.clone();
+                        let _ = &parent;
+                        parent_guard = unsafe {
+                            // Move the guard's lifetime onto our owned Arc:
+                            // `child_guard` borrows `child_ref`, which we
+                            // keep alive in `parent`.
+                            std::mem::transmute::<
+                                parking_lot::RwLockWriteGuard<'_, Node<V>>,
+                                parking_lot::RwLockWriteGuard<'_, Node<V>>,
+                            >(child_guard)
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ordered scan of `[from, to)`.
+    pub fn range(&self, from: u64, to: u64) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        let root = self.root.read().clone();
+        Self::range_walk(&root, from, to, &mut out);
+        out
+    }
+
+    fn range_walk(node: &NodeRef<V>, from: u64, to: u64, out: &mut Vec<(u64, V)>) {
+        let g = node.read();
+        match &*g {
+            Node::Leaf { keys, vals } => {
+                let start = keys.partition_point(|&k| k < from);
+                for i in start..keys.len() {
+                    if keys[i] >= to {
+                        break;
+                    }
+                    out.push((keys[i], vals[i].clone()));
+                }
+            }
+            Node::Internal { keys, children } => {
+                let first = Node::<V>::child_index(keys, from);
+                let last = Node::<V>::child_index(keys, to.saturating_sub(1));
+                let kids: Vec<NodeRef<V>> = children[first..=last].to_vec();
+                drop(g);
+                for c in kids {
+                    Self::range_walk(&c, from, to, out);
+                }
+            }
+        }
+    }
+
+    /// Total keys (test aid; locks the whole tree piecewise).
+    pub fn len(&self) -> usize {
+        self.range(0, u64::MAX).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn insert_get_delete() {
+        let t: BTreeIndex<u64> = BTreeIndex::new();
+        assert_eq!(t.get(5), None);
+        t.upsert(5, 50);
+        t.upsert(3, 30);
+        t.upsert(9, 90);
+        assert_eq!(t.get(5), Some(50));
+        t.upsert(5, 55);
+        assert_eq!(t.get(5), Some(55));
+        assert!(t.delete(5));
+        assert!(!t.delete(5));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.get(3), Some(30));
+    }
+
+    #[test]
+    fn many_keys_force_splits() {
+        let t: BTreeIndex<u64> = BTreeIndex::new();
+        // Interleaved ascending/descending to exercise split paths.
+        for i in 0..5_000u64 {
+            t.upsert(i * 2, i);
+            t.upsert(1_000_000 - i, i);
+        }
+        for i in 0..5_000u64 {
+            assert_eq!(t.get(i * 2), Some(i), "key {}", i * 2);
+            assert_eq!(t.get(1_000_000 - i), Some(i));
+        }
+        assert_eq!(t.get(999_999_999), None);
+    }
+
+    #[test]
+    fn range_is_sorted_and_bounded() {
+        let t: BTreeIndex<u64> = BTreeIndex::new();
+        for k in (0..1000u64).rev() {
+            t.upsert(k * 10, k);
+        }
+        let r = t.range(95, 305);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250, 260, 270, 280, 290, 300]);
+        let all = t.range(0, u64::MAX);
+        assert_eq!(all.len(), 1000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn rmw_counts_exactly_under_concurrency() {
+        let t: Arc<BTreeIndex<u64>> = Arc::new(BTreeIndex::new());
+        let threads = 8u64;
+        let per = 10_000u64;
+        let keys = 512u64;
+        let barrier = Arc::new(Barrier::new(threads as usize));
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let t = t.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut rng = faster_util::XorShift64::new(i + 1);
+                    for _ in 0..per {
+                        t.rmw(rng.next_below(keys), |v| *v += 1, || 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = t.range(0, u64::MAX).iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, threads * per);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let t: Arc<BTreeIndex<u64>> = Arc::new(BTreeIndex::new());
+        for k in 0..10_000u64 {
+            t.upsert(k, k);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let t = t.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = faster_util::XorShift64::new(i + 9);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let k = rng.next_below(10_000);
+                    if i % 2 == 0 {
+                        if let Some(v) = t.get(k) {
+                            assert_eq!(v, k, "torn read for {k}");
+                        }
+                    } else {
+                        t.upsert(k, k);
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Masstree stand-in: a pure in-memory *ordered* range index (§7.1).
+//!
+//! Masstree is a trie of B+-trees with optimistic concurrency. The property
+//! the paper's comparison exercises is "tree-based ordered index doing point
+//! operations": every access pays logarithmic traversal and maintains total
+//! key order. This stand-in range-partitions the key space across B-trees,
+//! each behind a reader-writer lock — point ops hit one partition's tree,
+//! scans merge across partitions in key order.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A concurrent ordered key-value index over `u64` keys.
+pub struct OrderedStore<V> {
+    /// Range partitions: partition `i` owns keys with top bits == i.
+    parts: Vec<RwLock<BTreeMap<u64, V>>>,
+    bits: u32,
+}
+
+impl<V: Clone> OrderedStore<V> {
+    /// Creates a store with `2^bits` range partitions.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits <= 12);
+        Self { parts: (0..(1usize << bits)).map(|_| RwLock::new(BTreeMap::new())).collect(), bits }
+    }
+
+    #[inline]
+    fn part(&self, key: u64) -> &RwLock<BTreeMap<u64, V>> {
+        // Top bits: preserves global key order across partitions.
+        let idx = if self.bits == 0 { 0 } else { (key >> (64 - self.bits)) as usize };
+        &self.parts[idx]
+    }
+
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.part(key).read().get(&key).cloned()
+    }
+
+    pub fn upsert(&self, key: u64, value: V) {
+        self.part(key).write().insert(key, value);
+    }
+
+    pub fn rmw<U, I>(&self, key: u64, update: U, init: I)
+    where
+        U: FnOnce(&mut V),
+        I: FnOnce() -> V,
+    {
+        let mut g = self.part(key).write();
+        match g.get_mut(&key) {
+            Some(v) => update(v),
+            None => {
+                g.insert(key, init());
+            }
+        }
+    }
+
+    pub fn delete(&self, key: u64) -> bool {
+        self.part(key).write().remove(&key).is_some()
+    }
+
+    /// Ordered range scan `[from, to)` — the capability FASTER trades away.
+    pub fn range(&self, from: u64, to: u64) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        let first = if self.bits == 0 { 0 } else { (from >> (64 - self.bits)) as usize };
+        let last = if self.bits == 0 {
+            0
+        } else {
+            (to.saturating_sub(1) >> (64 - self.bits)) as usize
+        };
+        for p in first..=last.min(self.parts.len() - 1) {
+            let g = self.parts[p].read();
+            for (&k, v) in g.range((Bound::Included(from), Bound::Excluded(to))) {
+                out.push((k, v.clone()));
+            }
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|p| p.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_ops() {
+        let s: OrderedStore<u64> = OrderedStore::new(4);
+        s.upsert(5, 50);
+        s.upsert(1 << 62, 99);
+        assert_eq!(s.get(5), Some(50));
+        assert_eq!(s.get(1 << 62), Some(99));
+        s.rmw(5, |v| *v += 1, || 0);
+        assert_eq!(s.get(5), Some(51));
+        assert!(s.delete(5));
+        assert_eq!(s.get(5), None);
+    }
+
+    #[test]
+    fn range_scan_is_ordered_across_partitions() {
+        let s: OrderedStore<u64> = OrderedStore::new(3);
+        for k in [1u64, 100, 1 << 61, (1 << 61) + 5, 1 << 63, u64::MAX - 1] {
+            s.upsert(k, k);
+        }
+        let r = s.range(0, u64::MAX);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "scan must be globally ordered");
+        assert_eq!(keys.len(), 6);
+        assert_eq!(s.range(50, 200), vec![(100, 100)]);
+    }
+
+    #[test]
+    fn concurrent_rmw_exact() {
+        use std::sync::Arc;
+        let s: Arc<OrderedStore<u64>> = Arc::new(OrderedStore::new(4));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut rng = faster_util::XorShift64::new(t + 3);
+                    for _ in 0..5_000 {
+                        let k = rng.next_below(32) << 59; // spread across parts
+                        s.rmw(k, |v| *v += 1, || 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = s.range(0, u64::MAX).iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, 40_000);
+    }
+}

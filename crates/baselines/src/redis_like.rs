@@ -1,0 +1,186 @@
+//! Redis stand-in (§7.2.4): a single-threaded store behind command channels.
+//!
+//! The three properties the paper calls out: (1) not concurrent — one thread
+//! owns the data; (2) accessed over a transport — clients round-trip
+//! commands; (3) pipelining amortizes the transport. Channels stand in for
+//! the loopback socket; `RedisClient::pipeline` reproduces the `-P` batching
+//! of `redis-benchmark`.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+enum Command {
+    Get(u64, Sender<Option<u64>>),
+    Set(u64, u64, Sender<()>),
+    Incr(u64, u64, Sender<u64>),
+    Del(u64, Sender<bool>),
+    Shutdown,
+}
+
+/// The single-threaded server.
+pub struct RedisLike {
+    tx: Sender<Command>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl RedisLike {
+    pub fn start() -> Self {
+        let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
+        let worker = std::thread::Builder::new()
+            .name("redis-like".into())
+            .spawn(move || {
+                let mut map: HashMap<u64, u64> = HashMap::new();
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Command::Get(k, reply) => {
+                            let _ = reply.send(map.get(&k).copied());
+                        }
+                        Command::Set(k, v, reply) => {
+                            map.insert(k, v);
+                            let _ = reply.send(());
+                        }
+                        Command::Incr(k, by, reply) => {
+                            let v = map.entry(k).or_insert(0);
+                            *v = v.wrapping_add(by);
+                            let _ = reply.send(*v);
+                        }
+                        Command::Del(k, reply) => {
+                            let _ = reply.send(map.remove(&k).is_some());
+                        }
+                        Command::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn server");
+        Self { tx, worker: Some(worker) }
+    }
+
+    /// Connects a client.
+    pub fn client(&self) -> RedisClient {
+        RedisClient { tx: self.tx.clone() }
+    }
+}
+
+impl Drop for RedisLike {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A client connection, optionally pipelined.
+#[derive(Clone)]
+pub struct RedisClient {
+    tx: Sender<Command>,
+}
+
+impl RedisClient {
+    /// Round-trip GET.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let (rtx, rrx) = bounded(1);
+        self.tx.send(Command::Get(key, rtx)).expect("server alive");
+        rrx.recv().expect("reply")
+    }
+
+    /// Round-trip SET.
+    pub fn set(&self, key: u64, value: u64) {
+        let (rtx, rrx) = bounded(1);
+        self.tx.send(Command::Set(key, value, rtx)).expect("server alive");
+        rrx.recv().expect("reply")
+    }
+
+    /// Round-trip INCRBY.
+    pub fn incr(&self, key: u64, by: u64) -> u64 {
+        let (rtx, rrx) = bounded(1);
+        self.tx.send(Command::Incr(key, by, rtx)).expect("server alive");
+        rrx.recv().expect("reply")
+    }
+
+    /// Round-trip DEL.
+    pub fn del(&self, key: u64) -> bool {
+        let (rtx, rrx) = bounded(1);
+        self.tx.send(Command::Del(key, rtx)).expect("server alive");
+        rrx.recv().expect("reply")
+    }
+
+    /// Pipelined batch: issue `ops` commands before collecting any replies —
+    /// the `-P ${PIPELINE}` of `redis-benchmark`. `true` in `sets[i]` means
+    /// SET, else GET.
+    pub fn pipeline(&self, keys: &[u64], sets: &[bool]) -> usize {
+        assert_eq!(keys.len(), sets.len());
+        let (rtx_set, rrx_set) = bounded(keys.len());
+        let (rtx_get, rrx_get) = bounded(keys.len());
+        let mut set_count = 0;
+        for (i, &k) in keys.iter().enumerate() {
+            if sets[i] {
+                self.tx.send(Command::Set(k, k, rtx_set.clone())).expect("server alive");
+                set_count += 1;
+            } else {
+                self.tx.send(Command::Get(k, rtx_get.clone())).expect("server alive");
+            }
+        }
+        for _ in 0..set_count {
+            rrx_set.recv().expect("reply");
+        }
+        let mut hits = 0;
+        for _ in 0..(keys.len() - set_count) {
+            if rrx_get.recv().expect("reply").is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_commands() {
+        let server = RedisLike::start();
+        let c = server.client();
+        assert_eq!(c.get(1), None);
+        c.set(1, 10);
+        assert_eq!(c.get(1), Some(10));
+        assert_eq!(c.incr(1, 5), 15);
+        assert_eq!(c.incr(2, 3), 3);
+        assert!(c.del(1));
+        assert!(!c.del(1));
+    }
+
+    #[test]
+    fn many_clients_one_server() {
+        let server = RedisLike::start();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = server.client();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        c.incr(99, 1);
+                        let _ = c.get(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.client().get(99), Some(4000));
+    }
+
+    #[test]
+    fn pipeline_batches() {
+        let server = RedisLike::start();
+        let c = server.client();
+        let keys: Vec<u64> = (0..100).collect();
+        let sets: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        c.pipeline(&keys, &sets);
+        // All even keys were set; odd gets missed.
+        let hits = c.pipeline(&keys, &vec![false; 100]);
+        assert_eq!(hits, 50);
+    }
+}

@@ -1,0 +1,122 @@
+//! Figure 10 (§7.3): throughput with an increasing memory budget for a
+//! dataset larger than memory, plus the sequential log-bandwidth row.
+//!
+//! Paper: 27 GB dataset, budgets 4..44 GB, 14 threads. FASTER falls off
+//! steeply when the budget is below the dataset (random SSD reads) and
+//! reaches in-memory performance once everything fits; RocksDB stays around
+//! 0.5 M ops/s throughout. With 0:100 blind updates the drop is milder
+//! (sequential log writes, no reads). Here the dataset and budgets scale to
+//! container size; the *shape* (steep read cliff, mild write cliff,
+//! LSM-flat-and-low) is the reproduction target.
+
+use faster_bench::*;
+use faster_baselines::{MiniLsm, MiniLsmConfig};
+use faster_core::BlindKv;
+use faster_hlog::HLogConfig;
+use faster_storage::{Device, LatencyModel, MemDevice};
+use faster_ycsb::{Distribution, Mix, OpKind, WorkloadConfig, WorkloadGenerator};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn run_lsm_budget(
+    wl: &WorkloadConfig,
+    threads: usize,
+    dur: std::time::Duration,
+    budget_bytes: u64,
+) -> f64 {
+    let device = MemDevice::with_latency(2, LatencyModel::nvme());
+    let db = MiniLsm::new(
+        MiniLsmConfig {
+            memtable_entries: ((budget_bytes / 2 / 17) as usize).max(1024),
+            level_fanout: 4,
+        },
+        device,
+    );
+    for k in 0..wl.keys {
+        db.put(k, 0);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = db.clone();
+            let wl = wl.clone();
+            let stop = stop.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut gen = WorkloadGenerator::new(&wl, t as u64);
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let op = gen.next_op();
+                    match op.kind {
+                        OpKind::Read => {
+                            std::hint::black_box(db.get(op.key));
+                        }
+                        _ => db.put(op.key, op.input),
+                    }
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(dur);
+    stop.store(true, Ordering::SeqCst);
+    let total: u64 = handles.into_iter().map(|h| h.join().expect("worker")).sum();
+    total as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    // Scaled dataset: ~12 MB of 120-byte records (paper: 27 GB of 100-byte).
+    let keys: u64 = ((100_000.0 * scale()) as u64).max(20_000);
+    let dataset_mb = keys * 120 / (1 << 20);
+    let threads = (max_threads() / 2).max(1) * 2; // paper uses 14 of 28
+    let dur = run_duration();
+    let page_bits = 18u32; // 256 KB pages
+    println!("# Fig 10: {keys} keys (~{dataset_mb} MB dataset), {threads} threads");
+
+    for (mixname, mix) in [("50:50", Mix::r_bu(50, 50)), ("0:100", Mix::r_bu(0, 100))] {
+        let wl = WorkloadConfig::new(keys, mix, Distribution::zipf_default());
+        for budget_mb in [2u64, 4, 8, 16, 32] {
+            let buffer_pages = (budget_mb << 20 >> page_bits).next_power_of_two().max(4);
+            let log = HLogConfig { page_bits, buffer_pages, mutable_pages: 0, io_threads: 4 }
+                .with_mutable_fraction(0.9);
+            let device = MemDevice::with_latency(4, LatencyModel::nvme());
+            let store: faster_core::FasterKv<u64, Payload100, BlindKv<Payload100>> =
+                build_faster(keys, log, BlindKv::new(), device);
+            let r = run_faster_bytes(&store, &wl, threads, dur, true);
+            println!(
+                "fig10 {mixname} budget={budget_mb:3}MB FASTER {:8.3} Mops (io_pending {})",
+                r.mops, r.stats.io_pending
+            );
+            emit("fig10", &format!("FASTER ({mixname})"), budget_mb, format!("{:.4}", r.mops));
+            if budget_mb <= 8 {
+                let l = run_lsm_budget(&wl, threads, dur, budget_mb << 20);
+                println!("fig10 {mixname} budget={budget_mb:3}MB MiniLsm {l:8.3} Mops");
+                emit("fig10", &format!("RocksDB-standin ({mixname})"), budget_mb, format!("{l:.4}"));
+            }
+        }
+    }
+
+    // §7.3 sequential log write bandwidth: 0:100 uniform, 80% read-only
+    // region, small budget — every update appends and the log streams out.
+    let wl = WorkloadConfig::new(keys, Mix::r_bu(0, 100), Distribution::Uniform);
+    let log = HLogConfig { page_bits, buffer_pages: 16, mutable_pages: 3, io_threads: 4 };
+    let device = MemDevice::with_latency(4, LatencyModel::nvme());
+    let dev_handle: Arc<MemDevice> = device.clone();
+    let store: faster_core::FasterKv<u64, Payload100, BlindKv<Payload100>> =
+        build_faster(keys, log, BlindKv::new(), device);
+    let before = dev_handle.stats().bytes_written;
+    let start = Instant::now();
+    let r = run_faster_bytes(&store, &wl, threads, dur, true);
+    store.log().flush_barrier();
+    let mbps = (dev_handle.stats().bytes_written - before) as f64
+        / start.elapsed().as_secs_f64()
+        / (1 << 20) as f64;
+    println!("log-bandwidth: {mbps:.0} MB/s sequential write ({:.3} Mops); device model max 2048 MB/s", r.mops);
+    emit("log_bandwidth", "FASTER-seq-write", "MBps", format!("{mbps:.0}"));
+}

@@ -1,0 +1,46 @@
+//! Figures 14–16: cache miss ratio of the HybridLog caching behavior (HLOG)
+//! vs FIFO, LRU-1, LRU-2 and CLOCK, under uniform, Zipfian and hot-set
+//! access patterns (§7.5).
+//!
+//! Paper result: HLOG ≈ the others under uniform; under Zipf and hot-set it
+//! beats FIFO (second chance) but trails LRU/CLOCK (hot-key replication
+//! halves the effective cache).
+
+use faster_bench::*;
+use faster_cachesim::*;
+use faster_ycsb::{Distribution, KeyChooser};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let total_keys: u64 = ((65_536.0 * scale()) as u64).max(4_096);
+    let accesses: u64 = total_keys * 30;
+    println!("# Figs 14-16: {total_keys} keys, {accesses} accesses per cell");
+    let dists = [
+        ("fig14-uniform", Distribution::Uniform),
+        ("fig15-zipf", Distribution::zipf_default()),
+        ("fig16-hotset", Distribution::hot_set_default(total_keys)),
+    ];
+    for (fig, dist) in dists {
+        for frac_inv in [2u64, 4, 8, 16] {
+            let cache = (total_keys / frac_inv) as usize;
+            let mut policies: Vec<Box<dyn CachePolicy>> = vec![
+                Box::new(Fifo::new(cache)),
+                Box::new(Lru::new(cache)),
+                Box::new(LruK::new(cache, 2)),
+                Box::new(Clock::new(cache)),
+                Box::new(HLog::new(cache, 0.9)),
+            ];
+            print!("{fig} cache=1/{frac_inv:<2}");
+            for p in policies.iter_mut() {
+                let mut chooser = KeyChooser::new(total_keys, dist);
+                let mut rng = StdRng::seed_from_u64(42);
+                let trace = (0..accesses).map(|_| chooser.next_key(&mut rng));
+                let miss = miss_ratio(p.as_mut(), trace);
+                print!("  {}={miss:.3}", p.name());
+                emit(fig, p.name(), format!("1/{frac_inv}"), format!("{miss:.4}"));
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! # faster-bench
+//!
+//! Shared measurement harness for regenerating every table and figure of
+//! the paper's evaluation (§7). Each `benches/figNN_*.rs` target is a
+//! standalone binary (`harness = false`) that prints both a human-readable
+//! table and machine-readable CSV rows:
+//!
+//! ```text
+//! csv,<figure>,<series>,<x>,<y>
+//! ```
+//!
+//! Scale: benchmarks default to laptop-quick parameters. Set
+//! `FASTER_BENCH_SCALE` (float, default 1.0) to scale key counts and run
+//! durations toward the paper's setup, and `FASTER_BENCH_THREADS` to cap the
+//! thread sweep.
+
+use faster_core::{
+    CompletedOp, FasterKv, FasterKvConfig, Functions, ReadResult, RmwResult, Session,
+    SessionStats,
+};
+use faster_hlog::HLogConfig;
+use faster_storage::{Device, MemDevice};
+use faster_util::Pod;
+use faster_ycsb::{Mix, OpKind, WorkloadConfig, WorkloadGenerator, ZipfianGenerator};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Global scale factor from `FASTER_BENCH_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("FASTER_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Default key-space size for in-memory experiments (paper: 250 M).
+pub fn default_keys() -> u64 {
+    ((250_000.0 * scale()) as u64).max(10_000)
+}
+
+/// Measurement duration per cell (paper: 30 s).
+pub fn run_duration() -> Duration {
+    Duration::from_secs_f64((1.5 * scale()).clamp(0.5, 30.0))
+}
+
+/// Thread counts for scalability sweeps.
+pub fn thread_sweep() -> Vec<usize> {
+    let max: usize = std::env::var("FASTER_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get() * 4).unwrap_or(4));
+    let mut v = vec![1usize];
+    let mut t = 2;
+    while t <= max {
+        v.push(t);
+        t *= 2;
+    }
+    v
+}
+
+/// All hardware threads (the paper's "all threads" setting, scaled to this
+/// machine).
+pub fn max_threads() -> usize {
+    *thread_sweep().last().expect("nonempty")
+}
+
+/// Emits one machine-readable result row.
+pub fn emit(figure: &str, series: &str, x: impl std::fmt::Display, y: impl std::fmt::Display) {
+    println!("csv,{figure},{series},{x},{y}");
+}
+
+/// A finished measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchResult {
+    /// Millions of operations per second.
+    pub mops: f64,
+    /// Aggregated per-session stats.
+    pub stats: SessionStats,
+    /// Log growth over the measurement, MB/s (HybridLog only).
+    pub log_growth_mb_s: f64,
+}
+
+fn add_stats(a: &mut SessionStats, b: SessionStats) {
+    a.reads += b.reads;
+    a.upserts += b.upserts;
+    a.rmws += b.rmws;
+    a.deletes += b.deletes;
+    a.in_place += b.in_place;
+    a.copies += b.copies;
+    a.fuzzy_pending += b.fuzzy_pending;
+    a.io_pending += b.io_pending;
+    a.deltas += b.deltas;
+}
+
+/// Builds a FASTER store with the paper's defaults: index at #keys/2
+/// entries, HybridLog with the given page layout and IPU fraction.
+pub fn build_faster<V: Pod, F: Functions<u64, V>>(
+    keys: u64,
+    log: HLogConfig,
+    functions: F,
+    device: Arc<dyn Device>,
+) -> FasterKv<u64, V, F> {
+    let cfg = FasterKvConfig::for_keys(keys).with_log(log);
+    FasterKv::new(cfg, functions, device)
+}
+
+/// In-memory log layout sized so `keys` records of `record_size` fit with
+/// room to spare (the "dataset fits in memory" experiments).
+pub fn in_memory_log(keys: u64, record_size: usize, mutable_fraction: f64) -> HLogConfig {
+    let bytes_needed = (keys as u64) * (record_size as u64) * 3 + (8 << 20);
+    let page_bits = 20u32; // 1 MB pages
+    let pages = (bytes_needed >> page_bits).next_power_of_two().max(8);
+    HLogConfig { page_bits, buffer_pages: pages, mutable_pages: 0, io_threads: 2 }
+        .with_mutable_fraction(mutable_fraction)
+}
+
+/// One YCSB operation applied to a FASTER session. Returns true if pending.
+#[inline]
+pub fn apply_faster_op<V: Pod, F: Functions<u64, V>>(
+    session: &Session<u64, V, F>,
+    kind: OpKind,
+    key: u64,
+    read_input: &F::Input,
+    rmw_input: &F::Input,
+    upsert_value: &V,
+) -> bool {
+    match kind {
+        OpKind::Read => match session.read(&key, read_input) {
+            ReadResult::Pending(_) => true,
+            _ => false,
+        },
+        OpKind::Upsert => {
+            session.upsert(&key, upsert_value);
+            false
+        }
+        OpKind::Rmw => match session.rmw(&key, rmw_input) {
+            RmwResult::Pending(_) => true,
+            _ => false,
+        },
+    }
+}
+
+/// Non-mergeable per-key running sum: identical update logic to
+/// [`faster_core::CountStore`] but *without* the CRDT declaration, so fuzzy-region RMWs
+/// take the pending path of Table 2 — the behavior Figs 12b and 13 measure.
+#[derive(Debug, Default, Clone)]
+pub struct SumStore;
+
+impl Functions<u64, u64> for SumStore {
+    type Input = u64;
+    type Output = u64;
+
+    fn single_reader(&self, _k: &u64, _i: &u64, v: &u64) -> u64 {
+        *v
+    }
+
+    fn concurrent_reader(
+        &self,
+        _k: &u64,
+        _i: &u64,
+        v: &faster_core::ValueCell<u64>,
+    ) -> u64 {
+        v.as_atomic_u64().load(Ordering::Relaxed)
+    }
+
+    fn initial_updater(&self, _k: &u64, i: &u64, v: &mut u64) {
+        *v = *i;
+    }
+
+    fn in_place_updater(&self, _k: &u64, i: &u64, v: &faster_core::ValueCell<u64>) {
+        v.as_atomic_u64().fetch_add(*i, Ordering::Relaxed);
+    }
+
+    fn copy_updater(&self, _k: &u64, i: &u64, old: &u64, new: &mut u64) {
+        *new = old.wrapping_add(*i);
+    }
+}
+
+/// Runs a YCSB workload against a FASTER store with 8-byte values — the
+/// Fig 8/9a/12/13 configuration — for `duration` on `threads` threads.
+/// `preload` inserts all keys first (the paper preloads its datasets).
+pub fn run_faster_counts<F>(
+    store: &FasterKv<u64, u64, F>,
+    workload: &WorkloadConfig,
+    threads: usize,
+    duration: Duration,
+    preload: bool,
+) -> BenchResult
+where
+    F: Functions<u64, u64, Input = u64, Output = u64>,
+{
+    if preload {
+        preload_counts(store, workload.keys);
+    }
+    let shared_zipf = match workload.distribution {
+        faster_ycsb::Distribution::Zipfian { theta } => {
+            Some(ZipfianGenerator::new(workload.keys, theta))
+        }
+        _ => None,
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let log_bytes_before = store.log().tail_address().raw();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = store.clone();
+        let workload = workload.clone();
+        let stop = stop.clone();
+        let barrier = barrier.clone();
+        let zipf = shared_zipf.clone();
+        handles.push(std::thread::spawn(move || {
+            let session = store.start_session();
+            let mut gen = match zipf {
+                Some(z) => WorkloadGenerator::with_shared_zipf(&workload, t as u64, z),
+                None => WorkloadGenerator::new(&workload, t as u64),
+            };
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..256 {
+                    let op = gen.next_op();
+                    let pending = apply_faster_op(
+                        &session,
+                        op.kind,
+                        op.key,
+                        &0,
+                        &op.input,
+                        &op.input,
+                    );
+                    if pending {
+                        session.complete_pending(true);
+                    }
+                    ops += 1;
+                }
+                session.complete_pending(false);
+            }
+            session.complete_pending(true);
+            (ops, session.stats())
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::SeqCst);
+    let mut total_ops = 0u64;
+    let mut stats = SessionStats::default();
+    for h in handles {
+        let (ops, st) = h.join().expect("bench worker");
+        total_ops += ops;
+        add_stats(&mut stats, st);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let log_growth =
+        (store.log().tail_address().raw() - log_bytes_before) as f64 / secs / (1 << 20) as f64;
+    BenchResult { mops: total_ops as f64 / secs / 1e6, stats, log_growth_mb_s: log_growth }
+}
+
+/// Preloads `keys` sequential keys into an 8-byte-value store.
+pub fn preload_counts<F: Functions<u64, u64, Input = u64, Output = u64>>(
+    store: &FasterKv<u64, u64, F>,
+    keys: u64,
+) {
+    let session = store.start_session();
+    for k in 0..keys {
+        session.upsert(&k, &0);
+    }
+    session.complete_pending(true);
+}
+
+/// The 100-byte-payload value type of Figs 8/9b/10 (§7.1).
+pub type Payload100 = [u8; 104]; // 100 rounded to 8-byte alignment
+
+/// Runs a YCSB workload against a FASTER store with 100-byte payloads
+/// (blind-update experiments).
+pub fn run_faster_bytes(
+    store: &FasterKv<u64, Payload100, faster_core::BlindKv<Payload100>>,
+    workload: &WorkloadConfig,
+    threads: usize,
+    duration: Duration,
+    preload: bool,
+) -> BenchResult {
+    if preload {
+        let session = store.start_session();
+        let v: Payload100 = [7u8; 104];
+        for k in 0..workload.keys {
+            session.upsert(&k, &v);
+        }
+        session.complete_pending(true);
+    }
+    let shared_zipf = match workload.distribution {
+        faster_ycsb::Distribution::Zipfian { theta } => {
+            Some(ZipfianGenerator::new(workload.keys, theta))
+        }
+        _ => None,
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let before = store.log().tail_address().raw();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = store.clone();
+        let workload = workload.clone();
+        let stop = stop.clone();
+        let barrier = barrier.clone();
+        let zipf = shared_zipf.clone();
+        handles.push(std::thread::spawn(move || {
+            let session = store.start_session();
+            let mut gen = match zipf {
+                Some(z) => WorkloadGenerator::with_shared_zipf(&workload, t as u64, z),
+                None => WorkloadGenerator::new(&workload, t as u64),
+            };
+            let value: Payload100 = [9u8; 104];
+            let zero: Payload100 = [0u8; 104];
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..256 {
+                    let op = gen.next_op();
+                    if apply_faster_op(&session, op.kind, op.key, &zero, &value, &value) {
+                        session.complete_pending(true);
+                    }
+                    ops += 1;
+                }
+                session.complete_pending(false);
+            }
+            session.complete_pending(true);
+            (ops, session.stats())
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::SeqCst);
+    let mut total_ops = 0u64;
+    let mut stats = SessionStats::default();
+    for h in handles {
+        let (ops, st) = h.join().expect("bench worker");
+        total_ops += ops;
+        add_stats(&mut stats, st);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let growth = (store.log().tail_address().raw() - before) as f64 / secs / (1 << 20) as f64;
+    BenchResult { mops: total_ops as f64 / secs / 1e6, stats, log_growth_mb_s: growth }
+}
+
+// ---------------------------------------------------------------- baselines
+
+/// Generic duration-based runner for the in-memory baselines.
+fn run_baseline<S, OpF>(
+    state: Arc<S>,
+    workload: &WorkloadConfig,
+    threads: usize,
+    duration: Duration,
+    op: OpF,
+) -> f64
+where
+    S: Send + Sync + 'static,
+    OpF: Fn(&S, OpKind, u64, u64) + Send + Sync + Clone + 'static,
+{
+    let shared_zipf = match workload.distribution {
+        faster_ycsb::Distribution::Zipfian { theta } => {
+            Some(ZipfianGenerator::new(workload.keys, theta))
+        }
+        _ => None,
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let state = state.clone();
+        let workload = workload.clone();
+        let stop = stop.clone();
+        let barrier = barrier.clone();
+        let op = op.clone();
+        let zipf = shared_zipf.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut gen = match zipf {
+                Some(z) => WorkloadGenerator::with_shared_zipf(&workload, t as u64, z),
+                None => WorkloadGenerator::new(&workload, t as u64),
+            };
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..256 {
+                    let o = gen.next_op();
+                    op(&state, o.kind, o.key, o.input);
+                    ops += 1;
+                }
+            }
+            ops
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::SeqCst);
+    let total: u64 = handles.into_iter().map(|h| h.join().expect("worker")).sum();
+    total as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+/// Intel-TBB-stand-in throughput (Mops).
+pub fn run_shard_map(workload: &WorkloadConfig, threads: usize, duration: Duration) -> f64 {
+    let map: Arc<faster_baselines::ShardMap<u64, u64>> =
+        Arc::new(faster_baselines::ShardMap::new(10));
+    for k in 0..workload.keys {
+        map.upsert(k, 0);
+    }
+    run_baseline(map, workload, threads, duration, |m, kind, key, input| match kind {
+        OpKind::Read => {
+            std::hint::black_box(m.get(&key));
+        }
+        OpKind::Upsert => m.upsert(key, input),
+        OpKind::Rmw => m.rmw(key, |v| *v += input, || input),
+    })
+}
+
+/// Masstree-stand-in throughput (Mops): the lock-coupling B+-tree.
+pub fn run_ordered(workload: &WorkloadConfig, threads: usize, duration: Duration) -> f64 {
+    let store: Arc<faster_baselines::BTreeIndex<u64>> =
+        Arc::new(faster_baselines::BTreeIndex::new());
+    for k in 0..workload.keys {
+        store.upsert(k, 0);
+    }
+    run_baseline(store, workload, threads, duration, |s, kind, key, input| match kind {
+        OpKind::Read => {
+            std::hint::black_box(s.get(key));
+        }
+        OpKind::Upsert => s.upsert(key, input),
+        OpKind::Rmw => s.rmw(key, |v| *v += input, || input),
+    })
+}
+
+/// RocksDB-stand-in throughput (Mops).
+pub fn run_lsm(workload: &WorkloadConfig, threads: usize, duration: Duration) -> f64 {
+    let db = faster_baselines::MiniLsm::new(
+        faster_baselines::MiniLsmConfig::default(),
+        MemDevice::new(2),
+    );
+    for k in 0..workload.keys {
+        db.put(k, 0);
+    }
+    run_baseline(db, workload, threads, duration, |db, kind, key, input| match kind {
+        OpKind::Read => {
+            std::hint::black_box(db.get(key));
+        }
+        OpKind::Upsert => db.put(key, input),
+        OpKind::Rmw => db.rmw(key, input, |v| v + input),
+    })
+}
+
+/// Drains completed reads (helper for figure code that reads back values).
+pub fn drain_reads<V: Pod, F: Functions<u64, V>>(
+    session: &Session<u64, V, F>,
+) -> Vec<(u64, Option<F::Output>)> {
+    session
+        .complete_pending(true)
+        .into_iter()
+        .filter_map(|op| match op {
+            CompletedOp::Read { id, result } => Some((id, result)),
+            CompletedOp::Rmw { .. } => None,
+        })
+        .collect()
+}
+
+/// The standard workload mixes of Fig 8 (§7.2.1): 0:100 RMW, 0:100, 50:50,
+/// 100:0.
+pub fn fig8_mixes() -> Vec<(&'static str, Mix)> {
+    vec![
+        ("0:100 RMW", Mix::rmw_only()),
+        ("0:100", Mix::r_bu(0, 100)),
+        ("50:50", Mix::r_bu(50, 50)),
+        ("100:0", Mix::r_bu(100, 0)),
+    ]
+}

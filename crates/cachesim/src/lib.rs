@@ -1,0 +1,418 @@
+//! # faster-cachesim
+//!
+//! The §7.5 caching-behavior simulation: "We maintain a constant-sized key
+//! buffer as a cache, and use each caching protocol to evict a key whenever
+//! an accessed key is not in the buffer."
+//!
+//! Protocols (§6.4): FIFO, CLOCK, LRU (LRU-1), LRU-2 (the LRU-K protocol of
+//! O'Neil et al.), and **HLOG** — the HybridLog second-chance behavior: "we
+//! have a read-only marker that is at a constant lag from the tail address;
+//! when a key is in read-only region, we copy it to end of tail like in
+//! FASTER." HLOG needs *no per-key statistics*; its cost is key replication
+//! (a hot key occupies both a read-only and a mutable slot), which is
+//! exactly the effect Figs 14–16 quantify.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A cache replacement policy over `u64` keys.
+pub trait CachePolicy {
+    /// Processes one access; returns true on a cache hit.
+    fn access(&mut self, key: u64) -> bool;
+    /// Display name (matches the figure legends).
+    fn name(&self) -> &'static str;
+}
+
+/// First-In First-Out.
+pub struct Fifo {
+    cap: usize,
+    queue: VecDeque<u64>,
+    resident: HashMap<u64, ()>,
+}
+
+impl Fifo {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        Self { cap, queue: VecDeque::new(), resident: HashMap::new() }
+    }
+}
+
+impl CachePolicy for Fifo {
+    fn access(&mut self, key: u64) -> bool {
+        if self.resident.contains_key(&key) {
+            return true;
+        }
+        if self.queue.len() == self.cap {
+            let victim = self.queue.pop_front().expect("cap > 0");
+            self.resident.remove(&victim);
+        }
+        self.queue.push_back(key);
+        self.resident.insert(key, ());
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+}
+
+/// Least Recently Used (LRU-1).
+pub struct Lru {
+    cap: usize,
+    clock: u64,
+    stamp_of: HashMap<u64, u64>,
+    by_stamp: BTreeSet<(u64, u64)>, // (stamp, key)
+}
+
+impl Lru {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        Self { cap, clock: 0, stamp_of: HashMap::new(), by_stamp: BTreeSet::new() }
+    }
+}
+
+impl CachePolicy for Lru {
+    fn access(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        if let Some(&old) = self.stamp_of.get(&key) {
+            self.by_stamp.remove(&(old, key));
+            self.by_stamp.insert((self.clock, key));
+            self.stamp_of.insert(key, self.clock);
+            return true;
+        }
+        if self.stamp_of.len() == self.cap {
+            let &(stamp, victim) = self.by_stamp.iter().next().expect("nonempty");
+            self.by_stamp.remove(&(stamp, victim));
+            self.stamp_of.remove(&victim);
+        }
+        self.stamp_of.insert(key, self.clock);
+        self.by_stamp.insert((self.clock, key));
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "LRU_1"
+    }
+}
+
+/// LRU-K with K = 2 (O'Neil et al., reference \[33\] of the paper): evict the
+/// key whose second-most-recent access is oldest; keys with fewer than two
+/// accesses evict first
+/// (infinite backward K-distance), LRU among themselves.
+pub struct LruK {
+    cap: usize,
+    k: usize,
+    clock: u64,
+    history: HashMap<u64, VecDeque<u64>>,
+    /// (priority = Kth-most-recent stamp or 0, tiebreak stamp, key)
+    order: BTreeSet<(u64, u64, u64)>,
+    prio_of: HashMap<u64, (u64, u64)>,
+}
+
+impl LruK {
+    pub fn new(cap: usize, k: usize) -> Self {
+        assert!(cap > 0 && k >= 1);
+        Self {
+            cap,
+            k,
+            clock: 0,
+            history: HashMap::new(),
+            order: BTreeSet::new(),
+            prio_of: HashMap::new(),
+        }
+    }
+
+    fn reprioritize(&mut self, key: u64) {
+        let hist = self.history.get(&key).expect("resident key has history");
+        let prio = if hist.len() >= self.k { *hist.front().expect("k >= 1") } else { 0 };
+        if let Some(&(p, t)) = self.prio_of.get(&key) {
+            self.order.remove(&(p, t, key));
+        }
+        self.order.insert((prio, self.clock, key));
+        self.prio_of.insert(key, (prio, self.clock));
+    }
+}
+
+impl CachePolicy for LruK {
+    fn access(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        let hit = self.prio_of.contains_key(&key);
+        {
+            let hist = self.history.entry(key).or_default();
+            hist.push_back(self.clock);
+            while hist.len() > self.k {
+                hist.pop_front();
+            }
+        }
+        if hit {
+            self.reprioritize(key);
+            return true;
+        }
+        if self.prio_of.len() == self.cap {
+            let &(p, t, victim) = self.order.iter().next().expect("nonempty");
+            self.order.remove(&(p, t, victim));
+            self.prio_of.remove(&victim);
+            // History is retained (the LRU-K retained-information policy).
+        }
+        self.reprioritize(key);
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "LRU_2"
+    }
+}
+
+/// CLOCK (second-chance FIFO with reference bits).
+pub struct Clock {
+    cap: usize,
+    slots: Vec<(u64, bool)>,
+    index: HashMap<u64, usize>,
+    hand: usize,
+}
+
+impl Clock {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        Self { cap, slots: Vec::new(), index: HashMap::new(), hand: 0 }
+    }
+}
+
+impl CachePolicy for Clock {
+    fn access(&mut self, key: u64) -> bool {
+        if let Some(&i) = self.index.get(&key) {
+            self.slots[i].1 = true;
+            return true;
+        }
+        if self.slots.len() < self.cap {
+            self.index.insert(key, self.slots.len());
+            self.slots.push((key, false));
+            return false;
+        }
+        // Advance the hand until a clear reference bit is found.
+        loop {
+            let (victim, referenced) = self.slots[self.hand];
+            if referenced {
+                self.slots[self.hand].1 = false;
+                self.hand = (self.hand + 1) % self.cap;
+            } else {
+                self.index.remove(&victim);
+                self.slots[self.hand] = (key, false);
+                self.index.insert(key, self.hand);
+                self.hand = (self.hand + 1) % self.cap;
+                return false;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CLOCK"
+    }
+}
+
+/// The HybridLog caching behavior (§6.4, §7.5).
+///
+/// A logical log of `cap` slots; `head = tail − cap`; the read-only marker
+/// sits at `tail − mutable_lag`. An access to a key whose newest copy is:
+/// * at/above the marker (mutable): hit, no movement (in-place update);
+/// * between head and marker (read-only): hit, **copied to the tail**
+///   (second chance — and the source of key replication);
+/// * below head (evicted): miss, appended at the tail.
+pub struct HLog {
+    cap: u64,
+    mutable_lag: u64,
+    tail: u64,
+    newest: HashMap<u64, u64>,
+    /// Log positions -> key, for head eviction bookkeeping.
+    log: VecDeque<(u64, u64)>, // (position, key)
+}
+
+impl HLog {
+    /// `mutable_fraction` is the paper's IPU split (default 0.9).
+    pub fn new(cap: usize, mutable_fraction: f64) -> Self {
+        assert!(cap > 0);
+        assert!((0.0..=1.0).contains(&mutable_fraction));
+        Self {
+            cap: cap as u64,
+            mutable_lag: ((cap as f64) * mutable_fraction).round().max(1.0) as u64,
+            tail: 0,
+            newest: HashMap::new(),
+            log: VecDeque::new(),
+        }
+    }
+
+    fn append(&mut self, key: u64) {
+        let pos = self.tail;
+        self.tail += 1;
+        self.log.push_back((pos, key));
+        self.newest.insert(key, pos);
+        // Evict below the head.
+        let head = self.tail.saturating_sub(self.cap);
+        while let Some(&(p, k)) = self.log.front() {
+            if p >= head {
+                break;
+            }
+            self.log.pop_front();
+            if self.newest.get(&k) == Some(&p) {
+                self.newest.remove(&k);
+            }
+        }
+    }
+}
+
+impl CachePolicy for HLog {
+    fn access(&mut self, key: u64) -> bool {
+        let head = self.tail.saturating_sub(self.cap);
+        let ro = self.tail.saturating_sub(self.mutable_lag);
+        match self.newest.get(&key) {
+            Some(&pos) if pos >= ro => true, // mutable: in-place
+            Some(&pos) if pos >= head => {
+                // Read-only: second chance — copy to tail.
+                self.append(key);
+                true
+            }
+            _ => {
+                self.append(key);
+                false
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "HLOG"
+    }
+}
+
+/// Runs `trace` through `policy` and returns the miss ratio.
+pub fn miss_ratio<P: CachePolicy + ?Sized>(policy: &mut P, trace: impl Iterator<Item = u64>) -> f64 {
+    let mut total = 0u64;
+    let mut misses = 0u64;
+    for key in trace {
+        total += 1;
+        if !policy.access(key) {
+            misses += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        misses as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(keys: &[u64]) -> impl Iterator<Item = u64> + '_ {
+        keys.iter().copied()
+    }
+
+    #[test]
+    fn fifo_evicts_in_order() {
+        let mut f = Fifo::new(2);
+        assert!(!f.access(1));
+        assert!(!f.access(2));
+        assert!(f.access(1));
+        assert!(!f.access(3)); // evicts 1 (FIFO ignores recency)
+        assert!(!f.access(1));
+        assert!(f.access(3));
+    }
+
+    #[test]
+    fn lru_respects_recency() {
+        let mut l = Lru::new(2);
+        l.access(1);
+        l.access(2);
+        l.access(1); // 1 is now most recent
+        assert!(!l.access(3)); // evicts 2
+        assert!(l.access(1));
+        assert!(!l.access(2));
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut c = Clock::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // ref bit set on 1
+        assert!(!c.access(3)); // hand clears 1's bit, evicts 2
+        assert!(c.access(1), "referenced key survived");
+    }
+
+    #[test]
+    fn hlog_second_chance_and_replication() {
+        // cap 4, mutable lag 2 => positions [tail-2, tail) are mutable.
+        let mut h = HLog::new(4, 0.5);
+        for k in 1..=4u64 {
+            assert!(!h.access(k)); // cold fills: positions 0..3
+        }
+        // Key 1 (pos 0) is in the read-only region: hit + copy to pos 4.
+        assert!(h.access(1));
+        // Miss on 5 appends pos 5; the head advance evicts key 2's only copy
+        // - key 1's second chance (replication) displaced it.
+        assert!(!h.access(5));
+        assert!(!h.access(2), "1's second chance displaced 2");
+    }
+
+
+    #[test]
+    fn miss_ratio_counts() {
+        let mut f = Fifo::new(10);
+        let trace = [1u64, 2, 3, 1, 2, 3];
+        assert!((miss_ratio(&mut f, seq(&trace)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_policies_perfect_when_cache_fits() {
+        let keys: Vec<u64> = (0..50).chain(0..50).collect();
+        let policies: Vec<Box<dyn CachePolicy>> = vec![
+            Box::new(Fifo::new(64)),
+            Box::new(Lru::new(64)),
+            Box::new(LruK::new(64, 2)),
+            Box::new(Clock::new(64)),
+        ];
+        for mut p in policies {
+            let mut misses = 0;
+            for &k in &keys {
+                if !p.access(k) {
+                    misses += 1;
+                }
+            }
+            assert_eq!(misses, 50, "{} must only miss cold accesses", p.name());
+        }
+        // HLOG replicates, so give it 2x slack and it still holds 50 keys.
+        let mut h = HLog::new(128, 0.9);
+        let mut misses = 0;
+        for &k in &keys {
+            if !h.access(k) {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 50);
+    }
+
+    #[test]
+    fn lru2_scan_resistance() {
+        // LRU-2's claim to fame: a sequential scan does not flush the hot
+        // set, because scanned-once keys have infinite K-distance.
+        let mut l2 = LruK::new(8, 2);
+        let mut l1 = Lru::new(8);
+        // Warm 4 hot keys with two accesses each.
+        for _ in 0..2 {
+            for k in 0..4u64 {
+                l2.access(k);
+                l1.access(k);
+            }
+        }
+        // Scan 100 cold keys.
+        for k in 1000..1100u64 {
+            l2.access(k);
+            l1.access(k);
+        }
+        // Hot keys survive under LRU-2, died under LRU-1.
+        let l2_hits = (0..4u64).filter(|&k| l2.access(k)).count();
+        let l1_hits = (0..4u64).filter(|&k| l1.access(k)).count();
+        assert!(l2_hits > l1_hits, "LRU-2 {l2_hits} vs LRU-1 {l1_hits}");
+        assert_eq!(l2_hits, 4);
+    }
+}

@@ -1,0 +1,333 @@
+//! # faster-core
+//!
+//! The FASTER concurrent key-value store (SIGMOD 2018), assembled from the
+//! epoch framework (`faster-epoch`), the latch-free hash index
+//! (`faster-index`), and the HybridLog record allocator (`faster-hlog`).
+//!
+//! ## What you get
+//!
+//! * [`FasterKv`] — the store: point [`Session::read`], blind
+//!   [`Session::upsert`], [`Session::rmw`] (read-modify-write with
+//!   user-defined update logic, including CRDT/mergeable updates), and
+//!   [`Session::delete`], all latch-free, over data larger than memory.
+//! * [`Session`] — a thread's registration with the store (§2.5): wraps an
+//!   epoch guard, performs periodic refresh, and carries the pending
+//!   queue for operations that went asynchronous (`PENDING` status).
+//! * [`functions::Functions`] — the compile-time user-logic interface of
+//!   Appendix E (monomorphized instead of code-generated).
+//! * Checkpoint/recover (§6.5), log GC (Appendix C), on-line index resizing
+//!   (Appendix B), and log scan hooks (Appendix F).
+//!
+//! ## Quick example — the paper's count store (§2.5)
+//!
+//! ```
+//! use faster_core::{FasterKv, FasterKvConfig, functions::CountStore};
+//! use faster_storage::MemDevice;
+//!
+//! let store = FasterKv::new(FasterKvConfig::small(), CountStore, MemDevice::new(2));
+//! let mut session = store.start_session();
+//! for _ in 0..10 {
+//!     session.rmw(&42, &1); // increment key 42's counter
+//! }
+//! let n = match session.read(&42, &0) {
+//!     faster_core::ReadResult::Found(v) => v,
+//!     _ => panic!("in memory, never pending"),
+//! };
+//! assert_eq!(n, 10);
+//! ```
+
+pub mod checkpoint;
+pub mod functions;
+pub mod gc;
+pub mod inmem;
+pub mod read_cache;
+pub mod record;
+pub mod varlen;
+mod session;
+
+pub use functions::{BlindKv, CountStore, Functions, ValueCell};
+pub use inmem::{InMemKv, InMemSession};
+pub use session::{CompletedOp, ReadResult, RmwResult, Session, SessionStats};
+pub use varlen::{VarKv, VarValue};
+
+use faster_epoch::Epoch;
+use faster_hlog::{HLogConfig, HybridLog};
+use faster_index::{HashIndex, IndexConfig, RecordAccess};
+use faster_storage::Device;
+use faster_util::{Address, KeyHash, Pod};
+use record::RecordRef;
+use std::sync::Arc;
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FasterKvConfig {
+    pub index: IndexConfig,
+    pub log: HLogConfig,
+    /// Maximum concurrently active sessions (epoch-table capacity).
+    pub max_sessions: usize,
+    /// Operations between automatic epoch refreshes (§2.5 suggests 256).
+    pub refresh_interval: u32,
+    /// Optional read-hot record cache (Appendix D): a second HybridLog that
+    /// is never flushed; its size/IPU split control the second-chance degree.
+    pub read_cache: Option<HLogConfig>,
+}
+
+impl FasterKvConfig {
+    /// A small configuration for tests and examples.
+    pub fn small() -> Self {
+        Self {
+            index: IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 8 },
+            log: HLogConfig::small(),
+            max_sessions: 32,
+            refresh_interval: 64,
+            read_cache: None,
+        }
+    }
+
+    /// Sizes the index at `#keys / 2` hash-bucket entries — the paper's
+    /// default ("we size the FASTER index with #keys/2 hash bucket entries",
+    /// §7.1). Seven entries per bucket.
+    pub fn for_keys(keys: u64) -> Self {
+        let entries = (keys / 2).max(64);
+        let buckets = (entries / 7).next_power_of_two();
+        let k_bits = buckets.trailing_zeros() as u8;
+        Self {
+            index: IndexConfig { k_bits: k_bits.clamp(4, 30), tag_bits: 15, max_resize_chunks: 64 },
+            log: HLogConfig::default(),
+            max_sessions: 128,
+            refresh_interval: 256,
+            read_cache: None,
+        }
+    }
+
+    pub fn with_log(mut self, log: HLogConfig) -> Self {
+        self.log = log;
+        self
+    }
+
+    pub fn with_tag_bits(mut self, bits: u8) -> Self {
+        self.index.tag_bits = bits;
+        self
+    }
+
+    /// Enables the Appendix D read cache with the given cache-log shape.
+    pub fn with_read_cache(mut self, cache: HLogConfig) -> Self {
+        self.read_cache = Some(cache);
+        self
+    }
+}
+
+impl Default for FasterKvConfig {
+    fn default() -> Self {
+        Self::for_keys(1 << 20)
+    }
+}
+
+pub(crate) struct StoreInner<K: Pod, V: Pod, F: Functions<K, V>> {
+    pub epoch: Epoch,
+    pub index: HashIndex,
+    pub log: HybridLog,
+    /// Appendix D read cache (a second, never-flushed HybridLog).
+    pub rc: Option<HybridLog>,
+    pub functions: F,
+    pub cfg: FasterKvConfig,
+    _marker: std::marker::PhantomData<(K, V)>,
+}
+
+/// The FASTER key-value store. Cheap to clone (a shared handle); create one
+/// [`Session`] per thread to operate on it.
+pub struct FasterKv<K: Pod, V: Pod, F: Functions<K, V>> {
+    pub(crate) inner: Arc<StoreInner<K, V, F>>,
+}
+
+impl<K: Pod, V: Pod, F: Functions<K, V>> Clone for FasterKv<K, V, F> {
+    fn clone(&self) -> Self {
+        Self { inner: self.inner.clone() }
+    }
+}
+
+impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
+    /// Creates a store over `device`.
+    pub fn new(cfg: FasterKvConfig, functions: F, device: Arc<dyn Device>) -> Self {
+        let epoch = Epoch::new(cfg.max_sessions);
+        let index = HashIndex::new(cfg.index, epoch.clone());
+        let log = HybridLog::new(cfg.log, epoch.clone(), device);
+        let rc = cfg
+            .read_cache
+            .map(|c| HybridLog::new(c, epoch.clone(), faster_storage::NullDevice::new()));
+        let store = Self {
+            inner: Arc::new(StoreInner {
+                epoch,
+                index,
+                log,
+                rc,
+                functions,
+                cfg,
+                _marker: std::marker::PhantomData,
+            }),
+        };
+        if let Some(rc_log) = &store.inner.rc {
+            // Eviction hook: restore index entries to the primary-log
+            // addresses before cache frames are recycled (Appendix D).
+            let weak = Arc::downgrade(&store.inner);
+            rc_log.set_eviction_hook(move |from, to| {
+                if let Some(inner) = weak.upgrade() {
+                    restore_evicted_entries::<K, V, F>(&inner, from, to);
+                }
+            });
+        }
+        store
+    }
+
+    /// Registers the calling thread with the store (§2.5 `Acquire`). Drop the
+    /// session to deregister (`Release`).
+    pub fn start_session(&self) -> Session<K, V, F> {
+        Session::new(self.clone())
+    }
+
+    /// The store's epoch framework.
+    pub fn epoch(&self) -> &Epoch {
+        &self.inner.epoch
+    }
+
+    /// The underlying hybrid log (markers, scan, GC).
+    pub fn log(&self) -> &HybridLog {
+        &self.inner.log
+    }
+
+    /// The hash index (size, resize status).
+    pub fn index(&self) -> &HashIndex {
+        &self.inner.index
+    }
+
+    /// User functions instance.
+    pub fn functions(&self) -> &F {
+        &self.inner.functions
+    }
+
+    /// Record size of this store's fixed-size records.
+    pub const fn record_size() -> usize {
+        RecordRef::<K, V>::size()
+    }
+
+    /// Doubles the hash index on-line (Appendix B). Call from a thread that
+    /// either owns `session` or no session; other sessions keep operating.
+    pub fn grow_index(&self, session: Option<&Session<K, V, F>>) -> bool {
+        let shim: Arc<dyn RecordAccess> = Arc::new(AccessShim { store: self.clone() });
+        self.inner.index.grow(shim, session.map(|s| s.guard()))
+    }
+
+    /// Halves the hash index on-line (Appendix B).
+    pub fn shrink_index(&self, session: Option<&Session<K, V, F>>) -> bool {
+        let shim: Arc<dyn RecordAccess> = Arc::new(AccessShim { store: self.clone() });
+        self.inner.index.shrink(shim, session.map(|s| s.guard()))
+    }
+}
+
+/// Eviction hook body: walk evicted read-cache pages and CAS each still-
+/// tagged index entry back to the cached record's primary address.
+fn restore_evicted_entries<K: Pod + Eq, V: Pod, F: Functions<K, V>>(
+    inner: &StoreInner<K, V, F>,
+    from: u64,
+    to: u64,
+) {
+    let Some(rc) = &inner.rc else { return };
+    let rec_size = RecordRef::<K, V>::size() as u64;
+    let page_size = rc.config().page_size();
+    let mut addr = from.max(Address::FIRST_VALID.raw());
+    while addr + rec_size <= to {
+        // Records never span pages; skip page-tail padding.
+        if page_size - (addr & (page_size - 1)) < rec_size {
+            addr = (addr & !(page_size - 1)) + page_size;
+            continue;
+        }
+        // Safety: [from, to) is the eviction window the hook owns.
+        let p = unsafe { rc.get_evicting(Address::new(addr)) };
+        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+        let header = rec.header();
+        if !header.is_live() {
+            // Padding: rest of this page is empty.
+            addr = (addr & !(page_size - 1)) + page_size;
+            continue;
+        }
+        let hash = hash_key(&rec.key());
+        if let Some(slot) = inner.index.find_tag(hash, None) {
+            let cur = slot.load();
+            if cur.address() == read_cache::rc_tag(Address::new(addr)) {
+                // prev holds the primary-log address of the cached record.
+                let _ = slot.cas_address(cur, header.prev());
+            }
+        }
+        addr += rec_size;
+    }
+}
+
+/// Bridges the index resizer to this store's record layout (Appendix B:
+/// migration walks record chains, re-hashes keys, and relinks).
+struct AccessShim<K: Pod, V: Pod, F: Functions<K, V>> {
+    store: FasterKv<K, V, F>,
+}
+
+impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> RecordAccess for AccessShim<K, V, F> {
+    fn record_hash(&self, addr: Address) -> Option<KeyHash> {
+        if read_cache::is_rc(addr) {
+            let rc = self.store.inner.rc.as_ref()?;
+            let p = rc.get(read_cache::rc_untag(addr))?;
+            let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+            return Some(KeyHash::new(faster_util::hash_bytes(faster_util::bytes_of(
+                &rec.key(),
+            ))));
+        }
+        let p = self.store.inner.log.get(addr)?;
+        // Safety: addr came from a live chain; epoch rules keep it mapped.
+        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+        if rec.header().is_merge() {
+            // Merge meta-records have no key; treat as a chain boundary so
+            // the resizer leaves the combined disk chain intact.
+            return None;
+        }
+        Some(KeyHash::new(faster_util::hash_bytes(faster_util::bytes_of(&rec.key()))))
+    }
+
+    fn record_prev(&self, addr: Address) -> Address {
+        let p = if read_cache::is_rc(addr) {
+            self.store
+                .inner
+                .rc
+                .as_ref()
+                .and_then(|rc| rc.get(read_cache::rc_untag(addr)))
+                .expect("resize walks resident records")
+        } else {
+            self.store.inner.log.get(addr).expect("resize walks resident records")
+        };
+        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+        rec.header().prev()
+    }
+
+    fn set_record_prev(&self, addr: Address, prev: Address) {
+        let p = self.store.inner.log.get(addr).expect("resize walks resident records");
+        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+        rec.set_prev(prev);
+    }
+
+    fn link_disk_tails(&self, a: Address, b: Address) -> Address {
+        // Allocate a merge meta-record at the tail pointing at both chains.
+        let guard = self.store.inner.epoch.acquire();
+        let size = record::MergeRecord::size::<K, V>() as u32;
+        let addr = self.store.inner.log.allocate(size, &guard);
+        let p = self.store.inner.log.get(addr).expect("fresh tail allocation is resident");
+        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+        rec.init_header(record::RecordHeader::new(a).with(record::MERGE_BIT));
+        unsafe { record::MergeRecord::set_second_address(p, b) };
+        addr
+    }
+}
+
+/// Hashes a key the way the store does everywhere (index, recovery, resize).
+#[inline]
+pub(crate) fn hash_key<K: Pod>(key: &K) -> KeyHash {
+    KeyHash::new(faster_util::hash_bytes(faster_util::bytes_of(key)))
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,71 @@
+//! Read-hot record cache (Appendix D).
+//!
+//! "For a mixed workload with a non-trivial number of read-hot records, our
+//! design can accommodate a separate read cache. In fact, we can simply
+//! create a new instance of HybridLog for this purpose. The only difference
+//! between this log and the primary HybridLog is that there is no flush to
+//! disk on page eviction. Record headers in these read-only records point to
+//! the corresponding records in the primary log."
+//!
+//! This implements the paper's **option (1)**: "the hash index can use an
+//! additional bit to identify which log the index address points to. When a
+//! read-only record is evicted, the index entry needs to be updated with the
+//! original pointer to the record on the primary log."
+//!
+//! * Cache addresses carry bit 47 ([`RC_BIT`]) in the hash-bucket entry.
+//! * A cache record's `prev` header field holds the *primary* log address of
+//!   the record it caches, so chains traverse through the cache seamlessly
+//!   and updates can splice the cache copy out.
+//! * The cache log's eviction hook (no flush — it sits on a
+//!   [`faster_storage::NullDevice`])
+//!   walks evicted pages and CASes each index entry back to the primary
+//!   address before the frame is recycled.
+//! * A read that hits a cache record outside the cache's mutable region
+//!   copies it to the cache tail — the same second-chance shaping as the
+//!   primary HybridLog (§6.4), sized by the cache's read-only region.
+//!
+//! Caveats documented per the paper's own scope ("a detailed evaluation of
+//! these techniques is outside the scope of this paper"): checkpoints taken
+//! while a read cache is enabled rewrite tagged entries to their primary
+//! addresses best-effort; combine resizing with a read cache only when
+//! quiesced.
+
+use faster_util::Address;
+
+/// The "which log" bit of Appendix D option (1): set in a hash-bucket
+/// entry's 48-bit address when it points into the read-cache log.
+pub const RC_BIT: u64 = 1 << 47;
+
+/// True if `addr` points into the read-cache log.
+#[inline]
+pub fn is_rc(addr: Address) -> bool {
+    addr.raw() & RC_BIT != 0
+}
+
+/// Tags a read-cache log address for storage in the index.
+#[inline]
+pub fn rc_tag(addr: Address) -> Address {
+    debug_assert!(addr.raw() & RC_BIT == 0, "cache log exceeded 2^47 bytes");
+    Address::new(addr.raw() | RC_BIT)
+}
+
+/// Recovers the read-cache log address from a tagged index address.
+#[inline]
+pub fn rc_untag(addr: Address) -> Address {
+    Address::new(addr.raw() & !RC_BIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trip() {
+        let a = Address::new(0x1234);
+        assert!(!is_rc(a));
+        let t = rc_tag(a);
+        assert!(is_rc(t));
+        assert_eq!(rc_untag(t), a);
+        assert_ne!(t, a);
+    }
+}

@@ -1,0 +1,1192 @@
+//! Sessions and the four store operations (Algorithms 2–4, §2.5, §6.3).
+//!
+//! A [`Session`] is one thread's registration with the store: it wraps an
+//! epoch guard (acquired on creation, released on drop), refreshes the epoch
+//! every `refresh_interval` operations, and owns the pending queue for
+//! operations that returned `PENDING` — disk reads (§5.3) and fuzzy-region
+//! RMWs (§6.3). Call [`Session::complete_pending`] periodically to drive
+//! continuations, exactly as the paper's thread lifecycle prescribes.
+
+use crate::functions::Functions;
+use crate::record::{
+    MergeRecord, RecordHeader, RecordRef, DELTA_BIT, INVALID_BIT, TOMBSTONE_BIT,
+};
+use crate::read_cache::{is_rc, rc_tag, rc_untag};
+use crate::{hash_key, FasterKv};
+use faster_epoch::EpochGuard;
+use faster_hlog::Region;
+use faster_index::{CreateOutcome, EntrySlot, HashBucketEntry};
+use faster_util::{Address, KeyHash, Pod};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadResult<O> {
+    Found(O),
+    NotFound,
+    /// Went asynchronous; the id is echoed by [`Session::complete_pending`].
+    Pending(u64),
+}
+
+/// Result of an RMW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwResult {
+    Done,
+    Pending(u64),
+}
+
+/// A completed formerly-pending operation.
+#[derive(Debug)]
+pub enum CompletedOp<O> {
+    Read { id: u64, result: Option<O> },
+    Rmw { id: u64 },
+}
+
+/// Per-session operation counters (cheap plain integers; aggregate across
+/// sessions in the harness). These drive Figs 12b and 13 (fuzzy-op rates).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SessionStats {
+    pub reads: u64,
+    pub upserts: u64,
+    pub rmws: u64,
+    pub deletes: u64,
+    /// In-place updates (mutable region hits).
+    pub in_place: u64,
+    /// Read-copy-updates (records copied to the tail).
+    pub copies: u64,
+    /// RMWs deferred because the record was in the fuzzy region (§6.3).
+    pub fuzzy_pending: u64,
+    /// Operations that issued disk I/O.
+    pub io_pending: u64,
+    /// CRDT delta records created (§6.3).
+    pub deltas: u64,
+}
+
+enum PendingKind {
+    Read,
+    Rmw,
+    /// Fuzzy RMW awaiting retry at the next `complete_pending` (§6.3).
+    RmwFuzzyRetry,
+}
+
+struct PendingOp<K, V, I> {
+    id: u64,
+    key: K,
+    hash: KeyHash,
+    input: I,
+    kind: PendingKind,
+    /// Address whose read was issued (continuation resumes from its record).
+    read_addr: Address,
+    /// Entry address snapshot for the RMW CAS-consistency check.
+    entry_addr: Address,
+    /// Accumulated CRDT partial (read reconciliation across deltas).
+    acc: Option<V>,
+    /// Alternate chains still to search (merge meta-records).
+    fallbacks: Vec<Address>,
+}
+
+type IoQueue<K, V, I> = Arc<Mutex<VecDeque<(PendingOp<K, V, I>, Result<Vec<u8>, faster_storage::IoError>)>>>;
+
+/// A thread's handle onto the store. Not `Sync`: one session per thread,
+/// exactly like the paper's thread model.
+///
+/// # Liveness
+///
+/// Every *live* session must keep operating (operations auto-refresh the
+/// epoch every `refresh_interval` ops) or be dropped: an idle registered
+/// session pins the current epoch, which stalls epoch-gated maintenance
+/// (page flushes, evictions, resize phase changes) for the whole store —
+/// exactly the thread contract of §2.5. Park a thread? Drop its session and
+/// start a new one later.
+pub struct Session<K: Pod, V: Pod, F: Functions<K, V>> {
+    store: FasterKv<K, V, F>,
+    guard: EpochGuard,
+    // Session-local state uses Cell/RefCell: a session belongs to exactly one
+    // thread (it is !Sync), and interior mutability keeps operation methods
+    // at &self so index EntrySlot borrows never conflict.
+    ops_since_refresh: Cell<u32>,
+    next_id: Cell<u64>,
+    outstanding: Cell<usize>,
+    io_done: IoQueue<K, V, F::Input>,
+    retries: RefCell<VecDeque<PendingOp<K, V, F::Input>>>,
+    stats: RefCell<SessionStats>,
+}
+
+impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
+    pub(crate) fn new(store: FasterKv<K, V, F>) -> Self {
+        let guard = store.inner.epoch.acquire();
+        Self {
+            store,
+            guard,
+            ops_since_refresh: Cell::new(0),
+            next_id: Cell::new(1),
+            outstanding: Cell::new(0),
+            io_done: Arc::new(Mutex::new(VecDeque::new())),
+            retries: RefCell::new(VecDeque::new()),
+            stats: RefCell::new(SessionStats::default()),
+        }
+    }
+
+    /// The session's epoch guard (used by maintenance operations).
+    pub fn guard(&self) -> &EpochGuard {
+        &self.guard
+    }
+
+    /// Counters accumulated by this session.
+    pub fn stats(&self) -> SessionStats {
+        *self.stats.borrow()
+    }
+
+    /// Number of operations currently pending (I/O or fuzzy retries).
+    pub fn pending_count(&self) -> usize {
+        self.outstanding.get()
+    }
+
+    /// Explicit epoch refresh (§2.4); also runs automatically every
+    /// `refresh_interval` operations.
+    pub fn refresh(&self) {
+        self.guard.refresh();
+        self.ops_since_refresh.set(0);
+    }
+
+    #[inline]
+    fn maybe_refresh(&self) {
+        let n = self.ops_since_refresh.get() + 1;
+        self.ops_since_refresh.set(n);
+        if n >= self.store.inner.cfg.refresh_interval {
+            self.refresh();
+        }
+    }
+
+    #[inline]
+    fn fresh_id(&self) -> u64 {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        id
+    }
+
+    // ================================================================ READ
+
+    /// Reads the value for `key` (Algorithm 2). For mergeable (CRDT) stores
+    /// the read reconciles delta records along the chain (§6.3).
+    pub fn read(&self, key: &K, input: &F::Input) -> ReadResult<F::Output> {
+        self.stats.borrow_mut().reads += 1;
+        let hash = hash_key(key);
+        let r = self.read_internal(key, hash, input, Address::INVALID, None, Vec::new(), None);
+        self.maybe_refresh();
+        r
+    }
+
+    /// Shared read walk. `start_at` overrides the index entry (continuation
+    /// resuming mid-chain); `acc` carries CRDT partials; `fallbacks` carries
+    /// merge-record second chains; `id` reuses a pending id.
+    #[allow(clippy::too_many_arguments)]
+    fn read_internal(
+        &self,
+        key: &K,
+        hash: KeyHash,
+        input: &F::Input,
+        start_at: Address,
+        mut acc: Option<V>,
+        mut fallbacks: Vec<Address>,
+        id: Option<u64>,
+    ) -> ReadResult<F::Output> {
+        let inner = &self.store.inner;
+        let f = &inner.functions;
+        let mut addr = if start_at.is_valid() {
+            start_at
+        } else {
+            match inner.index.find_tag(hash, Some(&self.guard)) {
+                Some(slot) => slot.load().address(),
+                None => return self.finish_read(key, input, acc),
+            }
+        };
+        loop {
+            if is_rc(addr) {
+                // Appendix D: the entry points into the read-cache log.
+                let Some(rc_log) = inner.rc.as_ref() else {
+                    return self.finish_read(key, input, acc);
+                };
+                match rc_log.get(rc_untag(addr)) {
+                    Some(p) => {
+                        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+                        let h = rec.header();
+                        if rec.key() == *key && !h.is_tombstone() && !h.is_delta() {
+                            let v = rec.read_value();
+                            let out = match &acc {
+                                Some(a) => {
+                                    let f = &inner.functions;
+                                    let merged = f.merge(&v, a);
+                                    f.single_reader(key, input, &merged)
+                                }
+                                None => inner.functions.single_reader(key, input, &v),
+                            };
+                            // Second chance (§6.4 applied to the cache): a
+                            // hit outside the cache's mutable region copies
+                            // the record to the cache tail.
+                            if acc.is_none() {
+                                self.rc_second_chance(key, hash, &rec, addr);
+                            }
+                            return ReadResult::Found(out);
+                        }
+                        // Cached record is for a different key (or deleted):
+                        // continue into the primary chain it points at.
+                        addr = h.prev();
+                        continue;
+                    }
+                    None => {
+                        // Evicted under us; the eviction hook is restoring
+                        // the entry. Refresh (drives the trigger) + restart.
+                        self.refresh();
+                        addr = match inner.index.find_tag(hash, Some(&self.guard)) {
+                            Some(slot) => slot.load().address(),
+                            None => return self.finish_read(key, input, acc),
+                        };
+                        continue;
+                    }
+                }
+            }
+            if !addr.is_valid() || addr < inner.log.begin_address() {
+                // Chain end (or GC'd prefix, Appendix C): try alternates.
+                match fallbacks.pop() {
+                    Some(a) => {
+                        addr = a;
+                        continue;
+                    }
+                    None => return self.finish_read(key, input, acc),
+                }
+            }
+            let Some(p) = inner.log.get(addr) else {
+                // Below head: go asynchronous (Alg 2 line 6).
+                return ReadResult::Pending(self.issue_read_io(
+                    key, hash, input, addr, acc, fallbacks, id,
+                ));
+            };
+            // Safety: epoch-protected resident record.
+            let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+            let h = rec.header();
+            if h.is_merge() {
+                fallbacks.push(unsafe { MergeRecord::second_address(p) });
+                addr = h.prev();
+                continue;
+            }
+            if h.is_invalid() || rec.key() != *key {
+                addr = h.prev();
+                continue;
+            }
+            if h.is_tombstone() {
+                return self.finish_read(key, input, acc);
+            }
+            if h.is_delta() {
+                // CRDT partial: fold and keep walking toward the base.
+                let part = rec.read_value();
+                acc = Some(match &acc {
+                    Some(a) => f.merge(a, &part),
+                    None => part,
+                });
+                addr = h.prev();
+                continue;
+            }
+            // Base record: produce the output (Alg 2 lines 12-15).
+            let out = if let Some(a) = &acc {
+                let merged = f.merge(&rec.read_value(), a);
+                f.single_reader(key, input, &merged)
+            } else if addr < inner.log.safe_ipu_boundary() {
+                f.single_reader(key, input, &rec.read_value())
+            } else {
+                f.concurrent_reader(key, input, rec.value_cell())
+            };
+            // (When resuming a pending op, continue_io normalizes this
+            // Found into a CompletedOp for the caller.)
+            return ReadResult::Found(out);
+        }
+    }
+
+    /// Chain exhausted: deltas with no base fold onto the identity (§6.3).
+    fn finish_read(&self, key: &K, input: &F::Input, acc: Option<V>) -> ReadResult<F::Output> {
+        match acc {
+            Some(a) => {
+                let f = &self.store.inner.functions;
+                let merged = f.merge(&f.identity(), &a);
+                ReadResult::Found(f.single_reader(key, input, &merged))
+            }
+            None => ReadResult::NotFound,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_read_io(
+        &self,
+        key: &K,
+        hash: KeyHash,
+        input: &F::Input,
+        addr: Address,
+        acc: Option<V>,
+        fallbacks: Vec<Address>,
+        id: Option<u64>,
+    ) -> u64 {
+        let id = id.unwrap_or_else(|| self.fresh_id());
+        self.stats.borrow_mut().io_pending += 1;
+        self.outstanding.set(self.outstanding.get() + 1);
+        let ctx = PendingOp {
+            id,
+            key: *key,
+            hash,
+            input: input.clone(),
+            kind: PendingKind::Read,
+            read_addr: addr,
+            entry_addr: Address::INVALID,
+            acc,
+            fallbacks,
+        };
+        let queue = self.io_done.clone();
+        self.store.inner.log.read_async(
+            addr,
+            RecordRef::<K, V>::size(),
+            Box::new(move |res| {
+                queue.lock().expect("session queue").push_back((ctx, res));
+            }),
+        );
+        id
+    }
+
+    // ============================================================== UPSERT
+
+    /// Blind update (Algorithm 3): in-place if the record is in the mutable
+    /// region, otherwise a new record at the tail. Never goes pending
+    /// (Table 2: blind updates need no old value).
+    pub fn upsert(&self, key: &K, value: &V) {
+        self.stats.borrow_mut().upserts += 1;
+        let hash = hash_key(key);
+        loop {
+            let inner = &self.store.inner;
+            let f = &inner.functions;
+            match inner.index.find_or_create_tag(hash, Some(&self.guard)) {
+                CreateOutcome::Found(slot) => {
+                    let entry = slot.load();
+                    if is_rc(entry.address()) {
+                        // Cache records are never updated in place: write a
+                        // fresh primary record, splicing the cache copy out.
+                        let prev = self.chain_prev_for_new_record(entry.address());
+                        let (addr, rec) = self.write_record(prev, key, 0);
+                        let f = &self.store.inner.functions;
+                        f.single_writer(key, value, unsafe { rec.value_mut() });
+                        match slot.cas_address(entry, addr) {
+                            Ok(()) => {
+                                self.stats.borrow_mut().copies += 1;
+                                self.maybe_refresh();
+                                return;
+                            }
+                            Err(_) => {
+                                rec.set_bits(INVALID_BIT);
+                                continue;
+                            }
+                        }
+                    }
+                    let ro = inner.log.ipu_boundary();
+                    // Trace only the mutable suffix: anything deeper gets
+                    // shadowed by the new tail record anyway (Alg 3).
+                    if let Some(laddr) = self.find_in_memory_above(key, entry.address(), ro) {
+                        let p = inner.log.get(laddr).expect("mutable record resident");
+                        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+                        if !rec.header().is_tombstone() && !rec.header().is_delta() {
+                            f.concurrent_writer(key, value, rec.value_cell());
+                            self.stats.borrow_mut().in_place += 1;
+                            self.maybe_refresh();
+                            return;
+                        }
+                    }
+                    // RCU: new record at the tail, linked to the old chain.
+                    let (addr, rec) = self.write_record(entry.address(), key, 0);
+                    let f = &self.store.inner.functions;
+                    f.single_writer(key, value, unsafe { rec.value_mut() });
+                    match slot.cas_address(entry, addr) {
+                        Ok(()) => {
+                            self.stats.borrow_mut().copies += 1;
+                            self.maybe_refresh();
+                            return;
+                        }
+                        Err(_) => {
+                            rec.set_bits(INVALID_BIT);
+                            continue; // Alg 3 line 19: retry
+                        }
+                    }
+                }
+                CreateOutcome::Created(created) => {
+                    let (addr, rec) = self.write_record(Address::INVALID, key, 0);
+                    let f = &self.store.inner.functions;
+                    f.single_writer(key, value, unsafe { rec.value_mut() });
+                    created.finalize(addr);
+                    self.maybe_refresh();
+                    return;
+                }
+            }
+        }
+    }
+
+    // ================================================================= RMW
+
+    /// Read-modify-write (Algorithm 4 + Table 2). May return
+    /// [`RmwResult::Pending`] for disk-resident records or fuzzy-region hits.
+    pub fn rmw(&self, key: &K, input: &F::Input) -> RmwResult {
+        self.stats.borrow_mut().rmws += 1;
+        let hash = hash_key(key);
+        let r = self.rmw_internal(key, hash, input, None);
+        self.maybe_refresh();
+        r
+    }
+
+    fn rmw_internal(
+        &self,
+        key: &K,
+        hash: KeyHash,
+        input: &F::Input,
+        reuse_id: Option<u64>,
+    ) -> RmwResult {
+        loop {
+            let inner = &self.store.inner;
+            let f = &inner.functions;
+            match inner.index.find_or_create_tag(hash, Some(&self.guard)) {
+                CreateOutcome::Found(slot) => {
+                    let entry = slot.load();
+                    if is_rc(entry.address()) {
+                        // Cache hit for RMW: the old value is right here —
+                        // no I/O needed. Write the updated primary record.
+                        let rc_rec = inner
+                            .rc
+                            .as_ref()
+                            .and_then(|rc| rc.get(rc_untag(entry.address())));
+                        match rc_rec {
+                            Some(p) => {
+                                let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+                                if rec.key() == *key {
+                                    let old = rec.read_value();
+                                    if self.rcu_create(&slot, entry, key, input, Some(old)) {
+                                        self.stats.borrow_mut().copies += 1;
+                                        return RmwResult::Done;
+                                    }
+                                    continue;
+                                }
+                                // Cached record is another key's: fall
+                                // through and trace from its primary prev.
+                            }
+                            None => {
+                                // Evicted: let the hook restore the entry.
+                                self.refresh();
+                                continue;
+                            }
+                        }
+                    }
+                    let head = inner.log.head_address();
+                    let chain_head = self.chain_prev_for_new_record(entry.address());
+                    match self.find_in_memory_above(key, chain_head, head) {
+                        Some(laddr) => {
+                            let p = inner.log.get(laddr).expect("resident");
+                            let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+                            let h = rec.header();
+                            if h.is_tombstone() {
+                                // Deleted: re-create from the initial value.
+                                if self.rcu_create(&slot, entry, key, input, None) {
+                                    return RmwResult::Done;
+                                }
+                                continue;
+                            }
+                            match inner.log.classify(laddr) {
+                                Region::Mutable => {
+                                    f.in_place_updater(key, input, rec.value_cell());
+                                    self.stats.borrow_mut().in_place += 1;
+                                    return RmwResult::Done;
+                                }
+                                Region::Fuzzy => {
+                                    if f.is_mergeable() {
+                                        // CRDT: append a delta (§6.3).
+                                        if self.append_delta(&slot, entry, key, input) {
+                                            return RmwResult::Done;
+                                        }
+                                        continue;
+                                    }
+                                    // Defer: pending list, retried later.
+                                    self.stats.borrow_mut().fuzzy_pending += 1;
+                                    return RmwResult::Pending(
+                                        self.queue_fuzzy_retry(key, hash, input, reuse_id),
+                                    );
+                                }
+                                Region::ReadOnly => {
+                                    if h.is_delta() {
+                                        // RCU of a delta would double-count:
+                                        // append a fresh delta instead.
+                                        debug_assert!(f.is_mergeable());
+                                        if self.append_delta(&slot, entry, key, input) {
+                                            return RmwResult::Done;
+                                        }
+                                        continue;
+                                    }
+                                    // Copy to tail with the updated value.
+                                    let old = rec.read_value();
+                                    if self.rcu_create(&slot, entry, key, input, Some(old)) {
+                                        self.stats.borrow_mut().copies += 1;
+                                        return RmwResult::Done;
+                                    }
+                                    continue;
+                                }
+                                Region::OnDisk => unreachable!("resident record"),
+                            }
+                        }
+                        None => {
+                            // Not in memory. Distinguish "chain continues on
+                            // disk" from "chain ends".
+                            let disk = self.first_below(key, chain_head, head);
+                            match disk {
+                                Some(daddr) => {
+                                    if f.is_mergeable() {
+                                        // CRDT: no need to read the old value.
+                                        if self.append_delta(&slot, entry, key, input) {
+                                            return RmwResult::Done;
+                                        }
+                                        continue;
+                                    }
+                                    return RmwResult::Pending(self.issue_rmw_io(
+                                        key,
+                                        hash,
+                                        input,
+                                        daddr,
+                                        entry.address(),
+                                        reuse_id,
+                                    ));
+                                }
+                                None => {
+                                    // Absent: create from the initial value.
+                                    if self.rcu_create(&slot, entry, key, input, None) {
+                                        return RmwResult::Done;
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+                CreateOutcome::Created(created) => {
+                    let (addr, rec) = self.write_record(Address::INVALID, key, 0);
+                    let f = &self.store.inner.functions;
+                    f.initial_updater(key, input, unsafe { rec.value_mut() });
+                    created.finalize(addr);
+                    return RmwResult::Done;
+                }
+            }
+        }
+    }
+
+    /// Creates the RCU/initial record and CASes the index (Alg 4
+    /// CREATE_RECORD). Returns false if the CAS lost (caller retries).
+    fn rcu_create(
+        &self,
+        slot: &EntrySlot<'_>,
+        entry: HashBucketEntry,
+        key: &K,
+        input: &F::Input,
+        old: Option<V>,
+    ) -> bool {
+        // A tagged (read-cache) chain head must not be embedded in a durable
+        // record header: splice past it to its primary address.
+        let prev = self.chain_prev_for_new_record(entry.address());
+        let (addr, rec) = self.write_record(prev, key, 0);
+        let f = &self.store.inner.functions;
+        match old {
+            Some(old) => f.copy_updater(key, input, &old, unsafe { rec.value_mut() }),
+            None => f.initial_updater(key, input, unsafe { rec.value_mut() }),
+        }
+        match slot.cas_address(entry, addr) {
+            Ok(()) => true,
+            Err(_) => {
+                rec.set_bits(INVALID_BIT);
+                false
+            }
+        }
+    }
+
+    /// Creates a CRDT delta record (partial value from the identity) at the
+    /// tail (§6.3).
+    fn append_delta(
+        &self,
+        slot: &EntrySlot<'_>,
+        entry: HashBucketEntry,
+        key: &K,
+        input: &F::Input,
+    ) -> bool {
+        let prev = self.chain_prev_for_new_record(entry.address());
+        let (addr, rec) = self.write_record(prev, key, DELTA_BIT);
+        let f = &self.store.inner.functions;
+        let identity = f.identity();
+        f.copy_updater(key, input, &identity, unsafe { rec.value_mut() });
+        match slot.cas_address(entry, addr) {
+            Ok(()) => {
+                self.stats.borrow_mut().deltas += 1;
+                true
+            }
+            Err(_) => {
+                rec.set_bits(INVALID_BIT);
+                false
+            }
+        }
+    }
+
+    // ============================================================== DELETE
+
+    /// Deletes `key` by appending a tombstone record (§5.3). Log GC reclaims
+    /// the space (Appendix C).
+    pub fn delete(&self, key: &K) {
+        self.stats.borrow_mut().deletes += 1;
+        let hash = hash_key(key);
+        loop {
+            let inner = &self.store.inner;
+            match inner.index.find_tag(hash, Some(&self.guard)) {
+                None => break, // nothing to delete
+                Some(slot) => {
+                    let entry = slot.load();
+                    let prev = self.chain_prev_for_new_record(entry.address());
+                    if !is_rc(entry.address())
+                        && (!entry.address().is_valid()
+                            || entry.address() < inner.log.begin_address())
+                    {
+                        // GC'd chain: drop the dangling entry (Appendix C).
+                        let _ = slot.cas_delete(entry);
+                        break;
+                    }
+                    let (addr, rec) = self.write_record(prev, key, TOMBSTONE_BIT);
+                    // Tombstones carry no value; zeroed frame bytes suffice.
+                    match slot.cas_address(entry, addr) {
+                        Ok(()) => break,
+                        Err(_) => {
+                            rec.set_bits(INVALID_BIT);
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        self.maybe_refresh();
+    }
+
+    /// Returns up to `limit` historical versions of `key`, newest first, by
+    /// walking the record chain across memory and storage (Appendix F:
+    /// "query historical values of a given key (since our record versions
+    /// are linked in the log)"). Deltas are folded into their successors'
+    /// running value; a tombstone ends the history. Storage hops block —
+    /// this is an analytics path, not an operation path.
+    pub fn read_history(&self, key: &K, limit: usize) -> Vec<V> {
+        let inner = &self.store.inner;
+        let hash = hash_key(key);
+        let mut out = Vec::new();
+        let Some(slot) = inner.index.find_tag(hash, Some(&self.guard)) else {
+            return out;
+        };
+        let mut addr = slot.load().address();
+        let mut fallbacks: Vec<Address> = Vec::new();
+        while out.len() < limit {
+            if is_rc(addr) {
+                addr = self.chain_prev_for_new_record(addr);
+                continue;
+            }
+            if !addr.is_valid() || addr < inner.log.begin_address() {
+                match fallbacks.pop() {
+                    Some(a) => {
+                        addr = a;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let parsed: Option<(RecordHeader, K, V, Option<Address>)> = match inner.log.get(addr) {
+                Some(p) => {
+                    let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+                    let second = if rec.header().is_merge() {
+                        Some(unsafe { MergeRecord::second_address(p) })
+                    } else {
+                        None
+                    };
+                    Some((rec.header(), rec.key(), rec.read_value(), second))
+                }
+                None => {
+                    // Blocking storage hop (maintenance/analytics path).
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    inner.log.read_async(
+                        addr,
+                        RecordRef::<K, V>::size(),
+                        Box::new(move |r| {
+                            let _ = tx.send(r);
+                        }),
+                    );
+                    match rx.recv().ok().and_then(|r| r.ok()) {
+                        Some(bytes) => RecordRef::<K, V>::parse_bytes(&bytes).map(|(h, k, v)| {
+                            let second = if h.is_merge() {
+                                Some(Address::new(
+                                    u64::from_le_bytes(bytes[8..16].try_into().expect("size"))
+                                        & Address::MASK,
+                                ))
+                            } else {
+                                None
+                            };
+                            (h, k, v, second)
+                        }),
+                        None => None,
+                    }
+                }
+            };
+            let Some((h, k, v, second)) = parsed else { break };
+            if let Some(sec) = second {
+                fallbacks.push(sec);
+                addr = h.prev();
+                continue;
+            }
+            if h.is_invalid() || k != *key {
+                addr = h.prev();
+                continue;
+            }
+            if h.is_tombstone() {
+                break;
+            }
+            out.push(v);
+            addr = h.prev();
+        }
+        out
+    }
+
+    // ============================================================ helpers
+
+    /// The `prev` pointer a new tail record should carry when the current
+    /// chain head is `head`: tagged read-cache heads are spliced out
+    /// (replaced by the primary address the cache record points at), since
+    /// cache addresses are volatile and must never persist in record
+    /// headers (Appendix D).
+    fn chain_prev_for_new_record(&self, head: Address) -> Address {
+        if !is_rc(head) {
+            return head;
+        }
+        let inner = &self.store.inner;
+        if let Some(rc_log) = inner.rc.as_ref() {
+            if let Some(p) = rc_log.get(rc_untag(head)) {
+                let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+                return rec.header().prev();
+            }
+        }
+        // Evicted: the hook is restoring the entry; our CAS (expected = the
+        // stale tagged entry) will fail and the operation retries.
+        Address::INVALID
+    }
+
+    /// Copies a cache record hit outside the cache's mutable region to the
+    /// cache tail (second chance), re-pointing the index entry.
+    fn rc_second_chance(&self, key: &K, hash: KeyHash, rec: &RecordRef<K, V>, tagged: Address) {
+        let inner = &self.store.inner;
+        let Some(rc_log) = inner.rc.as_ref() else { return };
+        if rc_log.classify(rc_untag(tagged)) == Region::Mutable {
+            return; // young enough already
+        }
+        let Some(slot) = inner.index.find_tag(hash, Some(&self.guard)) else { return };
+        let cur = slot.load();
+        if cur.address() != tagged {
+            return; // chain moved on
+        }
+        let addr = rc_log.allocate(RecordRef::<K, V>::size() as u32, &self.guard);
+        let p = rc_log.get(addr).expect("fresh cache allocation resident");
+        let new_rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+        new_rec.init_header(RecordHeader::new(rec.header().prev()));
+        new_rec.init_key(key);
+        unsafe { *new_rec.value_mut() = rec.read_value() };
+        let _ = slot.cas_address(cur, rc_tag(addr));
+    }
+
+    /// After a disk read served a key whose record is the chain head,
+    /// inserts a copy into the read cache (Appendix D read path).
+    fn try_cache_insert(&self, key: &K, hash: KeyHash, value: &V, primary: Address) {
+        let inner = &self.store.inner;
+        let Some(rc_log) = inner.rc.as_ref() else { return };
+        let Some(slot) = inner.index.find_tag(hash, Some(&self.guard)) else { return };
+        let cur = slot.load();
+        if cur.address() != primary {
+            return; // only cache chain heads: anything else would hide
+                    // newer records of other keys
+        }
+        let addr = rc_log.allocate(RecordRef::<K, V>::size() as u32, &self.guard);
+        let p = rc_log.get(addr).expect("fresh cache allocation resident");
+        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+        rec.init_header(RecordHeader::new(primary));
+        rec.init_key(key);
+        unsafe { *rec.value_mut() = *value };
+        let _ = slot.cas_address(cur, rc_tag(addr));
+    }
+
+    /// Allocates and initializes a record (header + key) at the tail.
+    fn write_record(&self, prev: Address, key: &K, bits: u64) -> (Address, RecordRef<K, V>) {
+        let inner = &self.store.inner;
+        let addr = inner.log.allocate(RecordRef::<K, V>::size() as u32, &self.guard);
+        let p = inner.log.get(addr).expect("fresh tail allocation is resident");
+        // Safety: exclusive until published via the index CAS.
+        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+        rec.init_header(RecordHeader::new(prev).with(bits));
+        rec.init_key(key);
+        (addr, rec)
+    }
+
+    /// Walks the in-memory chain from `from`, returning the first record
+    /// matching `key` at an address `>= floor`. Merge records are followed
+    /// (both prongs are at/below the disk boundary by construction).
+    fn find_in_memory_above(&self, key: &K, from: Address, floor: Address) -> Option<Address> {
+        let inner = &self.store.inner;
+        let mut addr = from;
+        while addr.is_valid() && addr >= floor && addr >= inner.log.begin_address() {
+            let Some(p) = inner.log.get(addr) else { return None };
+            let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+            let h = rec.header();
+            if !h.is_invalid() && !h.is_merge() && rec.key() == *key {
+                return Some(addr);
+            }
+            addr = h.prev();
+        }
+        None
+    }
+
+    /// Walks the in-memory chain and returns the first address *below*
+    /// `floor` (the disk continuation), if the in-memory prefix did not
+    /// already contain `key`.
+    fn first_below(&self, key: &K, from: Address, floor: Address) -> Option<Address> {
+        let inner = &self.store.inner;
+        let begin = inner.log.begin_address();
+        let mut addr = from;
+        while addr.is_valid() {
+            if addr < begin {
+                return None; // truncated by GC: treat as chain end
+            }
+            if addr < floor {
+                return Some(addr);
+            }
+            let Some(p) = inner.log.get(addr) else { return Some(addr) };
+            let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+            let h = rec.header();
+            debug_assert!(h.is_invalid() || h.is_merge() || rec.key() != *key);
+            addr = h.prev();
+        }
+        None
+    }
+
+    fn queue_fuzzy_retry(&self, key: &K, hash: KeyHash, input: &F::Input, reuse: Option<u64>) -> u64 {
+        let id = reuse.unwrap_or_else(|| self.fresh_id());
+        self.outstanding.set(self.outstanding.get() + 1);
+        self.retries.borrow_mut().push_back(PendingOp {
+            id,
+            key: *key,
+            hash,
+            input: input.clone(),
+            kind: PendingKind::RmwFuzzyRetry,
+            read_addr: Address::INVALID,
+            entry_addr: Address::INVALID,
+            acc: None,
+            fallbacks: Vec::new(),
+        });
+        id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_rmw_io(
+        &self,
+        key: &K,
+        hash: KeyHash,
+        input: &F::Input,
+        addr: Address,
+        entry_addr: Address,
+        reuse: Option<u64>,
+    ) -> u64 {
+        let id = reuse.unwrap_or_else(|| self.fresh_id());
+        self.stats.borrow_mut().io_pending += 1;
+        self.outstanding.set(self.outstanding.get() + 1);
+        let ctx = PendingOp {
+            id,
+            key: *key,
+            hash,
+            input: input.clone(),
+            kind: PendingKind::Rmw,
+            read_addr: addr,
+            entry_addr,
+            acc: None,
+            fallbacks: Vec::new(),
+        };
+        let queue = self.io_done.clone();
+        self.store.inner.log.read_async(
+            addr,
+            RecordRef::<K, V>::size(),
+            Box::new(move |res| {
+                queue.lock().expect("session queue").push_back((ctx, res));
+            }),
+        );
+        id
+    }
+
+    // ================================================== pending completion
+
+    /// Processes completed asynchronous operations and fuzzy retries,
+    /// returning finished results. With `wait`, blocks (refreshing) until
+    /// nothing is outstanding.
+    pub fn complete_pending(&self, wait: bool) -> Vec<CompletedOp<F::Output>> {
+        let mut done = Vec::new();
+        loop {
+            // Fuzzy retries: by the time we're called again, the offending
+            // address is usually below safe-read-only and takes the RCU path.
+            let n_retries = self.retries.borrow().len();
+            for _ in 0..n_retries {
+                let op = { self.retries.borrow_mut().pop_front() }.expect("len checked");
+                self.outstanding.set(self.outstanding.get() - 1);
+                match self.rmw_internal(&op.key, op.hash, &op.input, Some(op.id)) {
+                    RmwResult::Done => done.push(CompletedOp::Rmw { id: op.id }),
+                    RmwResult::Pending(_) => { /* requeued under the same id */ }
+                }
+            }
+            // Drained I/O completions.
+            loop {
+                let next = self.io_done.lock().expect("session queue").pop_front();
+                let Some((op, res)) = next else { break };
+                self.outstanding.set(self.outstanding.get() - 1);
+                match res {
+                    Ok(bytes) => self.continue_io(op, bytes, &mut done),
+                    Err(_) => {
+                        // Truncated/failed read: the record is gone (GC) —
+                        // key absent along this path.
+                        match op.kind {
+                            PendingKind::Read => {
+                                let r = self.finish_read(&op.key, &op.input, op.acc);
+                                done.push(CompletedOp::Read {
+                                    id: op.id,
+                                    result: match r {
+                                        ReadResult::Found(o) => Some(o),
+                                        _ => None,
+                                    },
+                                });
+                            }
+                            PendingKind::Rmw => {
+                                match self.rmw_complete(op, None) {
+                                    Some(id) => done.push(CompletedOp::Rmw { id }),
+                                    None => {}
+                                }
+                            }
+                            PendingKind::RmwFuzzyRetry => unreachable!("no I/O for fuzzy"),
+                        }
+                    }
+                }
+            }
+            if !wait || self.outstanding.get() == 0 {
+                break;
+            }
+            self.refresh();
+            std::thread::yield_now();
+        }
+        done
+    }
+
+    /// Continues a pending op with the record bytes read from storage.
+    fn continue_io(
+        &self,
+        mut op: PendingOp<K, V, F::Input>,
+        bytes: Vec<u8>,
+        done: &mut Vec<CompletedOp<F::Output>>,
+    ) {
+        let parsed = RecordRef::<K, V>::parse_bytes(&bytes);
+        match op.kind {
+            PendingKind::Read => {
+                let f = &self.store.inner.functions;
+                let (next, finished): (Option<Address>, Option<Option<F::Output>>) = match parsed {
+                    None => (Some(Address::INVALID), None), // padding/garbage: stop this prong
+                    Some((h, k, v)) => {
+                        if h.is_merge() {
+                            let second = Address::new(
+                                u64::from_le_bytes(bytes[8..16].try_into().expect("record size"))
+                                    & Address::MASK,
+                            );
+                            op.fallbacks.push(second);
+                            (Some(h.prev()), None)
+                        } else if h.is_invalid() || k != op.key {
+                            (Some(h.prev()), None)
+                        } else if h.is_tombstone() {
+                            let r = match op.acc.take() {
+                                Some(a) => {
+                                    let merged = f.merge(&f.identity(), &a);
+                                    Some(f.single_reader(&op.key, &op.input, &merged))
+                                }
+                                None => None,
+                            };
+                            (None, Some(r))
+                        } else if h.is_delta() {
+                            op.acc = Some(match &op.acc {
+                                Some(a) => f.merge(a, &v),
+                                None => v,
+                            });
+                            (Some(h.prev()), None)
+                        } else {
+                            let out = match &op.acc {
+                                Some(a) => {
+                                    let merged = f.merge(&v, a);
+                                    f.single_reader(&op.key, &op.input, &merged)
+                                }
+                                None => f.single_reader(&op.key, &op.input, &v),
+                            };
+                            if op.acc.is_none() {
+                                // Appendix D: populate the read cache when
+                                // the record read is still the chain head.
+                                self.try_cache_insert(&op.key, op.hash, &v, op.read_addr);
+                            }
+                            (None, Some(Some(out)))
+                        }
+                    }
+                };
+                if let Some(result) = finished {
+                    done.push(CompletedOp::Read { id: op.id, result });
+                    return;
+                }
+                let mut next_addr = next.expect("continue");
+                let begin = self.store.inner.log.begin_address();
+                loop {
+                    if !next_addr.is_valid() || next_addr < begin {
+                        match op.fallbacks.pop() {
+                            Some(a) => {
+                                next_addr = a;
+                                continue;
+                            }
+                            None => {
+                                let r = self.finish_read(&op.key, &op.input, op.acc);
+                                done.push(CompletedOp::Read {
+                                    id: op.id,
+                                    result: match r {
+                                        ReadResult::Found(o) => Some(o),
+                                        _ => None,
+                                    },
+                                });
+                                return;
+                            }
+                        }
+                    }
+                    break;
+                }
+                // Resume the walk (usually another disk hop; may also climb
+                // back into memory after a merge-record fallback).
+                let key = op.key;
+                let hash = op.hash;
+                let input = op.input.clone();
+                let acc = op.acc.take();
+                let fallbacks = std::mem::take(&mut op.fallbacks);
+                let r =
+                    self.read_internal(&key, hash, &input, next_addr, acc, fallbacks, Some(op.id));
+                if let ReadResult::NotFound | ReadResult::Found(_) = r {
+                    // read_internal with an id only returns these when it
+                    // finished synchronously without queueing; normalize.
+                    done.push(CompletedOp::Read {
+                        id: op.id,
+                        result: match r {
+                            ReadResult::Found(o) => Some(o),
+                            _ => None,
+                        },
+                    });
+                }
+            }
+            PendingKind::Rmw => {
+                // Find the old value for this key along the disk chain.
+                match parsed {
+                    Some((h, k, v)) if !h.is_invalid() && k == op.key && !h.is_merge() => {
+                        let old = if h.is_tombstone() { None } else { Some(v) };
+                        if let Some(id) = self.rmw_complete(op, old) {
+                            done.push(CompletedOp::Rmw { id });
+                        }
+                    }
+                    Some((h, _, _)) => {
+                        let mut next = h.prev();
+                        if h.is_merge() {
+                            let second = Address::new(
+                                u64::from_le_bytes(bytes[8..16].try_into().expect("size"))
+                                    & Address::MASK,
+                            );
+                            op.fallbacks.push(second);
+                        }
+                        let begin = self.store.inner.log.begin_address();
+                        if !next.is_valid() || next < begin {
+                            next = op.fallbacks.pop().unwrap_or(Address::INVALID);
+                        }
+                        if !next.is_valid() || next < begin {
+                            // Chain exhausted: key absent.
+                            if let Some(id) = self.rmw_complete(op, None) {
+                                done.push(CompletedOp::Rmw { id });
+                            }
+                        } else {
+                            // Another hop down the chain.
+                            op.read_addr = next;
+                            self.reissue_rmw_io(op);
+                        }
+                    }
+                    None => {
+                        if let Some(id) = self.rmw_complete(op, None) {
+                            done.push(CompletedOp::Rmw { id });
+                        }
+                    }
+                }
+            }
+            PendingKind::RmwFuzzyRetry => unreachable!("no I/O for fuzzy retries"),
+        }
+    }
+
+    fn reissue_rmw_io(&self, op: PendingOp<K, V, F::Input>) {
+        self.stats.borrow_mut().io_pending += 1;
+        self.outstanding.set(self.outstanding.get() + 1);
+        let addr = op.read_addr;
+        let queue = self.io_done.clone();
+        self.store.inner.log.read_async(
+            addr,
+            RecordRef::<K, V>::size(),
+            Box::new(move |res| {
+                queue.lock().expect("session queue").push_back((op, res));
+            }),
+        );
+    }
+
+    /// Applies a pending RMW's update once the old value (or its absence) is
+    /// known. Returns the op id when complete, `None` if it went pending
+    /// again (index changed underneath: full restart, Alg 4 line 32).
+    fn rmw_complete(&self, op: PendingOp<K, V, F::Input>, old: Option<V>) -> Option<u64> {
+        let inner = &self.store.inner;
+        match inner.index.find_or_create_tag(op.hash, Some(&self.guard)) {
+            CreateOutcome::Found(slot) => {
+                let entry = slot.load();
+                if entry.address() != op.entry_addr {
+                    // The chain changed while we were reading: restart.
+                    drop(slot);
+                    return match self.rmw_internal(&op.key, op.hash, &op.input, Some(op.id)) {
+                        RmwResult::Done => Some(op.id),
+                        RmwResult::Pending(_) => None,
+                    };
+                }
+                if self.rcu_create(&slot, entry, &op.key, &op.input, old) {
+                    self.stats.borrow_mut().copies += 1;
+                    Some(op.id)
+                } else {
+                    match self.rmw_internal(&op.key, op.hash, &op.input, Some(op.id)) {
+                        RmwResult::Done => Some(op.id),
+                        RmwResult::Pending(_) => None,
+                    }
+                }
+            }
+            CreateOutcome::Created(created) => {
+                // Entry vanished (deleted) meanwhile: fresh initial record.
+                let (addr, rec) = self.write_record(Address::INVALID, &op.key, 0);
+                let f = &self.store.inner.functions;
+                f.initial_updater(&op.key, &op.input, unsafe { rec.value_mut() });
+                created.finalize(addr);
+                Some(op.id)
+            }
+        }
+    }
+}
+
+impl<K: Pod, V: Pod, F: Functions<K, V>> Drop for Session<K, V, F> {
+    fn drop(&mut self) {
+        // Outstanding I/O callbacks only touch the Arc'd queue; results for a
+        // dropped session are simply discarded. The guard's Drop releases the
+        // epoch slot (§2.5 Release).
+    }
+}

@@ -1,0 +1,599 @@
+//! Store-level unit, semantics, and concurrency tests.
+
+use crate::checkpoint::CheckpointData;
+use crate::functions::{BlindKv, CountStore};
+use crate::*;
+use faster_hlog::HLogConfig;
+use faster_storage::MemDevice;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+fn count_store(cfg: FasterKvConfig) -> FasterKv<u64, u64, CountStore> {
+    FasterKv::new(cfg, CountStore, MemDevice::new(2))
+}
+
+fn read_now<F: Functions<u64, u64, Input = u64, Output = u64>>(
+    s: &Session<u64, u64, F>,
+    key: u64,
+) -> Option<u64> {
+    match s.read(&key, &0) {
+        ReadResult::Found(v) => Some(v),
+        ReadResult::NotFound => None,
+        ReadResult::Pending(id) => {
+            let done = s.complete_pending(true);
+            for op in done {
+                if let CompletedOp::Read { id: did, result } = op {
+                    if did == id {
+                        return result;
+                    }
+                }
+            }
+            panic!("pending read {id} did not complete");
+        }
+    }
+}
+
+fn rmw_now<F: Functions<u64, u64, Input = u64, Output = u64>>(
+    s: &Session<u64, u64, F>,
+    key: u64,
+    input: u64,
+) {
+    if let RmwResult::Pending(_) = s.rmw(&key, &input) {
+        s.complete_pending(true);
+    }
+}
+
+#[test]
+fn basic_upsert_read_delete() {
+    let store = count_store(FasterKvConfig::small());
+    let s = store.start_session();
+    assert_eq!(read_now(&s, 1), None);
+    s.upsert(&1, &100);
+    assert_eq!(read_now(&s, 1), Some(100));
+    s.upsert(&1, &200);
+    assert_eq!(read_now(&s, 1), Some(200));
+    s.delete(&1);
+    assert_eq!(read_now(&s, 1), None);
+    // Reinsert after delete.
+    s.upsert(&1, &300);
+    assert_eq!(read_now(&s, 1), Some(300));
+}
+
+#[test]
+fn rmw_creates_and_increments() {
+    let store = count_store(FasterKvConfig::small());
+    let s = store.start_session();
+    rmw_now(&s, 7, 5);
+    assert_eq!(read_now(&s, 7), Some(5));
+    rmw_now(&s, 7, 3);
+    assert_eq!(read_now(&s, 7), Some(8));
+    // In-memory RMWs are in-place: log tail should not grow per op.
+    let t0 = store.log().tail_address();
+    for _ in 0..100 {
+        rmw_now(&s, 7, 1);
+    }
+    assert_eq!(store.log().tail_address(), t0, "in-place updates must not grow the log");
+    assert_eq!(read_now(&s, 7), Some(108));
+}
+
+#[test]
+fn rmw_after_delete_reinitializes() {
+    let store = count_store(FasterKvConfig::small());
+    let s = store.start_session();
+    rmw_now(&s, 9, 10);
+    s.delete(&9);
+    rmw_now(&s, 9, 4);
+    assert_eq!(read_now(&s, 9), Some(4), "delete resets the counter");
+}
+
+#[test]
+fn many_keys_round_trip() {
+    let store = count_store(FasterKvConfig::small());
+    let s = store.start_session();
+    for k in 0..5_000u64 {
+        s.upsert(&k, &(k * 2));
+    }
+    for k in 0..5_000u64 {
+        assert_eq!(read_now(&s, k), Some(k * 2), "key {k}");
+    }
+}
+
+#[test]
+fn concurrent_count_store_exactness() {
+    // The paper's canonical correctness property: with RMW increments, the
+    // total equals the number of increments — across threads, in-place and
+    // RCU paths alike.
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 14, buffer_pages: 16, mutable_pages: 12, io_threads: 2 },
+        max_sessions: 32,
+        refresh_interval: 64,
+        read_cache: None,
+    };
+    let store = count_store(cfg);
+    let threads = 8u64;
+    let per_thread = 20_000u64;
+    let keys = 128u64;
+    let barrier = std::sync::Arc::new(Barrier::new(threads as usize));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = store.clone();
+        let barrier = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            let s = store.start_session();
+            barrier.wait();
+            let mut rng = faster_util::XorShift64::new(t + 1);
+            for _ in 0..per_thread {
+                let k = rng.next_below(keys);
+                if let RmwResult::Pending(_) = s.rmw(&k, &1) {
+                    s.complete_pending(true);
+                }
+            }
+            s.complete_pending(true);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = store.start_session();
+    let mut total = 0u64;
+    for k in 0..keys {
+        total += read_now(&s, k).unwrap_or(0);
+    }
+    assert_eq!(total, threads * per_thread, "every increment must be counted exactly once");
+}
+
+#[test]
+fn larger_than_memory_spill_and_read_back() {
+    // Tiny buffer: 4 pages of 4 KB = 16 KB memory for ~24 B records.
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 2, io_threads: 2 },
+        max_sessions: 8,
+        refresh_interval: 32,
+        read_cache: None,
+    };
+    let store = count_store(cfg);
+    let s = store.start_session();
+    let n = 4_000u64; // ~96 KB of records >> 16 KB buffer
+    for k in 0..n {
+        s.upsert(&k, &(k + 1));
+    }
+    store.log().flush_barrier();
+    assert!(
+        store.log().head_address().raw() > 0,
+        "data must have spilled: {:?}",
+        store.log().regions()
+    );
+    let mut pending_seen = false;
+    for k in (0..n).step_by(7) {
+        match s.read(&k, &0) {
+            ReadResult::Found(v) => assert_eq!(v, k + 1),
+            ReadResult::NotFound => panic!("key {k} lost"),
+            ReadResult::Pending(id) => {
+                pending_seen = true;
+                let done = s.complete_pending(true);
+                let mut found = false;
+                for op in done {
+                    if let CompletedOp::Read { id: did, result } = op {
+                        if did == id {
+                            assert_eq!(result, Some(k + 1), "key {k}");
+                            found = true;
+                        }
+                    }
+                }
+                assert!(found, "completion for key {k}");
+            }
+        }
+    }
+    assert!(pending_seen, "cold reads must go through the async path");
+}
+
+#[test]
+fn rmw_on_disk_record_goes_pending_and_completes() {
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
+        max_sessions: 8,
+        refresh_interval: 32,
+        read_cache: None,
+    };
+    // Non-mergeable functions force the I/O path (CRDTs would use deltas).
+    let store: FasterKv<u64, u64, BlindKv<u64>> =
+        FasterKv::new(cfg, BlindKv::new(), MemDevice::new(2));
+    let s = store.start_session();
+    s.upsert(&42, &1000);
+    // Push key 42 to disk.
+    for k in 1000..4000u64 {
+        s.upsert(&k, &k);
+    }
+    store.log().flush_barrier();
+    match s.rmw(&42, &777) {
+        RmwResult::Pending(_) => {
+            s.complete_pending(true);
+        }
+        RmwResult::Done => { /* possible if still resident */ }
+    }
+    assert_eq!(read_now(&s, 42), Some(777), "RMW (blind replace) applied after IO");
+}
+
+#[test]
+fn crdt_disk_rmw_avoids_io_with_delta() {
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
+        max_sessions: 8,
+        refresh_interval: 32,
+        read_cache: None,
+    };
+    let store = count_store(cfg);
+    let s = store.start_session();
+    rmw_now(&s, 5, 100);
+    for k in 1000..4000u64 {
+        s.upsert(&k, &k);
+    }
+    store.log().flush_barrier();
+    // Key 5's base is cold now; a CRDT RMW must return Done (delta appended).
+    let reads_before = store.log().device().stats().reads;
+    assert_eq!(s.rmw(&5, &11), RmwResult::Done, "CRDT RMW must not read disk (Table 2)");
+    assert_eq!(store.log().device().stats().reads, reads_before, "no device read issued");
+    // The read reconciles base + delta, possibly via IO.
+    assert_eq!(read_now(&s, 5), Some(111));
+}
+
+#[test]
+fn upsert_never_pends_even_below_head() {
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
+        max_sessions: 8,
+        refresh_interval: 32,
+        read_cache: None,
+    };
+    let store = count_store(cfg);
+    let s = store.start_session();
+    s.upsert(&3, &1);
+    for k in 1000..4000u64 {
+        s.upsert(&k, &k);
+    }
+    // Key 3 cold; blind update completes synchronously (Table 2).
+    s.upsert(&3, &2);
+    assert_eq!(read_now(&s, 3), Some(2));
+    assert_eq!(s.pending_count(), 0);
+}
+
+#[test]
+fn table2_update_scheme_by_region() {
+    // Drive the log so one key's record sits in each region, and check the
+    // stats counters reflect the Table 2 actions.
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 2, io_threads: 2 },
+        max_sessions: 8,
+        refresh_interval: 8,
+        read_cache: None,
+    };
+    let store: FasterKv<u64, u64, BlindKv<u64>> =
+        FasterKv::new(cfg, BlindKv::new(), MemDevice::new(2));
+    let s = store.start_session();
+
+    // Mutable region: in-place.
+    s.upsert(&1, &10);
+    let st0 = s.stats();
+    s.rmw(&1, &11);
+    assert_eq!(s.stats().in_place, st0.in_place + 1, "mutable RMW is in-place");
+
+    // Push key 1 into the read-only region (2 mutable pages => write ~3 pages).
+    for k in 100..((3 * 4096 / 24) as u64 + 100) {
+        s.upsert(&k, &k);
+    }
+    s.refresh();
+    let st1 = s.stats();
+    match s.rmw(&1, &12) {
+        RmwResult::Done => {
+            let st2 = s.stats();
+            assert!(
+                st2.copies > st1.copies || st2.in_place > st1.in_place,
+                "read-only RMW copies to tail (or still mutable): {st2:?}"
+            );
+        }
+        RmwResult::Pending(_) => {
+            // Fuzzy-region hit: legal; complete it.
+            assert_eq!(s.stats().fuzzy_pending, st1.fuzzy_pending + 1);
+            s.complete_pending(true);
+        }
+    }
+    assert_eq!(read_now(&s, 1), Some(12));
+}
+
+#[test]
+fn lost_update_anomaly_prevented() {
+    // §6.2 regression: concurrent RMW increments while the read-only offset
+    // shifts must never lose updates. The fuzzy region forces RMWs pending
+    // instead of racing in-place vs. RCU.
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 },
+        log: HLogConfig { page_bits: 10, buffer_pages: 32, mutable_pages: 2, io_threads: 2 },
+        max_sessions: 16,
+        refresh_interval: 16,
+        read_cache: None,
+    };
+    // NOTE: BlindKv is not mergeable, so RMW takes the pending path in the
+    // fuzzy region; we use an additive RMW to detect lost updates.
+    #[derive(Clone, Default)]
+    struct AddStore;
+    impl Functions<u64, u64> for AddStore {
+        type Input = u64;
+        type Output = u64;
+        fn single_reader(&self, _k: &u64, _i: &u64, v: &u64) -> u64 {
+            *v
+        }
+        fn concurrent_reader(&self, _k: &u64, _i: &u64, v: &ValueCell<u64>) -> u64 {
+            v.as_atomic_u64().load(Ordering::Relaxed)
+        }
+        fn initial_updater(&self, _k: &u64, i: &u64, v: &mut u64) {
+            *v = *i;
+        }
+        fn in_place_updater(&self, _k: &u64, i: &u64, v: &ValueCell<u64>) {
+            v.as_atomic_u64().fetch_add(*i, Ordering::Relaxed);
+        }
+        fn copy_updater(&self, _k: &u64, i: &u64, old: &u64, new: &mut u64) {
+            *new = old + i;
+        }
+    }
+    let store: FasterKv<u64, u64, AddStore> =
+        FasterKv::new(cfg, AddStore, MemDevice::new(2));
+    let threads = 6u64;
+    let per_thread = 5_000u64;
+    let keys = 16u64; // few keys + tiny mutable region => fuzzy hits
+    let barrier = std::sync::Arc::new(Barrier::new(threads as usize));
+    let fuzzy_total = std::sync::Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = store.clone();
+        let barrier = barrier.clone();
+        let fuzzy_total = fuzzy_total.clone();
+        handles.push(std::thread::spawn(move || {
+            let s = store.start_session();
+            barrier.wait();
+            let mut rng = faster_util::XorShift64::new(t * 7 + 1);
+            for i in 0..per_thread {
+                let k = rng.next_below(keys);
+                if let RmwResult::Pending(_) = s.rmw(&k, &1) {
+                    s.complete_pending(true);
+                }
+                if i % 251 == 0 {
+                    // churn the log so the read-only offset keeps moving
+                    s.upsert(&(1_000_000 + t * per_thread + i), &0);
+                }
+            }
+            s.complete_pending(true);
+            fuzzy_total.fetch_add(s.stats().fuzzy_pending, Ordering::Relaxed);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = store.start_session();
+    let mut total = 0u64;
+    for k in 0..keys {
+        total += read_now(&s, k).unwrap_or(0);
+    }
+    assert_eq!(total, threads * per_thread, "no update may be lost (§6.2)");
+}
+
+#[test]
+fn checkpoint_recover_round_trip() {
+    let cfg = FasterKvConfig::small();
+    let device = MemDevice::new(2);
+    let data: CheckpointData;
+    {
+        let store: FasterKv<u64, u64, CountStore> =
+            FasterKv::new(cfg, CountStore, device.clone());
+        let s = store.start_session();
+        for k in 0..500u64 {
+            s.upsert(&k, &(k * 3));
+        }
+        drop(s); // quiesce so the checkpoint flush trigger can fire
+        data = store.checkpoint();
+        // Post-checkpoint updates are allowed to be lost.
+        let s2 = store.start_session();
+        s2.upsert(&0, &999_999);
+    }
+    let store2: FasterKv<u64, u64, CountStore> =
+        FasterKv::recover(cfg, CountStore, device, &data);
+    let s = store2.start_session();
+    for k in 1..500u64 {
+        assert_eq!(read_now(&s, k), Some(k * 3), "key {k} after recovery");
+    }
+    // Key 0: either the checkpointed value (post-checkpoint update lost)...
+    let v0 = read_now(&s, 0);
+    assert_eq!(v0, Some(0), "checkpointed value for key 0");
+    // And the store keeps working.
+    s.upsert(&12345, &1);
+    assert_eq!(read_now(&s, 12345), Some(1));
+}
+
+#[test]
+fn checkpoint_replay_catches_fuzzy_window_updates() {
+    // Updates between t1 and t2 may or may not be in the fuzzy snapshot;
+    // replay must make them visible either way. We approximate by updating
+    // around the checkpoint call under a live session.
+    let cfg = FasterKvConfig::small();
+    let device = MemDevice::new(2);
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg, CountStore, device.clone());
+    {
+        let s = store.start_session();
+        for k in 0..100u64 {
+            s.upsert(&k, &k);
+        }
+    }
+    let data = store.checkpoint();
+    assert!(data.t2 >= data.t1);
+    let store2: FasterKv<u64, u64, CountStore> =
+        FasterKv::recover(cfg, CountStore, device, &data);
+    let s = store2.start_session();
+    for k in 0..100u64 {
+        assert_eq!(read_now(&s, k), Some(k));
+    }
+}
+
+#[test]
+fn gc_truncate_makes_cold_keys_absent() {
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
+        max_sessions: 8,
+        refresh_interval: 32,
+        read_cache: None,
+    };
+    let store = count_store(cfg);
+    let s = store.start_session();
+    s.upsert(&1, &111);
+    for k in 1000..4000u64 {
+        s.upsert(&k, &k);
+    }
+    store.log().flush_barrier();
+    let head = store.log().head_address();
+    assert!(head.raw() > 0);
+    store.truncate_until(head);
+    // Key 1 lived below the truncation point: now absent (expired).
+    assert_eq!(read_now(&s, 1), None, "expired key reads as absent");
+    // Hot keys unaffected.
+    assert_eq!(read_now(&s, 3999), Some(3999));
+}
+
+#[test]
+fn gc_compact_preserves_live_keys() {
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 2, io_threads: 2 },
+        max_sessions: 8,
+        refresh_interval: 32,
+        read_cache: None,
+    };
+    let store = count_store(cfg);
+    let s = store.start_session();
+    // Cold live keys.
+    for k in 0..50u64 {
+        s.upsert(&k, &(k + 7));
+    }
+    // Overwrite some (dead old versions) and add churn.
+    for k in 0..25u64 {
+        s.upsert(&k, &(k + 1000));
+    }
+    for k in 5000..8000u64 {
+        s.upsert(&k, &1);
+    }
+    store.log().flush_barrier();
+    s.refresh();
+    let compact_to = store.log().safe_read_only_address();
+    assert!(compact_to.raw() > 0);
+    let rolled = store.compact_until(compact_to, &s);
+    assert!(rolled > 0, "live records must roll to tail");
+    assert_eq!(store.log().begin_address(), compact_to);
+    for k in 0..25u64 {
+        assert_eq!(read_now(&s, k), Some(k + 1000), "overwritten key {k}");
+    }
+    for k in 25..50u64 {
+        assert_eq!(read_now(&s, k), Some(k + 7), "old live key {k}");
+    }
+}
+
+#[test]
+fn index_grow_under_store_load() {
+    let store = count_store(FasterKvConfig::small());
+    let s = store.start_session();
+    for k in 0..2000u64 {
+        s.upsert(&k, &k);
+    }
+    let k_before = store.index().k_bits();
+    // grow_index with an active session: pass it so waits refresh.
+    assert!(store.grow_index(Some(&s)));
+    assert_eq!(store.index().k_bits(), k_before + 1);
+    for k in 0..2000u64 {
+        assert_eq!(read_now(&s, k), Some(k), "key {k} after grow");
+    }
+    assert!(store.shrink_index(Some(&s)));
+    assert_eq!(store.index().k_bits(), k_before);
+    for k in 0..2000u64 {
+        assert_eq!(read_now(&s, k), Some(k), "key {k} after shrink");
+    }
+}
+
+#[test]
+fn session_stats_populate() {
+    let store = count_store(FasterKvConfig::small());
+    let s = store.start_session();
+    s.upsert(&1, &1);
+    rmw_now(&s, 1, 1);
+    let _ = read_now(&s, 1);
+    s.delete(&1);
+    let st = s.stats();
+    assert_eq!(st.upserts, 1);
+    assert_eq!(st.rmws, 1);
+    assert_eq!(st.reads, 1);
+    assert_eq!(st.deletes, 1);
+    assert!(st.in_place >= 1);
+}
+
+#[test]
+fn read_with_input_selects_output() {
+    // Output computed from value + input (Appendix E's field-selection use).
+    #[derive(Clone, Default)]
+    struct FieldStore;
+    impl Functions<u64, [u32; 4]> for FieldStore {
+        type Input = usize;
+        type Output = u32;
+        fn single_reader(&self, _k: &u64, field: &usize, v: &[u32; 4]) -> u32 {
+            v[*field]
+        }
+        fn initial_updater(&self, _k: &u64, _i: &usize, v: &mut [u32; 4]) {
+            *v = [0; 4];
+        }
+        fn in_place_updater(&self, _k: &u64, _i: &usize, _v: &ValueCell<[u32; 4]>) {}
+        fn copy_updater(&self, _k: &u64, _i: &usize, old: &[u32; 4], new: &mut [u32; 4]) {
+            *new = *old;
+        }
+    }
+    let store: FasterKv<u64, [u32; 4], FieldStore> =
+        FasterKv::new(FasterKvConfig::small(), FieldStore, MemDevice::new(1));
+    let s = store.start_session();
+    s.upsert(&1, &[10, 20, 30, 40]);
+    match s.read(&1, &2) {
+        ReadResult::Found(v) => assert_eq!(v, 30),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn read_history_returns_versions_newest_first() {
+    // Append-only mode: every update materializes a version (Appendix F).
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 0, io_threads: 2 },
+        max_sessions: 4,
+        refresh_interval: 16,
+        read_cache: None,
+    };
+    let store: FasterKv<u64, u64, BlindKv<u64>> =
+        FasterKv::new(cfg, BlindKv::new(), MemDevice::new(2));
+    let s = store.start_session();
+    for v in 1..=5u64 {
+        s.upsert(&7, &(v * 100));
+    }
+    let hist = s.read_history(&7, 10);
+    assert_eq!(hist, vec![500, 400, 300, 200, 100], "newest first");
+    assert_eq!(s.read_history(&7, 2), vec![500, 400], "limit respected");
+    assert!(s.read_history(&99, 10).is_empty());
+    // History crosses to storage when old versions are evicted.
+    for k in 1000..5000u64 {
+        s.upsert(&k, &k);
+    }
+    store.log().flush_barrier();
+    let hist = s.read_history(&7, 10);
+    assert_eq!(hist, vec![500, 400, 300, 200, 100], "history readable from disk");
+    // Tombstone ends history.
+    s.delete(&7);
+    assert!(s.read_history(&7, 10).is_empty());
+}

@@ -1,0 +1,175 @@
+//! Variable-length values (§2.1: "Keys and values may be fixed or
+//! variable-sized").
+//!
+//! FASTER's log records are stored inline; this module provides
+//! [`VarValue`], a length-prefixed byte value with a fixed *capacity* `CAP`
+//! (its wire size), so variable-length application payloads ride on the
+//! fixed-stride record machinery unchanged. This is the same trade the C#
+//! implementation's `SpanByte`-with-max-length configuration makes; fully
+//! elastic record sizes (per-record stride discovered from a length header)
+//! are a possible extension and would only touch the allocation-size and
+//! scan-stride call sites, since all traversal already goes through
+//! `RecordRef`.
+//!
+//! [`VarKv`] is a ready-made [`Functions`] implementation storing `VarValue`
+//! blobs with blind-replace RMW semantics.
+
+use crate::functions::{Functions, ValueCell};
+use faster_util::Pod;
+
+/// A variable-length byte string with fixed capacity `CAP`.
+#[derive(Clone, Copy)]
+pub struct VarValue<const CAP: usize> {
+    len: u32,
+    data: [u8; CAP],
+}
+
+// Safety: len + fixed byte array; any bit pattern is valid (len is clamped
+// on every read access).
+unsafe impl<const CAP: usize> Pod for VarValue<CAP> {}
+
+impl<const CAP: usize> VarValue<CAP> {
+    /// Maximum payload length.
+    pub const CAPACITY: usize = CAP;
+
+    /// Creates a value from `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > CAP`.
+    pub fn new(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= CAP, "payload {} exceeds capacity {CAP}", bytes.len());
+        let mut data = [0u8; CAP];
+        data[..bytes.len()].copy_from_slice(bytes);
+        Self { len: bytes.len() as u32, data }
+    }
+
+    /// Empty value.
+    pub fn empty() -> Self {
+        Self { len: 0, data: [0u8; CAP] }
+    }
+
+    /// Current payload length (clamped to capacity: values read back from
+    /// raw log bytes are validated here rather than trusted).
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.len as usize).min(CAP)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data[..self.len()]
+    }
+
+    /// Copies the payload out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+}
+
+impl<const CAP: usize> std::fmt::Debug for VarValue<CAP> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VarValue<{CAP}>({} bytes)", self.len())
+    }
+}
+
+impl<const CAP: usize> PartialEq for VarValue<CAP> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+impl<const CAP: usize> Eq for VarValue<CAP> {}
+
+/// Blind-replace store functions over [`VarValue`] blobs.
+#[derive(Debug, Default, Clone)]
+pub struct VarKv<const CAP: usize>;
+
+impl<K: Pod, const CAP: usize> Functions<K, VarValue<CAP>> for VarKv<CAP> {
+    type Input = VarValue<CAP>;
+    type Output = VarValue<CAP>;
+
+    fn single_reader(&self, _k: &K, _i: &Self::Input, v: &VarValue<CAP>) -> VarValue<CAP> {
+        *v
+    }
+
+    fn initial_updater(&self, _k: &K, input: &Self::Input, v: &mut VarValue<CAP>) {
+        *v = *input;
+    }
+
+    fn in_place_updater(&self, _k: &K, input: &Self::Input, v: &ValueCell<VarValue<CAP>>) {
+        // Partial update of a larger value (§6: "updating parts of a larger
+        // value is efficient"): only `input.len()` bytes + the length word
+        // change; the rest of the record is untouched.
+        v.store(*input);
+    }
+
+    fn copy_updater(
+        &self,
+        _k: &K,
+        input: &Self::Input,
+        _old: &VarValue<CAP>,
+        new: &mut VarValue<CAP>,
+    ) {
+        *new = *input;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FasterKv, FasterKvConfig, ReadResult};
+    use faster_storage::MemDevice;
+
+    #[test]
+    fn var_value_round_trip() {
+        let v: VarValue<32> = VarValue::new(b"hello");
+        assert_eq!(v.as_bytes(), b"hello");
+        assert_eq!(v.len(), 5);
+        assert!(!v.is_empty());
+        assert!(VarValue::<8>::empty().is_empty());
+        assert_eq!(v, VarValue::new(b"hello"));
+        assert_ne!(v, VarValue::new(b"hellx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversize_panics() {
+        let _: VarValue<4> = VarValue::new(b"too long");
+    }
+
+    #[test]
+    fn corrupt_len_is_clamped() {
+        let mut v: VarValue<8> = VarValue::new(b"abc");
+        v.len = 1000; // simulate garbage from a torn read
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.as_bytes().len(), 8);
+    }
+
+    #[test]
+    fn store_with_variable_values() {
+        let store: FasterKv<u64, VarValue<64>, VarKv<64>> =
+            FasterKv::new(FasterKvConfig::small(), VarKv, MemDevice::new(1));
+        let s = store.start_session();
+        s.upsert(&1, &VarValue::new(b"short"));
+        s.upsert(&2, &VarValue::new(&[7u8; 64]));
+        s.upsert(&1, &VarValue::new(b"a considerably longer replacement"));
+        match s.read(&1, &VarValue::empty()) {
+            ReadResult::Found(v) => {
+                assert_eq!(v.as_bytes(), b"a considerably longer replacement")
+            }
+            other => panic!("{other:?}"),
+        }
+        match s.read(&2, &VarValue::empty()) {
+            ReadResult::Found(v) => assert_eq!(v.as_bytes(), &[7u8; 64][..]),
+            other => panic!("{other:?}"),
+        }
+        s.delete(&1);
+        assert!(matches!(s.read(&1, &VarValue::empty()), ReadResult::NotFound));
+    }
+}

@@ -1,0 +1,163 @@
+//! The drain list: `(epoch, action)` pairs awaiting epoch safety (§2.3).
+//!
+//! "It is implemented using a small array that is scanned for actions ready to
+//! be triggered whenever `E_s` is updated. We use atomic compare-and-swap on
+//! the array to ensure an action is executed exactly once."
+//!
+//! Each slot has an atomic epoch word acting as the slot's state machine:
+//!
+//! ```text
+//!  FREE ──(CAS by pusher)──► RESERVED ──(store by pusher)──► epoch e
+//!  epoch e ──(CAS by drainer when e ≤ safe)──► RESERVED ──► FREE
+//! ```
+//!
+//! The closure itself lives in a `Mutex<Option<Box<dyn FnOnce>>>` beside the
+//! word. The mutex is uncontended by construction — only the unique CAS winner
+//! (pusher or drainer) touches the slot while it is `RESERVED` — and sits far
+//! off the store's hot path, so a `std` mutex is the right tool.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Capacity of the drain list. The paper keeps this small; 256 comfortably
+/// covers page-flush plus eviction plus checkpoint actions in flight at once.
+pub const DRAIN_LIST_SIZE: usize = 256;
+
+const FREE: u64 = u64::MAX;
+const RESERVED: u64 = u64::MAX - 1;
+
+type Action = Box<dyn FnOnce() + Send>;
+
+struct Slot {
+    /// `FREE`, `RESERVED`, or the epoch that must become safe.
+    epoch: AtomicU64,
+    action: Mutex<Option<Action>>,
+}
+
+pub(crate) struct DrainList {
+    slots: Box<[Slot]>,
+    /// Count of occupied slots, so refresh can skip scanning when empty.
+    count: AtomicUsize,
+}
+
+impl DrainList {
+    pub fn new() -> Self {
+        let slots = (0..DRAIN_LIST_SIZE)
+            .map(|_| Slot { epoch: AtomicU64::new(FREE), action: Mutex::new(None) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { slots, count: AtomicUsize::new(0) }
+    }
+
+    /// Number of pending actions (approximate under concurrency).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Registers `action` to run once `epoch` is safe. Fails (returning the
+    /// action back) when the list is full.
+    pub fn try_push(&self, epoch: u64, action: Action) -> Result<(), Action> {
+        debug_assert!(epoch < RESERVED);
+        for slot in self.slots.iter() {
+            if slot.epoch.load(Ordering::Relaxed) == FREE
+                && slot
+                    .epoch
+                    .compare_exchange(FREE, RESERVED, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+            {
+                *slot.action.lock().expect("drain slot poisoned") = Some(action);
+                slot.epoch.store(epoch, Ordering::SeqCst);
+                self.count.fetch_add(1, Ordering::SeqCst);
+                return Ok(());
+            }
+        }
+        Err(action)
+    }
+
+    /// Runs every action whose epoch is `≤ safe`. Each action runs exactly
+    /// once: claiming is a CAS from the stored epoch to `RESERVED`.
+    pub fn drain_up_to(&self, safe: u64) {
+        if self.len() == 0 {
+            return;
+        }
+        for slot in self.slots.iter() {
+            let e = slot.epoch.load(Ordering::SeqCst);
+            if e <= safe
+                && e < RESERVED
+                && slot.epoch.compare_exchange(e, RESERVED, Ordering::SeqCst, Ordering::Relaxed).is_ok()
+            {
+                let action =
+                    slot.action.lock().expect("drain slot poisoned").take().expect("claimed slot has action");
+                slot.epoch.store(FREE, Ordering::SeqCst);
+                self.count.fetch_sub(1, Ordering::SeqCst);
+                action();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_and_drain_in_epoch_order_threshold() {
+        let list = DrainList::new();
+        let hits = Arc::new(AtomicU32::new(0));
+        for e in [3u64, 5, 7] {
+            let h = hits.clone();
+            list.try_push(e, Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }))
+            .map_err(|_| ())
+            .unwrap();
+        }
+        assert_eq!(list.len(), 3);
+        list.drain_up_to(2);
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        list.drain_up_to(5);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(list.len(), 1);
+        list.drain_up_to(u64::MAX - 2);
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        assert_eq!(list.len(), 0);
+    }
+
+    #[test]
+    fn full_list_rejects() {
+        let list = DrainList::new();
+        for _ in 0..DRAIN_LIST_SIZE {
+            list.try_push(1, Box::new(|| {})).map_err(|_| ()).unwrap();
+        }
+        assert!(list.try_push(1, Box::new(|| {})).is_err());
+        list.drain_up_to(1);
+        assert!(list.try_push(1, Box::new(|| {})).is_ok());
+    }
+
+    #[test]
+    fn exactly_once_under_concurrent_drain() {
+        let list = Arc::new(DrainList::new());
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..64 {
+            let h = hits.clone();
+            list.try_push(1, Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }))
+            .map_err(|_| ())
+            .unwrap();
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = list.clone();
+                std::thread::spawn(move || l.drain_up_to(1))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 64, "each action ran exactly once");
+    }
+}

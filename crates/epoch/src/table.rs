@@ -1,0 +1,115 @@
+//! The shared epoch table: one cache-line entry per thread (§2.3).
+//!
+//! Entry states:
+//! * `0` — free (no thread owns the slot);
+//! * `e > 0` — owned, thread-local epoch value `E_T = e`.
+//!
+//! Ownership of a slot is claimed with a single compare-and-swap from `0`, so
+//! acquisition is latch-free; once owned, only the owner stores into the slot
+//! (plain atomic stores), and everyone may read it during safe-epoch scans.
+
+use faster_util::CacheAligned;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const FREE: u64 = 0;
+
+pub(crate) struct EpochTable {
+    entries: Box<[CacheAligned<AtomicU64>]>,
+}
+
+impl EpochTable {
+    pub fn new(max_threads: usize) -> Self {
+        let entries = (0..max_threads)
+            .map(|_| CacheAligned::new(AtomicU64::new(FREE)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { entries }
+    }
+
+    /// Claims a free slot and protects it at `epoch`. Returns the slot index,
+    /// or `None` when every slot is taken.
+    pub fn reserve(&self, epoch: u64) -> Option<usize> {
+        debug_assert!(epoch > FREE);
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.load(Ordering::Relaxed) == FREE
+                && e.compare_exchange(FREE, epoch, Ordering::SeqCst, Ordering::Relaxed).is_ok()
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Owner-only: publish a new thread-local epoch value.
+    #[inline]
+    pub fn set(&self, slot: usize, epoch: u64) {
+        debug_assert!(epoch > FREE);
+        self.entries[slot].store(epoch, Ordering::SeqCst);
+    }
+
+    /// Read a slot's current value (0 when free).
+    #[inline]
+    pub fn get(&self, slot: usize) -> u64 {
+        self.entries[slot].load(Ordering::SeqCst)
+    }
+
+    /// Owner-only: release the slot back to the free pool.
+    #[inline]
+    pub fn release(&self, slot: usize) {
+        self.entries[slot].store(FREE, Ordering::SeqCst);
+    }
+
+    /// The minimum `E_T` over active threads, or `None` if no thread is
+    /// active. This is the scan that computes the maximal safe epoch.
+    pub fn min_active(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        for e in self.entries.iter() {
+            let v = e.load(Ordering::SeqCst);
+            if v != FREE {
+                min = Some(min.map_or(v, |m| m.min(v)));
+            }
+        }
+        min
+    }
+
+    /// Number of slots currently owned.
+    pub fn active_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.load(Ordering::SeqCst) != FREE).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_cycle() {
+        let t = EpochTable::new(2);
+        let a = t.reserve(5).unwrap();
+        let b = t.reserve(7).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(t.reserve(9), None, "table is full");
+        assert_eq!(t.min_active(), Some(5));
+        assert_eq!(t.active_count(), 2);
+        t.release(a);
+        assert_eq!(t.min_active(), Some(7));
+        let c = t.reserve(9).unwrap();
+        assert_eq!(c, a, "freed slot is reused");
+    }
+
+    #[test]
+    fn min_active_empty() {
+        let t = EpochTable::new(4);
+        assert_eq!(t.min_active(), None);
+        assert_eq!(t.active_count(), 0);
+    }
+
+    #[test]
+    fn set_updates_min() {
+        let t = EpochTable::new(4);
+        let s = t.reserve(3).unwrap();
+        t.set(s, 10);
+        assert_eq!(t.min_active(), Some(10));
+        assert_eq!(t.get(s), 10);
+    }
+}

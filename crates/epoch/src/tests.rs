@@ -1,0 +1,235 @@
+//! Unit and concurrency tests for the epoch framework.
+
+use super::*;
+use std::sync::atomic::{AtomicBool, AtomicU32};
+use std::sync::Barrier;
+use std::thread;
+
+#[test]
+fn fresh_state() {
+    let e = Epoch::new(4);
+    assert_eq!(e.current(), 1);
+    assert_eq!(e.active_threads(), 0);
+    assert_eq!(e.pending_actions(), 0);
+}
+
+#[test]
+fn acquire_refresh_release() {
+    let e = Epoch::new(4);
+    let g = e.acquire();
+    assert_eq!(e.active_threads(), 1);
+    assert_eq!(g.protected_epoch(), 1);
+    e.bump();
+    assert_eq!(e.current(), 2);
+    assert_eq!(g.protected_epoch(), 1, "refresh has not run yet");
+    g.refresh();
+    assert_eq!(g.protected_epoch(), 2);
+    drop(g);
+    assert_eq!(e.active_threads(), 0);
+}
+
+#[test]
+fn safety_semantics() {
+    let e = Epoch::new(4);
+    let g = e.acquire(); // E_T = 1
+    let c = e.bump(); // E: 1 -> 2, returns 1
+    assert_eq!(c, 1);
+    assert!(!e.is_safe(1), "guard still at epoch 1");
+    g.refresh(); // E_T = 2
+    assert!(e.is_safe(1), "all active threads above 1");
+    assert!(!e.is_safe(2));
+    drop(g);
+    assert!(e.is_safe(1));
+}
+
+#[test]
+fn trigger_runs_after_all_threads_pass() {
+    let e = Epoch::new(4);
+    let g1 = e.acquire();
+    let g2 = e.acquire();
+    let fired = std::sync::Arc::new(AtomicBool::new(false));
+    let f = fired.clone();
+    e.bump_with(move || f.store(true, Ordering::SeqCst));
+    assert!(!fired.load(Ordering::SeqCst));
+    g1.refresh();
+    assert!(!fired.load(Ordering::SeqCst), "g2 still in old epoch");
+    g2.refresh();
+    assert!(fired.load(Ordering::SeqCst), "both threads crossed the bump");
+}
+
+#[test]
+fn trigger_runs_immediately_without_threads() {
+    let e = Epoch::new(4);
+    let fired = std::sync::Arc::new(AtomicBool::new(false));
+    let f = fired.clone();
+    e.bump_with(move || f.store(true, Ordering::SeqCst));
+    assert!(fired.load(Ordering::SeqCst), "no active threads => instantly safe");
+}
+
+#[test]
+fn trigger_fires_on_guard_drop() {
+    let e = Epoch::new(4);
+    let g = e.acquire();
+    let fired = std::sync::Arc::new(AtomicBool::new(false));
+    let f = fired.clone();
+    e.bump_with(move || f.store(true, Ordering::SeqCst));
+    assert!(!fired.load(Ordering::SeqCst));
+    drop(g); // departure of the last laggard must not strand the action
+    assert!(fired.load(Ordering::SeqCst));
+}
+
+#[test]
+fn drain_all_flushes_everything() {
+    let e = Epoch::new(4);
+    let n = std::sync::Arc::new(AtomicU32::new(0));
+    {
+        let g = e.acquire();
+        for _ in 0..10 {
+            let n = n.clone();
+            e.bump_with(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // g never refreshes, so nothing fired yet.
+        assert_eq!(n.load(Ordering::SeqCst), 0);
+        drop(g);
+    }
+    e.drain_all();
+    assert_eq!(n.load(Ordering::SeqCst), 10);
+}
+
+#[test]
+#[should_panic(expected = "drain_all with active guards")]
+fn drain_all_rejects_active_guards() {
+    let e = Epoch::new(4);
+    let _g = e.acquire();
+    e.drain_all();
+}
+
+#[test]
+fn invariant_es_lt_et_le_e_under_concurrency() {
+    let e = Epoch::new(16);
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let barrier = std::sync::Arc::new(Barrier::new(9));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let e = e.clone();
+        let stop = stop.clone();
+        let barrier = barrier.clone();
+        handles.push(thread::spawn(move || {
+            let g = e.acquire();
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                g.refresh();
+                let et = g.protected_epoch();
+                let es = e.safe();
+                let cur = e.current();
+                assert!(es < et, "E_s ({es}) must be < E_T ({et})");
+                assert!(et <= cur, "E_T ({et}) must be <= E ({cur})");
+                if et % 7 == 0 {
+                    e.bump();
+                }
+            }
+        }));
+    }
+    barrier.wait();
+    thread::sleep(std::time::Duration::from_millis(200));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn canonical_active_now_example() {
+    // §2.4: update a shared `status` and run `active-now` only after all
+    // threads have observed it.
+    let e = Epoch::new(8);
+    let status_active = std::sync::Arc::new(AtomicBool::new(false));
+    let callback_ran = std::sync::Arc::new(AtomicBool::new(false));
+    let num_threads = 4;
+    let barrier = std::sync::Arc::new(Barrier::new(num_threads + 1));
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for _ in 0..num_threads {
+        let e = e.clone();
+        let status = status_active.clone();
+        let ran = callback_ran.clone();
+        let barrier = barrier.clone();
+        let stop = stop.clone();
+        handles.push(thread::spawn(move || {
+            let g = e.acquire();
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                // If the callback has run, every thread must see status set:
+                if ran.load(Ordering::SeqCst) {
+                    assert!(status.load(Ordering::SeqCst));
+                }
+                g.refresh();
+            }
+        }));
+    }
+    barrier.wait();
+    status_active.store(true, Ordering::SeqCst);
+    let ran = callback_ran.clone();
+    e.bump_with(move || ran.store(true, Ordering::SeqCst));
+    // Eventually all threads refresh and the callback fires.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !callback_ran.load(Ordering::SeqCst) {
+        assert!(std::time::Instant::now() < deadline, "trigger never fired");
+        std::hint::spin_loop();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn many_triggers_exactly_once_under_contention() {
+    let e = Epoch::new(16);
+    let count = std::sync::Arc::new(AtomicU32::new(0));
+    let total_bumps = 2_000u32;
+    let num_threads = 8;
+    let barrier = std::sync::Arc::new(Barrier::new(num_threads));
+    let mut handles = Vec::new();
+    for _ in 0..num_threads {
+        let e = e.clone();
+        let count = count.clone();
+        let barrier = barrier.clone();
+        handles.push(thread::spawn(move || {
+            let g = e.acquire();
+            barrier.wait();
+            for i in 0..(total_bumps / num_threads as u32) {
+                let c = count.clone();
+                // Guard-aware bump: full drain list cannot deadlock on our
+                // own stale epoch.
+                g.bump_with(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+                if i % 4 == 0 {
+                    g.refresh();
+                }
+            }
+            drop(g);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    e.drain_all();
+    assert_eq!(count.load(Ordering::SeqCst), total_bumps);
+}
+
+#[test]
+fn guard_slots_are_reused_across_threads() {
+    let e = Epoch::new(2);
+    for _ in 0..100 {
+        let g1 = e.acquire();
+        let g2 = e.acquire();
+        drop(g1);
+        drop(g2);
+    }
+    assert_eq!(e.active_threads(), 0);
+}

@@ -1,0 +1,82 @@
+//! Tracks asynchronous page-flush completions and maintains the contiguous
+//! *flushed-until* frontier (§5.2).
+//!
+//! Flushes are issued in page order but may complete out of order on the
+//! device's worker threads. Head-offset advancement (and therefore frame
+//! eviction) is gated on the *contiguous* frontier: a page may only be
+//! evicted once it — and everything before it — is durable.
+
+use std::collections::BTreeSet;
+
+/// Out-of-order completion tracker.
+pub(crate) struct FlushTracker {
+    /// Next page whose completion would advance the frontier.
+    next: u64,
+    /// Completed pages at or above `next` (sparse, small).
+    completed: BTreeSet<u64>,
+}
+
+impl FlushTracker {
+    pub fn new(first_page: u64) -> Self {
+        Self { next: first_page, completed: BTreeSet::new() }
+    }
+
+    /// Records completion of `page`. Returns the new frontier (in pages) if
+    /// it advanced, i.e. all pages `< frontier` are durable. Duplicate and
+    /// below-frontier completions are ignored.
+    pub fn complete(&mut self, page: u64) -> Option<u64> {
+        if page < self.next {
+            return None; // duplicate (e.g. partial-then-full flush)
+        }
+        self.completed.insert(page);
+        if page != self.next {
+            return None;
+        }
+        while self.completed.remove(&self.next) {
+            self.next += 1;
+        }
+        Some(self.next)
+    }
+
+    /// Current frontier in pages.
+    #[cfg(test)]
+    pub fn frontier(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_completions() {
+        let mut t = FlushTracker::new(0);
+        assert_eq!(t.complete(0), Some(1));
+        assert_eq!(t.complete(1), Some(2));
+        assert_eq!(t.frontier(), 2);
+    }
+
+    #[test]
+    fn out_of_order_completions() {
+        let mut t = FlushTracker::new(0);
+        assert_eq!(t.complete(2), None);
+        assert_eq!(t.complete(1), None);
+        assert_eq!(t.complete(0), Some(3), "gap fill advances past all buffered pages");
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut t = FlushTracker::new(0);
+        assert_eq!(t.complete(0), Some(1));
+        assert_eq!(t.complete(0), None);
+        assert_eq!(t.complete(1), Some(2));
+    }
+
+    #[test]
+    fn starts_at_recovery_page() {
+        let mut t = FlushTracker::new(5);
+        assert_eq!(t.complete(4), None, "below-frontier ignored");
+        assert_eq!(t.complete(5), Some(6));
+    }
+}

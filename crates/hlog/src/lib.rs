@@ -1,0 +1,682 @@
+//! # faster-hlog
+//!
+//! **HybridLog** (§5–§6): a log-structured record allocator spanning main
+//! memory and storage that supports latch-free in-place updates of the hot
+//! tail, read-copy-update of the warm read-only region, and asynchronous
+//! retrieval of cold records from storage.
+//!
+//! ## Logical address space (§5.1, Fig 4/5)
+//!
+//! Records live at 48-bit logical addresses. The *tail offset* points at the
+//! next free address; the *head offset* tracks the lowest address resident in
+//! the in-memory circular buffer of page frames. Between them, HybridLog adds
+//! the *read-only offset* and — to defeat the lost-update anomaly of §6.2 —
+//! the *safe read-only offset*, giving four regions:
+//!
+//! ```text
+//!  begin      head      safe_ro        ro           tail
+//!    |  disk   |  read-only  |  fuzzy   |  mutable   |
+//! ```
+//!
+//! * **mutable** (`addr ≥ ro`): update in place, latch-free;
+//! * **fuzzy** (`safe_ro ≤ addr < ro`): some threads may still believe the
+//!   address is mutable — RMWs must go pending, blind updates may RCU (§6.3);
+//! * **read-only** (`head ≤ addr < safe_ro`): immutable in memory; update via
+//!   copy to tail (RCU); pages here flush to storage and become evictable;
+//! * **disk** (`addr < head`): retrieve with an asynchronous device read.
+//!
+//! ## Maintenance is epoch-triggered (§5.2)
+//!
+//! Crossing a page boundary advances the read-only offset and announces, via
+//! an epoch trigger action, the advance of the *safe* read-only offset —
+//! which in turn issues page flushes. Flush completions raise the
+//! flushed-until frontier, which allows the head offset to advance; the head
+//! advance's trigger action marks frames closed for reuse. No page is ever
+//! flushed while a thread could still write it, and no frame is reused while
+//! a thread could still read it — both guaranteed by epoch safety, with no
+//! page latches anywhere.
+//!
+//! Setting the mutable fraction to zero yields exactly the append-only log
+//! allocator of §5; setting it to one (with a large buffer) yields a pure
+//! in-memory store. The same code path serves all three tables of Fig 1.
+
+mod flush;
+mod frame;
+pub mod scan;
+
+pub use scan::LogScanner;
+
+use faster_epoch::{Epoch, EpochGuard};
+use faster_storage::{Device, IoError, ReadCallback};
+use faster_util::Address;
+use flush::FlushTracker;
+use frame::Frame;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Which region of the hybrid log an address falls in (Table 1 / Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// `addr >= read_only`: update in place.
+    Mutable,
+    /// `safe_read_only <= addr < read_only`: handle per update type (§6.3).
+    Fuzzy,
+    /// `head <= addr < safe_read_only`: immutable in memory; RCU to tail.
+    ReadOnly,
+    /// `addr < head`: issue an asynchronous I/O request.
+    OnDisk,
+}
+
+/// Configuration of a [`HybridLog`].
+#[derive(Debug, Clone, Copy)]
+pub struct HLogConfig {
+    /// Page size is `2^page_bits` bytes (the paper evaluates 4 MB = 22).
+    pub page_bits: u32,
+    /// Number of page frames in the circular buffer (power of two).
+    pub buffer_pages: u64,
+    /// Pages of lag between the tail and the read-only offset: the size of
+    /// the mutable (in-place update, "IPU") region. `0` = append-only log
+    /// (§5); `buffer_pages` = fully mutable / pure in-memory.
+    pub mutable_pages: u64,
+    /// I/O worker threads (informational; the device owns its own pool).
+    pub io_threads: usize,
+}
+
+impl HLogConfig {
+    /// A small configuration suitable for tests.
+    pub fn small() -> Self {
+        Self { page_bits: 16, buffer_pages: 8, mutable_pages: 6, io_threads: 2 }
+    }
+
+    /// Sets the mutable region from a fraction of the buffer (§6.4 talks of
+    /// a 90:10 mutable:read-only split of memory).
+    pub fn with_mutable_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.mutable_pages = ((self.buffer_pages as f64) * f).round() as u64;
+        self
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        1 << self.page_bits
+    }
+
+    fn validate(&self) {
+        assert!(self.page_bits >= 6 && self.page_bits <= 30, "page_bits in [6, 30]");
+        assert!(self.buffer_pages.is_power_of_two(), "buffer_pages must be a power of two");
+        assert!(self.buffer_pages >= 2, "need at least two frames");
+        assert!(
+            self.mutable_pages <= self.buffer_pages,
+            "mutable region cannot exceed the buffer"
+        );
+    }
+}
+
+impl Default for HLogConfig {
+    fn default() -> Self {
+        // 1 MB pages, 64 MB buffer, 90% mutable.
+        Self { page_bits: 20, buffer_pages: 64, mutable_pages: 58, io_threads: 2 }
+    }
+}
+
+/// Frame lifecycle states.
+const FRAME_CLOSED: u8 = 0; // reusable
+const FRAME_OPENING: u8 = 1; // claimed, being zeroed
+const FRAME_OPEN: u8 = 2; // holds a live page
+
+/// Offset field of the packed tail word (low 32 bits; page in the high 32).
+const OFFSET_BITS: u32 = 32;
+const OFFSET_MASK: u64 = (1 << OFFSET_BITS) - 1;
+
+/// A snapshot of every log marker, in address order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionSnapshot {
+    pub begin: Address,
+    pub head: Address,
+    pub flushed_until: Address,
+    pub safe_read_only: Address,
+    pub read_only: Address,
+    pub tail: Address,
+}
+
+struct Inner {
+    cfg: HLogConfig,
+    epoch: Epoch,
+    device: Arc<dyn Device>,
+    frames: Vec<Frame>,
+    frame_status: Vec<AtomicU8>,
+    /// Packed (page << 32 | offset) tail.
+    tail: AtomicU64,
+    read_only: AtomicU64,
+    safe_read_only: AtomicU64,
+    head: AtomicU64,
+    flushed_until: AtomicU64,
+    begin: AtomicU64,
+    /// Highest page whose seal actions (read-only/head advance) have run.
+    sealed_through: AtomicU64,
+    flush_tracker: Mutex<FlushTracker>,
+    /// Called with an address range `[from, to)` after the head passed it
+    /// (epoch-safe: no thread can still read it) and before its frames are
+    /// recycled. Used by the Appendix D read cache to restore index entries
+    /// for evicted cache records.
+    evict_hook: Mutex<Option<Box<dyn Fn(u64, u64) + Send + Sync>>>,
+}
+
+/// The hybrid log allocator. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct HybridLog {
+    inner: Arc<Inner>,
+}
+
+impl HybridLog {
+    /// Creates a log over `device`, coordinated by `epoch`.
+    pub fn new(cfg: HLogConfig, epoch: Epoch, device: Arc<dyn Device>) -> Self {
+        cfg.validate();
+        let page_size = cfg.page_size() as usize;
+        let frames: Vec<Frame> = (0..cfg.buffer_pages).map(|_| Frame::new(page_size)).collect();
+        let frame_status: Vec<AtomicU8> =
+            (0..cfg.buffer_pages).map(|i| AtomicU8::new(if i == 0 { FRAME_OPEN } else { FRAME_CLOSED })).collect();
+        let first = Address::FIRST_VALID.raw();
+        Self {
+            inner: Arc::new(Inner {
+                cfg,
+                epoch,
+                device,
+                frames,
+                frame_status,
+                tail: AtomicU64::new(first), // page 0, offset 64
+                read_only: AtomicU64::new(0),
+                safe_read_only: AtomicU64::new(0),
+                head: AtomicU64::new(0),
+                flushed_until: AtomicU64::new(0),
+                begin: AtomicU64::new(first),
+                sealed_through: AtomicU64::new(0),
+                flush_tracker: Mutex::new(FlushTracker::new(0)),
+                evict_hook: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Re-opens a log whose prefix `[begin, tail)` already lives on `device`
+    /// (recovery, §6.5). The in-memory buffer restarts empty at the next page
+    /// boundary at/after `tail`.
+    pub fn recover(cfg: HLogConfig, epoch: Epoch, device: Arc<dyn Device>, begin: Address, tail: Address) -> Self {
+        cfg.validate();
+        let page_size = cfg.page_size();
+        // Resume at a fresh page: everything below is disk-resident.
+        let resume_page = (tail.raw() + page_size - 1) / page_size;
+        let resume = resume_page * page_size;
+        let page_size_us = page_size as usize;
+        let frames: Vec<Frame> = (0..cfg.buffer_pages).map(|_| Frame::new(page_size_us)).collect();
+        let frame_status: Vec<AtomicU8> = (0..cfg.buffer_pages)
+            .map(|i| {
+                AtomicU8::new(if i as u64 == resume_page % cfg.buffer_pages { FRAME_OPEN } else { FRAME_CLOSED })
+            })
+            .collect();
+        Self {
+            inner: Arc::new(Inner {
+                cfg,
+                epoch,
+                device,
+                frames,
+                frame_status,
+                tail: AtomicU64::new((resume_page << OFFSET_BITS) | 0),
+                read_only: AtomicU64::new(resume),
+                safe_read_only: AtomicU64::new(resume),
+                head: AtomicU64::new(resume),
+                flushed_until: AtomicU64::new(resume),
+                begin: AtomicU64::new(begin.raw()),
+                sealed_through: AtomicU64::new(resume_page),
+                flush_tracker: Mutex::new(FlushTracker::new(resume_page)),
+                evict_hook: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The log's configuration.
+    pub fn config(&self) -> &HLogConfig {
+        &self.inner.cfg
+    }
+
+    /// The coordinating epoch framework.
+    pub fn epoch(&self) -> &Epoch {
+        &self.inner.epoch
+    }
+
+    /// The backing device.
+    pub fn device(&self) -> &Arc<dyn Device> {
+        &self.inner.device
+    }
+
+    // ------------------------------------------------------------ markers --
+
+    /// Next address to be allocated.
+    pub fn tail_address(&self) -> Address {
+        let t = self.inner.tail.load(Ordering::SeqCst);
+        let page = t >> OFFSET_BITS;
+        let offset = (t & OFFSET_MASK).min(self.inner.cfg.page_size());
+        Address::new(page * self.inner.cfg.page_size() + offset)
+    }
+
+    /// The read-only offset (start of the mutable region).
+    pub fn read_only_address(&self) -> Address {
+        Address::new(self.inner.read_only.load(Ordering::SeqCst))
+    }
+
+    /// The safe read-only offset: the read-only offset every thread has seen
+    /// (§6.2). Start of the fuzzy region.
+    pub fn safe_read_only_address(&self) -> Address {
+        Address::new(self.inner.safe_read_only.load(Ordering::SeqCst))
+    }
+
+    /// Lowest address resident in memory.
+    pub fn head_address(&self) -> Address {
+        Address::new(self.inner.head.load(Ordering::SeqCst))
+    }
+
+    /// Contiguous flush frontier: everything below is durable.
+    pub fn flushed_until_address(&self) -> Address {
+        Address::new(self.inner.flushed_until.load(Ordering::SeqCst))
+    }
+
+    /// Earliest valid address (raised by log GC, Appendix C).
+    pub fn begin_address(&self) -> Address {
+        Address::new(self.inner.begin.load(Ordering::SeqCst))
+    }
+
+    /// All markers at once.
+    pub fn regions(&self) -> RegionSnapshot {
+        RegionSnapshot {
+            begin: self.begin_address(),
+            head: self.head_address(),
+            flushed_until: self.flushed_until_address(),
+            safe_read_only: self.safe_read_only_address(),
+            read_only: self.read_only_address(),
+            tail: self.tail_address(),
+        }
+    }
+
+    /// Start of the in-place-updatable region as seen by update operations.
+    ///
+    /// Normally the read-only offset; in the pure append-only configuration
+    /// (`mutable_pages == 0`, the §5 allocator) it is the tail itself, so no
+    /// existing record is ever updated in place — even on the still-open
+    /// tail page.
+    #[inline]
+    pub fn ipu_boundary(&self) -> Address {
+        if self.inner.cfg.mutable_pages == 0 {
+            self.tail_address()
+        } else {
+            Address::new(self.inner.read_only.load(Ordering::SeqCst))
+        }
+    }
+
+    /// Start of the fuzzy region as seen by operations (the safe read-only
+    /// offset, or the tail in append-only mode where no fuzzy region exists).
+    #[inline]
+    pub fn safe_ipu_boundary(&self) -> Address {
+        if self.inner.cfg.mutable_pages == 0 {
+            self.tail_address()
+        } else {
+            Address::new(self.inner.safe_read_only.load(Ordering::SeqCst))
+        }
+    }
+
+    /// Classifies `addr` per the HybridLog update scheme (Tables 1 and 2).
+    #[inline]
+    pub fn classify(&self, addr: Address) -> Region {
+        let a = addr.raw();
+        if a >= self.ipu_boundary().raw() {
+            Region::Mutable
+        } else if a >= self.safe_ipu_boundary().raw() {
+            Region::Fuzzy
+        } else if a >= self.inner.head.load(Ordering::SeqCst) {
+            Region::ReadOnly
+        } else {
+            Region::OnDisk
+        }
+    }
+
+    // ----------------------------------------------------------- allocate --
+
+    /// Allocates `size` bytes at the tail (Alg 1). Returns `None` when the
+    /// allocation cannot proceed yet (new page's frame still flushing or
+    /// evicting) — the caller must `refresh()` its epoch and retry, which is
+    /// exactly what lets the blocking maintenance triggers fire.
+    pub fn try_allocate(&self, size: u32, guard: &EpochGuard) -> Option<Address> {
+        let inner = &*self.inner;
+        let size = size as u64;
+        debug_assert!(size > 0 && size % 8 == 0, "record sizes are 8-byte aligned");
+        assert!(size <= inner.cfg.page_size(), "allocation exceeds page size");
+        let old = inner.tail.fetch_add(size, Ordering::SeqCst);
+        let page = old >> OFFSET_BITS;
+        let offset = old & OFFSET_MASK;
+        if offset + size <= inner.cfg.page_size() {
+            return Some(Address::new(page * inner.cfg.page_size() + offset));
+        }
+        // Overflow: run the (exactly-once) seal actions for this page, then
+        // try to open the next page; succeed or not, the caller retries.
+        self.seal_page(page, Some(guard));
+        self.try_open_page(page);
+        None
+    }
+
+    /// Allocates `size` bytes, refreshing the guard while the log catches up
+    /// on flush/eviction. This is the `BlockAllocate` loop of the C++ code.
+    pub fn allocate(&self, size: u32, guard: &EpochGuard) -> Address {
+        loop {
+            if let Some(a) = self.try_allocate(size, guard) {
+                return a;
+            }
+            guard.refresh();
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Runs the page-boundary maintenance for `page` exactly once: advance
+    /// the read-only offset (with its safe-read-only trigger) and the head
+    /// offset (with its frame-close trigger).
+    fn seal_page(&self, page: u64, guard: Option<&EpochGuard>) {
+        let inner = &*self.inner;
+        if inner
+            .sealed_through
+            .compare_exchange(page, page + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return; // someone else sealed it (or it's already sealed)
+        }
+        let new_tail_page = page + 1;
+        // Advance the read-only offset to maintain the mutable-region lag.
+        let ro_lag = inner.cfg.buffer_pages.min(inner.cfg.mutable_pages);
+        if new_tail_page > ro_lag {
+            let desired = (new_tail_page - ro_lag) * inner.cfg.page_size();
+            let old = inner.read_only.fetch_max(desired, Ordering::SeqCst);
+            if desired > old {
+                let weak = inner_weak(&self.inner);
+                let action = move || {
+                    if let Some(inner) = weak.upgrade() {
+                        Inner::update_safe_ro(&inner, desired);
+                    }
+                };
+                match guard {
+                    Some(g) => g.bump_with(action),
+                    None => inner.epoch.bump_with(action),
+                }
+            }
+        }
+        self.maybe_advance_head(guard);
+    }
+
+    /// Advances the head offset toward `tail_page + 1 - buffer_pages`, capped
+    /// by the flushed frontier (§5.2: never evict an unflushed page), and
+    /// announces frame closure via an epoch trigger.
+    fn maybe_advance_head(&self, guard: Option<&EpochGuard>) {
+        let inner = &*self.inner;
+        // Target residency for the *incoming* page (tail_page + 1): frames
+        // for pages [head_page, tail_page + 1] must fit in the buffer.
+        let tail_page = inner.tail.load(Ordering::SeqCst) >> OFFSET_BITS;
+        let needed = (tail_page + 2).saturating_sub(inner.cfg.buffer_pages);
+        if needed == 0 {
+            return;
+        }
+        let desired = (needed * inner.cfg.page_size()).min(inner.flushed_until.load(Ordering::SeqCst));
+        let old = inner.head.fetch_max(desired, Ordering::SeqCst);
+        if desired > old {
+            let weak = inner_weak(&self.inner);
+            let action = move || {
+                if let Some(inner) = weak.upgrade() {
+                    inner.close_frames(old, desired);
+                }
+            };
+            match guard {
+                Some(g) => g.bump_with(action),
+                None => inner.epoch.bump_with(action),
+            }
+        }
+    }
+
+    /// Attempts to open `page + 1`'s frame and flip the tail to it.
+    fn try_open_page(&self, page: u64) {
+        let inner = &*self.inner;
+        let next = page + 1;
+        if inner.tail.load(Ordering::SeqCst) >> OFFSET_BITS != page {
+            return; // stale caller: the tail has already moved on
+        }
+        let fidx = (next % inner.cfg.buffer_pages) as usize;
+        if inner.frame_status[fidx]
+            .compare_exchange(FRAME_CLOSED, FRAME_OPENING, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return; // frame busy (another opener, or not yet evictable)
+        }
+        // Re-verify under the Opening claim: only the holder of this claim
+        // can flip page -> page+1, so a stale claim is detectable.
+        if inner.tail.load(Ordering::SeqCst) >> OFFSET_BITS != page {
+            inner.frame_status[fidx].store(FRAME_CLOSED, Ordering::SeqCst);
+            return;
+        }
+        inner.frames[fidx].zero();
+        inner.frame_status[fidx].store(FRAME_OPEN, Ordering::SeqCst);
+        // Flip the tail to (next, 0). Concurrent fetch_adds only bump the
+        // offset field, so retry until the CAS lands.
+        loop {
+            let cur = inner.tail.load(Ordering::SeqCst);
+            if cur >> OFFSET_BITS != page {
+                break; // already flipped (should not happen: we own Opening)
+            }
+            if inner
+                .tail
+                .compare_exchange(cur, next << OFFSET_BITS, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- access --
+
+    /// Raw pointer to the record bytes at `addr`, if resident in memory.
+    ///
+    /// # Safety contract for callers
+    ///
+    /// The returned pointer is valid until the caller's epoch guard is
+    /// refreshed or dropped (§4: "A thread has guaranteed access to the
+    /// memory location of a record, as long as it does not refresh its
+    /// epoch"). Concurrent readers/writers of the same record must be
+    /// coordinated by the caller's record-level logic.
+    #[inline]
+    pub fn get(&self, addr: Address) -> Option<*mut u8> {
+        let inner = &*self.inner;
+        let a = addr.raw();
+        if a < inner.head.load(Ordering::SeqCst) || addr >= self.tail_address() {
+            return None;
+        }
+        let page = a >> inner.cfg.page_bits;
+        let offset = (a & (inner.cfg.page_size() - 1)) as usize;
+        let fidx = (page % inner.cfg.buffer_pages) as usize;
+        // Safety: in-bounds by construction; liveness by epoch protection.
+        Some(unsafe { inner.frames[fidx].as_ptr().add(offset) })
+    }
+
+    /// Bytes remaining on `addr`'s page (records never span pages).
+    pub fn bytes_to_page_end(&self, addr: Address) -> u64 {
+        self.inner.cfg.page_size() - (addr.raw() & (self.inner.cfg.page_size() - 1))
+    }
+
+    /// Asynchronously reads `len` bytes at `addr` from storage (§5.3: "Being
+    /// a record log, we retrieve only the record and not the entire logical
+    /// page").
+    pub fn read_async(&self, addr: Address, len: usize, cb: ReadCallback) {
+        if addr < self.begin_address() {
+            cb(Err(IoError::Truncated { offset: addr.raw() }));
+            return;
+        }
+        self.inner.device.read_async(addr.raw(), len, cb);
+    }
+
+    /// Installs the eviction hook (see `Inner::close_frames`). Call before
+    /// any traffic; later installs only affect future evictions.
+    pub fn set_eviction_hook<H: Fn(u64, u64) + Send + Sync + 'static>(&self, hook: H) {
+        *self.inner.evict_hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Raw pointer to `addr`'s bytes during the eviction window.
+    ///
+    /// # Safety
+    ///
+    /// Only callable from inside an eviction hook, for addresses within the
+    /// hook's `[from, to)` range: those frames are past the head (no reader
+    /// can race) but not yet recycled.
+    pub unsafe fn get_evicting(&self, addr: Address) -> *mut u8 {
+        let inner = &*self.inner;
+        let page = addr.raw() >> inner.cfg.page_bits;
+        let offset = (addr.raw() & (inner.cfg.page_size() - 1)) as usize;
+        let fidx = (page % inner.cfg.buffer_pages) as usize;
+        inner.frames[fidx].as_ptr().add(offset)
+    }
+
+    // -------------------------------------------------------- maintenance --
+
+    /// Blocks until every issued page flush has completed on the device.
+    pub fn flush_barrier(&self) {
+        self.inner.device.flush_barrier();
+    }
+
+    /// Forces the read-only offset up to the current tail and synchronously
+    /// waits for the resulting flushes (checkpoint path, §6.5; also the §7.3
+    /// sequential-bandwidth experiment). Requires that no thread holds an
+    /// un-refreshed guard, e.g. quiesced sessions or cooperative refresh.
+    pub fn shift_read_only_to_tail(&self) -> Address {
+        let inner = &*self.inner;
+        let tail = self.tail_address();
+        let old = inner.read_only.fetch_max(tail.raw(), Ordering::SeqCst);
+        if tail.raw() > old {
+            let weak = inner_weak(&self.inner);
+            let t = tail.raw();
+            inner.epoch.bump_with(move || {
+                if let Some(inner) = weak.upgrade() {
+                    Inner::update_safe_ro(&inner, t);
+                }
+            });
+        }
+        tail
+    }
+
+    /// Garbage collection by expiration (Appendix C): drops all log content
+    /// below `addr`. Reads below the new begin address fail with
+    /// [`IoError::Truncated`], which the store layer treats as "key absent".
+    pub fn shift_begin_address(&self, addr: Address) {
+        let inner = &*self.inner;
+        inner.begin.fetch_max(addr.raw(), Ordering::SeqCst);
+        inner.device.truncate_below(addr.raw());
+    }
+
+    /// True if the page holding `addr` is resident in the buffer.
+    pub fn is_resident(&self, addr: Address) -> bool {
+        addr.raw() >= self.inner.head.load(Ordering::SeqCst) && addr < self.tail_address()
+    }
+
+    /// Copies a full page image, from memory if resident, otherwise from the
+    /// device (blocking). Used by the log scanner (Appendix F).
+    pub fn page_image(&self, page: u64) -> Result<Vec<u8>, IoError> {
+        let inner = &*self.inner;
+        let page_size = inner.cfg.page_size();
+        let start = page * page_size;
+        if start >= inner.head.load(Ordering::SeqCst)
+            && start < self.tail_address().raw()
+        {
+            let fidx = (page % inner.cfg.buffer_pages) as usize;
+            return Ok(inner.frames[fidx].snapshot());
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.inner.device.read_async(
+            start,
+            page_size as usize,
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        rx.recv().map_err(|_| IoError::Failed("device dropped request".into()))?
+    }
+}
+
+impl Inner {
+    /// Epoch trigger: advance the safe read-only offset and flush the pages
+    /// that just became immutable-to-everyone (Alg 1 `update_safe_ro`).
+    fn update_safe_ro(self: &Arc<Inner>, new: u64) {
+        let old = self.safe_read_only.fetch_max(new, Ordering::SeqCst);
+        if new <= old {
+            return;
+        }
+        let page_size = self.cfg.page_size();
+        // Full pages advance the flush frontier; a trailing partial page
+        // (checkpoint path: read-only shifted to a mid-page tail) is written
+        // for durability but does not advance the frontier — it will be
+        // re-flushed in full when the page fills.
+        for page in (old / page_size)..(new / page_size) {
+            self.flush_page(page, true);
+        }
+        if new % page_size != 0 {
+            self.flush_page(new / page_size, false);
+        }
+    }
+
+    /// Issues the asynchronous flush of `page` (§5.2). When `track` is set,
+    /// completion advances the flushed-until frontier.
+    fn flush_page(self: &Arc<Inner>, page: u64, track: bool) {
+        let page_size = self.cfg.page_size();
+        let fidx = (page % self.cfg.buffer_pages) as usize;
+        let data = self.frames[fidx].snapshot();
+        let weak = Arc::downgrade(self);
+        self.device.write_async(
+            page * page_size,
+            data,
+            Box::new(move |res| {
+                if res.is_ok() && track {
+                    if let Some(inner) = weak.upgrade() {
+                        inner.flush_complete(page);
+                    }
+                }
+                // A failed flush leaves flushed_until stalled; allocation
+                // backpressure surfaces the problem rather than losing data.
+            }),
+        );
+    }
+
+    /// Flush-completion callback: advance the contiguous flushed frontier and
+    /// retry the head advance it may have been gating.
+    fn flush_complete(self: &Arc<Inner>, page: u64) {
+        let frontier = {
+            let mut t = self.flush_tracker.lock();
+            t.complete(page)
+        };
+        if let Some(pages) = frontier {
+            self.flushed_until.fetch_max(pages * self.cfg.page_size(), Ordering::SeqCst);
+            // The head may have been capped by the flush frontier; retry.
+            let log = HybridLog { inner: self.clone() };
+            log.maybe_advance_head(None);
+        }
+    }
+
+    /// Epoch trigger: frames of pages in `[from, to)` are now unreachable by
+    /// every thread; run the eviction hook, then mark them reusable.
+    fn close_frames(&self, from: u64, to: u64) {
+        if let Some(hook) = self.evict_hook.lock().as_ref() {
+            hook(from, to);
+        }
+        let page_size = self.cfg.page_size();
+        for page in (from / page_size)..(to / page_size) {
+            let fidx = (page % self.cfg.buffer_pages) as usize;
+            self.frame_status[fidx].store(FRAME_CLOSED, Ordering::SeqCst);
+        }
+    }
+}
+
+fn inner_weak(inner: &Arc<Inner>) -> std::sync::Weak<Inner> {
+    Arc::downgrade(inner)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,162 @@
+//! Fuzzy index checkpointing (§3.3, §6.5).
+//!
+//! "All operations on the FASTER index are performed using atomic
+//! compare-and-swap instructions. So, the checkpointing thread can read the
+//! index asynchronously without acquiring any read locks." The snapshot is
+//! *fuzzy* — concurrent updates may or may not be captured — and is made
+//! consistent at recovery time by replaying the HybridLog records between
+//! the checkpoint's begin/end tail offsets (implemented in `faster-core`).
+//!
+//! The on-disk format is a small custom binary layout (no external
+//! serialization dependency on this hot-adjacent path):
+//!
+//! ```text
+//! magic (8) | k_bits (1) | tag_bits (1) | pad (6) | count (8)
+//! then count * { bucket_idx (8) | entry (8) }
+//! ```
+
+use crate::bucket::ENTRIES_PER_BUCKET;
+use crate::entry::HashBucketEntry;
+use crate::{HashIndex, IndexConfig, Phase};
+use faster_epoch::Epoch;
+use std::sync::atomic::Ordering;
+
+const MAGIC: u64 = 0x4641_5354_4552_4958; // "FASTERIX"
+
+/// A fuzzy snapshot of every (bucket, entry) pair in the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexCheckpoint {
+    pub k_bits: u8,
+    pub tag_bits: u8,
+    /// `(bucket index, raw entry)` pairs for every non-tentative entry.
+    pub entries: Vec<(u64, u64)>,
+}
+
+impl IndexCheckpoint {
+    /// Serializes to the binary layout documented at module level.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.entries.len() * 16);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(self.k_bits);
+        out.push(self.tag_bits);
+        out.extend_from_slice(&[0u8; 6]);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for &(idx, entry) in &self.entries {
+            out.extend_from_slice(&idx.to_le_bytes());
+            out.extend_from_slice(&entry.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the binary layout; returns `None` on any structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 24 {
+            return None;
+        }
+        let magic = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        if magic != MAGIC {
+            return None;
+        }
+        let k_bits = bytes[8];
+        let tag_bits = bytes[9];
+        let count = u64::from_le_bytes(bytes[16..24].try_into().ok()?) as usize;
+        if bytes.len() != 24 + count * 16 {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let base = 24 + i * 16;
+            let idx = u64::from_le_bytes(bytes[base..base + 8].try_into().ok()?);
+            let entry = u64::from_le_bytes(bytes[base + 8..base + 16].try_into().ok()?);
+            entries.push((idx, entry));
+        }
+        Some(Self { k_bits, tag_bits, entries })
+    }
+}
+
+/// Captures a fuzzy checkpoint of the active table.
+///
+/// # Panics
+///
+/// Panics if a resize is in progress (callers serialize checkpoints against
+/// resizes; both are rare maintenance operations).
+pub(crate) fn capture(index: &HashIndex) -> IndexCheckpoint {
+    let s = index.status();
+    assert_eq!(s.phase, Phase::Stable, "checkpoint during resize is unsupported");
+    let arr = index.active_array();
+    let mut entries = Vec::new();
+    for i in 0..arr.len() {
+        let mut bucket = Some(arr.bucket(i));
+        while let Some(b) = bucket {
+            for j in 0..ENTRIES_PER_BUCKET {
+                let e = b.load_entry(j);
+                // Tentative entries are invisible by definition; skip them.
+                if !e.is_empty() && !e.is_tentative() {
+                    entries.push((i as u64, e.0));
+                }
+            }
+            bucket = b.overflow();
+        }
+    }
+    IndexCheckpoint { k_bits: arr.k_bits(), tag_bits: index.tag_bits(), entries }
+}
+
+/// Rebuilds an index from a checkpoint (single-threaded).
+pub(crate) fn restore(ckpt: &IndexCheckpoint, max_resize_chunks: usize, epoch: Epoch) -> HashIndex {
+    let index = HashIndex::new(
+        IndexConfig { k_bits: ckpt.k_bits, tag_bits: ckpt.tag_bits, max_resize_chunks },
+        epoch,
+    );
+    let arr = index.active_array();
+    for &(bucket_idx, raw) in &ckpt.entries {
+        let e = HashBucketEntry(raw);
+        debug_assert!(!e.is_tentative());
+        // Place directly: single-threaded restore owns the table.
+        let mut bucket = arr.bucket(bucket_idx as usize);
+        'placed: loop {
+            for j in 0..ENTRIES_PER_BUCKET {
+                let word = bucket.entry(j);
+                if word.load(Ordering::SeqCst) == 0 {
+                    word.store(raw, Ordering::SeqCst);
+                    break 'placed;
+                }
+            }
+            bucket = match bucket.overflow() {
+                Some(next) => next,
+                None => bucket.install_overflow(index.overflow_pool().alloc()),
+            };
+        }
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip() {
+        let c = IndexCheckpoint {
+            k_bits: 12,
+            tag_bits: 15,
+            entries: vec![(0, 0xABCD), (17, u64::MAX), (4095, 1)],
+        };
+        let bytes = c.to_bytes();
+        assert_eq!(IndexCheckpoint::from_bytes(&bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(IndexCheckpoint::from_bytes(&[]).is_none());
+        assert!(IndexCheckpoint::from_bytes(&[0u8; 24]).is_none());
+        let mut ok = IndexCheckpoint { k_bits: 4, tag_bits: 15, entries: vec![] }.to_bytes();
+        ok.push(0); // trailing junk
+        assert!(IndexCheckpoint::from_bytes(&ok).is_none());
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trip() {
+        let c = IndexCheckpoint { k_bits: 4, tag_bits: 0, entries: vec![] };
+        assert_eq!(IndexCheckpoint::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+}

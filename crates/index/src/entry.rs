@@ -1,0 +1,156 @@
+//! The 8-byte hash-bucket entry (Fig 2).
+//!
+//! ```text
+//!   63           49   48   47                          0
+//!  ┌───────────────┬─────┬──────────────────────────────┐
+//!  │   tag (15)    │tent.│         address (48)         │
+//!  └───────────────┴─────┴──────────────────────────────┘
+//! ```
+//!
+//! An all-zero word is an **empty slot**. This is unambiguous because log
+//! allocators never hand out addresses below [`Address::FIRST_VALID`], and an
+//! owned-but-unpopulated slot always carries the tentative bit (nonzero).
+//!
+//! "The choice of 8-byte entries is critical, as it allows us to operate
+//! latch-free on the entries using 64-bit atomic compare-and-swap" (§3.1).
+
+use faster_util::Address;
+
+const ADDRESS_MASK: u64 = Address::MASK; // low 48 bits
+const TENTATIVE_BIT: u64 = 1 << 48;
+const TAG_SHIFT: u32 = 49;
+/// Maximum width of the tag field in bits.
+pub const MAX_TAG_BITS: u8 = 15;
+const TAG_MASK: u64 = ((1 << MAX_TAG_BITS) - 1) << TAG_SHIFT;
+
+/// A decoded/encodable hash-bucket entry.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HashBucketEntry(pub u64);
+
+impl HashBucketEntry {
+    /// The empty slot.
+    pub const EMPTY: HashBucketEntry = HashBucketEntry(0);
+
+    /// Builds an entry from its parts.
+    #[inline]
+    pub fn new(address: Address, tag: u16, tentative: bool) -> Self {
+        debug_assert!(tag < (1 << MAX_TAG_BITS));
+        let mut v = address.raw() & ADDRESS_MASK;
+        v |= (tag as u64) << TAG_SHIFT;
+        if tentative {
+            v |= TENTATIVE_BIT;
+        }
+        HashBucketEntry(v)
+    }
+
+    /// True if this is the empty slot.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The 48-bit record address.
+    #[inline]
+    pub fn address(self) -> Address {
+        Address::new(self.0 & ADDRESS_MASK)
+    }
+
+    /// The tag stored in the entry.
+    #[inline]
+    pub fn tag(self) -> u16 {
+        ((self.0 & TAG_MASK) >> TAG_SHIFT) as u16
+    }
+
+    /// Whether the tentative (invisible) bit is set (§3.2).
+    #[inline]
+    pub fn is_tentative(self) -> bool {
+        self.0 & TENTATIVE_BIT != 0
+    }
+
+    /// This entry with the tentative bit cleared.
+    #[inline]
+    pub fn finalized(self) -> Self {
+        HashBucketEntry(self.0 & !TENTATIVE_BIT)
+    }
+
+    /// This entry with a different address (tag preserved, tentative cleared).
+    #[inline]
+    pub fn with_address(self, address: Address) -> Self {
+        HashBucketEntry::new(address, self.tag(), false)
+    }
+}
+
+impl std::fmt::Debug for HashBucketEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "Entry(EMPTY)");
+        }
+        write!(
+            f,
+            "Entry(tag={:#x}, tentative={}, addr={})",
+            self.tag(),
+            self.is_tentative(),
+            self.address()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(HashBucketEntry::EMPTY.0, 0);
+        assert!(HashBucketEntry::EMPTY.is_empty());
+        assert!(!HashBucketEntry::EMPTY.is_tentative());
+        assert_eq!(HashBucketEntry::EMPTY.address(), Address::INVALID);
+    }
+
+    #[test]
+    fn round_trip_all_fields() {
+        for tag in [0u16, 1, 0x7FFF] {
+            for addr in [Address::FIRST_VALID, Address::new(0xDEAD_BEEF), Address::MAX] {
+                for tentative in [false, true] {
+                    let e = HashBucketEntry::new(addr, tag, tentative);
+                    assert_eq!(e.address(), addr);
+                    assert_eq!(e.tag(), tag);
+                    assert_eq!(e.is_tentative(), tentative);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tentative_with_invalid_address_is_nonzero() {
+        // The owned-but-unpopulated state must never alias the empty slot,
+        // even for tag 0 (the worst case).
+        let e = HashBucketEntry::new(Address::INVALID, 0, true);
+        assert!(!e.is_empty());
+        assert!(e.is_tentative());
+    }
+
+    #[test]
+    fn finalize_clears_only_tentative() {
+        let e = HashBucketEntry::new(Address::new(4096), 0x1234, true);
+        let f = e.finalized();
+        assert!(!f.is_tentative());
+        assert_eq!(f.tag(), 0x1234);
+        assert_eq!(f.address(), Address::new(4096));
+    }
+
+    #[test]
+    fn with_address_preserves_tag() {
+        let e = HashBucketEntry::new(Address::new(100), 77, false);
+        let e2 = e.with_address(Address::new(200));
+        assert_eq!(e2.tag(), 77);
+        assert_eq!(e2.address(), Address::new(200));
+        assert!(!e2.is_tentative());
+    }
+
+    #[test]
+    fn fields_do_not_overlap() {
+        let e = HashBucketEntry::new(Address::MAX, 0x7FFF, true);
+        assert_eq!(e.0, u64::MAX, "all bits used exactly once");
+    }
+}

@@ -1,0 +1,512 @@
+//! On-line index resizing (Appendix B).
+//!
+//! Resizing doubles (grow) or halves (shrink) the bucket table while
+//! concurrent latch-free operations continue. The protocol:
+//!
+//! 1. The initiator CASes `ResizeStatus` from *stable* to **prepare-to-resize**
+//!    (same active version), allocates the new table, and publishes a
+//!    [`ResizeRun`] describing the migration (chunk pins, done flags).
+//! 2. It bumps the epoch with a trigger that atomically flips the status to
+//!    **resizing** with the *new* version active. Because the trigger fires
+//!    only once the pre-bump epoch is safe, every thread is guaranteed to have
+//!    seen the prepare phase — and therefore to be pinning chunks — before any
+//!    chunk is frozen.
+//! 3. The old table is divided into `n` contiguous chunks. In the prepare
+//!    phase, operations pin the chunk they touch (`fetch-and-increment` if
+//!    non-negative); a migrator freezes a chunk by CASing its pin count from
+//!    `0` to −∞. Operations that observe a negative pin count re-read the
+//!    status and switch to the resizing path.
+//! 4. In the resizing phase, an operation first ensures the chunk(s) feeding
+//!    its new bucket are migrated — migrating them itself if unclaimed
+//!    (threads "co-operatively grab chunks"), spinning briefly otherwise —
+//!    then proceeds on the new table.
+//! 5. When the migrated-chunk count reaches `n`, the finishing thread sets
+//!    the status back to *stable* and normal operation resumes.
+//!
+//! **Record migration** walks each index entry's in-memory record chain (via
+//! [`RecordAccess`]), re-derives each record's new `(offset, tag)` from its
+//! key hash, regroups and relinks the chains, and installs entries in the new
+//! table. Records on disk are left untouched: a split makes both destination
+//! entries point at the same disk record, and a merge links two disk chains
+//! through a caller-allocated *meta record* (`link_disk_tails`) — exactly the
+//! Appendix B treatment.
+
+use crate::bucket::{BucketArray, ENTRIES_PER_BUCKET};
+use crate::entry::HashBucketEntry;
+use crate::{HashIndex, Phase, Status};
+use faster_epoch::EpochGuard;
+use faster_util::{Address, CacheAligned, KeyHash};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How the resizer reads and relinks records owned by the record allocator.
+///
+/// The index stores only `(tag, address)`; splitting or merging buckets
+/// requires re-hashing record keys, which only the allocator layer can do.
+pub trait RecordAccess: Send + Sync {
+    /// The key hash of the record at `addr`, or `None` if the record is not
+    /// resident in memory (i.e. the address is at or below the log's head).
+    fn record_hash(&self, addr: Address) -> Option<KeyHash>;
+
+    /// The previous-record pointer of the in-memory record at `addr`.
+    /// Called only for addresses where `record_hash` returned `Some`.
+    fn record_prev(&self, addr: Address) -> Address;
+
+    /// Rewrites the previous-record pointer of the in-memory record at
+    /// `addr`. The resizer has exclusive structural access to the chain
+    /// (its chunk is frozen), so this is a plain store on the header word.
+    fn set_record_prev(&self, addr: Address, prev: Address);
+
+    /// Merges two disk-resident chains (shrink only): allocates a *meta
+    /// record* that points at both `a` and `b` and returns its address, so a
+    /// single index entry can reach both prior linked lists.
+    fn link_disk_tails(&self, a: Address, b: Address) -> Address;
+}
+
+/// Sentinel pin value marking a frozen chunk (the paper's −∞).
+const FROZEN: i64 = i64::MIN;
+
+/// Shared state of one resize operation.
+pub(crate) struct ResizeRun {
+    pub grow: bool,
+    pub old_version: usize,
+    pub new_version: usize,
+    #[allow(dead_code)]
+    pub old_k: u8,
+    pub new_k: u8,
+    pub chunk_size: usize,
+    pub n_chunks: usize,
+    pins: Vec<CacheAligned<AtomicI64>>,
+    done: Vec<AtomicBool>,
+    chunks_done: AtomicUsize,
+    access: Arc<dyn RecordAccess>,
+}
+
+impl ResizeRun {
+    fn new(
+        grow: bool,
+        old_version: usize,
+        old_k: u8,
+        max_chunks: usize,
+        access: Arc<dyn RecordAccess>,
+    ) -> Self {
+        let old_len = 1usize << old_k;
+        // For shrink, migration operates on *pairs* of old buckets, so a
+        // chunk must contain at least two buckets and be pair-aligned.
+        let cap = if grow { old_len } else { old_len / 2 };
+        let n_chunks = max_chunks.next_power_of_two().min(cap.max(1));
+        let chunk_size = old_len / n_chunks;
+        Self {
+            grow,
+            old_version,
+            new_version: 1 - old_version,
+            old_k,
+            new_k: if grow { old_k + 1 } else { old_k - 1 },
+            chunk_size,
+            n_chunks,
+            pins: (0..n_chunks).map(|_| CacheAligned::new(AtomicI64::new(0))).collect(),
+            done: (0..n_chunks).map(|_| AtomicBool::new(false)).collect(),
+            chunks_done: AtomicUsize::new(0),
+            access,
+        }
+    }
+
+    /// The migration chunk containing old-table bucket `old_bucket`.
+    #[inline]
+    pub fn chunk_of(&self, old_bucket: usize) -> usize {
+        old_bucket / self.chunk_size
+    }
+
+    /// Prepare-phase pin: increments the chunk's pin count if non-negative.
+    /// Returns `None` if the chunk is frozen (resizing has begun).
+    pub fn try_pin(self: &Arc<Self>, chunk: usize) -> Option<ChunkPin> {
+        let cell = &self.pins[chunk].0;
+        let mut v = cell.load(Ordering::SeqCst);
+        loop {
+            if v < 0 {
+                return None;
+            }
+            match cell.compare_exchange(v, v + 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return Some(ChunkPin { run: self.clone(), chunk }),
+                Err(cur) => v = cur,
+            }
+        }
+    }
+
+    /// Attempts to freeze an unmigrated chunk for exclusive migration.
+    fn try_claim(&self, chunk: usize) -> bool {
+        !self.done[chunk].load(Ordering::SeqCst)
+            && self.pins[chunk]
+                .0
+                .compare_exchange(0, FROZEN, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+    }
+
+    fn is_done(&self, chunk: usize) -> bool {
+        self.done[chunk].load(Ordering::SeqCst)
+    }
+}
+
+/// An operation's pin on a migration chunk during the prepare phase.
+/// Dropping it decrements the pin count, releasing the chunk to migrators.
+pub(crate) struct ChunkPin {
+    run: Arc<ResizeRun>,
+    chunk: usize,
+}
+
+impl Drop for ChunkPin {
+    fn drop(&mut self) {
+        self.run.pins[self.chunk].0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Validates that `run` matches the current status (guards against reading a
+/// previous resize's leftover run).
+pub(crate) fn run_matches(run: &ResizeRun, s: Status) -> bool {
+    match s.phase {
+        Phase::Prepare => run.old_version == s.version,
+        Phase::Resizing => run.new_version == s.version,
+        Phase::Stable => false,
+    }
+}
+
+/// Full resize driver (grow or shrink). Returns false if the index was not
+/// in the stable phase (a resize is already running) or cannot shrink
+/// further.
+pub(crate) fn resize(
+    index: &HashIndex,
+    access: Arc<dyn RecordAccess>,
+    guard: Option<&EpochGuard>,
+    grow: bool,
+) -> bool {
+    let s = index.status();
+    if s.phase != Phase::Stable {
+        return false;
+    }
+    let old_arr = unsafe { &*index.versions_ptr(s.version).load(Ordering::SeqCst) };
+    let old_k = old_arr.k_bits();
+    if !grow && old_k <= 1 {
+        return false;
+    }
+
+    // Step 1: claim the resize by entering prepare (same version active).
+    let prepare = HashIndex::encode(Status { phase: Phase::Prepare, version: s.version });
+    if index
+        .status_cell()
+        .compare_exchange(HashIndex::encode(s), prepare, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return false;
+    }
+
+    // Step 2: allocate the new table and publish the run.
+    let run = Arc::new(ResizeRun::new(grow, s.version, old_k, index.max_resize_chunks(), access));
+    let new_arr = Box::into_raw(Box::new(BucketArray::new(run.new_k)));
+    index.versions_ptr(run.new_version).store(new_arr, Ordering::SeqCst);
+    *index.run_cell().write() = Some(run.clone());
+
+    // Step 3: trigger the prepare -> resizing flip once the epoch is safe.
+    let status_cell = index.status_cell_arc();
+    let resizing = HashIndex::encode(Status { phase: Phase::Resizing, version: run.new_version });
+    index.epoch().bump_with(move || status_cell.store(resizing, Ordering::SeqCst));
+
+    // Step 4: wait for the flip (refreshing our own guard so the trigger can
+    // fire), then participate in migration.
+    while index.status().phase != Phase::Resizing {
+        if let Some(g) = guard {
+            g.refresh();
+        }
+        std::thread::yield_now();
+    }
+    participate(index, &run, guard);
+
+    // Step 5: wait for stability, then retire the old table.
+    while index.status().phase != Phase::Stable {
+        if let Some(g) = guard {
+            g.refresh();
+        }
+        std::thread::yield_now();
+    }
+    let old_ptr = index.versions_ptr(run.old_version).swap(std::ptr::null_mut(), Ordering::SeqCst);
+    index.retire_array(old_ptr);
+    true
+}
+
+/// Claims and migrates chunks until all are done.
+fn participate(index: &HashIndex, run: &Arc<ResizeRun>, guard: Option<&EpochGuard>) {
+    loop {
+        let mut all_done = true;
+        for c in 0..run.n_chunks {
+            if run.is_done(c) {
+                continue;
+            }
+            all_done = false;
+            if run.try_claim(c) {
+                migrate_chunk(index, run, c);
+                finish_chunk(index, run, c);
+            }
+        }
+        if all_done || run.chunks_done.load(Ordering::SeqCst) == run.n_chunks {
+            return;
+        }
+        // See ensure_migrated_for: waiting must not stall the epoch.
+        if let Some(g) = guard {
+            g.refresh();
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Operation-path hook: make sure the source chunks feeding `hash`'s new
+/// bucket are migrated, cooperatively migrating unclaimed ones.
+pub(crate) fn ensure_migrated_for(
+    index: &HashIndex,
+    run: &Arc<ResizeRun>,
+    _new_array: &BucketArray,
+    hash: KeyHash,
+    guard: Option<&EpochGuard>,
+) {
+    let nb = hash.bucket_index(run.new_k);
+    // Source old buckets feeding new bucket `nb`.
+    let (src_a, src_b) = if run.grow { (nb >> 1, nb >> 1) } else { (nb * 2, nb * 2 + 1) };
+    // For shrink, both sources share a chunk (chunks are pair-aligned).
+    debug_assert!(run.grow || run.chunk_of(src_a) == run.chunk_of(src_b));
+    let chunk = run.chunk_of(src_a);
+    loop {
+        if run.is_done(chunk) {
+            return;
+        }
+        if run.try_claim(chunk) {
+            migrate_chunk(index, run, chunk);
+            finish_chunk(index, run, chunk);
+            return;
+        }
+        // Claim failed: either pinned by prepare-phase stragglers or being
+        // migrated by someone else. Help on another chunk, then re-check.
+        for c in 0..run.n_chunks {
+            if c != chunk && run.try_claim(c) {
+                migrate_chunk(index, run, c);
+                finish_chunk(index, run, c);
+                break;
+            }
+        }
+        // Keep our own epoch fresh: pinned stragglers may be blocked inside
+        // allocation backpressure whose flush/evict triggers require *this*
+        // thread to advance past the epoch bump (deadlock otherwise).
+        if let Some(g) = guard {
+            g.refresh();
+        }
+        std::thread::yield_now();
+    }
+}
+
+fn finish_chunk(index: &HashIndex, run: &Arc<ResizeRun>, chunk: usize) {
+    run.done[chunk].store(true, Ordering::SeqCst);
+    let done = run.chunks_done.fetch_add(1, Ordering::SeqCst) + 1;
+    if done == run.n_chunks {
+        // Last chunk: return to stable on the new version.
+        let stable = HashIndex::encode(Status { phase: Phase::Stable, version: run.new_version });
+        index.status_cell().store(stable, Ordering::SeqCst);
+    }
+}
+
+/// Migrates every old bucket in `chunk` into the new table.
+fn migrate_chunk(index: &HashIndex, run: &Arc<ResizeRun>, chunk: usize) {
+    let old_arr = unsafe { &*index.versions_ptr(run.old_version).load(Ordering::SeqCst) };
+    let new_arr = unsafe { &*index.versions_ptr(run.new_version).load(Ordering::SeqCst) };
+    let start = chunk * run.chunk_size;
+    let end = start + run.chunk_size;
+    if run.grow {
+        for ob in start..end {
+            migrate_bucket_grow(index, run, old_arr, new_arr, ob);
+        }
+    } else {
+        let mut ob = start;
+        while ob < end {
+            migrate_pair_shrink(index, run, old_arr, new_arr, ob);
+            ob += 2;
+        }
+    }
+}
+
+/// Collects `(tag, address)` pairs from an old bucket's chain.
+fn collect_entries(arr: &BucketArray, bucket_idx: usize) -> Vec<(u16, Address)> {
+    let mut out = Vec::new();
+    let mut bucket = Some(arr.bucket(bucket_idx));
+    while let Some(b) = bucket {
+        for i in 0..ENTRIES_PER_BUCKET {
+            let e = b.load_entry(i);
+            if !e.is_empty() && !e.is_tentative() && e.address().is_valid() {
+                out.push((e.tag(), e.address()));
+            }
+        }
+        bucket = b.overflow();
+    }
+    out
+}
+
+/// Walks the in-memory prefix of a record chain. Returns the resident
+/// records (newest first, with their hashes) and the first non-resident
+/// address (the disk tail; `INVALID` if the chain ends in memory).
+fn walk_chain(access: &dyn RecordAccess, head: Address) -> (Vec<(Address, KeyHash)>, Address) {
+    let mut mem = Vec::new();
+    let mut cur = head;
+    while cur.is_valid() {
+        match access.record_hash(cur) {
+            Some(h) => {
+                mem.push((cur, h));
+                cur = access.record_prev(cur);
+            }
+            None => break,
+        }
+    }
+    (mem, cur)
+}
+
+/// Installs `(tag, addr)` into new-table bucket `bucket_idx`. The migrator
+/// owns the destination bucket exclusively (operations wait for the chunk),
+/// but CAS is used for defense in depth.
+fn insert_entry(index: &HashIndex, arr: &BucketArray, bucket_idx: usize, tag: u16, addr: Address) {
+    let mut bucket = arr.bucket(bucket_idx);
+    let e = HashBucketEntry::new(addr, tag, false);
+    loop {
+        for i in 0..ENTRIES_PER_BUCKET {
+            let word = bucket.entry(i);
+            if word.load(Ordering::SeqCst) == 0
+                && word.compare_exchange(0, e.0, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+            {
+                return;
+            }
+        }
+        match bucket.overflow() {
+            Some(next) => bucket = next,
+            None => {
+                let fresh = index.overflow_pool().alloc();
+                bucket = bucket.install_overflow(fresh);
+            }
+        }
+    }
+}
+
+/// Splits one old bucket into its two child buckets (grow).
+fn migrate_bucket_grow(
+    index: &HashIndex,
+    run: &Arc<ResizeRun>,
+    old_arr: &BucketArray,
+    new_arr: &BucketArray,
+    ob: usize,
+) {
+    let tag_bits = index.tag_bits();
+    let mask: u16 = if tag_bits == 0 { 0 } else { (1u16 << tag_bits) - 1 };
+    for (tag, head) in collect_entries(old_arr, ob) {
+        let (mem, disk_tail) = walk_chain(run.access.as_ref(), head);
+
+        // Group resident records by exact new (bucket, tag), preserving
+        // newest-first order within each group.
+        let mut groups: Vec<((usize, u16), Vec<Address>)> = Vec::new();
+        for &(addr, h) in &mem {
+            let key = (h.bucket_index(run.new_k), h.tag(run.new_k, tag_bits));
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(addr),
+                None => groups.push((key, vec![addr])),
+            }
+        }
+
+        // Candidate destinations that must reach the disk tail even without
+        // resident records ("both new hash entries point to the same disk
+        // record").
+        let candidates: Vec<(usize, u16)> = if tag_bits == 0 {
+            vec![(ob * 2, 0), (ob * 2 + 1, 0)]
+        } else {
+            let db = ob * 2 + ((tag >> (tag_bits - 1)) & 1) as usize;
+            let t0 = (tag << 1) & mask;
+            vec![(db, t0), (db, t0 | 1)]
+        };
+
+        // Relink and install each resident group.
+        for ((db, nt), list) in &groups {
+            for w in list.windows(2) {
+                run.access.set_record_prev(w[0], w[1]);
+            }
+            run.access.set_record_prev(*list.last().expect("nonempty group"), disk_tail);
+            insert_entry(index, new_arr, *db, *nt, list[0]);
+        }
+
+        // Candidates not covered by a resident group still need an entry if
+        // there is a disk tail.
+        if disk_tail.is_valid() {
+            for cand in candidates {
+                if !groups.iter().any(|(k, _)| *k == cand) {
+                    insert_entry(index, new_arr, cand.0, cand.1, disk_tail);
+                }
+            }
+        }
+    }
+}
+
+/// Merges one pair of old buckets into their parent bucket (shrink).
+fn migrate_pair_shrink(
+    index: &HashIndex,
+    run: &Arc<ResizeRun>,
+    old_arr: &BucketArray,
+    new_arr: &BucketArray,
+    ob_even: usize,
+) {
+    let tag_bits = index.tag_bits();
+    let nb = ob_even / 2;
+    // Destination tag -> (concatenated resident chain, disk tails).
+    let mut dests: Vec<(u16, Vec<Address>, Vec<Address>)> = Vec::new();
+    for beta in 0..2usize {
+        for (tag, head) in collect_entries(old_arr, ob_even + beta) {
+            let (mem, disk_tail) = walk_chain(run.access.as_ref(), head);
+            // New tag is fully determined by (beta, old tag): the records in
+            // one entry all share hash bits [0, k+tag_bits).
+            let nt: u16 = if tag_bits == 0 {
+                0
+            } else {
+                ((beta as u16) << (tag_bits - 1)) | (tag >> 1)
+            };
+            let slot = match dests.iter_mut().find(|(t, _, _)| *t == nt) {
+                Some(s) => s,
+                None => {
+                    dests.push((nt, Vec::new(), Vec::new()));
+                    dests.last_mut().expect("just pushed")
+                }
+            };
+            slot.1.extend(mem.iter().map(|&(a, _)| a));
+            if disk_tail.is_valid() {
+                slot.2.push(disk_tail);
+            }
+        }
+    }
+
+    for (nt, chain, disk_tails) in dests {
+        // Merge disk tails: one stays as-is; two are joined via a meta record.
+        let tail = match disk_tails.len() {
+            0 => Address::INVALID,
+            1 => disk_tails[0],
+            2 => run.access.link_disk_tails(disk_tails[0], disk_tails[1]),
+            n => {
+                // More than two cannot arise from a single pair merge, but
+                // fold defensively.
+                let mut t = disk_tails[0];
+                for &d in &disk_tails[1..] {
+                    t = run.access.link_disk_tails(t, d);
+                }
+                debug_assert!(n <= 2, "pair merge yielded {n} disk tails");
+                t
+            }
+        };
+        if chain.is_empty() {
+            if tail.is_valid() {
+                insert_entry(index, new_arr, nb, nt, tail);
+            }
+            continue;
+        }
+        for w in chain.windows(2) {
+            run.access.set_record_prev(w[0], w[1]);
+        }
+        run.access.set_record_prev(*chain.last().expect("nonempty"), tail);
+        insert_entry(index, new_arr, nb, nt, chain[0]);
+    }
+}

@@ -1,0 +1,577 @@
+//! Unit, concurrency, and invariant tests for the hash index.
+
+use super::*;
+use faster_util::Address;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc as StdArc, Barrier};
+
+fn small_index() -> HashIndex {
+    HashIndex::new(
+        IndexConfig { k_bits: 4, tag_bits: 15, max_resize_chunks: 4 },
+        Epoch::new(32),
+    )
+}
+
+fn insert(index: &HashIndex, hash: KeyHash, addr: Address) {
+    match index.find_or_create_tag(hash, None) {
+        CreateOutcome::Created(c) => {
+            c.finalize(addr);
+        }
+        CreateOutcome::Found(slot) => {
+            let cur = slot.load();
+            slot.cas_address(cur, addr).expect("single-threaded update");
+        }
+    }
+}
+
+fn lookup(index: &HashIndex, hash: KeyHash) -> Option<Address> {
+    index.find_tag(hash, None).map(|s| s.load().address())
+}
+
+#[test]
+fn insert_find_delete() {
+    let index = small_index();
+    let h = KeyHash::of_u64(42);
+    assert!(lookup(&index, h).is_none());
+    insert(&index, h, Address::new(4096));
+    assert_eq!(lookup(&index, h), Some(Address::new(4096)));
+    let slot = index.find_tag(h, None).unwrap();
+    let e = slot.load();
+    slot.cas_delete(e).unwrap();
+    assert!(lookup(&index, h).is_none());
+    assert_eq!(index.count_entries(), 0);
+}
+
+#[test]
+fn update_address_via_cas() {
+    let index = small_index();
+    let h = KeyHash::of_u64(7);
+    insert(&index, h, Address::new(100));
+    let slot = index.find_tag(h, None).unwrap();
+    let old = slot.load();
+    slot.cas_address(old, Address::new(200)).unwrap();
+    assert_eq!(lookup(&index, h), Some(Address::new(200)));
+    // Stale CAS fails and reports the current entry.
+    let err = slot.cas_address(old, Address::new(300)).unwrap_err();
+    assert_eq!(err.address(), Address::new(200));
+}
+
+#[test]
+fn created_entry_drop_releases_slot() {
+    let index = small_index();
+    let h = KeyHash::of_u64(9);
+    match index.find_or_create_tag(h, None) {
+        CreateOutcome::Created(c) => drop(c), // abandon
+        CreateOutcome::Found(_) => panic!("fresh index"),
+    }
+    assert!(lookup(&index, h).is_none());
+    assert_eq!(index.count_entries(), 0);
+    // The slot is reusable.
+    insert(&index, h, Address::new(128));
+    assert_eq!(lookup(&index, h), Some(Address::new(128)));
+}
+
+#[test]
+fn many_keys_overflow_buckets() {
+    // k_bits = 1 forces heavy per-bucket load and overflow allocation.
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 1, tag_bits: 15, max_resize_chunks: 1 },
+        Epoch::new(8),
+    );
+    let mut expect = HashMap::new();
+    for k in 0..200u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 8);
+        insert(&index, h, addr);
+        expect.insert(k, addr);
+    }
+    // NOTE: distinct keys can share (offset, tag); later inserts overwrite in
+    // this raw-index test (no key comparison layer). Verify via tag identity.
+    let mut tags: HashMap<(usize, u16), Address> = HashMap::new();
+    for k in 0..200u64 {
+        let h = KeyHash::of_u64(k);
+        tags.insert((h.bucket_index(1), h.tag(1, 15)), expect[&k]);
+    }
+    for k in 0..200u64 {
+        let h = KeyHash::of_u64(k);
+        let want = tags[&(h.bucket_index(1), h.tag(1, 15))];
+        assert_eq!(lookup(&index, h), Some(want), "key {k}");
+    }
+    assert!(!index.overflow_pool().is_empty(), "200 tags in 2 buckets must overflow");
+    assert_eq!(index.count_entries(), tags.len());
+}
+
+#[test]
+fn tag_zero_key_survives() {
+    // Regression: an entry whose tag is 0 must not be confused with an
+    // empty slot at any point in its lifecycle.
+    let index = small_index();
+    // Find a hash with tag 0 for k_bits=4.
+    let key = (0u64..).find(|&k| KeyHash::of_u64(k).tag(4, 15) == 0).unwrap();
+    let h = KeyHash::of_u64(key);
+    insert(&index, h, Address::new(640));
+    assert_eq!(lookup(&index, h), Some(Address::new(640)));
+    assert_eq!(index.count_entries(), 1);
+}
+
+#[test]
+fn unique_tag_invariant_under_concurrent_inserts() {
+    // Hammer one bucket from many threads inserting the same small tag set;
+    // afterwards each (offset, tag) must appear exactly once (§3.2).
+    let index = StdArc::new(HashIndex::new(
+        IndexConfig { k_bits: 1, tag_bits: 4, max_resize_chunks: 1 },
+        Epoch::new(64),
+    ));
+    let threads = 8;
+    let barrier = StdArc::new(Barrier::new(threads));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let index = index.clone();
+        let barrier = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for k in 0..512u64 {
+                let h = KeyHash::of_u64(k);
+                match index.find_or_create_tag(h, None) {
+                    CreateOutcome::Created(c) => {
+                        c.finalize(Address::new(64 + t as u64));
+                    }
+                    CreateOutcome::Found(slot) => {
+                        let cur = slot.load();
+                        // racing updates are fine; ignore failures
+                        let _ = slot.cas_address(cur, Address::new(64 + t as u64));
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Verify invariant: scan raw buckets for duplicate (bucket, tag).
+    let mut seen = std::collections::HashSet::new();
+    let arr = index.active_array();
+    for i in 0..arr.len() {
+        let mut bucket = Some(arr.bucket(i));
+        while let Some(b) = bucket {
+            for j in 0..ENTRIES_PER_BUCKET {
+                let e = b.load_entry(j);
+                if !e.is_empty() {
+                    assert!(!e.is_tentative(), "no tentative entries after quiescence");
+                    assert!(seen.insert((i, e.tag())), "duplicate (bucket {i}, tag {})", e.tag());
+                }
+            }
+            bucket = b.overflow();
+        }
+    }
+}
+
+#[test]
+fn concurrent_insert_delete_churn_keeps_invariant() {
+    // The Fig 3a scenario generalized: concurrent deletes + inserts of
+    // colliding tags must never produce duplicate visible tags.
+    let index = StdArc::new(HashIndex::new(
+        IndexConfig { k_bits: 1, tag_bits: 2, max_resize_chunks: 1 },
+        Epoch::new(64),
+    ));
+    let stop = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..6 {
+        let index = index.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = faster_util::XorShift64::new(t + 1);
+            while !stop.load(StdOrdering::Relaxed) {
+                let k = rng.next_below(64);
+                let h = KeyHash::of_u64(k);
+                if rng.next_below(2) == 0 {
+                    match index.find_or_create_tag(h, None) {
+                        CreateOutcome::Created(c) => {
+                            c.finalize(Address::new(64 + k));
+                        }
+                        CreateOutcome::Found(slot) => {
+                            let cur = slot.load();
+                            let _ = slot.cas_address(cur, Address::new(64 + k));
+                        }
+                    }
+                } else if let Some(slot) = index.find_tag(h, None) {
+                    let cur = slot.load();
+                    let _ = slot.cas_delete(cur);
+                }
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, StdOrdering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut seen = std::collections::HashSet::new();
+    let arr = index.active_array();
+    for i in 0..arr.len() {
+        let mut bucket = Some(arr.bucket(i));
+        while let Some(b) = bucket {
+            for j in 0..ENTRIES_PER_BUCKET {
+                let e = b.load_entry(j);
+                if !e.is_empty() && !e.is_tentative() {
+                    assert!(seen.insert((i, e.tag())), "duplicate (bucket {i}, tag {})", e.tag());
+                }
+            }
+            bucket = b.overflow();
+        }
+    }
+}
+
+// ---------------------------------------------------------------- resize --
+
+/// Mock record store: addr -> (hash, prev). Lets resize tests run without a
+/// log allocator.
+#[derive(Default)]
+struct MockRecords {
+    // Keyed by raw address.
+    recs: parking_lot::RwLock<HashMap<u64, (KeyHash, StdArc<StdAtomicU64>)>>,
+    next_meta: StdAtomicU64,
+    metas: parking_lot::RwLock<Vec<(Address, Address)>>,
+}
+
+impl MockRecords {
+    fn new() -> StdArc<Self> {
+        StdArc::new(Self {
+            next_meta: StdAtomicU64::new(1 << 40),
+            ..Default::default()
+        })
+    }
+    fn add(&self, addr: Address, hash: KeyHash, prev: Address) {
+        self.recs
+            .write()
+            .insert(addr.raw(), (hash, StdArc::new(StdAtomicU64::new(prev.raw()))));
+    }
+}
+
+impl RecordAccess for MockRecords {
+    fn record_hash(&self, addr: Address) -> Option<KeyHash> {
+        self.recs.read().get(&addr.raw()).map(|(h, _)| *h)
+    }
+    fn record_prev(&self, addr: Address) -> Address {
+        Address::new(self.recs.read()[&addr.raw()].1.load(StdOrdering::SeqCst))
+    }
+    fn set_record_prev(&self, addr: Address, prev: Address) {
+        self.recs.read()[&addr.raw()].1.store(prev.raw(), StdOrdering::SeqCst);
+    }
+    fn link_disk_tails(&self, a: Address, b: Address) -> Address {
+        let m = Address::new(self.next_meta.fetch_add(64, StdOrdering::SeqCst));
+        self.metas.write().push((a, b));
+        m
+    }
+}
+
+fn chain_addresses(index: &HashIndex, access: &MockRecords, hash: KeyHash) -> Vec<Address> {
+    let mut out = Vec::new();
+    if let Some(slot) = index.find_tag(hash, None) {
+        let mut cur = slot.load().address();
+        while cur.is_valid() {
+            out.push(cur);
+            match access.record_hash(cur) {
+                Some(_) => cur = access.record_prev(cur),
+                None => break,
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn grow_preserves_reachability() {
+    let epoch = Epoch::new(16);
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 3, tag_bits: 15, max_resize_chunks: 2 },
+        epoch,
+    );
+    let access = MockRecords::new();
+    // Insert 64 keys, each a single in-memory record.
+    for k in 0..64u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        access.add(addr, h, Address::INVALID);
+        insert(&index, h, addr);
+    }
+    assert!(index.grow(access.clone(), None));
+    assert_eq!(index.k_bits(), 4);
+    assert_eq!(index.status().phase, Phase::Stable);
+    for k in 0..64u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        let chain = chain_addresses(&index, &access, h);
+        assert!(chain.contains(&addr), "key {k} unreachable after grow");
+    }
+}
+
+#[test]
+fn grow_splits_shared_chains() {
+    // Keys engineered to share an (offset, tag) at k=1 split correctly at k=2.
+    let epoch = Epoch::new(16);
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 1, tag_bits: 4, max_resize_chunks: 1 },
+        epoch,
+    );
+    let access = MockRecords::new();
+    // Build chains through the real insert path: link new record to current.
+    let keys: Vec<u64> = (0..128).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + (i as u64) * 64);
+        match index.find_or_create_tag(h, None) {
+            CreateOutcome::Created(c) => {
+                access.add(addr, h, Address::INVALID);
+                c.finalize(addr);
+            }
+            CreateOutcome::Found(slot) => {
+                let cur = slot.load();
+                access.add(addr, h, cur.address());
+                slot.cas_address(cur, addr).unwrap();
+            }
+        }
+    }
+    assert!(index.grow(access.clone(), None));
+    // Every key must be reachable from its new entry.
+    for (i, &k) in keys.iter().enumerate() {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + (i as u64) * 64);
+        let chain = chain_addresses(&index, &access, h);
+        assert!(chain.contains(&addr), "key {k} lost in split");
+        // And the whole chain must belong to the same new (offset, tag).
+        let nb = h.bucket_index(index.k_bits());
+        let nt = h.tag(index.k_bits(), index.tag_bits());
+        for &a in &chain {
+            let rh = access.record_hash(a).unwrap();
+            assert_eq!(rh.bucket_index(index.k_bits()), nb);
+            assert_eq!(rh.tag(index.k_bits(), index.tag_bits()), nt);
+        }
+    }
+}
+
+#[test]
+fn grow_disk_tail_reachable_from_both_children() {
+    let epoch = Epoch::new(16);
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 2, tag_bits: 15, max_resize_chunks: 1 },
+        epoch,
+    );
+    let access = MockRecords::new();
+    // A single entry whose whole chain lives on disk (no in-memory records).
+    let h = KeyHash::of_u64(777);
+    let disk_addr = Address::new(4096); // not registered in MockRecords = "on disk"
+    insert(&index, h, disk_addr);
+    assert!(index.grow(access.clone(), None));
+    // The true child entry must reach the disk record.
+    let slot = index.find_tag(h, None).expect("entry after grow");
+    assert_eq!(slot.load().address(), disk_addr);
+}
+
+#[test]
+fn shrink_merges_and_preserves_reachability() {
+    let epoch = Epoch::new(16);
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 4, tag_bits: 15, max_resize_chunks: 2 },
+        epoch,
+    );
+    let access = MockRecords::new();
+    for k in 0..96u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        access.add(addr, h, Address::INVALID);
+        insert(&index, h, addr);
+    }
+    assert!(index.shrink(access.clone(), None));
+    assert_eq!(index.k_bits(), 3);
+    for k in 0..96u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        let chain = chain_addresses(&index, &access, h);
+        assert!(chain.contains(&addr), "key {k} unreachable after shrink");
+    }
+}
+
+#[test]
+fn shrink_links_disk_tails_via_meta_record() {
+    let epoch = Epoch::new(16);
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 2, tag_bits: 15, max_resize_chunks: 1 },
+        epoch,
+    );
+    let access = MockRecords::new();
+    // Two disk-only entries that merge under shrink: bucket 2b and 2b+1 with
+    // tags that collapse to the same new tag. Construct hashes directly.
+    // k=2: offset bits = top 2; tag = next 15.
+    // old A: offset 0b10, tag t; old B: offset 0b11, tag t' where
+    // new (k=1) tag of A = (0 << 14) | (t >> 1); of B = (1 << 14) | (t' >> 1).
+    // They merge only if equal -> impossible across beta; so merge within one
+    // bucket: tags t and t^1 in the SAME old bucket.
+    let h1 = KeyHash::new(0b10_000000000000010u64 << 47); // offset 2, tag 2
+    let h2 = KeyHash::new(0b10_000000000000011u64 << 47); // offset 2, tag 3
+    assert_eq!(h1.bucket_index(2), h2.bucket_index(2));
+    assert_ne!(h1.tag(2, 15), h2.tag(2, 15));
+    insert(&index, h1, Address::new(1 << 20)); // unregistered = on disk
+    insert(&index, h2, Address::new(2 << 20));
+    assert!(index.shrink(access.clone(), None));
+    assert_eq!(access.metas.read().len(), 1, "one meta record links the two disk chains");
+    // The merged entry exists under the new tag.
+    assert!(index.find_tag(h1, None).is_some());
+    assert!(index.find_tag(h2, None).is_some());
+}
+
+#[test]
+fn grow_then_shrink_round_trip() {
+    let epoch = Epoch::new(16);
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 3, tag_bits: 15, max_resize_chunks: 2 },
+        epoch,
+    );
+    let access = MockRecords::new();
+    for k in 0..48u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        access.add(addr, h, Address::INVALID);
+        insert(&index, h, addr);
+    }
+    assert!(index.grow(access.clone(), None));
+    assert!(index.grow(access.clone(), None));
+    assert_eq!(index.k_bits(), 5);
+    assert!(index.shrink(access.clone(), None));
+    assert_eq!(index.k_bits(), 4);
+    for k in 0..48u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        assert!(
+            chain_addresses(&index, &access, h).contains(&addr),
+            "key {k} lost across grow/grow/shrink"
+        );
+    }
+}
+
+#[test]
+fn grow_under_concurrent_operations() {
+    let epoch = Epoch::new(64);
+    let index = StdArc::new(HashIndex::new(
+        IndexConfig { k_bits: 4, tag_bits: 15, max_resize_chunks: 4 },
+        epoch.clone(),
+    ));
+    let access = MockRecords::new();
+    for k in 0..256u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        access.add(addr, h, Address::INVALID);
+        insert(&index, h, addr);
+    }
+    let stop = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let index = index.clone();
+        let stop = stop.clone();
+        let epoch = epoch.clone();
+        handles.push(std::thread::spawn(move || {
+            let guard = epoch.acquire();
+            let mut rng = faster_util::XorShift64::new(t + 99);
+            let mut ops = 0u64;
+            while !stop.load(StdOrdering::Relaxed) {
+                let k = rng.next_below(256);
+                let h = KeyHash::of_u64(k);
+                // Pass our guard: resize-phase waits inside the index must
+                // be able to refresh it (see find_tag docs).
+                let _ = index.find_tag(h, Some(&guard));
+                ops += 1;
+                if ops % 64 == 0 {
+                    guard.refresh();
+                }
+            }
+            drop(guard);
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(index.grow(access.clone(), None));
+    stop.store(true, StdOrdering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(index.k_bits(), 5);
+    for k in 0..256u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        assert!(chain_addresses(&index, &access, h).contains(&addr), "key {k}");
+    }
+}
+
+// ------------------------------------------------------------ checkpoint --
+
+#[test]
+fn checkpoint_restore_round_trip() {
+    let index = small_index();
+    for k in 0..100u64 {
+        insert(&index, KeyHash::of_u64(k), Address::new(64 + k * 8));
+    }
+    let ckpt = index.checkpoint();
+    let bytes = ckpt.to_bytes();
+    let parsed = IndexCheckpoint::from_bytes(&bytes).unwrap();
+    let restored = HashIndex::restore(&parsed, 4, Epoch::new(8));
+    assert_eq!(restored.k_bits(), index.k_bits());
+    assert_eq!(restored.count_entries(), index.count_entries());
+    for k in 0..100u64 {
+        let h = KeyHash::of_u64(k);
+        assert_eq!(lookup(&restored, h), lookup(&index, h), "key {k}");
+    }
+}
+
+#[test]
+fn status_encoding_round_trip() {
+    for phase in [Phase::Stable, Phase::Prepare, Phase::Resizing] {
+        for version in [0usize, 1] {
+            let s = Status { phase, version };
+            assert_eq!(decode_status(encode_status(s)), s);
+        }
+    }
+}
+
+#[test]
+fn small_tag_configurations_work() {
+    for tag_bits in [0u8, 1, 4, 15] {
+        let index = HashIndex::new(
+            IndexConfig { k_bits: 6, tag_bits, max_resize_chunks: 2 },
+            Epoch::new(8),
+        );
+        // Insert distinct (offset, tag) classes and verify lookup.
+        let mut class_addr: HashMap<(usize, u16), Address> = HashMap::new();
+        for k in 0..500u64 {
+            let h = KeyHash::of_u64(k);
+            let addr = Address::new(64 + k * 8);
+            insert(&index, h, addr);
+            class_addr.insert((h.bucket_index(6), h.tag(6, tag_bits)), addr);
+        }
+        for k in 0..500u64 {
+            let h = KeyHash::of_u64(k);
+            let want = class_addr[&(h.bucket_index(6), h.tag(6, tag_bits))];
+            assert_eq!(lookup(&index, h), Some(want), "tag_bits={tag_bits} key={k}");
+        }
+        assert_eq!(index.count_entries(), class_addr.len(), "tag_bits={tag_bits}");
+    }
+}
+
+#[test]
+fn stats_reflect_occupancy() {
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 2, tag_bits: 15, max_resize_chunks: 1 },
+        Epoch::new(4),
+    );
+    let s0 = index.stats();
+    assert_eq!(s0.buckets, 4);
+    assert_eq!(s0.entries, 0);
+    assert_eq!(s0.max_chain, 1);
+    for k in 0..100u64 {
+        insert(&index, KeyHash::of_u64(k), Address::new(64 + k * 8));
+    }
+    let s = index.stats();
+    assert_eq!(s.entries, index.count_entries());
+    assert!(s.overflow_buckets > 0, "100 tags in 4 buckets must overflow");
+    assert!(s.max_chain > 1);
+    assert_eq!(s.tentative_entries, 0);
+}

@@ -1,0 +1,267 @@
+//! In-memory simulated SSD.
+//!
+//! Data lives in fixed-size chunks behind an `RwLock`ed map; requests are
+//! serviced asynchronously by an [`IoPool`](crate::worker::IoPool) applying a
+//! [`LatencyModel`]. Fault injection (`fail_next_reads`) lets failure tests
+//! exercise the pending-operation error path without a flaky filesystem.
+
+use crate::worker::{precise_sleep, IoPool};
+use crate::{Device, DeviceStats, IoError, LatencyModel, ReadCallback, StatCells, WriteCallback};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Chunk granularity of the backing store. Chosen larger than any log page
+/// so most writes touch one or two chunks.
+const CHUNK_BITS: u32 = 20; // 1 MiB
+const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+
+/// Shared backing state; I/O jobs hold an `Arc` to it, so the data can never
+/// be freed out from under an in-flight request.
+struct State {
+    chunks: RwLock<HashMap<u64, Box<[u8]>>>,
+    /// Exclusive upper bound of bytes ever written (reads beyond fail).
+    extent: AtomicU64,
+    /// Inclusive lower bound of valid data ([`Device::truncate_below`]).
+    begin: AtomicU64,
+    latency: LatencyModel,
+    stats: StatCells,
+    fail_next_reads: AtomicU32,
+}
+
+impl State {
+    fn write_sync(&self, offset: u64, data: &[u8]) {
+        let mut chunks = self.chunks.write();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let chunk_idx = abs >> CHUNK_BITS;
+            let within = (abs & (CHUNK_SIZE as u64 - 1)) as usize;
+            let n = (CHUNK_SIZE - within).min(data.len() - pos);
+            let chunk = chunks
+                .entry(chunk_idx)
+                .or_insert_with(|| vec![0u8; CHUNK_SIZE].into_boxed_slice());
+            chunk[within..within + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+        self.extent.fetch_max(offset + data.len() as u64, Ordering::SeqCst);
+    }
+
+    fn read_sync(&self, offset: u64, len: usize) -> Result<Vec<u8>, IoError> {
+        if offset < self.begin.load(Ordering::SeqCst) {
+            return Err(IoError::Truncated { offset });
+        }
+        if offset + len as u64 > self.extent.load(Ordering::SeqCst) {
+            return Err(IoError::OutOfRange { offset, len });
+        }
+        let chunks = self.chunks.read();
+        let mut out = vec![0u8; len];
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = offset + pos as u64;
+            let chunk_idx = abs >> CHUNK_BITS;
+            let within = (abs & (CHUNK_SIZE as u64 - 1)) as usize;
+            let n = (CHUNK_SIZE - within).min(len - pos);
+            match chunks.get(&chunk_idx) {
+                Some(chunk) => out[pos..pos + n].copy_from_slice(&chunk[within..within + n]),
+                None => { /* never-written hole reads as zeros */ }
+            }
+            pos += n;
+        }
+        Ok(out)
+    }
+}
+
+/// An in-memory asynchronous block device with a latency model.
+pub struct MemDevice {
+    state: Arc<State>,
+    pool: IoPool,
+}
+
+impl MemDevice {
+    /// A zero-latency device with `io_threads` background workers.
+    pub fn new(io_threads: usize) -> Arc<Self> {
+        Self::with_latency(io_threads, LatencyModel::ZERO)
+    }
+
+    /// A device whose completions are delayed per `latency`.
+    pub fn with_latency(io_threads: usize, latency: LatencyModel) -> Arc<Self> {
+        Arc::new(Self {
+            state: Arc::new(State {
+                chunks: RwLock::new(HashMap::new()),
+                extent: AtomicU64::new(0),
+                begin: AtomicU64::new(0),
+                latency,
+                stats: StatCells::default(),
+                fail_next_reads: AtomicU32::new(0),
+            }),
+            pool: IoPool::new(io_threads),
+        })
+    }
+
+    /// Injects failures into the next `n` reads (tests only).
+    pub fn fail_next_reads(&self, n: u32) {
+        self.state.fail_next_reads.store(n, Ordering::SeqCst);
+    }
+
+    /// Bytes currently retained (for memory accounting in benches).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.state.chunks.read().len() * CHUNK_SIZE) as u64
+    }
+}
+
+impl Device for MemDevice {
+    fn write_async(&self, offset: u64, data: Vec<u8>, cb: WriteCallback) {
+        self.state.stats.record_write(data.len());
+        let delay = self.state.latency.delay_for(data.len());
+        let state = self.state.clone();
+        self.pool.submit(move || {
+            precise_sleep(delay);
+            state.write_sync(offset, &data);
+            cb(Ok(()));
+        });
+    }
+
+    fn read_async(&self, offset: u64, len: usize, cb: ReadCallback) {
+        self.state.stats.record_read(len);
+        let delay = self.state.latency.delay_for(len);
+        let state = self.state.clone();
+        self.pool.submit(move || {
+            precise_sleep(delay);
+            if state
+                .fail_next_reads
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                cb(Err(IoError::Failed("injected read fault".into())));
+                return;
+            }
+            cb(state.read_sync(offset, len));
+        });
+    }
+
+    fn flush_barrier(&self) {
+        self.pool.barrier();
+    }
+
+    fn truncate_below(&self, offset: u64) {
+        self.state.begin.fetch_max(offset, Ordering::SeqCst);
+        // Drop whole chunks strictly below the new begin.
+        let cutoff_chunk = offset >> CHUNK_BITS;
+        self.state.chunks.write().retain(|&idx, _| idx >= cutoff_chunk);
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.state.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_blocking(d: &MemDevice, offset: u64, data: Vec<u8>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        d.write_async(offset, data, Box::new(move |r| tx.send(r).unwrap()));
+        rx.recv().unwrap().unwrap();
+    }
+
+    fn read_blocking(d: &MemDevice, offset: u64, len: usize) -> Result<Vec<u8>, IoError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        d.read_async(offset, len, Box::new(move |r| tx.send(r).unwrap()));
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let d = MemDevice::new(2);
+        let data: Vec<u8> = (0..=255).collect();
+        write_blocking(&d, 0, data.clone());
+        assert_eq!(read_blocking(&d, 0, 256).unwrap(), data);
+        assert_eq!(read_blocking(&d, 10, 5).unwrap(), &data[10..15]);
+    }
+
+    #[test]
+    fn cross_chunk_write_read() {
+        let d = MemDevice::new(1);
+        let offset = (CHUNK_SIZE - 100) as u64;
+        let data: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        write_blocking(&d, offset, data.clone());
+        assert_eq!(read_blocking(&d, offset, 200).unwrap(), data);
+    }
+
+    #[test]
+    fn out_of_range_read_fails() {
+        let d = MemDevice::new(1);
+        write_blocking(&d, 0, vec![1; 64]);
+        assert_eq!(
+            read_blocking(&d, 32, 64),
+            Err(IoError::OutOfRange { offset: 32, len: 64 })
+        );
+    }
+
+    #[test]
+    fn truncation_invalidates_prefix() {
+        let d = MemDevice::new(1);
+        write_blocking(&d, 0, vec![7; 4096]);
+        d.truncate_below(2048);
+        assert_eq!(read_blocking(&d, 0, 16), Err(IoError::Truncated { offset: 0 }));
+        assert_eq!(read_blocking(&d, 2048, 16).unwrap(), vec![7; 16]);
+    }
+
+    #[test]
+    fn fault_injection() {
+        let d = MemDevice::new(1);
+        write_blocking(&d, 0, vec![9; 64]);
+        d.fail_next_reads(2);
+        assert!(matches!(read_blocking(&d, 0, 8), Err(IoError::Failed(_))));
+        assert!(matches!(read_blocking(&d, 0, 8), Err(IoError::Failed(_))));
+        assert_eq!(read_blocking(&d, 0, 8).unwrap(), vec![9; 8]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let d = MemDevice::new(4);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let d = d.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..64u64 {
+                    let off = t * 1_000_000 + i * 512;
+                    write_blocking(&d, off, vec![t as u8; 512]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..8u64 {
+            assert_eq!(read_blocking(&d, t * 1_000_000, 512).unwrap(), vec![t as u8; 512]);
+        }
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let d = MemDevice::with_latency(
+            1,
+            LatencyModel { fixed: std::time::Duration::from_millis(5), bytes_per_sec: 0 },
+        );
+        let start = std::time::Instant::now();
+        write_blocking(&d, 0, vec![0; 8]);
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let d = MemDevice::new(1);
+        write_blocking(&d, 0, vec![0; 100]);
+        write_blocking(&d, 100, vec![0; 50]);
+        let _ = read_blocking(&d, 0, 30);
+        let s = d.stats();
+        assert_eq!(s.bytes_written, 150);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.bytes_read, 30);
+        assert_eq!(s.reads, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Background I/O worker pool shared by the device implementations.
+//!
+//! Each device owns a small pool of OS threads draining a channel of queued
+//! jobs. This mirrors the asynchronous I/O model the paper's log depends on:
+//! a flush or record read is *queued*, the issuing FASTER thread keeps
+//! processing operations, and the completion callback later moves the
+//! operation's context onto the session's pending queue (§5.3).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A pool of I/O worker threads with an in-flight counter that supports
+/// barrier semantics.
+pub(crate) struct IoPool {
+    tx: Option<Sender<Job>>,
+    in_flight: Arc<AtomicU64>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl IoPool {
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("faster-io-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn I/O worker")
+            })
+            .collect();
+        Self { tx: Some(tx), in_flight, workers }
+    }
+
+    /// Queues a job. The in-flight counter is decremented only after the job
+    /// (including its completion callback) finishes.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let in_flight = self.in_flight.clone();
+        let wrapped: Job = Box::new(move || {
+            job();
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+        });
+        self.tx
+            .as_ref()
+            .expect("pool not shut down")
+            .send(wrapped)
+            .expect("I/O workers alive");
+    }
+
+    /// Spins until every submitted job has completed.
+    pub fn barrier(&self) {
+        while self.in_flight.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for IoPool {
+    fn drop(&mut self) {
+        self.barrier();
+        // Close the channel so workers exit their recv loop.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Sleeps for `d`, spinning for sub-100µs waits where OS sleep granularity
+/// would distort the latency model.
+pub(crate) fn precise_sleep(d: std::time::Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if d < std::time::Duration::from_micros(100) {
+        let end = std::time::Instant::now() + d;
+        while std::time::Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    } else {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn jobs_run_and_barrier_waits() {
+        let pool = IoPool::new(2);
+        let count = Arc::new(AtomicU32::new(0));
+        for _ in 0..100 {
+            let c = count.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.barrier();
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let count = Arc::new(AtomicU32::new(0));
+        {
+            let pool = IoPool::new(4);
+            for _ in 0..50 {
+                let c = count.clone();
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop: barrier + join
+        assert_eq!(count.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn precise_sleep_is_at_least_requested() {
+        let d = std::time::Duration::from_micros(50);
+        let start = std::time::Instant::now();
+        precise_sleep(d);
+        assert!(start.elapsed() >= d);
+    }
+}

@@ -1,0 +1,138 @@
+//! 48-bit addresses, logical or physical (§3.1, §5.1).
+//!
+//! A FASTER hash-bucket entry steals 16 of its 64 bits for the tag and the
+//! tentative bit, leaving 48 bits of address. With the in-memory allocator
+//! the address is a physical pointer; with the log allocators it is a
+//! *logical* address into the global log address space. [`Address`] is the
+//! common 48-bit currency; the log crate layers a page/offset decomposition
+//! on top of it.
+//!
+//! Address `0` is [`Address::INVALID`]; real log addresses start at
+//! [`Address::FIRST_VALID`] (= 64) so that a zeroed hash-bucket entry — which
+//! means *empty slot* — can never be confused with an entry pointing at a
+//! live record.
+
+/// A 48-bit record address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Address(u64);
+
+impl Address {
+    /// Number of usable address bits.
+    pub const BITS: u32 = 48;
+    /// Mask of the valid address bits.
+    pub const MASK: u64 = (1 << Self::BITS) - 1;
+    /// The null address.
+    pub const INVALID: Address = Address(0);
+    /// Smallest address a log allocator hands out. The first 64 bytes of the
+    /// logical address space are reserved, so `entry == 0` unambiguously
+    /// means "empty hash-bucket slot".
+    pub const FIRST_VALID: Address = Address(64);
+    /// Largest representable address.
+    pub const MAX: Address = Address(Self::MASK);
+
+    /// Wraps a raw 48-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `raw` exceeds 48 bits.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        debug_assert!(raw <= Self::MASK);
+        Address(raw)
+    }
+
+    /// The raw 48-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True unless this is [`Address::INVALID`].
+    #[inline]
+    pub const fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Address `n` bytes further along.
+    #[inline]
+    pub const fn offset_by(self, n: u64) -> Address {
+        Address::new(self.0 + n)
+    }
+
+    /// The page number under a `page_bits`-bit page-offset split (§5.1).
+    #[inline]
+    pub const fn page(self, page_bits: u32) -> u64 {
+        self.0 >> page_bits
+    }
+
+    /// The within-page offset under a `page_bits`-bit split.
+    #[inline]
+    pub const fn offset(self, page_bits: u32) -> u64 {
+        self.0 & ((1 << page_bits) - 1)
+    }
+
+    /// Builds an address from page number and offset.
+    #[inline]
+    pub const fn from_page_offset(page: u64, offset: u64, page_bits: u32) -> Address {
+        debug_assert!(offset < (1 << page_bits));
+        Address::new((page << page_bits) | offset)
+    }
+}
+
+impl std::fmt::Debug for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_valid() {
+            write!(f, "Address({:#x})", self.0)
+        } else {
+            write!(f, "Address(INVALID)")
+        }
+    }
+}
+
+impl std::fmt::Display for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity() {
+        assert!(!Address::INVALID.is_valid());
+        assert!(Address::FIRST_VALID.is_valid());
+        assert!(Address::MAX.is_valid());
+        assert_eq!(Address::FIRST_VALID.raw(), 64);
+    }
+
+    #[test]
+    fn page_offset_round_trip() {
+        let page_bits = 22; // 4 MB pages, the paper's configuration
+        for (p, o) in [(0u64, 0u64), (1, 0), (3, 12345), (1000, (1 << 22) - 1)] {
+            let a = Address::from_page_offset(p, o, page_bits);
+            assert_eq!(a.page(page_bits), p);
+            assert_eq!(a.offset(page_bits), o);
+        }
+    }
+
+    #[test]
+    fn offset_by_advances() {
+        let a = Address::new(100);
+        assert_eq!(a.offset_by(28).raw(), 128);
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(Address::new(5) < Address::new(6));
+        assert!(Address::INVALID < Address::FIRST_VALID);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn oversized_panics_in_debug() {
+        let _ = Address::new(1 << 48);
+    }
+}

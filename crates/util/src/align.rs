@@ -1,0 +1,120 @@
+//! Cache-line alignment primitives.
+//!
+//! FASTER stores one epoch-table entry per thread "with one cache-line per
+//! thread" (§2.3) and sizes every hash bucket to exactly one cache line
+//! (§3.1). [`CacheAligned`] provides that layout guarantee; the compile-time
+//! assertions at the bottom of this module keep it honest.
+
+/// Size (and alignment) of a cache line on every architecture we target.
+///
+/// The paper assumes "a 64-bit machine with 64-byte cache lines" (§3); all of
+/// the index math (7 entries + 1 overflow pointer per bucket) depends on it.
+pub const CACHE_LINE_SIZE: usize = 64;
+
+/// Wraps a value so that it occupies at least one full, aligned cache line.
+///
+/// Used to give each thread's epoch entry and each per-frame status word its
+/// own line, eliminating false sharing on the hot refresh path.
+///
+/// ```
+/// use faster_util::{CacheAligned, CACHE_LINE_SIZE};
+/// let x = CacheAligned::new(7u64);
+/// assert_eq!(*x, 7);
+/// assert_eq!(std::mem::align_of::<CacheAligned<u64>>(), CACHE_LINE_SIZE);
+/// ```
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> CacheAligned<T> {
+    /// Wraps `value` in a cache-line aligned cell.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self(value)
+    }
+
+    /// Consumes the wrapper and returns the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> core::ops::Deref for CacheAligned<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> core::ops::DerefMut for CacheAligned<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: Clone> Clone for CacheAligned<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+const _: () = {
+    assert!(core::mem::align_of::<CacheAligned<u8>>() == CACHE_LINE_SIZE);
+    assert!(core::mem::size_of::<CacheAligned<u8>>() == CACHE_LINE_SIZE);
+    assert!(core::mem::size_of::<CacheAligned<[u64; 8]>>() == CACHE_LINE_SIZE);
+};
+
+/// Rounds `n` up to the next multiple of `align` (a power of two).
+///
+/// Record sizes in the log are 8-byte aligned (§4); page flushes are
+/// sector-aligned (§5.1). Both call through here.
+#[inline]
+pub const fn align_up(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (n + align - 1) & !(align - 1)
+}
+
+/// Rounds `n` down to the previous multiple of `align` (a power of two).
+#[inline]
+pub const fn align_down(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    n & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_aligned_layout() {
+        assert_eq!(std::mem::size_of::<CacheAligned<u64>>(), 64);
+        assert_eq!(std::mem::align_of::<CacheAligned<u64>>(), 64);
+        // An array of aligned cells keeps each element on its own line.
+        let v: Vec<CacheAligned<u64>> = (0..4).map(CacheAligned::new).collect();
+        let a0 = &v[0] as *const _ as usize;
+        let a1 = &v[1] as *const _ as usize;
+        assert_eq!(a1 - a0, 64);
+    }
+
+    #[test]
+    fn deref_round_trip() {
+        let mut c = CacheAligned::new(41u32);
+        *c += 1;
+        assert_eq!(*c, 42);
+        assert_eq!(c.into_inner(), 42);
+    }
+
+    #[test]
+    fn align_up_down() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 8), 16);
+        assert_eq!(align_down(9, 8), 8);
+        assert_eq!(align_down(7, 8), 0);
+        assert_eq!(align_up(513, 512), 1024);
+    }
+}

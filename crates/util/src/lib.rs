@@ -1,0 +1,27 @@
+//! # faster-util
+//!
+//! Shared low-level building blocks for the FASTER (SIGMOD 2018) reproduction:
+//!
+//! * [`align`] — cache-line sized/aligned wrappers used for the epoch table and
+//!   hash buckets (the paper lays both out at 64-byte granularity, §2.3/§3.1).
+//! * [`hash`] — the 64-bit key hash and its decomposition into the index
+//!   *offset* (first `k` bits) and *tag* (next 15 bits) described in §3.1.
+//! * [`pod`] — the [`pod::Pod`] marker trait for fixed-size, plain-old-data
+//!   keys and values that may live inside log pages.
+//! * [`rng`] — a tiny, dependency-free xorshift generator for hot paths where
+//!   pulling in `rand` would be overkill (e.g. insert back-off jitter).
+//!
+//! Everything in this crate is `no_std`-shaped in spirit (no I/O, no locks) and
+//! is used from latch-free code, so nothing here may block.
+
+pub mod address;
+pub mod align;
+pub mod hash;
+pub mod pod;
+pub mod rng;
+
+pub use address::Address;
+pub use align::{align_down, align_up, CacheAligned, CACHE_LINE_SIZE};
+pub use hash::{hash_bytes, hash_u64, KeyHash};
+pub use pod::{bytes_of, pod_from_bytes, Pod};
+pub use rng::XorShift64;

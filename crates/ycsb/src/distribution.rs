@@ -1,0 +1,293 @@
+//! Key-choice distributions: uniform, scrambled Zipfian, shifting hot set.
+
+use rand::Rng;
+
+/// Which distribution to draw keys from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with parameter θ (the paper uses θ = 0.99), scrambled.
+    Zipfian { theta: f64 },
+    /// Shifting hot set (§7.1, §7.5): a contiguous window of `hot_fraction`
+    /// of the key space receives `hot_prob` of accesses; the window rotates
+    /// by one hot-set length every `shift_every` draws.
+    HotSet(HotSetConfig),
+}
+
+impl Distribution {
+    /// The paper's default Zipfian.
+    pub fn zipf_default() -> Self {
+        Distribution::Zipfian { theta: 0.99 }
+    }
+
+    /// The paper's §7.5 hot-set: 1/5 of keys hot, 90 % hot traffic.
+    pub fn hot_set_default(keys: u64) -> Self {
+        Distribution::HotSet(HotSetConfig {
+            hot_fraction: 0.2,
+            hot_prob: 0.9,
+            shift_every: (keys / 2).max(1),
+        })
+    }
+}
+
+/// Parameters of the hot-set distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotSetConfig {
+    /// Fraction of the key space that is hot at any instant (paper: 1/5).
+    pub hot_fraction: f64,
+    /// Probability an access goes to the hot set (paper: 0.9).
+    pub hot_prob: f64,
+    /// Draws between hot-window shifts ("the hot set may drift over time").
+    pub shift_every: u64,
+}
+
+/// Gray et al. Zipfian generator over `[0, n)`, as used by YCSB.
+///
+/// `zeta(n)` is computed once at construction (O(n)); draws are O(1).
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl ZipfianGenerator {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&theta), "theta in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Self { n, theta, alpha, zetan, eta, zeta2theta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn next_rank<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// `zeta(2, θ)` — exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+/// FNV-1a scramble so hot Zipf ranks are spread over the key space.
+#[inline]
+fn fnv_scramble(v: u64, n: u64) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h % n
+}
+
+/// Stateful key chooser for one generator thread.
+pub struct KeyChooser {
+    n: u64,
+    dist: Distribution,
+    zipf: Option<ZipfianGenerator>,
+    // hot-set state
+    draws: u64,
+    hot_start: u64,
+    hot_len: u64,
+}
+
+impl KeyChooser {
+    pub fn new(n: u64, dist: Distribution) -> Self {
+        assert!(n > 0);
+        let zipf = match dist {
+            Distribution::Zipfian { theta } => Some(ZipfianGenerator::new(n, theta)),
+            _ => None,
+        };
+        let hot_len = match dist {
+            Distribution::HotSet(c) => ((n as f64 * c.hot_fraction) as u64).max(1),
+            _ => 0,
+        };
+        Self { n, dist, zipf, draws: 0, hot_start: 0, hot_len }
+    }
+
+    /// Creates a chooser sharing `zipf`'s precomputed constants (zeta(n) is
+    /// expensive for large n; threads should share it).
+    pub fn with_zipf(n: u64, zipf: ZipfianGenerator) -> Self {
+        assert_eq!(zipf.n, n);
+        Self {
+            n,
+            dist: Distribution::Zipfian { theta: zipf.theta },
+            zipf: Some(zipf),
+            draws: 0,
+            hot_start: 0,
+            hot_len: 0,
+        }
+    }
+
+    /// Number of keys in the space.
+    pub fn key_space(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws the next key.
+    pub fn next_key<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        match self.dist {
+            Distribution::Uniform => rng.gen_range(0..self.n),
+            Distribution::Zipfian { .. } => {
+                let rank = self.zipf.as_ref().expect("zipf configured").next_rank(rng);
+                fnv_scramble(rank, self.n)
+            }
+            Distribution::HotSet(c) => {
+                self.draws += 1;
+                if self.draws % c.shift_every == 0 {
+                    // Shift the hot window ("items moving from cold to hot").
+                    self.hot_start = (self.hot_start + self.hot_len) % self.n;
+                }
+                if rng.gen::<f64>() < c.hot_prob {
+                    (self.hot_start + rng.gen_range(0..self.hot_len)) % self.n
+                } else {
+                    // Cold access: uniform over the whole space.
+                    rng.gen_range(0..self.n)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut c = KeyChooser::new(100, Distribution::Uniform);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let k = c.next_key(&mut rng);
+            assert!(k < 100);
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let n = 10_000u64;
+        let mut c = KeyChooser::new(n, Distribution::zipf_default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        let draws = 200_000;
+        for _ in 0..draws {
+            let k = c.next_key(&mut rng);
+            assert!(k < n);
+            *counts.entry(k).or_insert(0u64) += 1;
+        }
+        // Top key should dominate: for theta=0.99, rank 0 has probability
+        // 1/zeta(n) which for n=10k is about 10%.
+        let max = *counts.values().max().unwrap();
+        assert!(max as f64 / draws as f64 > 0.05, "zipf not skewed: max share {max}");
+        // And far fewer than n distinct keys dominate half the mass.
+        let mut v: Vec<u64> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let mut acc = 0u64;
+        let mut i = 0;
+        while acc < draws / 2 {
+            acc += v[i];
+            i += 1;
+        }
+        assert!(i < (n as usize) / 20, "half the mass needs < 5% of keys, used {i}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let g = ZipfianGenerator::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rank_counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            rank_counts[g.next_rank(&mut rng) as usize] += 1;
+        }
+        assert!(rank_counts[0] > rank_counts[1]);
+        assert!(rank_counts[1] > rank_counts[50]);
+    }
+
+    #[test]
+    fn zipf_matches_theory_for_top_rank() {
+        let n = 1000u64;
+        let theta = 0.99;
+        let g = ZipfianGenerator::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(11);
+        let draws = 500_000;
+        let mut zero = 0u64;
+        for _ in 0..draws {
+            if g.next_rank(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        let expected = 1.0 / ZipfianGenerator::zeta(n, theta);
+        let observed = zero as f64 / draws as f64;
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "rank-0 share {observed:.4} vs theory {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn hot_set_concentrates_and_shifts() {
+        let n = 10_000u64;
+        let cfg = HotSetConfig { hot_fraction: 0.2, hot_prob: 0.9, shift_every: 50_000 };
+        let mut c = KeyChooser::new(n, Distribution::HotSet(cfg));
+        let mut rng = StdRng::seed_from_u64(5);
+        // First window: hot keys in [0, 2000).
+        let mut hot_hits = 0;
+        for _ in 0..20_000 {
+            if c.next_key(&mut rng) < 2000 {
+                hot_hits += 1;
+            }
+        }
+        // 90% hot + 20% of the cold mass also lands there: ~92%.
+        assert!(hot_hits > 17_000, "hot window hits {hot_hits}");
+        // Push past the shift boundary; window moves to [2000, 4000).
+        for _ in 0..40_000 {
+            c.next_key(&mut rng);
+        }
+        let mut new_hot = 0;
+        for _ in 0..20_000 {
+            let k = c.next_key(&mut rng);
+            if (2000..4000).contains(&k) {
+                new_hot += 1;
+            }
+        }
+        assert!(new_hot > 15_000, "after shift, hits in new window: {new_hot}");
+    }
+
+    #[test]
+    fn scramble_is_a_stable_spread() {
+        let a = fnv_scramble(0, 1 << 20);
+        let b = fnv_scramble(1, 1 << 20);
+        assert_ne!(a, b);
+        assert_eq!(fnv_scramble(0, 1 << 20), a);
+    }
+}

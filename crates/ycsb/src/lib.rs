@@ -1,0 +1,22 @@
+//! # faster-ycsb
+//!
+//! Workload generation for the paper's evaluation (§7.1): an extended
+//! YCSB-A with
+//!
+//! * 8-byte keys over a configurable key space (the paper uses 250 M keys),
+//! * operation mixes described as `R:BU` (reads : blind updates) plus the
+//!   paper's added 100 % RMW variant,
+//! * three key distributions: **uniform**, **Zipfian** (θ = 0.99, scrambled),
+//!   and the paper's **hot-set** distribution — "a hot and cold set of keys,
+//!   with items moving from cold to hot, staying hot for a while, and then
+//!   becoming cold".
+//!
+//! The Zipfian generator is the standard Gray et al. rejection-free
+//! construction used by the original YCSB, with FNV scrambling so that
+//! popular keys are spread across the key space (and across hash buckets).
+
+mod distribution;
+mod workload;
+
+pub use distribution::{Distribution, HotSetConfig, KeyChooser, ZipfianGenerator};
+pub use workload::{Mix, Op, OpKind, WorkloadConfig, WorkloadGenerator};

@@ -1,0 +1,191 @@
+//! Operation-mix generation: the `R:BU` workloads of §7.1 plus 100 % RMW.
+
+use crate::distribution::{Distribution, KeyChooser, ZipfianGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What an operation does (keys are chosen separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Read,
+    /// Blind update (YCSB "update"): replace the value.
+    Upsert,
+    /// Read-modify-write: increment by an input (the paper's per-key "sum").
+    Rmw,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    pub kind: OpKind,
+    pub key: u64,
+    /// RMW input: "increment a value by a number from a user-provided input
+    /// array with 8 entries" (§7.1).
+    pub input: u64,
+}
+
+/// Operation mix. `read + upsert + rmw` must equal 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mix {
+    pub read: f64,
+    pub upsert: f64,
+    pub rmw: f64,
+}
+
+impl Mix {
+    /// The `R:BU` notation of the paper: e.g. `Mix::r_bu(50, 50)`.
+    pub fn r_bu(read_pct: u32, update_pct: u32) -> Self {
+        assert_eq!(read_pct + update_pct, 100);
+        Self { read: read_pct as f64 / 100.0, upsert: update_pct as f64 / 100.0, rmw: 0.0 }
+    }
+
+    /// The paper's 0:100 RMW workload.
+    pub fn rmw_only() -> Self {
+        Self { read: 0.0, upsert: 0.0, rmw: 1.0 }
+    }
+
+    fn validate(&self) {
+        let sum = self.read + self.upsert + self.rmw;
+        assert!((sum - 1.0).abs() < 1e-9, "mix must sum to 1, got {sum}");
+    }
+}
+
+/// Full workload description.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of distinct keys (paper: 250 M; benches scale down).
+    pub keys: u64,
+    pub mix: Mix,
+    pub distribution: Distribution,
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    pub fn new(keys: u64, mix: Mix, distribution: Distribution) -> Self {
+        mix.validate();
+        Self { keys, mix, distribution, seed: 0x5EED }
+    }
+}
+
+/// Per-thread operation stream. Deterministic given `(config.seed, thread)`.
+pub struct WorkloadGenerator {
+    mix: Mix,
+    chooser: KeyChooser,
+    rng: StdRng,
+    /// The 8-entry input array of §7.1.
+    inputs: [u64; 8],
+    cursor: usize,
+}
+
+impl WorkloadGenerator {
+    pub fn new(config: &WorkloadConfig, thread: u64) -> Self {
+        config.mix.validate();
+        Self {
+            mix: config.mix,
+            chooser: KeyChooser::new(config.keys, config.distribution),
+            rng: StdRng::seed_from_u64(config.seed ^ (thread.wrapping_mul(0x9E37_79B9))),
+            inputs: [1, 2, 3, 4, 5, 6, 7, 8],
+            cursor: 0,
+        }
+    }
+
+    /// Like [`WorkloadGenerator::new`] but reusing a precomputed Zipfian
+    /// (zeta(n) costs O(n); share it across threads).
+    pub fn with_shared_zipf(config: &WorkloadConfig, thread: u64, zipf: ZipfianGenerator) -> Self {
+        Self {
+            mix: config.mix,
+            chooser: KeyChooser::with_zipf(config.keys, zipf),
+            rng: StdRng::seed_from_u64(config.seed ^ (thread.wrapping_mul(0x9E37_79B9))),
+            inputs: [1, 2, 3, 4, 5, 6, 7, 8],
+            cursor: 0,
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let key = self.chooser.next_key(&mut self.rng);
+        let p: f64 = self.rng.gen();
+        let kind = if p < self.mix.read {
+            OpKind::Read
+        } else if p < self.mix.read + self.mix.upsert {
+            OpKind::Upsert
+        } else {
+            OpKind::Rmw
+        };
+        self.cursor = (self.cursor + 1) % self.inputs.len();
+        Op { kind, key, input: self.inputs[self.cursor] }
+    }
+
+    /// Keys for the load phase (0..keys, sequential — the store hashes).
+    pub fn load_keys(config: &WorkloadConfig) -> impl Iterator<Item = u64> {
+        0..config.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_ratios_respected() {
+        let cfg = WorkloadConfig::new(1000, Mix::r_bu(50, 50), Distribution::Uniform);
+        let mut g = WorkloadGenerator::new(&cfg, 0);
+        let (mut r, mut u, mut m) = (0, 0, 0);
+        for _ in 0..100_000 {
+            match g.next_op().kind {
+                OpKind::Read => r += 1,
+                OpKind::Upsert => u += 1,
+                OpKind::Rmw => m += 1,
+            }
+        }
+        assert_eq!(m, 0);
+        assert!((45_000..55_000).contains(&r), "reads {r}");
+        assert!((45_000..55_000).contains(&u), "upserts {u}");
+    }
+
+    #[test]
+    fn rmw_only_mix() {
+        let cfg = WorkloadConfig::new(1000, Mix::rmw_only(), Distribution::Uniform);
+        let mut g = WorkloadGenerator::new(&cfg, 0);
+        for _ in 0..1000 {
+            let op = g.next_op();
+            assert_eq!(op.kind, OpKind::Rmw);
+            assert!((1..=8).contains(&op.input), "input from the 8-entry array");
+        }
+    }
+
+    #[test]
+    fn per_thread_streams_deterministic_and_distinct() {
+        let cfg = WorkloadConfig::new(1 << 20, Mix::r_bu(100, 0), Distribution::Uniform);
+        let s1: Vec<u64> = {
+            let mut g = WorkloadGenerator::new(&cfg, 1);
+            (0..100).map(|_| g.next_op().key).collect()
+        };
+        let s1b: Vec<u64> = {
+            let mut g = WorkloadGenerator::new(&cfg, 1);
+            (0..100).map(|_| g.next_op().key).collect()
+        };
+        let s2: Vec<u64> = {
+            let mut g = WorkloadGenerator::new(&cfg, 2);
+            (0..100).map(|_| g.next_op().key).collect()
+        };
+        assert_eq!(s1, s1b, "deterministic per (seed, thread)");
+        assert_ne!(s1, s2, "different threads see different streams");
+    }
+
+    #[test]
+    #[should_panic(expected = "mix must sum to 1")]
+    fn bad_mix_panics() {
+        WorkloadConfig::new(10, Mix { read: 0.5, upsert: 0.2, rmw: 0.1 }, Distribution::Uniform);
+    }
+
+    #[test]
+    fn shared_zipf_generator() {
+        let cfg = WorkloadConfig::new(10_000, Mix::rmw_only(), Distribution::zipf_default());
+        let z = ZipfianGenerator::new(10_000, 0.99);
+        let mut g = WorkloadGenerator::with_shared_zipf(&cfg, 0, z);
+        for _ in 0..1000 {
+            assert!(g.next_op().key < 10_000);
+        }
+    }
+}

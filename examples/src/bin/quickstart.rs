@@ -1,0 +1,57 @@
+//! Quickstart: FASTER as a plain concurrent key-value store.
+//!
+//! Demonstrates the four operations of the runtime interface (§2.2): Read,
+//! Upsert, RMW, and Delete, plus pending-operation completion.
+//!
+//! Run with: `cargo run --release -p faster-examples --bin quickstart`
+
+use faster_core::{BlindKv, CompletedOp, FasterKv, FasterKvConfig, ReadResult, RmwResult};
+use faster_storage::MemDevice;
+
+fn main() {
+    // A store with u64 keys and values; BlindKv's RMW replaces the value.
+    let store: FasterKv<u64, u64, BlindKv<u64>> = FasterKv::new(
+        FasterKvConfig::for_keys(1 << 16),
+        BlindKv::new(),
+        MemDevice::new(2), // simulated SSD with 2 I/O threads
+    );
+
+    // Each thread registers a session (§2.5: Acquire ... Release).
+    let session = store.start_session();
+
+    // Upsert: blind write.
+    session.upsert(&1, &100);
+    session.upsert(&2, &200);
+
+    // Read: may complete synchronously or go pending (cold data).
+    match session.read(&1, &0) {
+        ReadResult::Found(v) => println!("key 1 => {v}"),
+        ReadResult::NotFound => println!("key 1 absent"),
+        ReadResult::Pending(id) => {
+            // Cold read: drive the continuation.
+            for op in session.complete_pending(true) {
+                if let CompletedOp::Read { id: done, result } = op {
+                    if done == id {
+                        println!("key 1 => {result:?} (async)");
+                    }
+                }
+            }
+        }
+    }
+
+    // RMW with BlindKv semantics: replace with the input.
+    match session.rmw(&2, &999) {
+        RmwResult::Done => {}
+        RmwResult::Pending(_) => {
+            session.complete_pending(true);
+        }
+    }
+    assert!(matches!(session.read(&2, &0), ReadResult::Found(999)));
+
+    // Delete.
+    session.delete(&1);
+    assert!(matches!(session.read(&1, &0), ReadResult::NotFound));
+
+    println!("log regions: {:?}", store.log().regions());
+    println!("quickstart OK");
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Summarizes the csv rows of bench_output.txt into the compact
+paper-vs-measured digest used by EXPERIMENTS.md.
+
+Usage: python3 scripts/summarize_bench.py [bench_output.txt]
+"""
+import sys
+from collections import defaultdict
+
+path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+rows = defaultdict(list)  # figure -> [(series, x, y)]
+for line in open(path):
+    line = line.strip()
+    # csv rows may share a line with interleaved progress output; anchor on
+    # the 'csv,' marker wherever it appears.
+    idx = line.find("csv,")
+    if idx < 0:
+        continue
+    parts = line[idx:].split(",")
+    if len(parts) < 5:
+        continue
+    _, fig, series, x, y = parts[0], parts[1], ",".join(parts[2:-2]), parts[-2], parts[-1]
+    rows[fig].append((series, x, y))
+
+for fig in sorted(rows):
+    print(f"== {fig} ==")
+    by_series = defaultdict(list)
+    for series, x, y in rows[fig]:
+        by_series[series].append((x, y))
+    for series in sorted(by_series):
+        pts = " ".join(f"{x}:{y}" for x, y in by_series[series])
+        print(f"  {series:40} {pts}")

@@ -1,0 +1,37 @@
+//! Integration-test support: shared helpers for driving a FASTER store in
+//! cross-crate tests.
+
+use faster_core::{CompletedOp, Functions, ReadResult, RmwResult, Session};
+use faster_util::Pod;
+
+/// Reads a key, driving the pending path to completion when needed.
+pub fn read_blocking<V: Pod, F>(session: &Session<u64, V, F>, key: u64) -> Option<F::Output>
+where
+    F: Functions<u64, V, Input = u64>,
+{
+    match session.read(&key, &0) {
+        ReadResult::Found(v) => Some(v),
+        ReadResult::NotFound => None,
+        ReadResult::Pending(id) => {
+            let done = session.complete_pending(true);
+            for op in done {
+                if let CompletedOp::Read { id: did, result } = op {
+                    if did == id {
+                        return result;
+                    }
+                }
+            }
+            panic!("pending read {id} never completed");
+        }
+    }
+}
+
+/// RMW that always runs to completion.
+pub fn rmw_blocking<V: Pod, F>(session: &Session<u64, V, F>, key: u64, input: u64)
+where
+    F: Functions<u64, V, Input = u64>,
+{
+    if let RmwResult::Pending(_) = session.rmw(&key, &input) {
+        session.complete_pending(true);
+    }
+}

@@ -1,0 +1,88 @@
+//! CRDT (mergeable RMW) integration: delta records across regions and their
+//! reconciliation on reads (§6.3).
+
+use faster_core::{CountStore, FasterKv, FasterKvConfig, RmwResult};
+use faster_hlog::HLogConfig;
+use faster_index::IndexConfig;
+use faster_integration_tests::{read_blocking, rmw_blocking};
+use faster_storage::MemDevice;
+use std::sync::{Arc, Barrier};
+
+fn cfg() -> FasterKvConfig {
+    FasterKvConfig {
+        index: IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
+        max_sessions: 16,
+        refresh_interval: 16,
+        read_cache: None,
+    }
+}
+
+#[test]
+fn deltas_on_cold_keys_reconcile() {
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(2));
+    let session = store.start_session();
+    rmw_blocking(&session, 1, 100); // base
+    // Evict key 1 far below head.
+    for k in 1000..5000u64 {
+        session.upsert(&k, &k);
+    }
+    store.log().flush_barrier();
+    // Three cold increments: the first appends a delta without I/O; the
+    // delta lands at the tail (mutable), so the rest update it in place.
+    let reads_before = store.log().device().stats().reads;
+    for _ in 0..3 {
+        assert_eq!(session.rmw(&1, &10), RmwResult::Done);
+    }
+    assert_eq!(store.log().device().stats().reads, reads_before);
+    assert!(session.stats().deltas >= 1, "stats: {:?}", session.stats());
+    assert!(session.stats().in_place >= 2, "stats: {:?}", session.stats());
+    // The read walks delta(s) then the disk base and merges.
+    assert_eq!(read_blocking(&session, 1), Some(130));
+}
+
+#[test]
+fn concurrent_crdt_increments_exact_across_eviction() {
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(2));
+    let threads = 4u64;
+    let per = 3_000u64;
+    let keys = 8u64;
+    let barrier = Arc::new(Barrier::new(threads as usize));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = store.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let session = store.start_session();
+                let mut rng = faster_util::XorShift64::new(t + 21);
+                barrier.wait();
+                for i in 0..per {
+                    let k = rng.next_below(keys);
+                    rmw_blocking(&session, k, 1);
+                    if i % 100 == 0 {
+                        // Churn cold keys so the counted keys cycle through
+                        // every region (mutable, fuzzy, read-only, disk).
+                        session.upsert(&(10_000 + t * per + i), &0);
+                    }
+                }
+                session.complete_pending(true);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let session = store.start_session();
+    let total: u64 = (0..keys).map(|k| read_blocking(&session, k).unwrap_or(0)).sum();
+    assert_eq!(total, threads * per, "CRDT increments must merge exactly");
+}
+
+#[test]
+fn delete_then_crdt_restarts_from_identity() {
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(1));
+    let session = store.start_session();
+    rmw_blocking(&session, 3, 50);
+    session.delete(&3);
+    rmw_blocking(&session, 3, 5);
+    assert_eq!(read_blocking(&session, 3), Some(5), "post-delete counter restarts");
+}

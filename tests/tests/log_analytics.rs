@@ -1,0 +1,108 @@
+//! Appendix F: the log as an analytics feed — scanning the record log as "a
+//! sequence of updates to the state of the application".
+
+use faster_core::record::RecordRef;
+use faster_core::{CountStore, FasterKv, FasterKvConfig};
+use faster_hlog::{HLogConfig, LogScanner};
+use faster_index::IndexConfig;
+use faster_integration_tests::rmw_blocking;
+use faster_storage::MemDevice;
+use std::collections::HashMap;
+
+#[test]
+fn scan_reconstructs_update_history() {
+    let cfg = FasterKvConfig {
+        index: IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 },
+        // Append-only so *every* update lands in the log (analytics mode).
+        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 0, io_threads: 2 },
+        max_sessions: 4,
+        refresh_interval: 16,
+        read_cache: None,
+    };
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg, CountStore, MemDevice::new(2));
+    let session = store.start_session();
+    let rounds = 50u64;
+    let keys = 10u64;
+    for _ in 0..rounds {
+        for k in 0..keys {
+            rmw_blocking(&session, k, 1);
+        }
+    }
+    store.log().flush_barrier();
+
+    // Stream the log: count versions per key and track the max value seen.
+    let rec_size = RecordRef::<u64, u64>::size();
+    let mut versions: HashMap<u64, u64> = HashMap::new();
+    let mut max_value: HashMap<u64, u64> = HashMap::new();
+    for page in LogScanner::full(store.log()) {
+        let page = page.expect("scan");
+        let mut off = page.start_offset;
+        while off + rec_size <= page.end_offset {
+            match RecordRef::<u64, u64>::parse_bytes(&page.bytes[off..off + rec_size]) {
+                Some((h, k, v)) if !h.is_invalid() && !h.is_merge() => {
+                    *versions.entry(k).or_default() += 1;
+                    let e = max_value.entry(k).or_default();
+                    *e = (*e).max(v);
+                }
+                Some(_) => {}
+                None => break, // page padding
+            }
+            off += rec_size;
+        }
+    }
+    for k in 0..keys {
+        // Append-only: one version per update (history preserved), and the
+        // newest version carries the final count.
+        assert!(versions[&k] >= rounds, "key {k} history: {} versions", versions[&k]);
+        assert_eq!(max_value[&k], rounds, "key {k} final value in log");
+    }
+}
+
+#[test]
+fn hybrid_log_is_approximately_time_ordered() {
+    // §1.2: "HybridLog is record-oriented and approximately time-ordered".
+    let cfg = FasterKvConfig {
+        index: IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 4, io_threads: 2 },
+        max_sessions: 4,
+        refresh_interval: 16,
+        read_cache: None,
+    };
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg, CountStore, MemDevice::new(2));
+    let session = store.start_session();
+    // Two epochs of keys written in order.
+    for k in 0..100u64 {
+        session.upsert(&k, &1);
+    }
+    for k in 100..200u64 {
+        session.upsert(&k, &2);
+    }
+    let rec_size = RecordRef::<u64, u64>::size();
+    let mut first_epoch_pos = Vec::new();
+    let mut second_epoch_pos = Vec::new();
+    let mut pos = 0usize;
+    for page in LogScanner::full(store.log()) {
+        let page = page.expect("scan");
+        let mut off = page.start_offset;
+        while off + rec_size <= page.end_offset {
+            if let Some((h, _k, v)) =
+                RecordRef::<u64, u64>::parse_bytes(&page.bytes[off..off + rec_size])
+            {
+                if !h.is_invalid() {
+                    if v == 1 {
+                        first_epoch_pos.push(pos);
+                    } else if v == 2 {
+                        second_epoch_pos.push(pos);
+                    }
+                }
+            } else {
+                break;
+            }
+            off += rec_size;
+            pos += 1;
+        }
+    }
+    let max_first = *first_epoch_pos.iter().max().expect("epoch 1 records");
+    let min_second = *second_epoch_pos.iter().min().expect("epoch 2 records");
+    assert!(max_first < min_second, "later updates appear later in the log");
+}

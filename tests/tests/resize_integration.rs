@@ -1,0 +1,100 @@
+//! Index resizing over a live store with spilled data — exercises chunked
+//! migration, record relinking, shared disk tails (grow) and merge
+//! meta-records (shrink) end to end (Appendix B).
+
+use faster_core::{CountStore, FasterKv, FasterKvConfig};
+use faster_hlog::HLogConfig;
+use faster_index::IndexConfig;
+use faster_integration_tests::read_blocking;
+use faster_storage::MemDevice;
+use std::sync::{Arc, Barrier};
+
+fn cfg() -> FasterKvConfig {
+    FasterKvConfig {
+        index: IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 2, io_threads: 2 },
+        max_sessions: 16,
+        refresh_interval: 32,
+        read_cache: None,
+    }
+}
+
+#[test]
+fn grow_with_disk_resident_chains() {
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(2));
+    let session = store.start_session();
+    let n = 3000u64;
+    for k in 0..n {
+        session.upsert(&k, &(k + 9));
+    }
+    store.log().flush_barrier();
+    assert!(store.log().head_address().raw() > 0, "chains must reach disk");
+    let k0 = store.index().k_bits();
+    assert!(store.grow_index(Some(&session)));
+    assert_eq!(store.index().k_bits(), k0 + 1);
+    for k in (0..n).step_by(13) {
+        assert_eq!(read_blocking(&session, k), Some(k + 9), "key {k} after grow");
+    }
+}
+
+#[test]
+fn shrink_with_disk_resident_chains_links_meta_records() {
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(2));
+    let session = store.start_session();
+    let n = 3000u64;
+    for k in 0..n {
+        session.upsert(&k, &(k * 2));
+    }
+    store.log().flush_barrier();
+    assert!(store.log().head_address().raw() > 0);
+    assert!(store.shrink_index(Some(&session)));
+    // All keys remain reachable — including through merge meta-records.
+    for k in (0..n).step_by(7) {
+        assert_eq!(read_blocking(&session, k), Some(k * 2), "key {k} after shrink");
+    }
+    // And the store remains writable.
+    session.upsert(&1, &42);
+    assert_eq!(read_blocking(&session, 1), Some(42));
+}
+
+#[test]
+fn grow_during_concurrent_traffic() {
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(2));
+    {
+        let s = store.start_session();
+        for k in 0..2000u64 {
+            s.upsert(&k, &k);
+        }
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(3));
+    let workers: Vec<_> = (0..2u64)
+        .map(|t| {
+            let store = store.clone();
+            let stop = stop.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let session = store.start_session();
+                let mut rng = faster_util::XorShift64::new(t + 77);
+                barrier.wait();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let k = rng.next_below(2000);
+                    session.upsert(&k, &k);
+                    let _ = session.read(&k, &0);
+                    session.complete_pending(false);
+                }
+                session.complete_pending(true);
+            })
+        })
+        .collect();
+    barrier.wait();
+    assert!(store.grow_index(None), "grow while traffic flows");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let session = store.start_session();
+    for k in (0..2000u64).step_by(11) {
+        assert_eq!(read_blocking(&session, k), Some(k), "key {k}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based equivalence: a FASTER store must behave exactly like a
+//! `HashMap` model under arbitrary operation sequences — including when the
+//! log spills to storage and reads go asynchronous.
+
+use faster_core::{BlindKv, FasterKv, FasterKvConfig};
+use faster_hlog::HLogConfig;
+use faster_index::IndexConfig;
+use faster_integration_tests::{read_blocking, rmw_blocking};
+use faster_storage::MemDevice;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Upsert(u64, u64),
+    Rmw(u64, u64),
+    Read(u64),
+    Delete(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        (0..key_space, any::<u64>()).prop_map(|(k, v)| ModelOp::Upsert(k, v)),
+        (0..key_space, any::<u64>()).prop_map(|(k, v)| ModelOp::Rmw(k, v)),
+        (0..key_space).prop_map(ModelOp::Read),
+        (0..key_space).prop_map(ModelOp::Delete),
+    ]
+}
+
+fn tiny_config() -> FasterKvConfig {
+    FasterKvConfig {
+        index: IndexConfig { k_bits: 4, tag_bits: 15, max_resize_chunks: 2 },
+        // Minuscule buffer so sequences regularly cross page boundaries and
+        // evict to the device.
+        log: HLogConfig { page_bits: 9, buffer_pages: 4, mutable_pages: 2, io_threads: 1 },
+        max_sessions: 4,
+        refresh_interval: 8,
+        read_cache: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn store_matches_hashmap_model(ops in proptest::collection::vec(op_strategy(32), 1..400)) {
+        let store: FasterKv<u64, u64, BlindKv<u64>> =
+            FasterKv::new(tiny_config(), BlindKv::new(), MemDevice::new(1));
+        let session = store.start_session();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                ModelOp::Upsert(k, v) => {
+                    session.upsert(&k, &v);
+                    model.insert(k, v);
+                }
+                ModelOp::Rmw(k, v) => {
+                    // BlindKv RMW replaces with the input.
+                    rmw_blocking(&session, k, v);
+                    model.insert(k, v);
+                }
+                ModelOp::Read(k) => {
+                    prop_assert_eq!(read_blocking(&session, k), model.get(&k).copied(),
+                        "read {} diverged", k);
+                }
+                ModelOp::Delete(k) => {
+                    session.delete(&k);
+                    model.remove(&k);
+                }
+            }
+        }
+        // Final audit of every key.
+        for k in 0..32u64 {
+            prop_assert_eq!(read_blocking(&session, k), model.get(&k).copied(),
+                "final state for {} diverged", k);
+        }
+    }
+
+    #[test]
+    fn additive_rmw_matches_model(ops in proptest::collection::vec((0u64..16, 1u64..100), 1..300)) {
+        use faster_core::CountStore;
+        let store: FasterKv<u64, u64, CountStore> =
+            FasterKv::new(tiny_config(), CountStore, MemDevice::new(1));
+        let session = store.start_session();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(k, inc) in &ops {
+            rmw_blocking(&session, k, inc);
+            *model.entry(k).or_insert(0) += inc;
+        }
+        for (k, v) in model {
+            prop_assert_eq!(read_blocking(&session, k), Some(v), "counter {}", k);
+        }
+    }
+}
