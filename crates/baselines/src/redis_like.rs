@@ -180,7 +180,7 @@ mod tests {
         let sets: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
         c.pipeline(&keys, &sets);
         // All even keys were set; odd gets missed.
-        let hits = c.pipeline(&keys, &vec![false; 100]);
+        let hits = c.pipeline(&keys, &[false; 100]);
         assert_eq!(hits, 50);
     }
 }

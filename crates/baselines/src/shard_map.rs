@@ -132,6 +132,6 @@ mod tests {
             h.join().unwrap();
         }
         let total: u64 = (0..64).filter_map(|k| m.get(&k)).sum();
-        assert_eq!(total, threads as u64 * per);
+        assert_eq!(total, threads * per);
     }
 }

@@ -16,6 +16,9 @@ fn main() {
     let dists = [("uniform", Distribution::Uniform), ("zipf", Distribution::zipf_default())];
     let threads_settings = [("1thread", 1usize), ("allthreads", max_threads())];
     println!("# Fig 8: throughput, {keys} keys, {:?} per cell", dur);
+    if batch_size() > 1 {
+        println!("# FASTER issue mode: batched, FASTER_BENCH_BATCH={}", batch_size());
+    }
     println!("# figure key: 8a=1thread/uniform 8b=1thread/zipf 8c=all/uniform 8d=all/zipf");
     for (tname, threads) in threads_settings {
         for (dname, dist) in dists.iter() {

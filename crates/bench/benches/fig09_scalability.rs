@@ -20,6 +20,9 @@ fn main() {
     let dur = run_duration();
     let sweep = thread_sweep();
     println!("# Fig 9a: 100% RMW, 8-byte payloads, Zipf; threads {sweep:?}");
+    if batch_size() > 1 {
+        println!("# FASTER issue mode: batched, FASTER_BENCH_BATCH={}", batch_size());
+    }
     let wl = WorkloadConfig::new(keys, Mix::rmw_only(), Distribution::zipf_default());
     for &t in &sweep {
         let store = build_faster(keys, in_memory_log(keys, 24, 0.9), SumStore, MemDevice::new(2));

@@ -105,6 +105,17 @@ fn bench_store_ops(c: &mut Criterion) {
             }
         })
     });
+    c.bench_function("faster_read_batch32_hot", |b| {
+        let mut base = 0u64;
+        let mut keys = vec![0u64; 32];
+        b.iter(|| {
+            for (i, k) in keys.iter_mut().enumerate() {
+                *k = (base + i as u64 * 97) & 0xFFFF;
+            }
+            base = base.wrapping_add(1);
+            std::hint::black_box(session.read_batch(&keys, &0))
+        })
+    });
     c.bench_function("faster_rmw_in_place", |b| {
         let mut k = 0u64;
         b.iter(|| {

@@ -15,8 +15,8 @@
 //! thread sweep.
 
 use faster_core::{
-    CompletedOp, FasterKv, FasterKvConfig, Functions, ReadResult, RmwResult, Session,
-    SessionStats,
+    BatchOp, BatchOutcome, CompletedOp, FasterKv, FasterKvConfig, Functions, ReadResult,
+    RmwResult, Session, SessionStats,
 };
 use faster_hlog::HLogConfig;
 use faster_storage::{Device, MemDevice};
@@ -29,6 +29,14 @@ use std::time::{Duration, Instant};
 /// Global scale factor from `FASTER_BENCH_SCALE`.
 pub fn scale() -> f64 {
     std::env::var("FASTER_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Batch-issue size from `FASTER_BENCH_BATCH`. `0` (or unset) means scalar
+/// issue; `N > 1` makes the YCSB runners submit operations through
+/// [`Session::execute_batch`] in groups of `N`, with one
+/// `complete_pending` per batch.
+pub fn batch_size() -> usize {
+    std::env::var("FASTER_BENCH_BATCH").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
 /// Default key-space size for in-memory experiments (paper: 250 M).
@@ -105,7 +113,7 @@ pub fn build_faster<V: Pod, F: Functions<u64, V>>(
 /// In-memory log layout sized so `keys` records of `record_size` fit with
 /// room to spare (the "dataset fits in memory" experiments).
 pub fn in_memory_log(keys: u64, record_size: usize, mutable_fraction: f64) -> HLogConfig {
-    let bytes_needed = (keys as u64) * (record_size as u64) * 3 + (8 << 20);
+    let bytes_needed = keys * (record_size as u64) * 3 + (8 << 20);
     let page_bits = 20u32; // 1 MB pages
     let pages = (bytes_needed >> page_bits).next_power_of_two().max(8);
     HLogConfig { page_bits, buffer_pages: pages, mutable_pages: 0, io_threads: 2 }
@@ -123,19 +131,44 @@ pub fn apply_faster_op<V: Pod, F: Functions<u64, V>>(
     upsert_value: &V,
 ) -> bool {
     match kind {
-        OpKind::Read => match session.read(&key, read_input) {
-            ReadResult::Pending(_) => true,
-            _ => false,
-        },
+        OpKind::Read => matches!(session.read(&key, read_input), ReadResult::Pending(_)),
         OpKind::Upsert => {
             session.upsert(&key, upsert_value);
             false
         }
-        OpKind::Rmw => match session.rmw(&key, rmw_input) {
-            RmwResult::Pending(_) => true,
-            _ => false,
-        },
+        OpKind::Rmw => matches!(session.rmw(&key, rmw_input), RmwResult::Pending(_)),
     }
+}
+
+/// A whole YCSB batch applied through [`Session::execute_batch`], reusing
+/// `scratch` for the translated ops. `rmw_input` / `upsert_value` map each
+/// op's 8-entry-array input to the store's types. Returns true if any
+/// operation went pending (the caller then drains with `complete_pending`).
+#[inline]
+pub fn apply_faster_batch<V, F>(
+    session: &Session<u64, V, F>,
+    ops: &[faster_ycsb::Op],
+    scratch: &mut Vec<BatchOp<u64, V, F::Input>>,
+    read_input: &F::Input,
+    rmw_input: impl Fn(u64) -> F::Input,
+    upsert_value: impl Fn(u64) -> V,
+) -> bool
+where
+    V: Pod,
+    F: Functions<u64, V>,
+{
+    scratch.clear();
+    scratch.extend(ops.iter().map(|op| match op.kind {
+        OpKind::Read => BatchOp::Read { key: op.key, input: read_input.clone() },
+        OpKind::Upsert => BatchOp::Upsert { key: op.key, value: upsert_value(op.input) },
+        OpKind::Rmw => BatchOp::Rmw { key: op.key, input: rmw_input(op.input) },
+    }));
+    session.execute_batch(scratch).iter().any(|outcome| {
+        matches!(
+            outcome,
+            BatchOutcome::Read(ReadResult::Pending(_)) | BatchOutcome::Rmw(RmwResult::Pending(_))
+        )
+    })
 }
 
 /// Non-mergeable per-key running sum: identical update logic to
@@ -213,24 +246,43 @@ where
                 None => WorkloadGenerator::new(&workload, t as u64),
             };
             barrier.wait();
+            let batch = batch_size();
             let mut ops = 0u64;
-            while !stop.load(Ordering::Relaxed) {
-                for _ in 0..256 {
-                    let op = gen.next_op();
-                    let pending = apply_faster_op(
+            if batch > 1 {
+                let mut raw = Vec::with_capacity(batch);
+                let mut scratch = Vec::with_capacity(batch);
+                while !stop.load(Ordering::Relaxed) {
+                    gen.next_batch(batch, &mut raw);
+                    let pending = apply_faster_batch(
                         &session,
-                        op.kind,
-                        op.key,
+                        &raw,
+                        &mut scratch,
                         &0,
-                        &op.input,
-                        &op.input,
+                        |i| i,
+                        |i| i,
                     );
-                    if pending {
-                        session.complete_pending(true);
-                    }
-                    ops += 1;
+                    session.complete_pending(pending);
+                    ops += batch as u64;
                 }
-                session.complete_pending(false);
+            } else {
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..256 {
+                        let op = gen.next_op();
+                        let pending = apply_faster_op(
+                            &session,
+                            op.kind,
+                            op.key,
+                            &0,
+                            &op.input,
+                            &op.input,
+                        );
+                        if pending {
+                            session.complete_pending(true);
+                        }
+                        ops += 1;
+                    }
+                    session.complete_pending(false);
+                }
             }
             session.complete_pending(true);
             (ops, session.stats())
@@ -310,16 +362,35 @@ pub fn run_faster_bytes(
             let value: Payload100 = [9u8; 104];
             let zero: Payload100 = [0u8; 104];
             barrier.wait();
+            let batch = batch_size();
             let mut ops = 0u64;
-            while !stop.load(Ordering::Relaxed) {
-                for _ in 0..256 {
-                    let op = gen.next_op();
-                    if apply_faster_op(&session, op.kind, op.key, &zero, &value, &value) {
-                        session.complete_pending(true);
-                    }
-                    ops += 1;
+            if batch > 1 {
+                let mut raw = Vec::with_capacity(batch);
+                let mut scratch = Vec::with_capacity(batch);
+                while !stop.load(Ordering::Relaxed) {
+                    gen.next_batch(batch, &mut raw);
+                    let pending = apply_faster_batch(
+                        &session,
+                        &raw,
+                        &mut scratch,
+                        &zero,
+                        |_| value,
+                        |_| value,
+                    );
+                    session.complete_pending(pending);
+                    ops += batch as u64;
                 }
-                session.complete_pending(false);
+            } else {
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..256 {
+                        let op = gen.next_op();
+                        if apply_faster_op(&session, op.kind, op.key, &zero, &value, &value) {
+                            session.complete_pending(true);
+                        }
+                        ops += 1;
+                    }
+                    session.complete_pending(false);
+                }
             }
             session.complete_pending(true);
             (ops, session.stats())

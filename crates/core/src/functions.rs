@@ -76,6 +76,7 @@ impl<V: Pod> ValueCell<V> {
     /// Caller must guarantee no concurrent access (e.g. keys are partitioned
     /// across threads, or an external lock is held).
     #[inline]
+    #[allow(clippy::mut_from_ref)] // interior mutability; safety contract above
     pub unsafe fn as_mut(&self) -> &mut V {
         &mut *self.0.get()
     }

@@ -132,6 +132,19 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> InMemSession<K, V, F> {
         }
     }
 
+    /// Batch-amortized [`Self::maybe_refresh`]: counts a whole batch at once.
+    #[inline]
+    fn batch_tick(&self, n: usize) {
+        let total = self.ops.get().saturating_add(n as u32);
+        if total >= 256 {
+            self.guard().refresh();
+            self.ops.set(0);
+            self.drain_free_list();
+        } else {
+            self.ops.set(total);
+        }
+    }
+
     /// Frees deferred records whose delete epoch is now safe.
     pub fn drain_free_list(&self) {
         let epoch = &self.store.inner.epoch;
@@ -195,9 +208,78 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> InMemSession<K, V, F> {
         r
     }
 
+    /// Batched point reads: one result per key, in order. Runs the
+    /// hash → bucket → record dependent-load chain as a software pipeline
+    /// (hash all + prefetch buckets, probe all + prefetch the head records,
+    /// then execute), overlapping the cache misses across the batch.
+    /// Equivalent to calling [`Self::read`] per key.
+    pub fn read_batch(&self, keys: &[K], input: &F::Input) -> Vec<Option<F::Output>> {
+        let inner = &self.store.inner;
+        let mut hashes = Vec::with_capacity(keys.len());
+        for key in keys {
+            let h = hash_key(key);
+            inner.index.prefetch_bucket(h);
+            hashes.push(h);
+        }
+        let mut heads = Vec::with_capacity(keys.len());
+        for &hash in &hashes {
+            let head = match inner.index.find_tag(hash, Some(self.guard())) {
+                Some(slot) => slot.load().address(),
+                None => Address::INVALID,
+            };
+            if head.is_valid() {
+                // The in-memory store's "address" is the heap pointer itself.
+                faster_util::prefetch_read(self.node(head) as *const Node<K, V>);
+            }
+            heads.push(head);
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            let r = self.find(key, heads[i]).map(|n| {
+                let node = unsafe { &*n };
+                let cell = unsafe {
+                    &*(node.value.get() as *const crate::functions::ValueCell<V>)
+                };
+                inner.functions.concurrent_reader(key, input, cell)
+            });
+            out.push(r);
+        }
+        self.batch_tick(keys.len());
+        out
+    }
+
+    /// Batched blind upserts, equivalent to [`Self::upsert`] per pair.
+    pub fn upsert_batch(&self, pairs: &[(K, V)]) {
+        let inner = &self.store.inner;
+        for (key, _) in pairs {
+            inner.index.prefetch_bucket(hash_key(key));
+        }
+        for (key, value) in pairs {
+            self.upsert_one(key, value);
+        }
+        self.batch_tick(pairs.len());
+    }
+
+    /// Batched RMWs, equivalent to [`Self::rmw`] per pair.
+    pub fn rmw_batch(&self, ops: &[(K, F::Input)]) {
+        let inner = &self.store.inner;
+        for (key, _) in ops {
+            inner.index.prefetch_bucket(hash_key(key));
+        }
+        for (key, input) in ops {
+            self.rmw_one(key, input);
+        }
+        self.batch_tick(ops.len());
+    }
+
     /// Blind upsert: in place if present, else splice a new record at the
     /// chain head.
     pub fn upsert(&self, key: &K, value: &V) {
+        self.upsert_one(key, value);
+        self.maybe_refresh();
+    }
+
+    fn upsert_one(&self, key: &K, value: &V) {
         let inner = &self.store.inner;
         let hash = hash_key(key);
         loop {
@@ -231,13 +313,17 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> InMemSession<K, V, F> {
                 }
             }
         }
-        self.maybe_refresh();
     }
 
     /// RMW: in place if present (per the user's concurrency discipline, §4:
     /// "one could use fetch-and-add for counters"), else insert the initial
     /// value.
     pub fn rmw(&self, key: &K, input: &F::Input) {
+        self.rmw_one(key, input);
+        self.maybe_refresh();
+    }
+
+    fn rmw_one(&self, key: &K, input: &F::Input) {
         let inner = &self.store.inner;
         let hash = hash_key(key);
         loop {
@@ -270,7 +356,6 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> InMemSession<K, V, F> {
                 }
             }
         }
-        self.maybe_refresh();
     }
 
     /// Delete by logically marking, then splicing out of the chain (§4).
@@ -447,6 +532,24 @@ mod tests {
         assert_eq!(s.read(&1, &0), None);
         s.upsert(&1, &99);
         assert_eq!(s.read(&1, &0), Some(99));
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let kv = store();
+        let s = kv.start_session();
+        let pairs: Vec<(u64, u64)> = (0..300u64).map(|k| (k, k * 7)).collect();
+        s.upsert_batch(&pairs);
+        let keys: Vec<u64> = (0..310u64).collect();
+        let batched = s.read_batch(&keys, &0);
+        for (k, got) in keys.iter().zip(&batched) {
+            assert_eq!(*got, s.read(k, &0), "key {k}");
+        }
+        let incs: Vec<(u64, u64)> = (0..300u64).map(|k| (k, 1)).collect();
+        s.rmw_batch(&incs);
+        for k in 0..300u64 {
+            assert_eq!(s.read(&k, &0), Some(k * 7 + 1), "key {k}");
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod checkpoint;
+mod completion;
 pub mod functions;
 pub mod gc;
 pub mod inmem;
@@ -47,7 +48,9 @@ mod session;
 
 pub use functions::{BlindKv, CountStore, Functions, ValueCell};
 pub use inmem::{InMemKv, InMemSession};
-pub use session::{CompletedOp, ReadResult, RmwResult, Session, SessionStats};
+pub use session::{
+    BatchOp, BatchOutcome, CompletedOp, ReadResult, RmwResult, Session, SessionStats,
+};
 pub use varlen::{VarKv, VarValue};
 
 use faster_epoch::Epoch;
@@ -326,7 +329,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> RecordAccess for AccessShim<K, V, 
 /// Hashes a key the way the store does everywhere (index, recovery, resize).
 #[inline]
 pub(crate) fn hash_key<K: Pod>(key: &K) -> KeyHash {
-    KeyHash::new(faster_util::hash_bytes(faster_util::bytes_of(key)))
+    KeyHash::of_pod(key)
 }
 
 #[cfg(test)]

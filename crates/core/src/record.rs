@@ -205,6 +205,7 @@ impl<K: Pod, V: Pod> RecordRef<K, V> {
     /// Caller must have exclusive access (freshly allocated, unpublished
     /// record).
     #[inline]
+    #[allow(clippy::mut_from_ref)] // interior mutability; safety contract above
     pub unsafe fn value_mut(&self) -> &mut V {
         &mut *self.value_ptr()
     }

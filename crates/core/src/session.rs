@@ -7,6 +7,7 @@
 //! RMWs (§6.3). Call [`Session::complete_pending`] periodically to drive
 //! continuations, exactly as the paper's thread lifecycle prescribes.
 
+use crate::completion::CompletionQueue;
 use crate::functions::Functions;
 use crate::record::{
     MergeRecord, RecordHeader, RecordRef, DELTA_BIT, INVALID_BIT, TOMBSTONE_BIT,
@@ -19,7 +20,7 @@ use faster_index::{CreateOutcome, EntrySlot, HashBucketEntry};
 use faster_util::{Address, KeyHash, Pod};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Result of a read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,37 @@ pub enum RmwResult {
 pub enum CompletedOp<O> {
     Read { id: u64, result: Option<O> },
     Rmw { id: u64 },
+}
+
+/// One operation of a heterogeneous batch ([`Session::execute_batch`]).
+#[derive(Debug, Clone)]
+pub enum BatchOp<K, V, I> {
+    Read { key: K, input: I },
+    Upsert { key: K, value: V },
+    Rmw { key: K, input: I },
+    Delete { key: K },
+}
+
+impl<K, V, I> BatchOp<K, V, I> {
+    #[inline]
+    fn key(&self) -> &K {
+        match self {
+            BatchOp::Read { key, .. }
+            | BatchOp::Upsert { key, .. }
+            | BatchOp::Rmw { key, .. }
+            | BatchOp::Delete { key } => key,
+        }
+    }
+}
+
+/// Per-op result of [`Session::execute_batch`], positionally matching the
+/// submitted ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome<O> {
+    Read(ReadResult<O>),
+    Upsert,
+    Rmw(RmwResult),
+    Delete,
 }
 
 /// Per-session operation counters (cheap plain integers; aggregate across
@@ -87,7 +119,12 @@ struct PendingOp<K, V, I> {
     fallbacks: Vec<Address>,
 }
 
-type IoQueue<K, V, I> = Arc<Mutex<VecDeque<(PendingOp<K, V, I>, Result<Vec<u8>, faster_storage::IoError>)>>>;
+/// One completed I/O: the pending context plus the record bytes (or error).
+type Completion<K, V, I> = (PendingOp<K, V, I>, Result<Vec<u8>, faster_storage::IoError>);
+
+/// Lock-free MPSC queue from I/O worker threads to the owning session — the
+/// completion hot path takes no lock (see [`crate::completion`]).
+type IoQueue<K, V, I> = Arc<CompletionQueue<Completion<K, V, I>>>;
 
 /// A thread's handle onto the store. Not `Sync`: one session per thread,
 /// exactly like the paper's thread model.
@@ -110,6 +147,9 @@ pub struct Session<K: Pod, V: Pod, F: Functions<K, V>> {
     next_id: Cell<u64>,
     outstanding: Cell<usize>,
     io_done: IoQueue<K, V, F::Input>,
+    /// Reused drain buffer so completion processing allocates nothing per
+    /// call once warm.
+    io_scratch: RefCell<Vec<Completion<K, V, F::Input>>>,
     retries: RefCell<VecDeque<PendingOp<K, V, F::Input>>>,
     stats: RefCell<SessionStats>,
 }
@@ -123,7 +163,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             ops_since_refresh: Cell::new(0),
             next_id: Cell::new(1),
             outstanding: Cell::new(0),
-            io_done: Arc::new(Mutex::new(VecDeque::new())),
+            io_done: Arc::new(CompletionQueue::new()),
+            io_scratch: RefCell::new(Vec::new()),
             retries: RefCell::new(VecDeque::new()),
             stats: RefCell::new(SessionStats::default()),
         }
@@ -157,6 +198,18 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         self.ops_since_refresh.set(n);
         if n >= self.store.inner.cfg.refresh_interval {
             self.refresh();
+        }
+    }
+
+    /// Batch-amortized epoch bookkeeping: one counter update (and at most
+    /// one refresh) for `n` operations, instead of `n` counter round-trips.
+    #[inline]
+    fn batch_tick(&self, n: usize) {
+        let total = self.ops_since_refresh.get().saturating_add(n as u32);
+        if total >= self.store.inner.cfg.refresh_interval {
+            self.refresh();
+        } else {
+            self.ops_since_refresh.set(total);
         }
     }
 
@@ -346,7 +399,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             addr,
             RecordRef::<K, V>::size(),
             Box::new(move |res| {
-                queue.lock().expect("session queue").push_back((ctx, res));
+                queue.push((ctx, res));
             }),
         );
         id
@@ -360,6 +413,13 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     pub fn upsert(&self, key: &K, value: &V) {
         self.stats.borrow_mut().upserts += 1;
         let hash = hash_key(key);
+        self.upsert_internal(key, hash, value);
+        self.maybe_refresh();
+    }
+
+    /// Algorithm 3 body, shared by the scalar and batched paths (the wrapper
+    /// owns stats and epoch bookkeeping).
+    fn upsert_internal(&self, key: &K, hash: KeyHash, value: &V) {
         loop {
             let inner = &self.store.inner;
             let f = &inner.functions;
@@ -376,7 +436,6 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         match slot.cas_address(entry, addr) {
                             Ok(()) => {
                                 self.stats.borrow_mut().copies += 1;
-                                self.maybe_refresh();
                                 return;
                             }
                             Err(_) => {
@@ -394,7 +453,6 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         if !rec.header().is_tombstone() && !rec.header().is_delta() {
                             f.concurrent_writer(key, value, rec.value_cell());
                             self.stats.borrow_mut().in_place += 1;
-                            self.maybe_refresh();
                             return;
                         }
                     }
@@ -405,7 +463,6 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     match slot.cas_address(entry, addr) {
                         Ok(()) => {
                             self.stats.borrow_mut().copies += 1;
-                            self.maybe_refresh();
                             return;
                         }
                         Err(_) => {
@@ -419,7 +476,6 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     let f = &self.store.inner.functions;
                     f.single_writer(key, value, unsafe { rec.value_mut() });
                     created.finalize(addr);
-                    self.maybe_refresh();
                     return;
                 }
             }
@@ -639,6 +695,12 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     pub fn delete(&self, key: &K) {
         self.stats.borrow_mut().deletes += 1;
         let hash = hash_key(key);
+        self.delete_internal(key, hash);
+        self.maybe_refresh();
+    }
+
+    /// Tombstone append, shared by the scalar and batched paths.
+    fn delete_internal(&self, key: &K, hash: KeyHash) {
         loop {
             let inner = &self.store.inner;
             match inner.index.find_tag(hash, Some(&self.guard)) {
@@ -666,7 +728,159 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                 }
             }
         }
-        self.maybe_refresh();
+    }
+
+    // =============================================================== BATCH
+    //
+    // Batched issue (DESIGN.md §3 "Batched execution & prefetching"): the
+    // scalar hot path pays a serial dependent-load chain per operation —
+    // hash → bucket probe → record dereference — so each op stalls on two
+    // DRAM round-trips. The batched entry points run that chain as a
+    // MICA-style software pipeline over the whole batch: hash every key and
+    // prefetch every target bucket, then probe every bucket and prefetch
+    // every resolved record, then execute. The loads of one stage are
+    // independent across ops, so their cache misses overlap up to the
+    // memory-level parallelism of the core instead of serializing.
+    //
+    // Semantics are identical to issuing the ops sequentially on this
+    // session: each op executes (and linearizes) one at a time in submission
+    // order in the final stage; the earlier stages are pure hints plus an
+    // index probe that the execute stage re-validates exactly the way the
+    // scalar path does. Epoch refresh is amortized to once per batch, which
+    // is also the natural cadence for draining I/O completions
+    // ([`Session::complete_pending`] once per batch, not once per op).
+
+    /// Reads a batch of keys with one shared `input`, returning one result
+    /// per key in order. Equivalent to calling [`Session::read`] per key;
+    /// pending results complete through [`Session::complete_pending`].
+    pub fn read_batch(&self, keys: &[K], input: &F::Input) -> Vec<ReadResult<F::Output>> {
+        let inner = &self.store.inner;
+        self.stats.borrow_mut().reads += keys.len() as u64;
+        // Stage 1: hash every key, prefetch every target bucket.
+        let mut hashes: Vec<KeyHash> = Vec::with_capacity(keys.len());
+        for key in keys {
+            let h = hash_key(key);
+            inner.index.prefetch_bucket(h);
+            hashes.push(h);
+        }
+        // Stage 2: probe the (now arriving) buckets; prefetch each resolved
+        // chain head so the record lines are in flight before stage 3.
+        let mut heads: Vec<Address> = Vec::with_capacity(keys.len());
+        for &hash in &hashes {
+            let head = match inner.index.find_tag(hash, Some(&self.guard)) {
+                Some(slot) => slot.load().address(),
+                None => Address::INVALID,
+            };
+            if is_rc(head) {
+                if let Some(rc_log) = inner.rc.as_ref() {
+                    rc_log.prefetch(rc_untag(head));
+                }
+            } else if head.is_valid() {
+                inner.log.prefetch(head);
+            }
+            heads.push(head);
+        }
+        // Stage 3: execute in submission order — the same walk as scalar
+        // `read`, resumed from the already-probed chain head.
+        let mut out = Vec::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            let r = if heads[i].is_valid() {
+                self.read_internal(key, hashes[i], input, heads[i], None, Vec::new(), None)
+            } else {
+                self.finish_read(key, input, None)
+            };
+            out.push(r);
+        }
+        self.batch_tick(keys.len());
+        out
+    }
+
+    /// Upserts a batch of key/value pairs. Equivalent to calling
+    /// [`Session::upsert`] per pair, in order.
+    pub fn upsert_batch(&self, pairs: &[(K, V)]) {
+        let inner = &self.store.inner;
+        self.stats.borrow_mut().upserts += pairs.len() as u64;
+        let mut hashes: Vec<KeyHash> = Vec::with_capacity(pairs.len());
+        for (key, _) in pairs {
+            let h = hash_key(key);
+            inner.index.prefetch_bucket(h);
+            hashes.push(h);
+        }
+        for (i, (key, value)) in pairs.iter().enumerate() {
+            self.upsert_internal(key, hashes[i], value);
+        }
+        self.batch_tick(pairs.len());
+    }
+
+    /// RMWs a batch of key/input pairs, returning one result per op in
+    /// order. Equivalent to calling [`Session::rmw`] per pair; pending
+    /// results complete through [`Session::complete_pending`].
+    pub fn rmw_batch(&self, ops: &[(K, F::Input)]) -> Vec<RmwResult> {
+        let inner = &self.store.inner;
+        self.stats.borrow_mut().rmws += ops.len() as u64;
+        let mut hashes: Vec<KeyHash> = Vec::with_capacity(ops.len());
+        for (key, _) in ops {
+            let h = hash_key(key);
+            inner.index.prefetch_bucket(h);
+            hashes.push(h);
+        }
+        let mut out = Vec::with_capacity(ops.len());
+        for (i, (key, input)) in ops.iter().enumerate() {
+            out.push(self.rmw_internal(key, hashes[i], input, None));
+        }
+        self.batch_tick(ops.len());
+        out
+    }
+
+    /// Executes a heterogeneous batch, returning one [`BatchOutcome`] per op
+    /// in submission order. Equivalent to issuing each op individually.
+    pub fn execute_batch(&self, ops: &[BatchOp<K, V, F::Input>]) -> Vec<BatchOutcome<F::Output>> {
+        let inner = &self.store.inner;
+        {
+            let mut stats = self.stats.borrow_mut();
+            for op in ops {
+                match op {
+                    BatchOp::Read { .. } => stats.reads += 1,
+                    BatchOp::Upsert { .. } => stats.upserts += 1,
+                    BatchOp::Rmw { .. } => stats.rmws += 1,
+                    BatchOp::Delete { .. } => stats.deletes += 1,
+                }
+            }
+        }
+        let mut hashes: Vec<KeyHash> = Vec::with_capacity(ops.len());
+        for op in ops {
+            let h = hash_key(op.key());
+            inner.index.prefetch_bucket(h);
+            hashes.push(h);
+        }
+        let mut out = Vec::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            let hash = hashes[i];
+            out.push(match op {
+                BatchOp::Read { key, input } => BatchOutcome::Read(self.read_internal(
+                    key,
+                    hash,
+                    input,
+                    Address::INVALID,
+                    None,
+                    Vec::new(),
+                    None,
+                )),
+                BatchOp::Upsert { key, value } => {
+                    self.upsert_internal(key, hash, value);
+                    BatchOutcome::Upsert
+                }
+                BatchOp::Rmw { key, input } => {
+                    BatchOutcome::Rmw(self.rmw_internal(key, hash, input, None))
+                }
+                BatchOp::Delete { key } => {
+                    self.delete_internal(key, hash);
+                    BatchOutcome::Delete
+                }
+            });
+        }
+        self.batch_tick(ops.len());
+        out
     }
 
     /// Returns up to `limit` historical versions of `key`, newest first, by
@@ -837,7 +1051,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         let inner = &self.store.inner;
         let mut addr = from;
         while addr.is_valid() && addr >= floor && addr >= inner.log.begin_address() {
-            let Some(p) = inner.log.get(addr) else { return None };
+            let p = inner.log.get(addr)?;
             let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
             let h = rec.header();
             if !h.is_invalid() && !h.is_merge() && rec.key() == *key {
@@ -917,7 +1131,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             addr,
             RecordRef::<K, V>::size(),
             Box::new(move |res| {
-                queue.lock().expect("session queue").push_back((ctx, res));
+                queue.push((ctx, res));
             }),
         );
         id
@@ -942,10 +1156,12 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     RmwResult::Pending(_) => { /* requeued under the same id */ }
                 }
             }
-            // Drained I/O completions.
-            loop {
-                let next = self.io_done.lock().expect("session queue").pop_front();
-                let Some((op, res)) = next else { break };
+            // Drained I/O completions: one lock-free grab-all per pass (the
+            // batched issue mode calls this once per batch), then private
+            // iteration — no lock, no per-completion synchronization.
+            let mut completions = std::mem::take(&mut *self.io_scratch.borrow_mut());
+            self.io_done.drain_into(&mut completions);
+            for (op, res) in completions.drain(..) {
                 self.outstanding.set(self.outstanding.get() - 1);
                 match res {
                     Ok(bytes) => self.continue_io(op, bytes, &mut done),
@@ -964,9 +1180,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                 });
                             }
                             PendingKind::Rmw => {
-                                match self.rmw_complete(op, None) {
-                                    Some(id) => done.push(CompletedOp::Rmw { id }),
-                                    None => {}
+                                if let Some(id) = self.rmw_complete(op, None) {
+                                    done.push(CompletedOp::Rmw { id });
                                 }
                             }
                             PendingKind::RmwFuzzyRetry => unreachable!("no I/O for fuzzy"),
@@ -974,6 +1189,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     }
                 }
             }
+            // Hand the (now empty) drain buffer back for reuse.
+            *self.io_scratch.borrow_mut() = completions;
             if !wait || self.outstanding.get() == 0 {
                 break;
             }
@@ -1140,7 +1357,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             addr,
             RecordRef::<K, V>::size(),
             Box::new(move |res| {
-                queue.lock().expect("session queue").push_back((op, res));
+                queue.push((op, res));
             }),
         );
     }

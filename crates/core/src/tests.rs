@@ -144,6 +144,139 @@ fn concurrent_count_store_exactness() {
 }
 
 #[test]
+fn batched_ops_match_scalar_inmemory() {
+    let store = count_store(FasterKvConfig::small());
+    let s = store.start_session();
+    let pairs: Vec<(u64, u64)> = (0..2_000u64).map(|k| (k, k * 3)).collect();
+    s.upsert_batch(&pairs);
+    // Batch straddles present and absent keys.
+    let keys: Vec<u64> = (0..2_100u64).collect();
+    let results = s.read_batch(&keys, &0);
+    assert_eq!(results.len(), keys.len());
+    for (k, r) in keys.iter().zip(&results) {
+        match r {
+            ReadResult::Found(v) if *k < 2_000 => assert_eq!(*v, k * 3, "key {k}"),
+            ReadResult::NotFound if *k >= 2_000 => {}
+            other => panic!("key {k}: unexpected {other:?}"),
+        }
+    }
+    let incs: Vec<(u64, u64)> = (0..2_000u64).map(|k| (k, 5)).collect();
+    for r in s.rmw_batch(&incs) {
+        assert_eq!(r, RmwResult::Done, "in-memory RMW never pends");
+    }
+    assert_eq!(read_now(&s, 10), Some(35));
+    // Heterogeneous batch through execute_batch, in submission order:
+    // the later Read must observe the earlier Upsert/Rmw/Delete.
+    let ops = vec![
+        BatchOp::Upsert { key: 5_000, value: 1 },
+        BatchOp::Rmw { key: 5_000, input: 2 },
+        BatchOp::Read { key: 5_000, input: 0 },
+        BatchOp::Delete { key: 5_000 },
+        BatchOp::Read { key: 5_000, input: 0 },
+    ];
+    let out = s.execute_batch(&ops);
+    assert_eq!(out[0], BatchOutcome::Upsert);
+    assert_eq!(out[1], BatchOutcome::Rmw(RmwResult::Done));
+    assert_eq!(out[2], BatchOutcome::Read(ReadResult::Found(3)));
+    assert_eq!(out[3], BatchOutcome::Delete);
+    assert_eq!(out[4], BatchOutcome::Read(ReadResult::NotFound));
+}
+
+#[test]
+fn concurrent_batched_rmw_exactness() {
+    // The CountStore exactness property, driven through rmw_batch: batching
+    // must not lose, duplicate, or reorder increments across threads.
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 14, buffer_pages: 16, mutable_pages: 12, io_threads: 2 },
+        max_sessions: 32,
+        refresh_interval: 64,
+        read_cache: None,
+    };
+    let store = count_store(cfg);
+    let threads = 8u64;
+    let batches = 400u64;
+    let batch_len = 48usize;
+    let keys = 128u64;
+    let barrier = std::sync::Arc::new(Barrier::new(threads as usize));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = store.clone();
+        let barrier = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            let s = store.start_session();
+            barrier.wait();
+            let mut rng = faster_util::XorShift64::new(t + 1);
+            let mut batch = Vec::with_capacity(batch_len);
+            for _ in 0..batches {
+                batch.clear();
+                batch.extend((0..batch_len).map(|_| (rng.next_below(keys), 1u64)));
+                if s.rmw_batch(&batch).iter().any(|r| matches!(r, RmwResult::Pending(_))) {
+                    s.complete_pending(true);
+                }
+            }
+            s.complete_pending(true);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = store.start_session();
+    let mut total = 0u64;
+    for k in 0..keys {
+        total += read_now(&s, k).unwrap_or(0);
+    }
+    assert_eq!(
+        total,
+        threads * batches * batch_len as u64,
+        "every batched increment must be counted exactly once"
+    );
+}
+
+#[test]
+fn read_batch_straddling_disk_goes_pending_and_completes() {
+    // Spill most keys to disk, then read a batch mixing resident and cold
+    // keys: the cold ones must pend and complete with the right values.
+    let cfg = FasterKvConfig {
+        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 2, io_threads: 2 },
+        max_sessions: 8,
+        refresh_interval: 32,
+        read_cache: None,
+    };
+    let store = count_store(cfg);
+    let s = store.start_session();
+    let n = 4_000u64;
+    for k in 0..n {
+        s.upsert(&k, &(k + 1));
+    }
+    store.log().flush_barrier();
+    assert!(store.log().head_address().raw() > 0, "data must have spilled");
+    // Early keys are on disk, the newest keys still resident.
+    let keys: Vec<u64> = (0..64u64).chain(n - 8..n).chain(n..n + 4).collect();
+    let results = s.read_batch(&keys, &0);
+    let mut pending: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut pending_seen = 0u32;
+    for (k, r) in keys.iter().zip(&results) {
+        match r {
+            ReadResult::Found(v) => assert_eq!(*v, k + 1, "resident key {k}"),
+            ReadResult::NotFound => assert!(*k >= n, "key {k} lost"),
+            ReadResult::Pending(id) => {
+                pending_seen += 1;
+                pending.insert(*id, *k);
+            }
+        }
+    }
+    assert!(pending_seen > 0, "cold keys must take the async path");
+    for op in s.complete_pending(true) {
+        if let CompletedOp::Read { id, result } = op {
+            let k = pending[&id];
+            assert_eq!(result, Some(k + 1), "pending key {k}");
+        }
+    }
+}
+
+#[test]
 fn larger_than_memory_spill_and_read_back() {
     // Tiny buffer: 4 pages of 4 KB = 16 KB memory for ~24 B records.
     let cfg = FasterKvConfig {

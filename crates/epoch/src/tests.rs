@@ -126,7 +126,7 @@ fn invariant_es_lt_et_le_e_under_concurrency() {
                 let cur = e.current();
                 assert!(es < et, "E_s ({es}) must be < E_T ({et})");
                 assert!(et <= cur, "E_T ({et}) must be <= E ({cur})");
-                if et % 7 == 0 {
+                if et.is_multiple_of(7) {
                     e.bump();
                 }
             }

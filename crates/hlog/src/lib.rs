@@ -160,8 +160,11 @@ struct Inner {
     /// (epoch-safe: no thread can still read it) and before its frames are
     /// recycled. Used by the Appendix D read cache to restore index entries
     /// for evicted cache records.
-    evict_hook: Mutex<Option<Box<dyn Fn(u64, u64) + Send + Sync>>>,
+    evict_hook: Mutex<Option<EvictHook>>,
 }
+
+/// Callback invoked as pages leave the buffer (see `set_evict_hook`).
+type EvictHook = Box<dyn Fn(u64, u64) + Send + Sync>;
 
 /// The hybrid log allocator. Cheap to clone (shared handle).
 #[derive(Clone)]
@@ -205,13 +208,13 @@ impl HybridLog {
         cfg.validate();
         let page_size = cfg.page_size();
         // Resume at a fresh page: everything below is disk-resident.
-        let resume_page = (tail.raw() + page_size - 1) / page_size;
+        let resume_page = tail.raw().div_ceil(page_size);
         let resume = resume_page * page_size;
         let page_size_us = page_size as usize;
         let frames: Vec<Frame> = (0..cfg.buffer_pages).map(|_| Frame::new(page_size_us)).collect();
         let frame_status: Vec<AtomicU8> = (0..cfg.buffer_pages)
             .map(|i| {
-                AtomicU8::new(if i as u64 == resume_page % cfg.buffer_pages { FRAME_OPEN } else { FRAME_CLOSED })
+                AtomicU8::new(if i == resume_page % cfg.buffer_pages { FRAME_OPEN } else { FRAME_CLOSED })
             })
             .collect();
         Self {
@@ -221,7 +224,7 @@ impl HybridLog {
                 device,
                 frames,
                 frame_status,
-                tail: AtomicU64::new((resume_page << OFFSET_BITS) | 0),
+                tail: AtomicU64::new(resume_page << OFFSET_BITS),
                 read_only: AtomicU64::new(resume),
                 safe_read_only: AtomicU64::new(resume),
                 head: AtomicU64::new(resume),
@@ -347,7 +350,7 @@ impl HybridLog {
     pub fn try_allocate(&self, size: u32, guard: &EpochGuard) -> Option<Address> {
         let inner = &*self.inner;
         let size = size as u64;
-        debug_assert!(size > 0 && size % 8 == 0, "record sizes are 8-byte aligned");
+        debug_assert!(size > 0 && size.is_multiple_of(8), "record sizes are 8-byte aligned");
         assert!(size <= inner.cfg.page_size(), "allocation exceeds page size");
         let old = inner.tail.fetch_add(size, Ordering::SeqCst);
         let page = old >> OFFSET_BITS;
@@ -500,6 +503,19 @@ impl HybridLog {
         Some(unsafe { inner.frames[fidx].as_ptr().add(offset) })
     }
 
+    /// Issues a software prefetch for the record at `addr` if it is resident
+    /// in the buffer. Stage two of the batched pipeline (DESIGN.md §3): once
+    /// a batch's index probes resolve, every record address is prefetched
+    /// before the first record header is dereferenced, so the record-line
+    /// misses overlap. Purely a hint — safe to call with any address; below
+    /// head or beyond tail it does nothing.
+    #[inline]
+    pub fn prefetch(&self, addr: Address) {
+        if let Some(p) = self.get(addr) {
+            faster_util::prefetch_read(p as *const u8);
+        }
+    }
+
     /// Bytes remaining on `addr`'s page (records never span pages).
     pub fn bytes_to_page_end(&self, addr: Address) -> u64 {
         self.inner.cfg.page_size() - (addr.raw() & (self.inner.cfg.page_size() - 1))
@@ -618,7 +634,7 @@ impl Inner {
         for page in (old / page_size)..(new / page_size) {
             self.flush_page(page, true);
         }
-        if new % page_size != 0 {
+        if !new.is_multiple_of(page_size) {
             self.flush_page(new / page_size, false);
         }
     }

@@ -102,6 +102,8 @@ impl Default for HashBucket {
 /// out remain valid until the pool is dropped with the index.
 #[derive(Default)]
 pub struct OverflowPool {
+    // The Box is the point: bucket addresses must survive Vec reallocation.
+    #[allow(clippy::vec_box)]
     buckets: Mutex<Vec<Box<HashBucket>>>,
 }
 

@@ -44,25 +44,25 @@ impl HashBucketEntry {
     }
 
     /// True if this is the empty slot.
-    #[inline]
+    #[inline(always)]
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
 
     /// The 48-bit record address.
-    #[inline]
+    #[inline(always)]
     pub fn address(self) -> Address {
         Address::new(self.0 & ADDRESS_MASK)
     }
 
     /// The tag stored in the entry.
-    #[inline]
+    #[inline(always)]
     pub fn tag(self) -> u16 {
         ((self.0 & TAG_MASK) >> TAG_SHIFT) as u16
     }
 
     /// Whether the tentative (invisible) bit is set (§3.2).
-    #[inline]
+    #[inline(always)]
     pub fn is_tentative(self) -> bool {
         self.0 & TENTATIVE_BIT != 0
     }

@@ -115,6 +115,8 @@ pub struct HashIndex {
     /// Retired tables; freed when the index drops. Operations may still hold
     /// `EntrySlot` references into a retired table for the remainder of
     /// their current operation, so retirement must not free.
+    // Boxed so retired-table addresses survive Vec reallocation.
+    #[allow(clippy::vec_box)]
     graveyard: Mutex<Vec<Box<BucketArray>>>,
     overflow: OverflowPool,
     /// State of the in-progress (or most recent) resize.
@@ -306,6 +308,37 @@ impl HashIndex {
                 Route::Retry => continue,
             }
         }
+    }
+
+    /// Issues a software prefetch for the primary bucket `hash` routes to in
+    /// the active table. Stage one of the batched pipeline (DESIGN.md §3):
+    /// the caller hashes a whole batch, prefetches every target bucket, and
+    /// only then starts probing, so the independent bucket misses overlap.
+    /// Purely a hint — a concurrent resize can swap tables between hint and
+    /// probe, costing nothing but the wasted prefetch.
+    #[inline]
+    pub fn prefetch_bucket(&self, hash: KeyHash) {
+        let arr = self.active_array();
+        let bucket = arr.bucket(hash.bucket_index(arr.k_bits()));
+        faster_util::prefetch_read(bucket as *const _);
+    }
+
+    /// Multi-probe entry point: prefetches every target bucket up front, then
+    /// probes each hash in order, appending one slot (or `None`) per hash to
+    /// `out` (cleared first). Equivalent to `find_tag` per element — results
+    /// are identical, only the miss timing changes.
+    pub fn find_tags<'s>(
+        &'s self,
+        hashes: &[KeyHash],
+        guard: Option<&EpochGuard>,
+        out: &mut Vec<Option<EntrySlot<'s>>>,
+    ) {
+        for &h in hashes {
+            self.prefetch_bucket(h);
+        }
+        out.clear();
+        out.reserve(hashes.len());
+        out.extend(hashes.iter().map(|&h| self.find_tag(h, guard)));
     }
 
     /// Finds the entry for `(offset, tag)` or claims a fresh tentative one

@@ -199,6 +199,15 @@ pub(crate) fn resize(
         return false;
     }
 
+    // A resizer without a session must still drive the epoch: the phase
+    // flips below are bump_with triggers, and triggers only fire when some
+    // guard refreshes (or another bump lands). If every session exits after
+    // the bump, no thread would ever drain the trigger and the wait loops
+    // below would spin forever. A temporary guard of our own closes that
+    // hole — its refresh() both advances past the bump and drains.
+    let own_guard = if guard.is_none() { Some(index.epoch().acquire()) } else { None };
+    let guard = guard.or(own_guard.as_ref());
+
     // Step 2: allocate the new table and publish the run.
     let run = Arc::new(ResizeRun::new(grow, s.version, old_k, index.max_resize_chunks(), access));
     let new_arr = Box::into_raw(Box::new(BucketArray::new(run.new_k)));

@@ -481,7 +481,7 @@ fn grow_under_concurrent_operations() {
                 // be able to refresh it (see find_tag docs).
                 let _ = index.find_tag(h, Some(&guard));
                 ops += 1;
-                if ops % 64 == 0 {
+                if ops.is_multiple_of(64) {
                     guard.refresh();
                 }
             }
@@ -574,4 +574,24 @@ fn stats_reflect_occupancy() {
     assert!(s.overflow_buckets > 0, "100 tags in 4 buckets must overflow");
     assert!(s.max_chain > 1);
     assert_eq!(s.tentative_entries, 0);
+}
+
+#[test]
+fn find_tags_matches_scalar_probes() {
+    let index = small_index();
+    for k in 0..200u64 {
+        insert(&index, KeyHash::of_u64(k), Address::new(64 + k * 8));
+    }
+    // Mix of present and absent hashes; prefetch_bucket must be a pure hint.
+    let hashes: Vec<KeyHash> = (0..400u64).map(KeyHash::of_u64).collect();
+    for &h in &hashes {
+        index.prefetch_bucket(h);
+    }
+    let mut slots = Vec::new();
+    index.find_tags(&hashes, None, &mut slots);
+    assert_eq!(slots.len(), hashes.len());
+    for (h, slot) in hashes.iter().zip(&slots) {
+        let got = slot.as_ref().map(|s| s.load().address());
+        assert_eq!(got, lookup(&index, *h));
+    }
 }

@@ -35,38 +35,38 @@ impl Address {
     /// # Panics
     ///
     /// Panics (debug) if `raw` exceeds 48 bits.
-    #[inline]
+    #[inline(always)]
     pub const fn new(raw: u64) -> Self {
         debug_assert!(raw <= Self::MASK);
         Address(raw)
     }
 
     /// The raw 48-bit value.
-    #[inline]
+    #[inline(always)]
     pub const fn raw(self) -> u64 {
         self.0
     }
 
     /// True unless this is [`Address::INVALID`].
-    #[inline]
+    #[inline(always)]
     pub const fn is_valid(self) -> bool {
         self.0 != 0
     }
 
     /// Address `n` bytes further along.
-    #[inline]
+    #[inline(always)]
     pub const fn offset_by(self, n: u64) -> Address {
         Address::new(self.0 + n)
     }
 
     /// The page number under a `page_bits`-bit page-offset split (§5.1).
-    #[inline]
+    #[inline(always)]
     pub const fn page(self, page_bits: u32) -> u64 {
         self.0 >> page_bits
     }
 
     /// The within-page offset under a `page_bits`-bit split.
-    #[inline]
+    #[inline(always)]
     pub const fn offset(self, page_bits: u32) -> u64 {
         self.0 & ((1 << page_bits) - 1)
     }

@@ -22,7 +22,7 @@ const PRIME64_4: u64 = 0x85EB_CA77_C2B2_AE63;
 const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
 
 /// Final avalanche: every input bit affects every output bit.
-#[inline]
+#[inline(always)]
 fn avalanche(mut h: u64) -> u64 {
     h ^= h >> 33;
     h = h.wrapping_mul(PRIME64_2);
@@ -44,6 +44,7 @@ pub fn hash_u64(key: u64) -> u64 {
 }
 
 /// Hashes an arbitrary byte slice (used for variable-length keys).
+#[inline]
 pub fn hash_bytes(bytes: &[u8]) -> u64 {
     let mut h = PRIME64_5.wrapping_add(bytes.len() as u64);
     let mut chunks = bytes.chunks_exact(8);
@@ -58,6 +59,17 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
         h = h.rotate_left(11).wrapping_mul(PRIME64_1);
     }
     avalanche(h)
+}
+
+/// Hashes a batch of POD keys into `out` (cleared first). Computing every
+/// hash before the first index probe is stage one of the batched pipeline:
+/// the hashes are pure ALU work, and having them all in hand lets the caller
+/// issue one prefetch per target bucket before any dependent load.
+#[inline]
+pub fn hash_keys<K: crate::pod::Pod>(keys: &[K], out: &mut Vec<KeyHash>) {
+    out.clear();
+    out.reserve(keys.len());
+    out.extend(keys.iter().map(KeyHash::of_pod));
 }
 
 /// A 64-bit key hash plus the §3.1 offset/tag views over it.
@@ -80,6 +92,14 @@ impl KeyHash {
     #[inline]
     pub fn of_u64(key: u64) -> Self {
         Self(hash_u64(key))
+    }
+
+    /// Computes the hash of any fixed-size POD key from its byte image. This
+    /// is the canonical key→hash mapping for the store: every component that
+    /// hashes a key (scalar ops, batched ops, recovery) must agree with it.
+    #[inline]
+    pub fn of_pod<K: crate::pod::Pod>(key: &K) -> Self {
+        Self(hash_bytes(crate::pod::bytes_of(key)))
     }
 
     /// The bucket index in a table of `2^k_bits` buckets: top `k_bits` bits.

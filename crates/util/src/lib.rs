@@ -8,6 +8,8 @@
 //!   *offset* (first `k` bits) and *tag* (next 15 bits) described in §3.1.
 //! * [`pod`] — the [`pod::Pod`] marker trait for fixed-size, plain-old-data
 //!   keys and values that may live inside log pages.
+//! * [`prefetch`] — software prefetch hints (with portable no-op fallback)
+//!   used by the batched-operation pipeline to overlap independent misses.
 //! * [`rng`] — a tiny, dependency-free xorshift generator for hot paths where
 //!   pulling in `rand` would be overkill (e.g. insert back-off jitter).
 //!
@@ -18,10 +20,12 @@ pub mod address;
 pub mod align;
 pub mod hash;
 pub mod pod;
+pub mod prefetch;
 pub mod rng;
 
 pub use address::Address;
 pub use align::{align_down, align_up, CacheAligned, CACHE_LINE_SIZE};
-pub use hash::{hash_bytes, hash_u64, KeyHash};
+pub use hash::{hash_bytes, hash_keys, hash_u64, KeyHash};
 pub use pod::{bytes_of, pod_from_bytes, Pod};
+pub use prefetch::{prefetch_read, prefetch_write};
 pub use rng::XorShift64;

@@ -42,7 +42,7 @@ unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
 unsafe impl<A: Pod, B: Pod> Pod for (A, B) {}
 
 /// Views a `Pod` value as its raw bytes.
-#[inline]
+#[inline(always)]
 pub fn bytes_of<T: Pod>(v: &T) -> &[u8] {
     // Safety: Pod guarantees every byte is initialized and meaningful-to-copy.
     unsafe { core::slice::from_raw_parts(v as *const T as *const u8, core::mem::size_of::<T>()) }

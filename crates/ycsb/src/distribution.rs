@@ -159,7 +159,7 @@ impl KeyChooser {
             }
             Distribution::HotSet(c) => {
                 self.draws += 1;
-                if self.draws % c.shift_every == 0 {
+                if self.draws.is_multiple_of(c.shift_every) {
                     // Shift the hot window ("items moving from cold to hot").
                     self.hot_start = (self.hot_start + self.hot_len) % self.n;
                 }

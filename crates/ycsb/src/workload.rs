@@ -116,6 +116,18 @@ impl WorkloadGenerator {
         Op { kind, key, input: self.inputs[self.cursor] }
     }
 
+    /// Fills `out` with the next `n` operations (clearing it first), for
+    /// batch-issue harnesses: identical op stream to `n` calls of
+    /// [`WorkloadGenerator::next_op`], just delivered as a slice so the
+    /// store's batched entry points can pipeline them.
+    pub fn next_batch(&mut self, n: usize, out: &mut Vec<Op>) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_op());
+        }
+    }
+
     /// Keys for the load phase (0..keys, sequential — the store hashes).
     pub fn load_keys(config: &WorkloadConfig) -> impl Iterator<Item = u64> {
         0..config.keys
@@ -152,6 +164,24 @@ mod tests {
             assert_eq!(op.kind, OpKind::Rmw);
             assert!((1..=8).contains(&op.input), "input from the 8-entry array");
         }
+    }
+
+    #[test]
+    fn next_batch_matches_next_op() {
+        let cfg = WorkloadConfig::new(1 << 16, Mix::r_bu(50, 50), Distribution::Uniform);
+        let scalar: Vec<Op> = {
+            let mut g = WorkloadGenerator::new(&cfg, 3);
+            (0..96).map(|_| g.next_op()).collect()
+        };
+        let mut g = WorkloadGenerator::new(&cfg, 3);
+        let mut batched = Vec::new();
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            g.next_batch(32, &mut buf);
+            assert_eq!(buf.len(), 32);
+            batched.extend_from_slice(&buf);
+        }
+        assert_eq!(scalar, batched, "batched stream identical to scalar");
     }
 
     #[test]

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Quick batched-vs-scalar throughput smoke: runs the batch_vs_scalar bench
+# at reduced scale and collects its json rows into BENCH_batch.json.
+#
+# Knobs (forwarded to the bench): FASTER_BENCH_KEYS, FASTER_BENCH_BATCH,
+# FASTER_BENCH_OPS. Output: BENCH_batch.json in the repo root (override
+# with BENCH_OUT=path).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_batch.json}"
+export FASTER_BENCH_KEYS="${FASTER_BENCH_KEYS:-2000000}"
+export FASTER_BENCH_BATCH="${FASTER_BENCH_BATCH:-64}"
+export FASTER_BENCH_OPS="${FASTER_BENCH_OPS:-2000000}"
+
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+cargo bench --bench batch_vs_scalar 2>&1 | tee "$LOG"
+
+# Each `json,{...}` line is one mode's result; emit a JSON array.
+{
+  echo '['
+  grep '^json,' "$LOG" | sed 's/^json,//' | paste -sd ',' -
+  echo ']'
+} > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

@@ -1,0 +1,167 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset the workspace uses: `Criterion::default()` with
+//! `warm_up_time`/`measurement_time`/`sample_size`, `bench_function` +
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark warms up, sizes an iteration batch from the warm-up rate,
+//! takes `sample_size` timed batches, and prints the median ns/iter plus the
+//! implied ops/sec on one line.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            median_ns: None,
+        };
+        f(&mut b);
+        match b.median_ns {
+            Some(ns) if ns > 0.0 => {
+                println!("{name:<40} time: {:>12} ns/iter   {:>14.0} ops/sec", format_ns(ns), 1e9 / ns);
+            }
+            _ => println!("{name:<40} time: (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 100.0 {
+        format!("{ns:.2}")
+    } else {
+        format!("{ns:.0}")
+    }
+}
+
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        // Size batches so all samples together fill the measurement window.
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / per_iter.max(1.0)) as u64).max(1);
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+
+    /// Median of the last `iter` call in ns/iter, if any.
+    pub fn median_ns(&self) -> Option<f64> {
+        self.median_ns
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        #[allow(dead_code)]
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut ran = false;
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+            ran = b.median_ns().is_some();
+        });
+        assert!(ran);
+    }
+}

