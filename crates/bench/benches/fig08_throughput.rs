@@ -17,7 +17,11 @@ fn main() {
     let threads_settings = [("1thread", 1usize), ("allthreads", max_threads())];
     println!("# Fig 8: throughput, {keys} keys, {:?} per cell", dur);
     if batch_size() > 1 {
-        println!("# FASTER issue mode: batched, FASTER_BENCH_BATCH={}", batch_size());
+        println!(
+            "# issue mode: batched (FASTER store-side, baselines generation-only), \
+             FASTER_BENCH_BATCH={}",
+            batch_size()
+        );
     }
     println!("# figure key: 8a=1thread/uniform 8b=1thread/zipf 8c=all/uniform 8d=all/zipf");
     for (tname, threads) in threads_settings {

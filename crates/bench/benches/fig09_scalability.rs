@@ -21,7 +21,11 @@ fn main() {
     let sweep = thread_sweep();
     println!("# Fig 9a: 100% RMW, 8-byte payloads, Zipf; threads {sweep:?}");
     if batch_size() > 1 {
-        println!("# FASTER issue mode: batched, FASTER_BENCH_BATCH={}", batch_size());
+        println!(
+            "# issue mode: batched (FASTER store-side, baselines generation-only), \
+             FASTER_BENCH_BATCH={}",
+            batch_size()
+        );
     }
     let wl = WorkloadConfig::new(keys, Mix::rmw_only(), Distribution::zipf_default());
     for &t in &sweep {

@@ -53,7 +53,7 @@ pub use session::{
 };
 pub use varlen::{VarKv, VarValue};
 
-use faster_epoch::Epoch;
+use faster_epoch::{Epoch, EpochGuard};
 use faster_hlog::{HLogConfig, HybridLog};
 use faster_index::{HashIndex, IndexConfig, RecordAccess};
 use faster_storage::Device;
@@ -281,12 +281,18 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> RecordAccess for AccessShim<K, V, 
                 &rec.key(),
             ))));
         }
+        if addr < self.store.inner.log.read_only_address() {
+            // Sealed or flushed (even if still buffer-resident): migration
+            // must not relink it — a rewrite would race the flush and be
+            // lost on eviction. Treat as an opaque chain tail.
+            return None;
+        }
         let p = self.store.inner.log.get(addr)?;
         // Safety: addr came from a live chain; epoch rules keep it mapped.
         let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
         if rec.header().is_merge() {
             // Merge meta-records have no key; treat as a chain boundary so
-            // the resizer leaves the combined disk chain intact.
+            // the resizer leaves the combined chain intact.
             return None;
         }
         Some(KeyHash::new(faster_util::hash_bytes(faster_util::bytes_of(&rec.key()))))
@@ -313,16 +319,29 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> RecordAccess for AccessShim<K, V, 
         rec.set_prev(prev);
     }
 
-    fn link_disk_tails(&self, a: Address, b: Address) -> Address {
-        // Allocate a merge meta-record at the tail pointing at both chains.
-        let guard = self.store.inner.epoch.acquire();
+    fn try_alloc_merge_meta(&self, guard: Option<&EpochGuard>) -> Option<Address> {
+        // Fast path only: `try_allocate` never refreshes an epoch entry,
+        // which is the resizer's contract — its walk→relink window depends
+        // on the migrator's entry staying pinned. A temporary guard for the
+        // seal bookkeeping (guardless migrators) is harmless: acquiring one
+        // does not advance the migrator's own entry. Backpressure is NOT
+        // relieved here — the resizer must abandon its window first.
+        let own = if guard.is_none() { Some(self.store.inner.epoch.acquire()) } else { None };
+        let guard = guard.or(own.as_ref()).expect("some guard");
         let size = record::MergeRecord::size::<K, V>() as u32;
-        let addr = self.store.inner.log.allocate(size, &guard);
+        let addr = self.store.inner.log.try_allocate(size, guard)?;
         let p = self.store.inner.log.get(addr).expect("fresh tail allocation is resident");
         let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
-        rec.init_header(record::RecordHeader::new(a).with(record::MERGE_BIT));
+        rec.init_header(record::RecordHeader::new(Address::INVALID).with(record::MERGE_BIT));
+        unsafe { record::MergeRecord::set_second_address(p, Address::INVALID) };
+        Some(addr)
+    }
+
+    fn set_merge_meta(&self, meta: Address, a: Address, b: Address) {
+        let p = self.store.inner.log.get(meta).expect("merge meta is resident");
+        let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
+        rec.set_prev(a);
         unsafe { record::MergeRecord::set_second_address(p, b) };
-        addr
     }
 }
 

@@ -1144,7 +1144,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// nothing is outstanding.
     pub fn complete_pending(&self, wait: bool) -> Vec<CompletedOp<F::Output>> {
         let mut done = Vec::new();
+        let mut backoff = faster_util::Backoff::new();
         loop {
+            let done_before = done.len();
             // Fuzzy retries: by the time we're called again, the offending
             // address is usually below safe-read-only and takes the RCU path.
             let n_retries = self.retries.borrow().len();
@@ -1194,8 +1196,15 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             if !wait || self.outstanding.get() == 0 {
                 break;
             }
+            if done.len() > done_before {
+                backoff.reset();
+            }
+            // Waiting on I/O threads: refresh (epoch triggers must keep
+            // firing) and back off exponentially instead of hot-looping —
+            // on a loaded single-core host a yield-only spin starves the
+            // very I/O completion it waits for.
             self.refresh();
-            std::thread::yield_now();
+            backoff.snooze();
         }
         done
     }

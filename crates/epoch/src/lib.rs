@@ -182,6 +182,21 @@ impl Epoch {
         self.update_safe_and_drain(safe);
     }
 
+    /// Recomputes the safe epoch from the table and runs any trigger actions
+    /// that have become safe — without requiring the caller to hold a guard.
+    ///
+    /// Guarded threads get this for free from [`EpochGuard::refresh`]. A
+    /// *guardless* waiter (e.g. a sessionless resize helper waiting for an
+    /// epoch-gated phase flip) must still be able to drive pending actions:
+    /// if every guard was dropped right after a `bump_with`, nobody is left
+    /// to notice the epoch became safe, and the waiter would spin on a
+    /// transition only it can trigger. Calling `drive()` in the wait loop
+    /// closes that hole.
+    pub fn drive(&self) {
+        let safe = self.compute_safe();
+        self.update_safe_and_drain(safe);
+    }
+
     /// Number of registered-but-not-yet-run trigger actions.
     pub fn pending_actions(&self) -> usize {
         self.inner.drain.len()

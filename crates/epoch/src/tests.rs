@@ -233,3 +233,27 @@ fn guard_slots_are_reused_across_threads() {
     }
     assert_eq!(e.active_threads(), 0);
 }
+
+#[test]
+fn drive_fires_actions_without_a_guard() {
+    let e = Epoch::new(4);
+    let fired = Arc::new(AtomicU32::new(0));
+    // While a stale guard is alive, drive() must NOT fire the action.
+    let g = e.acquire();
+    let f = fired.clone();
+    e.bump_with(move || {
+        f.fetch_add(1, Ordering::SeqCst);
+    });
+    e.drive();
+    assert_eq!(fired.load(Ordering::SeqCst), 0, "stale guard keeps action unsafe");
+    drop(g); // drop itself drains — first action fires here
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+    // With no guards at all, a bumped action is drained by a guardless
+    // drive() (the sessionless-resize wait-loop scenario).
+    let f = fired.clone();
+    e.bump_with(move || {
+        f.fetch_add(1, Ordering::SeqCst);
+    });
+    e.drive();
+    assert_eq!(fired.load(Ordering::SeqCst), 2);
+}

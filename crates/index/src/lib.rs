@@ -38,7 +38,7 @@ mod resize;
 pub use bucket::{BucketArray, HashBucket, OverflowPool, ENTRIES_PER_BUCKET};
 pub use checkpoint::IndexCheckpoint;
 pub use entry::{HashBucketEntry, MAX_TAG_BITS};
-pub use resize::RecordAccess;
+pub use resize::{ChunkPins, RecordAccess};
 
 use faster_epoch::{Epoch, EpochGuard};
 use faster_util::{Address, KeyHash, XorShift64};
@@ -181,16 +181,40 @@ impl<'a> EntrySlot<'a> {
 /// without finalizing releases the slot (used when record allocation fails).
 pub struct CreatedEntry<'a> {
     slot: Option<EntrySlot<'a>>,
+    index: &'a HashIndex,
+    /// The table the tentative slot was claimed in, captured for finalize-time
+    /// displacement detection (pointer identity is ABA-safe: retired tables go
+    /// to the graveyard and are never freed while the index lives, so no later
+    /// allocation can reuse this address).
+    array: *const BucketArray,
+    hash: KeyHash,
 }
 
 impl<'a> CreatedEntry<'a> {
     /// Publishes the entry with `addr` and returns the now-visible slot.
+    ///
+    /// Migration skips tentative entries (`collect_entries`), so a tentative
+    /// claim that straddles a resize could be published into an
+    /// already-retired table and silently lost. Claims made while *pinned*
+    /// (prepare phase) or under an epoch guard cannot straddle — the pin
+    /// blocks the freeze and the guard blocks the phase flip until the
+    /// operation completes. A **guardless** claim in the stable phase has
+    /// neither shield, so after publishing we re-check that our table is
+    /// still the active one and, if not, re-publish through the current
+    /// routing state (see `republish_displaced`).
     pub fn finalize(mut self, addr: Address) -> EntrySlot<'a> {
         let slot = self.slot.take().expect("finalize called once");
         debug_assert!(addr.is_valid());
         slot.word
             .store(HashBucketEntry::new(addr, slot.tag, false).0, Ordering::SeqCst);
-        slot
+        if slot._pin.is_some() || std::ptr::eq(self.index.active_array_ptr(), self.array) {
+            // Safe: either no resize moved the table since the claim, or the
+            // claim holds a chunk pin — then the chunk cannot freeze until
+            // the slot (and with it the pin) is dropped, at which point the
+            // now-visible entry is migrated like any other.
+            return slot;
+        }
+        self.index.republish_displaced(self.hash, addr, slot)
     }
 }
 
@@ -556,6 +580,9 @@ impl HashIndex {
             // record address (clearing the tentative bit), or drops to abort.
             return CreateOutcome::Created(CreatedEntry {
                 slot: Some(EntrySlot { word, tag, _pin: pin.take() }),
+                index: self,
+                array,
+                hash,
             });
         }
     }
@@ -583,6 +610,60 @@ impl HashIndex {
     /// Rebuilds an index from a checkpoint (single-threaded recovery path).
     pub fn restore(ckpt: &IndexCheckpoint, max_resize_chunks: usize, epoch: Epoch) -> Self {
         checkpoint::restore(ckpt, max_resize_chunks, epoch)
+    }
+
+    /// Raw pointer to the active table (comparison only — may be stale, or
+    /// even null if a full resize retires the observed version mid-read;
+    /// never dereference).
+    #[inline]
+    fn active_array_ptr(&self) -> *const BucketArray {
+        self.versions[self.status().version].load(Ordering::SeqCst)
+    }
+
+    /// Slow path of [`CreatedEntry::finalize`]: the tentative claim was made
+    /// guardless and unpinned in a table that a concurrent resize has since
+    /// displaced, so the published entry may sit in a retired table (and may
+    /// or may not have been copied by migration, depending on whether the
+    /// migrator scanned the bucket before or after the publish). Make the
+    /// publish stick in the *current* table:
+    ///
+    /// 1. Retract the entry from the displaced table. After this, a migrator
+    ///    that has not yet scanned the bucket can never copy it — so step 2
+    ///    cannot produce a duplicate.
+    /// 2. Re-run the routed insert. `Found` means migration did copy our
+    ///    entry (it carries our address); `Created` means it was skipped —
+    ///    finalize again (recursively validating, in case yet another resize
+    ///    lands).
+    fn republish_displaced<'a>(
+        &'a self,
+        hash: KeyHash,
+        addr: Address,
+        displaced: EntrySlot<'a>,
+    ) -> EntrySlot<'a> {
+        debug_assert!(displaced._pin.is_none(), "pinned claims are never displaced");
+        displaced.word.store(HashBucketEntry::EMPTY.0, Ordering::SeqCst);
+        drop(displaced);
+        loop {
+            match self.find_or_create_tag(hash, None) {
+                CreateOutcome::Found(slot) => {
+                    let cur = slot.load();
+                    if cur.address() == addr {
+                        return slot;
+                    }
+                    // Another guardless inserter of the same (offset, tag)
+                    // raced the same displacement window and published first.
+                    // Mirror record-layer upsert semantics (last writer wins):
+                    // point the entry at our record. The loser's record stays
+                    // allocated but unreachable as a chain head — acceptable
+                    // for the supported guardless users (single-threaded
+                    // recovery/restore paths), documented in DESIGN.md.
+                    if slot.cas(cur, HashBucketEntry::new(addr, slot.tag(), false)).is_ok() {
+                        return slot;
+                    }
+                }
+                CreateOutcome::Created(created) => return created.finalize(addr),
+            }
+        }
     }
 
     pub(crate) fn retire_array(&self, ptr: *mut BucketArray) {

@@ -259,10 +259,11 @@ impl RecordAccess for MockRecords {
     fn set_record_prev(&self, addr: Address, prev: Address) {
         self.recs.read()[&addr.raw()].1.store(prev.raw(), StdOrdering::SeqCst);
     }
-    fn link_disk_tails(&self, a: Address, b: Address) -> Address {
-        let m = Address::new(self.next_meta.fetch_add(64, StdOrdering::SeqCst));
+    fn try_alloc_merge_meta(&self, _guard: Option<&faster_epoch::EpochGuard>) -> Option<Address> {
+        Some(Address::new(self.next_meta.fetch_add(64, StdOrdering::SeqCst)))
+    }
+    fn set_merge_meta(&self, _meta: Address, a: Address, b: Address) {
         self.metas.write().push((a, b));
-        m
     }
 }
 
@@ -594,4 +595,147 @@ fn find_tags_matches_scalar_probes() {
         let got = slot.as_ref().map(|s| s.load().address());
         assert_eq!(got, lookup(&index, *h));
     }
+}
+
+#[test]
+fn claim_intent_refuses_new_pins_and_freeze_waits_for_drain() {
+    // The prioritized-claim pin word (resize module docs): announcing intent
+    // makes the pin count non-increasing; the freeze lands exactly when it
+    // drains to zero; a frozen chunk stays frozen.
+    let pins = ChunkPins::new(2);
+    assert!(pins.try_pin(0));
+    assert!(pins.try_pin(0));
+    assert!(!pins.try_freeze(0), "two pins outstanding");
+    assert!(pins.has_intent(0) && !pins.is_frozen(0));
+    assert!(!pins.try_pin(0), "intent refuses new pins");
+    assert!(pins.try_pin(1), "other chunks unaffected");
+    pins.unpin(0);
+    assert!(!pins.try_freeze(0), "one pin outstanding");
+    pins.unpin(0);
+    assert_eq!(pins.pin_count(0), 0);
+    assert!(pins.try_freeze(0));
+    assert!(pins.is_frozen(0));
+    assert!(!pins.try_freeze(0), "a chunk is won at most once");
+    assert!(!pins.try_pin(0));
+}
+
+#[test]
+fn guardless_tentative_straddling_resizes_is_republished() {
+    // A guardless two-phase insert claims its tentative slot in the stable
+    // phase; a full grow + shrink then completes before the finalize.
+    // Migration skips tentative entries, and after the round trip the active
+    // version number equals the claim-time one again (version ABA) while the
+    // table is a different allocation — finalize-time validation must catch
+    // the displacement by array identity and republish through the routed
+    // path, or the key would be silently lost (the collect_entries audit).
+    let epoch = Epoch::new(16);
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 3, tag_bits: 15, max_resize_chunks: 2 },
+        epoch,
+    );
+    let access = MockRecords::new();
+    for k in 0..24u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        access.add(addr, h, Address::INVALID);
+        insert(&index, h, addr);
+    }
+    let key = (1000u64..)
+        .find(|&k| match index.find_or_create_tag(KeyHash::of_u64(k), None) {
+            CreateOutcome::Created(c) => {
+                drop(c); // abandon the probe claim
+                true
+            }
+            CreateOutcome::Found(_) => false,
+        })
+        .expect("some fresh (offset, tag)");
+    let hash = KeyHash::of_u64(key);
+    let claim_version = index.status().version;
+    let created = match index.find_or_create_tag(hash, None) {
+        CreateOutcome::Created(c) => c,
+        CreateOutcome::Found(_) => unreachable!("probed above"),
+    };
+
+    assert!(index.grow(access.clone(), None));
+    assert!(index.shrink(access.clone(), None));
+    assert_eq!(index.k_bits(), 3);
+    assert_eq!(index.status().version, claim_version, "version ABA is the hard case");
+
+    let addr = Address::new(1 << 20);
+    access.add(addr, hash, Address::INVALID);
+    let slot = created.finalize(addr);
+    assert_eq!(slot.load().address(), addr, "republished slot reflects the record");
+    drop(slot);
+    assert!(
+        chain_addresses(&index, &access, hash).contains(&addr),
+        "straddling tentative insert must survive the resize round trip"
+    );
+    // And nothing else was lost or duplicated.
+    for k in 0..24u64 {
+        let h = KeyHash::of_u64(k);
+        assert!(
+            chain_addresses(&index, &access, h).contains(&Address::new(64 + k * 64)),
+            "preloaded key {k} lost"
+        );
+    }
+}
+
+#[test]
+fn prepare_phase_pin_blocks_freeze_until_insert_completes() {
+    // A pinned (prepare-phase) two-phase insert needs no finalize-time
+    // repair: its chunk pin blocks the freeze, so migration waits for the
+    // insert. Verified end to end: with the single migration chunk pinned by
+    // an in-flight insert, grow cannot finish; releasing the slot lets the
+    // announced freeze land and the grow completes with the key migrated.
+    let epoch = Epoch::new(16);
+    let index = HashIndex::new(
+        IndexConfig { k_bits: 3, tag_bits: 15, max_resize_chunks: 1 },
+        epoch.clone(),
+    );
+    let access = MockRecords::new();
+    for k in 0..8u64 {
+        let h = KeyHash::of_u64(k);
+        let addr = Address::new(64 + k * 64);
+        access.add(addr, h, Address::INVALID);
+        insert(&index, h, addr);
+    }
+    // A stale guard holds the prepare->resizing flip until we refresh it.
+    let gate = epoch.acquire();
+    let grow_done = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let gd = grow_done.clone();
+        let (index_ref, grow_access) = (&index, access.clone());
+        let grower = s.spawn(move || {
+            assert!(index_ref.grow(grow_access, None));
+            gd.store(true, StdOrdering::SeqCst);
+        });
+        while index.status().phase != Phase::Prepare {
+            std::thread::yield_now();
+        }
+        // Claim a tentative entry during prepare: the claim pins the (only)
+        // migration chunk.
+        let hash = KeyHash::of_u64(4242);
+        let created = match index.find_or_create_tag(hash, None) {
+            CreateOutcome::Created(c) => c,
+            CreateOutcome::Found(_) => panic!("fresh key"),
+        };
+        // Unblock the flip and wait for the resizing phase.
+        gate.refresh();
+        while index.status().phase != Phase::Resizing {
+            gate.refresh();
+            std::thread::yield_now();
+        }
+        // The freeze is announced but cannot land while our pin is held.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!grow_done.load(StdOrdering::SeqCst), "grow must wait for the pinned insert");
+        assert_eq!(index.status().phase, Phase::Resizing);
+        // Publish and release: the pin drains, the freeze lands, grow finishes.
+        let addr = Address::new(1 << 21);
+        access.add(addr, hash, Address::INVALID);
+        drop(created.finalize(addr));
+        grower.join().unwrap();
+        assert_eq!(index.status().phase, Phase::Stable);
+        assert_eq!(index.k_bits(), 4);
+        assert!(chain_addresses(&index, &access, hash).contains(&addr));
+    });
 }

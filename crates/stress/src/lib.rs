@@ -1,0 +1,287 @@
+//! # faster-stress
+//!
+//! A deterministic concurrency stress harness in the spirit of `loom` /
+//! `shuttle`, but dependency-free (this workspace builds offline). Instead of
+//! intercepting atomics, the harness runs *virtual threads* — closures that
+//! perform one bounded protocol step per call — under a seeded cooperative
+//! [`Scheduler`]. Because every interleaving decision comes from the seed (or
+//! from a replayed script), a failing schedule is a pure value: it can be
+//! printed, [shrunk](shrink_schedule) to a minimal reproducer with ddmin, and
+//! replayed forever as a regression test.
+//!
+//! This is how the index-resize livelock (Appendix B claim protocol; see
+//! `faster-index`'s resize module) is kept fixed: the regression test drives
+//! the *legacy* freeze rule (`CAS 0 → −∞`, no claim intent) and the
+//! production [`faster_index::ChunkPins`] protocol under identical replayed
+//! schedules, asserting the former starves and the latter completes.
+//!
+//! ## Model
+//!
+//! * A **virtual thread** is `FnMut() -> Step`. Each call performs one step
+//!   and reports [`Step::Progress`] (did real work), [`Step::Stalled`]
+//!   (spinning/waiting on another thread), or [`Step::Done`].
+//! * The [`Scheduler`] repeatedly picks one live thread — scripted choices
+//!   first, then seeded-random — and steps it, recording the choice in a
+//!   trace, until every thread is done or a step budget is exhausted.
+//! * Budget exhaustion with live threads is how a livelock manifests: the
+//!   report says which threads were still live and how little progress each
+//!   made.
+//!
+//! Virtual threads run on the *caller's* OS thread, one at a time — data
+//! races are impossible by construction and every run with the same seed,
+//! script, and budget is bit-identical. The price is that only schedules at
+//! protocol-step granularity are explored (not instruction interleavings);
+//! steps should therefore be kept as small as the protocol allows.
+
+use faster_util::XorShift64;
+
+/// What one virtual-thread step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Real work happened (resets livelock suspicion for this thread).
+    Progress,
+    /// The thread is waiting on another thread (spin/backoff iteration).
+    Stalled,
+    /// The thread finished; it will not be scheduled again.
+    Done,
+}
+
+/// A virtual thread: performs one bounded protocol step per call.
+pub type VThread<'a> = Box<dyn FnMut() -> Step + 'a>;
+
+/// Why a [`Scheduler::run`] ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every virtual thread reported [`Step::Done`].
+    Completed,
+    /// The step budget ran out with these threads still live — the harness's
+    /// definition of a livelock/starvation failure.
+    BudgetExhausted { live: Vec<usize> },
+}
+
+/// The result of one scheduled run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub outcome: Outcome,
+    /// Total steps executed.
+    pub steps: usize,
+    /// The schedule: which thread was chosen at each step. Feed back into
+    /// [`Scheduler::replay`] to reproduce the run exactly.
+    pub trace: Vec<usize>,
+    /// Per-thread count of [`Step::Progress`] steps.
+    pub progress: Vec<usize>,
+}
+
+impl Report {
+    /// True if the run ended with live threads (budget exhausted).
+    pub fn starved(&self) -> bool {
+        matches!(self.outcome, Outcome::BudgetExhausted { .. })
+    }
+}
+
+/// A deterministic cooperative scheduler over virtual threads.
+pub struct Scheduler {
+    rng: XorShift64,
+    script: Vec<usize>,
+    pos: usize,
+}
+
+impl Scheduler {
+    /// Fully seeded-random scheduling.
+    pub fn from_seed(seed: u64) -> Self {
+        // XorShift64 must not be seeded with 0.
+        Self { rng: XorShift64::new(seed | 1), script: Vec::new(), pos: 0 }
+    }
+
+    /// Follows `script` (a trace from a previous [`Report`]) verbatim, then
+    /// falls back to seeded-random choices if the run outlives the script.
+    /// A scripted choice naming a finished (or out-of-range) thread is
+    /// remapped deterministically onto the live set, so shrunk scripts stay
+    /// meaningful.
+    pub fn replay(script: &[usize], tail_seed: u64) -> Self {
+        Self { rng: XorShift64::new(tail_seed | 1), script: script.to_vec(), pos: 0 }
+    }
+
+    fn choose(&mut self, live: &[usize]) -> usize {
+        debug_assert!(!live.is_empty());
+        if self.pos < self.script.len() {
+            let want = self.script[self.pos];
+            self.pos += 1;
+            if live.contains(&want) {
+                want
+            } else {
+                live[want % live.len()]
+            }
+        } else {
+            live[self.rng.next_below(live.len() as u64) as usize]
+        }
+    }
+
+    /// Runs the virtual threads until all are done or `budget` steps elapse.
+    pub fn run(&mut self, threads: &mut [VThread<'_>], budget: usize) -> Report {
+        let n = threads.len();
+        let mut live: Vec<usize> = (0..n).collect();
+        let mut progress = vec![0usize; n];
+        let mut trace = Vec::new();
+        let mut steps = 0usize;
+        while !live.is_empty() && steps < budget {
+            let tid = self.choose(&live);
+            trace.push(tid);
+            steps += 1;
+            match threads[tid]() {
+                Step::Progress => progress[tid] += 1,
+                Step::Stalled => {}
+                Step::Done => live.retain(|&t| t != tid),
+            }
+        }
+        let outcome = if live.is_empty() {
+            Outcome::Completed
+        } else {
+            Outcome::BudgetExhausted { live }
+        };
+        Report { outcome, steps, trace, progress }
+    }
+}
+
+/// Minimizes a failing schedule with ddmin (delta debugging): repeatedly
+/// removes chunks of the trace while `fails` keeps returning true for the
+/// remainder. `fails` must rebuild its virtual threads and replay the
+/// candidate script from scratch on every call (the harness guarantees
+/// replays are deterministic, so the predicate is too).
+///
+/// Returns a (locally) 1-minimal script: removing any single remaining chunk
+/// of the final granularity makes the failure disappear.
+pub fn shrink_schedule(trace: &[usize], mut fails: impl FnMut(&[usize]) -> bool) -> Vec<usize> {
+    let mut current: Vec<usize> = trace.to_vec();
+    debug_assert!(fails(&current), "shrink_schedule needs a failing input");
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<usize> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .copied()
+                .collect();
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Re-test from the start at the same granularity.
+                start = 0;
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Searches seeds for one whose run fails `check`; returns the first failing
+/// seed with its report. Drives CI-style seed sweeps.
+pub fn find_failure(
+    seeds: impl IntoIterator<Item = u64>,
+    mut run: impl FnMut(u64) -> Report,
+    mut is_failure: impl FnMut(&Report) -> bool,
+) -> Option<(u64, Report)> {
+    for seed in seeds {
+        let report = run(seed);
+        if is_failure(&report) {
+            return Some((seed, report));
+        }
+    }
+    None
+}
+
+/// The seed range for this process: `FASTER_STRESS_SEED_BASE ..
+/// FASTER_STRESS_SEED_BASE + FASTER_STRESS_SEEDS`, defaulting to
+/// `0 .. default_count`. CI shards the sweep by setting the base per job.
+pub fn seed_range_from_env(default_count: u64) -> std::ops::Range<u64> {
+    let base = std::env::var("FASTER_STRESS_SEED_BASE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let count = std::env::var("FASTER_STRESS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_count);
+    base..base + count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mk = || {
+            let counts: Vec<Cell<usize>> = (0..3).map(|_| Cell::new(0)).collect();
+            let mut sched = Scheduler::from_seed(42);
+            let mut threads: Vec<VThread<'_>> = counts
+                .iter()
+                .map(|c| {
+                    Box::new(move || {
+                        c.set(c.get() + 1);
+                        if c.get() >= 10 {
+                            Step::Done
+                        } else {
+                            Step::Progress
+                        }
+                    }) as VThread<'_>
+                })
+                .collect();
+            let report = sched.run(&mut threads, 1000);
+            drop(threads);
+            (report.trace, counts.iter().map(Cell::get).collect::<Vec<_>>())
+        };
+        let (t1, c1) = mk();
+        let (t2, c2) = mk();
+        assert_eq!(t1, t2);
+        assert_eq!(c1, c2);
+        assert_eq!(c1, vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn replay_reproduces_and_remaps() {
+        let script = vec![0, 1, 2, 7, 1, 0];
+        let mut sched = Scheduler::replay(&script, 9);
+        let hits = Cell::new(0usize);
+        let mut threads: Vec<VThread<'_>> = (0..2)
+            .map(|_| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.set(hits.get() + 1);
+                    if hits.get() >= 6 {
+                        Step::Done
+                    } else {
+                        Step::Progress
+                    }
+                }) as VThread<'_>
+            })
+            .collect();
+        let report = sched.run(&mut threads, 100);
+        // Choices 2 and 7 are out of range and remap onto the live set; the
+        // run is still fully deterministic and completes.
+        assert_eq!(report.trace.len(), report.steps);
+        assert!(!report.starved());
+    }
+
+    #[test]
+    fn shrink_finds_minimal_script() {
+        // Failure predicate: the script schedules thread 1 at least twice.
+        let fails =
+            |script: &[usize]| script.iter().filter(|&&t| t == 1).count() >= 2;
+        let noisy: Vec<usize> = vec![0, 0, 1, 0, 2, 2, 1, 0, 1, 2, 0, 1];
+        let minimal = shrink_schedule(&noisy, |s| fails(s));
+        assert_eq!(minimal, vec![1, 1]);
+    }
+}

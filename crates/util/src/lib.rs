@@ -12,12 +12,17 @@
 //!   used by the batched-operation pipeline to overlap independent misses.
 //! * [`rng`] — a tiny, dependency-free xorshift generator for hot paths where
 //!   pulling in `rand` would be overkill (e.g. insert back-off jitter).
+//! * [`backoff`] — exponential spin/yield/sleep backoff for slow-path wait
+//!   loops (resize migration waits, I/O completion waits).
 //!
-//! Everything in this crate is `no_std`-shaped in spirit (no I/O, no locks) and
-//! is used from latch-free code, so nothing here may block.
+//! Everything in this crate is `no_std`-shaped in spirit (no I/O, no locks)
+//! and is used from latch-free code, so nothing here may block — with the one
+//! documented exception of [`backoff::Backoff::snooze`], which is exclusively
+//! for slow-path waits.
 
 pub mod address;
 pub mod align;
+pub mod backoff;
 pub mod hash;
 pub mod pod;
 pub mod prefetch;
@@ -25,6 +30,7 @@ pub mod rng;
 
 pub use address::Address;
 pub use align::{align_down, align_up, CacheAligned, CACHE_LINE_SIZE};
+pub use backoff::Backoff;
 pub use hash::{hash_bytes, hash_keys, hash_u64, KeyHash};
 pub use pod::{bytes_of, pod_from_bytes, Pod};
 pub use prefetch::{prefetch_read, prefetch_write};

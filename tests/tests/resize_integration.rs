@@ -7,6 +7,7 @@ use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
 use faster_integration_tests::read_blocking;
 use faster_storage::MemDevice;
+use proptest::prelude::*;
 use std::sync::{Arc, Barrier};
 
 fn cfg() -> FasterKvConfig {
@@ -77,26 +78,38 @@ fn grow_during_concurrent_traffic() {
                 let session = store.start_session();
                 let mut rng = faster_util::XorShift64::new(t + 77);
                 barrier.wait();
-                // Bounded loop: unbounded traffic starves the resizer on a
-                // single-core host (each op re-pins migration chunks, and
-                // the spinning workers monopolize the CPU), turning this
-                // test into a livelock. The bound keeps traffic flowing
-                // through the grow on any real machine while guaranteeing
-                // the workers eventually drain and let migration finish.
-                let mut iters = 0u64;
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) && iters < 200_000 {
+                // Unbounded: workers hammer the store until told to stop.
+                // The resize must finish *under* this traffic — prioritized
+                // chunk claims guarantee the migrator drains pins in bounded
+                // time, even when saturated ops share a single core.
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     let k = rng.next_below(2000);
                     session.upsert(&k, &k);
                     let _ = session.read(&k, &0);
                     session.complete_pending(false);
-                    iters += 1;
                 }
                 session.complete_pending(true);
             })
         })
         .collect();
     barrier.wait();
-    assert!(store.grow_index(None), "grow while traffic flows");
+    // Run the grow on its own thread so the test can hold it to a wall-clock
+    // deadline while the workers keep running at full rate.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let grower = {
+        let store = store.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send(store.grow_index(None));
+        })
+    };
+    match rx.recv_timeout(std::time::Duration::from_secs(60)) {
+        Ok(ok) => assert!(ok, "grow while traffic flows"),
+        Err(_) => panic!(
+            "grow did not complete within 60s under unbounded worker traffic — \
+             resize claim-priority regression (migration starved by op pins)"
+        ),
+    }
+    grower.join().unwrap();
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     for w in workers {
         w.join().unwrap();
@@ -104,5 +117,114 @@ fn grow_during_concurrent_traffic() {
     let session = store.start_session();
     for k in (0..2000u64).step_by(11) {
         assert_eq!(read_blocking(&session, k), Some(k), "key {k}");
+    }
+}
+
+#[test]
+fn shrink_during_concurrent_traffic() {
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(2));
+    {
+        let s = store.start_session();
+        for k in 0..2000u64 {
+            s.upsert(&k, &(k + 3));
+        }
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(3));
+    let workers: Vec<_> = (0..2u64)
+        .map(|t| {
+            let store = store.clone();
+            let stop = stop.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let session = store.start_session();
+                let mut rng = faster_util::XorShift64::new(t + 177);
+                barrier.wait();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let k = rng.next_below(2000);
+                    session.upsert(&k, &(k + 3));
+                    let _ = session.read(&k, &0);
+                    session.complete_pending(false);
+                }
+                session.complete_pending(true);
+            })
+        })
+        .collect();
+    barrier.wait();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let shrinker = {
+        let store = store.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send(store.shrink_index(None));
+        })
+    };
+    match rx.recv_timeout(std::time::Duration::from_secs(60)) {
+        Ok(ok) => assert!(ok, "shrink while traffic flows"),
+        Err(_) => panic!(
+            "shrink did not complete within 60s under unbounded worker traffic — \
+             resize claim-priority regression (migration starved by op pins)"
+        ),
+    }
+    shrinker.join().unwrap();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let session = store.start_session();
+    for k in (0..2000u64).step_by(11) {
+        assert_eq!(read_blocking(&session, k), Some(k + 3), "key {k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Grow → shrink → grow round-trips with disk-resident tails preserve
+    /// every key. Each resize re-threads hash chains whose tails live on
+    /// disk (`link_disk_tails` on grow, merge meta-records on shrink), and
+    /// writes between the resizes chain fresh mutable records onto those
+    /// re-threaded tails — the combination that loses keys if any migration
+    /// step drops or mislinks an entry.
+    #[test]
+    fn grow_shrink_grow_round_trip_preserves_keys(
+        keys in proptest::collection::vec((0u64..4_096, any::<u64>()), 50..300),
+        update_stride in 1u64..7,
+    ) {
+        let store: FasterKv<u64, u64, CountStore> =
+            FasterKv::new(cfg(), CountStore, MemDevice::new(2));
+        let session = store.start_session();
+        let mut model = std::collections::HashMap::new();
+        // Filler volume guarantees chains spill to disk regardless of how
+        // few random keys this case drew.
+        for k in 10_000..12_500u64 {
+            session.upsert(&k, &k);
+            model.insert(k, k);
+        }
+        for &(k, v) in &keys {
+            session.upsert(&k, &v);
+            model.insert(k, v);
+        }
+        store.log().flush_barrier();
+        prop_assert!(store.log().head_address().raw() > 0, "chains must reach disk");
+
+        let k0 = store.index().k_bits();
+        prop_assert!(store.grow_index(Some(&session)));
+        // Mutate between resizes: new in-memory records now chain onto the
+        // grow-re-threaded disk tails.
+        for (i, &(k, _)) in keys.iter().enumerate() {
+            if (i as u64).is_multiple_of(update_stride) {
+                let v2 = model[&k].wrapping_add(1);
+                session.upsert(&k, &v2);
+                model.insert(k, v2);
+            }
+        }
+        prop_assert!(store.shrink_index(Some(&session)));
+        store.log().flush_barrier();
+        prop_assert!(store.grow_index(Some(&session)));
+        prop_assert_eq!(store.index().k_bits(), k0 + 1);
+
+        for (&k, &v) in &model {
+            prop_assert_eq!(read_blocking(&session, k), Some(v), "key {} after round trip", k);
+        }
     }
 }
