@@ -546,7 +546,7 @@ pub fn drain_reads<V: Pod, F: Functions<u64, V>>(
         .into_iter()
         .filter_map(|op| match op {
             CompletedOp::Read { id, result } => Some((id, result)),
-            CompletedOp::Rmw { .. } => None,
+            CompletedOp::Rmw { .. } | CompletedOp::Failed { .. } => None,
         })
         .collect()
 }

@@ -48,36 +48,50 @@ pub struct CheckpointData {
 }
 
 impl CheckpointData {
-    /// Serializes: magic | t1 | t2 | begin | index-bytes-len | index bytes.
+    /// Serializes: magic | t1 | t2 | begin | index-bytes-len | index bytes |
+    /// checksum. The trailing checksum covers every preceding byte, so any
+    /// torn write, truncation, or bit rot of a persisted checkpoint is
+    /// detected at [`CheckpointData::from_bytes`] instead of silently
+    /// recovering a corrupt store.
     pub fn to_bytes(&self) -> Vec<u8> {
         let idx = self.index.to_bytes();
-        let mut out = Vec::with_capacity(40 + idx.len());
+        let mut out = Vec::with_capacity(48 + idx.len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&self.t1.raw().to_le_bytes());
         out.extend_from_slice(&self.t2.raw().to_le_bytes());
         out.extend_from_slice(&self.begin.raw().to_le_bytes());
         out.extend_from_slice(&(idx.len() as u64).to_le_bytes());
         out.extend_from_slice(&idx);
+        let sum = faster_util::hash_bytes(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
+    /// Parses serialized checkpoint bytes. Returns `None` — never panics,
+    /// never a partially-parsed value — on any structural problem or
+    /// checksum mismatch.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < 40 {
+        if bytes.len() < 48 {
             return None;
         }
-        let rd = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().ok().unwrap());
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(sum_bytes.try_into().ok()?);
+        if faster_util::hash_bytes(body) != stored {
+            return None;
+        }
+        let rd = |i: usize| u64::from_le_bytes(body[i..i + 8].try_into().ok().unwrap());
         if rd(0) != MAGIC {
             return None;
         }
         let len = rd(32) as usize;
-        if bytes.len() != 40 + len {
+        if body.len() != 40 + len {
             return None;
         }
         Some(Self {
-            t1: Address::new(rd(8)),
-            t2: Address::new(rd(16)),
-            begin: Address::new(rd(24)),
-            index: IndexCheckpoint::from_bytes(&bytes[40..])?,
+            t1: Address::new(rd(8) & Address::MASK),
+            t2: Address::new(rd(16) & Address::MASK),
+            begin: Address::new(rd(24) & Address::MASK),
+            index: IndexCheckpoint::from_bytes(&body[40..])?,
         })
     }
 }

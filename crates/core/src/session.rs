@@ -43,7 +43,19 @@ pub enum RmwResult {
 pub enum CompletedOp<O> {
     Read { id: u64, result: Option<O> },
     Rmw { id: u64 },
+    /// The operation's I/O failed transiently ([`faster_storage::IoError::Failed`])
+    /// and exhausted its bounded retry budget. The store was **not** mutated
+    /// and the key was **not** declared absent — the caller may re-issue the
+    /// operation once the device recovers. (A GC-truncated record, by
+    /// contrast, genuinely means "key absent" and completes as
+    /// `Read { result: None }` / `Rmw`.)
+    Failed { id: u64, error: faster_storage::IoError },
 }
+
+/// Bounded retry budget for transiently failed I/O (device errors, not
+/// GC truncation). Retries pace themselves with [`faster_util::Backoff`];
+/// past the budget the op completes as [`CompletedOp::Failed`].
+const MAX_IO_RETRIES: u32 = 8;
 
 /// One operation of a heterogeneous batch ([`Session::execute_batch`]).
 #[derive(Debug, Clone)]
@@ -117,6 +129,8 @@ struct PendingOp<K, V, I> {
     acc: Option<V>,
     /// Alternate chains still to search (merge meta-records).
     fallbacks: Vec<Address>,
+    /// Transient-I/O-failure retries consumed so far (see [`MAX_IO_RETRIES`]).
+    attempts: u32,
 }
 
 /// One completed I/O: the pending context plus the record bytes (or error).
@@ -393,6 +407,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             entry_addr: Address::INVALID,
             acc,
             fallbacks,
+            attempts: 0,
         };
         let queue = self.io_done.clone();
         self.store.inner.log.read_async(
@@ -1098,6 +1113,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             entry_addr: Address::INVALID,
             acc: None,
             fallbacks: Vec::new(),
+            attempts: 0,
         });
         id
     }
@@ -1125,6 +1141,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             entry_addr,
             acc: None,
             fallbacks: Vec::new(),
+            attempts: 0,
         };
         let queue = self.io_done.clone();
         self.store.inner.log.read_async(
@@ -1163,13 +1180,31 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             // iteration — no lock, no per-completion synchronization.
             let mut completions = std::mem::take(&mut *self.io_scratch.borrow_mut());
             self.io_done.drain_into(&mut completions);
-            for (op, res) in completions.drain(..) {
+            for (mut op, res) in completions.drain(..) {
                 self.outstanding.set(self.outstanding.get() - 1);
                 match res {
                     Ok(bytes) => self.continue_io(op, bytes, &mut done),
+                    Err(err @ faster_storage::IoError::Failed(_)) => {
+                        // Transient device error: the record may well still
+                        // be durable, so answering "key absent" here would
+                        // fabricate a loss (and, for RMW, reset the value).
+                        // Retry the same read with bounded backoff; only
+                        // when the budget is exhausted surface a *distinct*
+                        // failure completion that mutates nothing.
+                        if op.attempts < MAX_IO_RETRIES {
+                            op.attempts += 1;
+                            let mut pause = faster_util::Backoff::new();
+                            for _ in 0..op.attempts {
+                                pause.snooze();
+                            }
+                            self.reissue_io(op);
+                        } else {
+                            done.push(CompletedOp::Failed { id: op.id, error: err });
+                        }
+                    }
                     Err(_) => {
-                        // Truncated/failed read: the record is gone (GC) —
-                        // key absent along this path.
+                        // Truncated (log GC) or out-of-range: the record is
+                        // genuinely gone — key absent along this path.
                         match op.kind {
                             PendingKind::Read => {
                                 let r = self.finish_read(&op.key, &op.input, op.acc);
@@ -1341,9 +1376,11 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                 done.push(CompletedOp::Rmw { id });
                             }
                         } else {
-                            // Another hop down the chain.
+                            // Another hop down the chain (fresh address,
+                            // fresh transient-retry budget).
                             op.read_addr = next;
-                            self.reissue_rmw_io(op);
+                            op.attempts = 0;
+                            self.reissue_io(op);
                         }
                     }
                     None => {
@@ -1357,7 +1394,10 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         }
     }
 
-    fn reissue_rmw_io(&self, op: PendingOp<K, V, F::Input>) {
+    /// Re-issues the record read for a pending op (next chain hop, or a
+    /// bounded transient-failure retry of the same address). The op keeps
+    /// its id, kind, and accumulated state.
+    fn reissue_io(&self, op: PendingOp<K, V, F::Input>) {
         self.stats.borrow_mut().io_pending += 1;
         self.outstanding.set(self.outstanding.get() + 1);
         let addr = op.read_addr;

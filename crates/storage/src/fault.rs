@@ -1,0 +1,408 @@
+//! Fault-injection device for crash-consistency testing.
+//!
+//! [`FaultDevice`] wraps any [`Device`] with a *scripted fault plan*: crash
+//! points indexed by write sequence number, torn (prefix-persisted) page
+//! writes, acknowledged-but-dropped flushes, and transient read failures —
+//! the failure modes a real SSD exhibits at power loss (§5.3's async I/O
+//! stack meets an unplugged machine).
+//!
+//! ## Persistence model
+//!
+//! The model is **prefix-persisted at write granularity**: every write the
+//! device accepted before the crash point survives in full, the crash-point
+//! write itself survives only a leading prefix (possibly empty — see
+//! [`TornWrite`]), and nothing after the crash point survives at all. After
+//! the crash the device refuses every further write, read, and barrier with
+//! [`IoError::Failed`], exactly like a controller that dropped off the bus.
+//! The wrapped inner device therefore holds, at all times, *exactly* the
+//! byte image a post-crash recovery would find on disk — recover from it
+//! directly.
+//!
+//! Dropped flushes ([`FaultDevice::drop_write_at`]) model a volatile write
+//! cache that lies: the write is acknowledged `Ok` to the caller but never
+//! reaches the inner device. Transient read faults model bus resets / ECC
+//! hiccups: the scripted read attempt fails with [`IoError::Failed`], while
+//! a retry (a later read sequence number) succeeds.
+//!
+//! Every decision is keyed on a monotone sequence number (writes and reads
+//! counted separately, in submission order), so a fault schedule is a pure
+//! value: seed + crash point fully determine which bytes survive, which is
+//! what lets the recovery test framework sweep crash points and replay any
+//! failure.
+
+use crate::{Device, DeviceStats, IoError, ReadCallback, StatCells, WriteCallback};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How much of the crash-point write survives (the prefix-persisted model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TornWrite {
+    /// The crash-point write persists nothing: the crash hit just before
+    /// the controller touched the medium.
+    #[default]
+    Nothing,
+    /// The crash-point write persists exactly `min(n, len)` leading bytes —
+    /// byte-granular tearing, harsher than real sector-atomic hardware.
+    Bytes(usize),
+    /// The crash-point write persists a whole number of leading sectors,
+    /// chosen deterministically from `seed` and the write sequence number
+    /// (any count in `0..=sectors` is possible). This is the realistic
+    /// sector-atomic torn-write model.
+    SeededSectors { seed: u64 },
+}
+
+/// Deterministic transient read-fault schedule: read sequence number `rsn`
+/// fails iff `mix(seed, rsn) % den < num`. Retries draw fresh sequence
+/// numbers, so a retried read eventually succeeds with probability 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFaultRate {
+    pub seed: u64,
+    pub num: u32,
+    pub den: u32,
+}
+
+impl ReadFaultRate {
+    fn hits(&self, rsn: u64) -> bool {
+        debug_assert!(self.den > 0);
+        let mixed = faster_util::hash_u64(self.seed ^ rsn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        mixed % (self.den as u64) < self.num as u64
+    }
+}
+
+/// The scripted fault plan. Sequence numbers are absolute (0-based, counted
+/// from device creation, in submission order).
+#[derive(Debug, Default)]
+struct FaultPlan {
+    /// Write sequence number at which the device crashes.
+    crash_at_write: Option<u64>,
+    /// Surviving prefix of the crash-point write.
+    torn: TornWrite,
+    /// Writes acknowledged `Ok` but never persisted.
+    drop_writes: HashSet<u64>,
+    /// Individual reads that fail transiently.
+    fail_reads: HashSet<u64>,
+    /// Seeded transient read-fault rate.
+    read_fault: Option<ReadFaultRate>,
+    /// Unconditionally fail this many upcoming reads (parity with
+    /// `MemDevice::fail_next_reads`).
+    fail_next_reads: u32,
+}
+
+enum WriteDecision {
+    Forward,
+    /// Acknowledge `Ok` without persisting.
+    AckDrop,
+    /// Persist a prefix of this many bytes, then crash.
+    Crash(usize),
+    /// Already crashed: refuse.
+    Refuse,
+}
+
+/// A [`Device`] wrapper that injects scripted faults. See module docs for
+/// the persistence model.
+pub struct FaultDevice {
+    inner: Arc<dyn Device>,
+    plan: Mutex<FaultPlan>,
+    wsn: AtomicU64,
+    rsn: AtomicU64,
+    crashed: AtomicBool,
+    stats: StatCells,
+}
+
+impl FaultDevice {
+    /// Wraps `inner` with an empty (fault-free) plan.
+    pub fn wrap(inner: Arc<dyn Device>) -> Arc<Self> {
+        Arc::new(Self {
+            inner,
+            plan: Mutex::new(FaultPlan::default()),
+            wsn: AtomicU64::new(0),
+            rsn: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            stats: StatCells::default(),
+        })
+    }
+
+    /// The wrapped device: after a crash it holds exactly the surviving
+    /// byte image — recover from it directly.
+    pub fn inner(&self) -> Arc<dyn Device> {
+        self.inner.clone()
+    }
+
+    /// Arms a crash at the `after`-th write *from now* (0 = the very next
+    /// write), tearing that write per `torn`.
+    pub fn arm_crash(&self, after: u64, torn: TornWrite) {
+        let mut plan = self.plan.lock();
+        plan.crash_at_write = Some(self.wsn.load(Ordering::SeqCst) + after);
+        plan.torn = torn;
+    }
+
+    /// Scripts the write `after` submissions from now to be acknowledged
+    /// `Ok` but silently dropped (volatile-cache lie).
+    pub fn drop_write_at(&self, after: u64) {
+        self.plan.lock().drop_writes.insert(self.wsn.load(Ordering::SeqCst) + after);
+    }
+
+    /// Scripts the read `after` submissions from now to fail transiently.
+    pub fn fail_read_at(&self, after: u64) {
+        self.plan.lock().fail_reads.insert(self.rsn.load(Ordering::SeqCst) + after);
+    }
+
+    /// Fails the next `n` reads unconditionally (transient).
+    pub fn fail_next_reads(&self, n: u32) {
+        self.plan.lock().fail_next_reads = n;
+    }
+
+    /// Installs (or clears) a seeded transient read-fault rate.
+    pub fn set_read_fault_rate(&self, rate: Option<ReadFaultRate>) {
+        self.plan.lock().read_fault = rate;
+    }
+
+    /// True once the crash point has been hit.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Writes submitted so far (the write-sequence-number frontier).
+    pub fn writes_issued(&self) -> u64 {
+        self.wsn.load(Ordering::SeqCst)
+    }
+
+    /// Reads submitted so far.
+    pub fn reads_issued(&self) -> u64 {
+        self.rsn.load(Ordering::SeqCst)
+    }
+
+    fn decide_write(&self, wsn: u64, len: usize) -> WriteDecision {
+        if self.crashed.load(Ordering::SeqCst) {
+            return WriteDecision::Refuse;
+        }
+        let mut plan = self.plan.lock();
+        match plan.crash_at_write {
+            Some(c) if wsn > c => return WriteDecision::Refuse,
+            Some(c) if wsn == c => {
+                let keep = match plan.torn {
+                    TornWrite::Nothing => 0,
+                    TornWrite::Bytes(n) => n.min(len),
+                    TornWrite::SeededSectors { seed } => {
+                        let sector = self.inner.sector_size().max(1);
+                        let sectors = (len / sector) as u64;
+                        let kept = faster_util::hash_u64(seed ^ wsn) % (sectors + 1);
+                        (kept as usize) * sector
+                    }
+                };
+                return WriteDecision::Crash(keep);
+            }
+            _ => {}
+        }
+        if plan.drop_writes.remove(&wsn) {
+            WriteDecision::AckDrop
+        } else {
+            WriteDecision::Forward
+        }
+    }
+
+    fn decide_read_fault(&self, rsn: u64) -> Option<IoError> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Some(IoError::Failed("device crashed".into()));
+        }
+        let mut plan = self.plan.lock();
+        if plan.fail_next_reads > 0 {
+            plan.fail_next_reads -= 1;
+            return Some(IoError::Failed("injected transient read fault".into()));
+        }
+        if plan.fail_reads.remove(&rsn) {
+            return Some(IoError::Failed("scripted transient read fault".into()));
+        }
+        if let Some(rate) = plan.read_fault {
+            if rate.hits(rsn) {
+                return Some(IoError::Failed("seeded transient read fault".into()));
+            }
+        }
+        None
+    }
+}
+
+impl Device for FaultDevice {
+    fn sector_size(&self) -> usize {
+        self.inner.sector_size()
+    }
+
+    fn write_async(&self, offset: u64, data: Vec<u8>, cb: WriteCallback) {
+        self.stats.record_write(data.len());
+        let wsn = self.wsn.fetch_add(1, Ordering::SeqCst);
+        match self.decide_write(wsn, data.len()) {
+            WriteDecision::Forward => self.inner.write_async(offset, data, cb),
+            WriteDecision::AckDrop => cb(Ok(())),
+            WriteDecision::Crash(keep) => {
+                // Order matters: mark crashed before persisting the torn
+                // prefix so every concurrent submission already refuses.
+                self.crashed.store(true, Ordering::SeqCst);
+                let fail = || Err(IoError::Failed("crash point: torn write".into()));
+                if keep == 0 {
+                    cb(fail());
+                } else {
+                    // The surviving prefix lands on the inner device; the
+                    // caller still sees a failed (unacknowledged) write.
+                    self.inner.write_async(
+                        offset,
+                        data[..keep].to_vec(),
+                        Box::new(move |_| cb(fail())),
+                    );
+                }
+            }
+            WriteDecision::Refuse => cb(Err(IoError::Failed("device crashed".into()))),
+        }
+    }
+
+    fn read_async(&self, offset: u64, len: usize, cb: ReadCallback) {
+        self.stats.record_read(len);
+        let rsn = self.rsn.fetch_add(1, Ordering::SeqCst);
+        match self.decide_read_fault(rsn) {
+            Some(err) => cb(Err(err)),
+            None => self.inner.read_async(offset, len, cb),
+        }
+    }
+
+    fn flush_barrier(&self) {
+        if !self.crashed() {
+            self.inner.flush_barrier();
+        }
+    }
+
+    fn truncate_below(&self, offset: u64) {
+        if !self.crashed() {
+            self.inner.truncate_below(offset);
+        }
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    fn write_blocking(d: &dyn Device, offset: u64, data: Vec<u8>) -> Result<(), IoError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        d.write_async(offset, data, Box::new(move |r| tx.send(r).unwrap()));
+        rx.recv().unwrap()
+    }
+
+    fn read_blocking(d: &dyn Device, offset: u64, len: usize) -> Result<Vec<u8>, IoError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        d.read_async(offset, len, Box::new(move |r| tx.send(r).unwrap()));
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn fault_free_plan_is_transparent() {
+        let inner = MemDevice::new(1);
+        let d = FaultDevice::wrap(inner);
+        write_blocking(&*d, 0, vec![7u8; 256]).unwrap();
+        assert_eq!(read_blocking(&*d, 0, 256).unwrap(), vec![7u8; 256]);
+        assert!(!d.crashed());
+        assert_eq!(d.writes_issued(), 1);
+        assert_eq!(d.reads_issued(), 1);
+        let s = d.stats();
+        assert_eq!((s.writes, s.reads, s.bytes_written, s.bytes_read), (1, 1, 256, 256));
+    }
+
+    #[test]
+    fn crash_point_severs_the_suffix() {
+        let inner = MemDevice::new(1);
+        let d = FaultDevice::wrap(inner.clone());
+        write_blocking(&*d, 0, vec![1u8; 512]).unwrap();
+        d.arm_crash(1, TornWrite::Nothing); // survives: write 1; crashes: write 2
+        write_blocking(&*d, 512, vec![2u8; 512]).unwrap();
+        assert!(write_blocking(&*d, 1024, vec![3u8; 512]).is_err());
+        assert!(d.crashed());
+        assert!(write_blocking(&*d, 1536, vec![4u8; 512]).is_err());
+        // Surviving image: writes 0 and 1 in full, nothing of 2 or 3.
+        assert_eq!(read_blocking(&*inner, 0, 512).unwrap(), vec![1u8; 512]);
+        assert_eq!(read_blocking(&*inner, 512, 512).unwrap(), vec![2u8; 512]);
+        assert!(matches!(
+            read_blocking(&*inner, 1024, 512),
+            Err(IoError::OutOfRange { .. })
+        ));
+        // The crashed device refuses reads too.
+        assert!(matches!(read_blocking(&*d, 0, 8), Err(IoError::Failed(_))));
+    }
+
+    #[test]
+    fn torn_write_persists_exactly_the_prefix() {
+        let inner = MemDevice::new(1);
+        let d = FaultDevice::wrap(inner.clone());
+        write_blocking(&*d, 0, vec![0xAA; 1024]).unwrap();
+        d.arm_crash(0, TornWrite::Bytes(100));
+        assert!(write_blocking(&*d, 0, vec![0xBB; 1024]).is_err());
+        let bytes = read_blocking(&*inner, 0, 1024).unwrap();
+        assert!(bytes[..100].iter().all(|&b| b == 0xBB), "prefix persisted");
+        assert!(bytes[100..].iter().all(|&b| b == 0xAA), "suffix untouched");
+    }
+
+    #[test]
+    fn seeded_sector_tear_is_sector_aligned_and_deterministic() {
+        let keep = |seed: u64| {
+            let inner = MemDevice::new(1);
+            let d = FaultDevice::wrap(inner.clone());
+            write_blocking(&*d, 0, vec![0x11; 4096]).unwrap();
+            d.arm_crash(0, TornWrite::SeededSectors { seed });
+            assert!(write_blocking(&*d, 0, vec![0x22; 4096]).is_err());
+            let bytes = read_blocking(&*inner, 0, 4096).unwrap();
+            let kept = bytes.iter().take_while(|&&b| b == 0x22).count();
+            assert!(bytes[kept..].iter().all(|&b| b == 0x11));
+            assert_eq!(kept % d.sector_size(), 0, "tear must be sector-aligned");
+            kept
+        };
+        for seed in 0..16 {
+            assert_eq!(keep(seed), keep(seed), "same seed, same tear");
+        }
+        assert!((0..16).map(keep).collect::<HashSet<_>>().len() > 1, "seeds vary the tear");
+    }
+
+    #[test]
+    fn dropped_write_acks_but_does_not_persist() {
+        let inner = MemDevice::new(1);
+        let d = FaultDevice::wrap(inner.clone());
+        write_blocking(&*d, 0, vec![5u8; 128]).unwrap();
+        d.drop_write_at(0);
+        write_blocking(&*d, 0, vec![6u8; 128]).unwrap(); // acked Ok, dropped
+        write_blocking(&*d, 128, vec![7u8; 128]).unwrap(); // later write unaffected
+        assert_eq!(read_blocking(&*inner, 0, 128).unwrap(), vec![5u8; 128]);
+        assert_eq!(read_blocking(&*inner, 128, 128).unwrap(), vec![7u8; 128]);
+    }
+
+    #[test]
+    fn scripted_and_rate_read_faults_are_transient() {
+        let inner = MemDevice::new(1);
+        let d = FaultDevice::wrap(inner);
+        write_blocking(&*d, 0, vec![9u8; 64]).unwrap();
+        d.fail_read_at(0);
+        assert!(matches!(read_blocking(&*d, 0, 8), Err(IoError::Failed(_))));
+        assert_eq!(read_blocking(&*d, 0, 8).unwrap(), vec![9u8; 8]);
+        d.fail_next_reads(2);
+        assert!(read_blocking(&*d, 0, 8).is_err());
+        assert!(read_blocking(&*d, 0, 8).is_err());
+        assert!(read_blocking(&*d, 0, 8).is_ok());
+        // An always-failing rate fails every attempt; a zero rate none.
+        d.set_read_fault_rate(Some(ReadFaultRate { seed: 1, num: 1, den: 1 }));
+        assert!(read_blocking(&*d, 0, 8).is_err());
+        d.set_read_fault_rate(Some(ReadFaultRate { seed: 1, num: 0, den: 1 }));
+        assert!(read_blocking(&*d, 0, 8).is_ok());
+        d.set_read_fault_rate(None);
+    }
+
+    #[test]
+    fn read_fault_rate_is_deterministic_per_seed() {
+        let r = ReadFaultRate { seed: 42, num: 1, den: 4 };
+        let pattern: Vec<bool> = (0..64).map(|rsn| r.hits(rsn)).collect();
+        assert_eq!(pattern, (0..64).map(|rsn| r.hits(rsn)).collect::<Vec<_>>());
+        let hits = pattern.iter().filter(|&&b| b).count();
+        assert!(hits > 0 && hits < 40, "rate 1/4 over 64 draws, got {hits}");
+    }
+}

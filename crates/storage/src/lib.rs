@@ -17,15 +17,20 @@
 //!   writes, for runs against an actual filesystem.
 //! * [`NullDevice`] — discards writes and fails reads; used to measure the
 //!   in-memory ceiling of the log without storage costs.
+//! * [`FaultDevice`] — wraps any of the above with a scripted fault plan
+//!   (crash points, torn writes, dropped flushes, transient read faults)
+//!   for the crash-consistency test framework.
 //!
 //! All devices report [`DeviceStats`] (bytes/ops in each direction), which the
 //! benchmark harness uses to measure log growth rate (Fig 12a) and sequential
 //! write bandwidth (§7.3).
 
+mod fault;
 mod file;
 mod mem;
 mod worker;
 
+pub use fault::{FaultDevice, ReadFaultRate, TornWrite};
 pub use file::FileDevice;
 pub use mem::MemDevice;
 

@@ -1,0 +1,229 @@
+//! Crash/recovery fault-injection harness.
+//!
+//! Drives an oracle-tracked workload against a [`FaultDevice`]-wrapped
+//! in-memory device, takes a checkpoint, crashes the device at a scripted
+//! write sequence number (optionally tearing the crash-point write), then
+//! recovers from the checkpoint over the surviving bytes and checks the
+//! CPR-style invariants:
+//!
+//! 1. every operation acknowledged before `checkpoint()` returned is
+//!    readable post-recovery with exactly the oracle's value;
+//! 2. the recovered state is a consistent prefix — keys never written (or
+//!    only written after the checkpoint) are absent, and no key serves a
+//!    torn or stale value;
+//! 3. recovery itself never panics or loops, and the recovered store
+//!    accepts new traffic.
+//!
+//! The sweep is seeded via `FASTER_FAULT_SEED_BASE` / `FASTER_FAULT_SEEDS`
+//! (mirroring the stress crate's `FASTER_STRESS_*` conventions) so CI shards
+//! explore disjoint schedules while any single failure replays from its
+//! printed `(seed, crash_after)` pair.
+
+use faster_core::checkpoint::CheckpointData;
+use faster_core::{CountStore, FasterKv, FasterKvConfig, RmwResult, Session};
+use faster_hlog::HLogConfig;
+use faster_index::IndexConfig;
+use faster_storage::{FaultDevice, MemDevice, TornWrite};
+use faster_util::XorShift64;
+use std::collections::HashMap;
+
+/// Keys the seeded workload draws from. Small enough that most keys see
+/// several updates per run, large enough to span many hash buckets.
+pub const KEYSPACE: u64 = 128;
+
+/// Operations issued before the checkpoint (builds the durable prefix).
+const PHASE1_OPS: u64 = 300;
+
+/// Upper bound on post-checkpoint operations: enough to trigger several
+/// page flushes (and therefore reach any swept crash point), bounded so a
+/// crashed device — whose frozen `flushed_until` eventually wedges
+/// `allocate()` — is never asked for more than a buffer's worth of tail.
+const PHASE2_OPS_MAX: u64 = 3000;
+
+/// Operations issued *after* the crash fires, exercising the refuse-all
+/// path without outrunning the circular buffer.
+const POST_CRASH_OPS: u64 = 48;
+
+/// The seed range for this process: `FASTER_FAULT_SEED_BASE ..
+/// FASTER_FAULT_SEED_BASE + FASTER_FAULT_SEEDS`, defaulting to
+/// `0..default_count`.
+pub fn fault_seed_range(default_count: u64) -> std::ops::Range<u64> {
+    let base = std::env::var("FASTER_FAULT_SEED_BASE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0u64);
+    let count = std::env::var("FASTER_FAULT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_count);
+    base..base + count
+}
+
+/// Small pages so the swept crash points land inside real page-flush
+/// traffic: 1 KiB pages hold ~42 `<u64, u64>` records, so a few hundred
+/// operations cross several page boundaries.
+pub fn harness_cfg() -> FasterKvConfig {
+    FasterKvConfig {
+        index: IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
+        log: HLogConfig { page_bits: 10, buffer_pages: 8, mutable_pages: 6, io_threads: 2 },
+        max_sessions: 16,
+        refresh_interval: 32,
+        read_cache: None,
+    }
+}
+
+/// What a single crash/recovery run observed, for sweep-level assertions.
+#[derive(Debug)]
+pub struct CrashRunReport {
+    /// Whether the armed crash point actually fired (a far crash point may
+    /// sit beyond the writes the bounded phase-2 workload generates).
+    pub crashed: bool,
+    /// Device writes issued by the time the run finished.
+    pub writes_issued: u64,
+    /// Keys in the oracle snapshot at checkpoint time.
+    pub snapshot_keys: usize,
+}
+
+/// One seeded workload step against both the store and the oracle.
+///
+/// Mirrors [`CountStore`] semantics: upsert replaces, RMW adds the input
+/// (initializing to the input for absent keys), delete removes.
+fn apply_op(
+    session: &Session<u64, u64, CountStore>,
+    oracle: &mut HashMap<u64, u64>,
+    rng: &mut XorShift64,
+) {
+    let key = rng.next_u64() % KEYSPACE;
+    match rng.next_u64() % 8 {
+        0..=2 => {
+            let value = rng.next_u64() | 1;
+            session.upsert(&key, &value);
+            oracle.insert(key, value);
+        }
+        3..=4 => {
+            let input = (rng.next_u64() % 1000) + 1;
+            if let RmwResult::Pending(_) = session.rmw(&key, &input) {
+                session.complete_pending(true);
+            }
+            *oracle.entry(key).or_insert(0) += input;
+        }
+        5 => {
+            session.delete(&key);
+            oracle.remove(&key);
+        }
+        _ => {
+            // Churn insert over a wide keyspace: mostly-fresh keys force tail
+            // allocation every time, so the log keeps growing (and flushing)
+            // even once every hot key sits in the in-place-updatable region.
+            // Without this the post-checkpoint tail stalls and the swept
+            // crash points would never see flush traffic.
+            let churn_key = KEYSPACE + (rng.next_u64() % 4096);
+            let value = rng.next_u64() | 1;
+            session.upsert(&churn_key, &value);
+            oracle.insert(churn_key, value);
+        }
+    }
+}
+
+/// Runs one full crash/recovery case and checks every invariant, panicking
+/// with `(seed, crash_after)` context on any violation.
+///
+/// `crash_after` counts device writes from the moment the checkpoint
+/// completes; `torn` selects how much of the crash-point write survives.
+/// When `drop_phase2_write` is set, one post-checkpoint flush before the
+/// crash point is silently dropped (acknowledged but never persisted) —
+/// recovery must not depend on it, since everything it held was post-t2.
+pub fn run_crash_recovery_case(
+    seed: u64,
+    crash_after: u64,
+    torn: TornWrite,
+    drop_phase2_write: bool,
+) -> CrashRunReport {
+    let ctx = format!("seed={seed} crash_after={crash_after} torn={torn:?} drop={drop_phase2_write}");
+    let mem = MemDevice::new(2);
+    let fault = FaultDevice::wrap(mem);
+    let store: FasterKv<u64, u64, CountStore> =
+        FasterKv::new(harness_cfg(), CountStore, fault.clone());
+    let mut rng = XorShift64::new(seed);
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+
+    // Phase 1: build the durable prefix. The session must be dropped before
+    // checkpoint(): the durability wait is epoch-gated and an idle guard on
+    // this thread would stall it.
+    {
+        let session = store.start_session();
+        for _ in 0..PHASE1_OPS {
+            apply_op(&session, &mut oracle, &mut rng);
+        }
+        session.complete_pending(true);
+    }
+    let ckpt = store.checkpoint();
+    let snapshot = oracle.clone();
+
+    // Round-trip the checkpoint through its serialized form, as a real
+    // recovery would read it off durable storage.
+    let ckpt = CheckpointData::from_bytes(&ckpt.to_bytes())
+        .unwrap_or_else(|| panic!("[{ctx}] serialized checkpoint failed to parse"));
+
+    // Phase 2: arm the crash, then churn until it fires (plus a bounded
+    // post-crash tail proving the store degrades without panicking).
+    if drop_phase2_write && crash_after > 0 {
+        fault.drop_write_at(rng.next_u64() % crash_after);
+    }
+    fault.arm_crash(crash_after, torn);
+    {
+        let session = store.start_session();
+        let mut post_crash = 0u64;
+        for _ in 0..PHASE2_OPS_MAX {
+            apply_op(&session, &mut oracle, &mut rng);
+            if fault.crashed() {
+                post_crash += 1;
+                if post_crash > POST_CRASH_OPS {
+                    break;
+                }
+            }
+        }
+        // Pending I/O against the crashed device must drain (bounded
+        // retries turn persistent failures into `CompletedOp::Failed`),
+        // never hang.
+        session.complete_pending(true);
+    }
+    let report = CrashRunReport {
+        crashed: fault.crashed(),
+        writes_issued: fault.writes_issued(),
+        snapshot_keys: snapshot.len(),
+    };
+    drop(store);
+
+    // Recovery: only the bytes the persistence model admits survive on the
+    // inner device. Everything at or past the crash-point write is gone
+    // (save the torn prefix), yet the checkpoint promised nothing past t2.
+    let survivor = fault.inner();
+    let recovered: FasterKv<u64, u64, CountStore> =
+        FasterKv::recover(harness_cfg(), CountStore, survivor, &ckpt);
+    {
+        let session = recovered.start_session();
+        // Check the whole hot keyspace (catching both lost acknowledged
+        // writes *and* resurrected deletes / leaked post-t2 records) plus
+        // every churn key the snapshot promised durable.
+        let mut check: Vec<u64> = (0..KEYSPACE).collect();
+        check.extend(snapshot.keys().copied().filter(|&k| k >= KEYSPACE));
+        for key in check {
+            let got = crate::read_blocking(&session, key);
+            let want = snapshot.get(&key).copied();
+            assert_eq!(
+                got, want,
+                "[{ctx}] post-recovery key {key}: got {got:?}, oracle snapshot has {want:?}"
+            );
+        }
+        // The recovered store must accept and serve new traffic.
+        let probe = KEYSPACE + 7777;
+        session.upsert(&probe, &424_242);
+        assert_eq!(
+            crate::read_blocking(&session, probe),
+            Some(424_242),
+            "[{ctx}] recovered store rejected fresh traffic"
+        );
+    }
+    report
+}

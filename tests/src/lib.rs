@@ -4,6 +4,8 @@
 use faster_core::{CompletedOp, Functions, ReadResult, RmwResult, Session};
 use faster_util::Pod;
 
+pub mod fault_harness;
+
 /// Reads a key, driving the pending path to completion when needed.
 pub fn read_blocking<V: Pod, F>(session: &Session<u64, V, F>, key: u64) -> Option<F::Output>
 where
@@ -15,10 +17,12 @@ where
         ReadResult::Pending(id) => {
             let done = session.complete_pending(true);
             for op in done {
-                if let CompletedOp::Read { id: did, result } = op {
-                    if did == id {
-                        return result;
+                match op {
+                    CompletedOp::Read { id: did, result } if did == id => return result,
+                    CompletedOp::Failed { id: did, error } if did == id => {
+                        panic!("pending read {id} failed after retries: {error}")
                     }
+                    _ => {}
                 }
             }
             panic!("pending read {id} never completed");

@@ -1,6 +1,6 @@
 //! Recovery and failure-injection integration tests (§6.5).
 
-use faster_core::{CountStore, FasterKv, FasterKvConfig, ReadResult};
+use faster_core::{CountStore, FasterKv, FasterKvConfig};
 use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
 use faster_integration_tests::read_blocking;
@@ -102,17 +102,11 @@ fn injected_read_faults_do_not_wedge_sessions() {
     }
     store.log().flush_barrier();
     device.fail_next_reads(1);
-    // A faulted read completes (reported as absent) rather than hanging.
-    match session.read(&7, &0) {
-        ReadResult::Pending(_) => {
-            let done = session.complete_pending(true);
-            assert!(!done.is_empty(), "faulted op must still complete");
-        }
-        ReadResult::Found(v) => assert_eq!(v, 70),
-        ReadResult::NotFound => {}
-    }
+    // A transiently faulted read retries and lands the true value: it must
+    // neither hang nor fabricate a "key absent" answer.
+    assert_eq!(read_blocking(&session, 7), Some(70));
     assert_eq!(session.pending_count(), 0);
-    // The injected fault is consumed; the key is readable again.
+    // The injected fault was consumed; the key stays readable.
     assert_eq!(read_blocking(&session, 7), Some(70));
 }
 

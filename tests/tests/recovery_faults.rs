@@ -1,0 +1,276 @@
+//! Crash-consistency fault-injection tests: torn writes, crash-point
+//! sweeps, transient-error schedules, and recovery invariant checking.
+//!
+//! The sweep is parameterized by `FASTER_FAULT_SEED_BASE` /
+//! `FASTER_FAULT_SEEDS` so CI shards cover disjoint schedules; any failure
+//! prints its `(seed, crash_after, torn, drop)` tuple for local replay.
+
+use faster_core::checkpoint::CheckpointData;
+use faster_core::{CompletedOp, CountStore, FasterKv, ReadResult};
+use faster_integration_tests::fault_harness::{
+    fault_seed_range, harness_cfg, run_crash_recovery_case, KEYSPACE,
+};
+use faster_integration_tests::read_blocking;
+use faster_storage::{Device, FaultDevice, FileDevice, MemDevice, ReadFaultRate, TornWrite};
+use faster_util::Address;
+use proptest::prelude::*;
+
+/// The tentpole sweep: 10 seeds x 10 crash points by default (CI shards
+/// raise the seed count), each run crashing the device mid-flush with a
+/// varied torn-write model and occasionally a dropped (acknowledged but
+/// unpersisted) flush before the crash. Every run must recover to exactly
+/// the oracle snapshot at checkpoint time.
+#[test]
+fn crash_point_sweep_preserves_checkpoint_prefix() {
+    let mut runs = 0u64;
+    let mut fired = 0u64;
+    for seed in fault_seed_range(10) {
+        for i in 0..10u64 {
+            // Crash points fan out across the post-checkpoint flush
+            // traffic; the torn model cycles so every seed exercises
+            // nothing-persisted, byte-torn, and sector-torn crashes.
+            let crash_after = i * 2 + seed % 3;
+            let torn = match (seed + i) % 3 {
+                0 => TornWrite::Nothing,
+                1 => TornWrite::Bytes(((seed.wrapping_mul(31) + i * 7) % 900) as usize),
+                _ => TornWrite::SeededSectors { seed: seed ^ (i << 8) },
+            };
+            let drop_phase2_write = (seed + i) % 4 == 0;
+            let report = run_crash_recovery_case(seed, crash_after, torn, drop_phase2_write);
+            runs += 1;
+            if report.crashed {
+                fired += 1;
+            }
+            assert!(report.snapshot_keys > 0, "seed {seed}: empty oracle snapshot");
+        }
+    }
+    // Crash points are swept over real flush traffic: if most never fire,
+    // the sweep is vacuous (e.g. the workload stopped allocating).
+    assert!(runs >= 100, "sweep ran only {runs} cases");
+    assert!(
+        fired * 2 >= runs,
+        "only {fired}/{runs} crash points fired; sweep is not exercising flush traffic"
+    );
+}
+
+/// Builds a store whose early keys have been evicted to the device, so
+/// reads of them must take the pending I/O path.
+fn evicted_store(
+    device: std::sync::Arc<FaultDevice>,
+) -> FasterKv<u64, u64, CountStore> {
+    let store: FasterKv<u64, u64, CountStore> =
+        FasterKv::new(harness_cfg(), CountStore, device);
+    let session = store.start_session();
+    for k in 0..KEYSPACE {
+        session.upsert(&k, &(k * 10 + 1));
+    }
+    // Push the early records out of the in-memory buffer.
+    for k in 10_000..14_000u64 {
+        session.upsert(&k, &k);
+    }
+    session.complete_pending(true);
+    drop(session);
+    store.log().flush_barrier();
+    store
+}
+
+/// Reads through transient faults by re-issuing on `CompletedOp::Failed`.
+/// Returns the final result; panics only if the op never completes at all.
+fn read_through_faults(
+    session: &faster_core::Session<u64, u64, CountStore>,
+    key: u64,
+) -> Option<u64> {
+    for _ in 0..64 {
+        match session.read(&key, &0) {
+            ReadResult::Found(v) => return Some(v),
+            ReadResult::NotFound => return None,
+            ReadResult::Pending(id) => {
+                let mut failed = false;
+                for op in session.complete_pending(true) {
+                    match op {
+                        CompletedOp::Read { id: did, result } if did == id => return result,
+                        CompletedOp::Failed { id: did, .. } if did == id => failed = true,
+                        _ => {}
+                    }
+                }
+                assert!(failed, "pending read {id} of key {key} vanished");
+            }
+        }
+    }
+    panic!("read of key {key} failed 64 consecutive retry rounds");
+}
+
+/// Satellite regression: a single transient read fault must not surface as
+/// "key absent". Before the bounded-retry fix, `complete_pending` answered
+/// `None` for any `IoError`, silently losing durable data.
+#[test]
+fn transient_read_fault_is_not_key_absent() {
+    let fault = FaultDevice::wrap(MemDevice::new(2));
+    let store = evicted_store(fault.clone());
+    let session = store.start_session();
+    for key in [3u64, 40, 99] {
+        fault.fail_next_reads(1);
+        assert_eq!(
+            read_blocking(&session, key),
+            Some(key * 10 + 1),
+            "one transient fault turned durable key {key} into a false absent"
+        );
+    }
+    // Scripted single-read faults behave identically.
+    fault.fail_read_at(0);
+    assert_eq!(read_blocking(&session, 7), Some(71));
+}
+
+/// A sustained (but probabilistic) fault rate: every read retries through
+/// it and lands the true value — zero false "key absent" answers.
+#[test]
+fn read_fault_rate_never_fabricates_absence() {
+    let fault = FaultDevice::wrap(MemDevice::new(2));
+    let store = evicted_store(fault.clone());
+    fault.set_read_fault_rate(Some(ReadFaultRate { seed: 0xFA17, num: 1, den: 4 }));
+    let session = store.start_session();
+    for key in 0..KEYSPACE {
+        assert_eq!(
+            read_through_faults(&session, key),
+            Some(key * 10 + 1),
+            "key {key} lost under a 1/4 transient read-fault rate"
+        );
+    }
+    assert!(fault.reads_issued() > 0, "workload never touched the device");
+}
+
+/// When faults are persistent the retry budget must exhaust into an
+/// explicit `CompletedOp::Failed` — never a fabricated `Read {{ None }}`.
+#[test]
+fn exhausted_retries_report_failure_not_absence() {
+    let fault = FaultDevice::wrap(MemDevice::new(2));
+    let store = evicted_store(fault.clone());
+    fault.set_read_fault_rate(Some(ReadFaultRate { seed: 1, num: 1, den: 1 }));
+    let session = store.start_session();
+    match session.read(&5, &0) {
+        ReadResult::Found(_) | ReadResult::NotFound => {
+            panic!("key 5 should be disk-resident (pending read)")
+        }
+        ReadResult::Pending(id) => {
+            let done = session.complete_pending(true);
+            assert!(
+                done.iter().any(|op| matches!(
+                    op,
+                    CompletedOp::Failed { id: did, .. } if *did == id
+                )),
+                "persistently failing read must complete as Failed, got {done:?}"
+            );
+            assert!(
+                !done.iter().any(|op| matches!(
+                    op,
+                    CompletedOp::Read { id: did, result: None } if *did == id
+                )),
+                "persistently failing read fabricated a false absent"
+            );
+        }
+    }
+    assert_eq!(session.pending_count(), 0);
+    // Clearing the fault restores the key: nothing was lost.
+    fault.set_read_fault_rate(None);
+    assert_eq!(read_blocking(&session, 5), Some(51));
+}
+
+/// Satellite: real-file checkpoint -> process "death" (drop) -> reopen ->
+/// recover, with `DeviceStats` proving traffic actually hit the file.
+#[test]
+fn file_device_checkpoint_recovery_round_trip() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("faster-recovery-faults-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let ckpt_bytes;
+    {
+        let device = FileDevice::create(&path, 2).expect("create log file");
+        let store: FasterKv<u64, u64, CountStore> =
+            FasterKv::new(harness_cfg(), CountStore, device.clone());
+        {
+            let session = store.start_session();
+            for k in 0..600u64 {
+                session.upsert(&k, &(k * 3 + 1));
+            }
+            session.complete_pending(true);
+        }
+        let ckpt = store.checkpoint();
+        ckpt_bytes = ckpt.to_bytes();
+        let stats = device.stats();
+        assert!(stats.writes > 0, "checkpoint flushed no pages to the file");
+        assert!(
+            stats.bytes_written >= 600 * 24,
+            "flushed {} bytes, less than the records written",
+            stats.bytes_written
+        );
+        drop(store);
+    }
+
+    // "Reboot": reopen the file cold and recover from the serialized
+    // checkpoint alone.
+    let ckpt = CheckpointData::from_bytes(&ckpt_bytes).expect("checkpoint bytes parse");
+    let device = FileDevice::open(&path, 2).expect("reopen log file");
+    assert_eq!(device.stats().reads, 0);
+    let store: FasterKv<u64, u64, CountStore> =
+        FasterKv::recover(harness_cfg(), CountStore, device.clone(), &ckpt);
+    let replay_stats = device.stats();
+    assert!(replay_stats.reads > 0, "recovery replay read nothing from the file");
+    {
+        let session = store.start_session();
+        for k in 0..600u64 {
+            assert_eq!(read_blocking(&session, k), Some(k * 3 + 1), "key {k} after reopen");
+        }
+    }
+    let final_stats = device.stats();
+    assert!(final_stats.bytes_read >= replay_stats.bytes_read);
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Satellite: corruption of serialized checkpoint bytes — truncation at
+    /// any point or any single bit flip — must yield `None` (or, in the
+    /// astronomically unlikely checksum-collision case, the exact original),
+    /// and must never panic or produce a differing checkpoint.
+    #[test]
+    fn corrupted_checkpoint_bytes_never_parse_to_garbage(
+        t1 in 0u64..Address::MASK,
+        span in 0u64..1_000_000,
+        begin in 0u64..Address::MASK,
+        k_bits in 1u8..16,
+        tag_bits in 1u8..15,
+        entries in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..32),
+        cut_raw in any::<u64>(),
+        flip_raw in any::<u64>(),
+    ) {
+        let t2 = t1.saturating_add(span) & Address::MASK;
+        let data = CheckpointData {
+            t1: Address::new(t1),
+            t2: Address::new(t2),
+            begin: Address::new(begin.min(t1)),
+            index: faster_index::IndexCheckpoint { k_bits, tag_bits, entries },
+        };
+        let bytes = data.to_bytes();
+        // Pristine bytes round-trip exactly.
+        prop_assert_eq!(CheckpointData::from_bytes(&bytes).as_ref(), Some(&data));
+
+        // Truncation: every strict prefix is rejected or identical.
+        let cut = (cut_raw % bytes.len() as u64) as usize;
+        match CheckpointData::from_bytes(&bytes[..cut]) {
+            None => {}
+            Some(parsed) => prop_assert_eq!(&parsed, &data, "truncated parse at cut {}", cut),
+        }
+
+        // Single bit flip anywhere: rejected or identical.
+        let mut flipped = bytes.clone();
+        let bit = (flip_raw % (bytes.len() as u64 * 8)) as usize;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        match CheckpointData::from_bytes(&flipped) {
+            None => {}
+            Some(parsed) => prop_assert_eq!(&parsed, &data, "bit flip {} parsed to garbage", bit),
+        }
+    }
+}
