@@ -27,11 +27,56 @@ use crate::{FasterKv, FasterKvConfig, Functions, StoreInner};
 use faster_epoch::Epoch;
 use faster_hlog::{HybridLog, LogScanner};
 use faster_index::{CreateOutcome, HashIndex, IndexCheckpoint};
-use faster_storage::Device;
+use faster_storage::{Device, IoError};
 use faster_util::{Address, Pod};
 use std::sync::Arc;
 
 const MAGIC: u64 = 0x4641_5354_4552_4B56; // "FASTERKV"
+
+/// Why a checkpoint could not be persisted, parsed, or recovered. Typed so
+/// callers (and the fault sweep) can distinguish "the newest generation was
+/// corrupt and recovery fell back" from "nothing on this device is
+/// recoverable".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream is structurally truncated or inconsistent (shorter
+    /// than a header, or its internal lengths disagree with its size): the
+    /// signature of a torn or partially-persisted write.
+    Torn,
+    /// The magic number does not match: these bytes were never a checkpoint
+    /// (or the region was overwritten wholesale).
+    BadMagic,
+    /// The layout is intact but the checksum disagrees: bit rot or a torn
+    /// interior write.
+    ChecksumMismatch,
+    /// The device failed the read or write itself.
+    Io(IoError),
+    /// No manifest slot / generation chain yields a fully-valid checkpoint:
+    /// there is nothing to recover from.
+    NoValidGeneration,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Torn => write!(f, "checkpoint bytes torn or truncated"),
+            CheckpointError::BadMagic => write!(f, "checkpoint magic mismatch"),
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::NoValidGeneration => {
+                write!(f, "no fully-valid checkpoint generation found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<IoError> for CheckpointError {
+    fn from(e: IoError) -> Self {
+        CheckpointError::Io(e)
+    }
+}
 
 /// A completed checkpoint: everything needed to rebuild the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,31 +112,35 @@ impl CheckpointData {
         out
     }
 
-    /// Parses serialized checkpoint bytes. Returns `None` — never panics,
-    /// never a partially-parsed value — on any structural problem or
-    /// checksum mismatch.
-    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+    /// Parses serialized checkpoint bytes. Never panics, never yields a
+    /// partially-parsed value; the error distinguishes truncation/tearing
+    /// from overwrite from bit rot so recovery can report *why* a generation
+    /// was skipped.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         if bytes.len() < 48 {
-            return None;
+            return Err(CheckpointError::Torn);
         }
         let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(sum_bytes.try_into().ok()?);
-        if faster_util::hash_bytes(body) != stored {
-            return None;
-        }
-        let rd = |i: usize| u64::from_le_bytes(body[i..i + 8].try_into().ok().unwrap());
+        let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        let rd = |i: usize| u64::from_le_bytes(body[i..i + 8].try_into().unwrap());
+        // Magic is checked before the checksum: a region that was never a
+        // checkpoint reports BadMagic even though its checksum (of garbage)
+        // also fails.
         if rd(0) != MAGIC {
-            return None;
+            return Err(CheckpointError::BadMagic);
+        }
+        if faster_util::hash_bytes(body) != stored {
+            return Err(CheckpointError::ChecksumMismatch);
         }
         let len = rd(32) as usize;
         if body.len() != 40 + len {
-            return None;
+            return Err(CheckpointError::Torn);
         }
-        Some(Self {
+        Ok(Self {
             t1: Address::new(rd(8) & Address::MASK),
             t2: Address::new(rd(16) & Address::MASK),
             begin: Address::new(rd(24) & Address::MASK),
-            index: IndexCheckpoint::from_bytes(&body[40..])?,
+            index: IndexCheckpoint::from_bytes(&body[40..]).ok_or(CheckpointError::Torn)?,
         })
     }
 }
@@ -147,6 +196,28 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
         }
         inner.log.flush_barrier();
         CheckpointData { t1, t2, begin: inner.log.begin_address(), index }
+    }
+
+    /// Like [`FasterKv::checkpoint`], but verifies that the log flushes the
+    /// checkpoint depends on actually reached the device. A plain
+    /// `checkpoint()` on a failing device "completes" — the flush barrier of
+    /// a crashed device is a silent no-op — and would hand the caller a
+    /// `CheckpointData` whose `[begin, t2)` range is not durable. This
+    /// variant samples the log's flush-failure counter around the checkpoint
+    /// and refuses to return data that the log cannot back.
+    ///
+    /// [`crate::ckpt_manager::CheckpointManager::checkpoint_store`] builds on
+    /// this: a generation is only committed to the manifest once its log
+    /// prefix is known durable.
+    pub fn checkpoint_durable(&self) -> Result<CheckpointData, CheckpointError> {
+        let failures_before = self.inner.log.flush_failures();
+        let data = self.checkpoint();
+        if self.inner.log.flush_failures() != failures_before {
+            return Err(CheckpointError::Io(faster_storage::IoError::Failed(
+                "log flush failed during checkpoint".into(),
+            )));
+        }
+        Ok(data)
     }
 
     /// Rebuilds a store from a checkpoint over the surviving `device`
@@ -236,9 +307,16 @@ mod tests {
         };
         let bytes = data.to_bytes();
         assert_eq!(CheckpointData::from_bytes(&bytes).unwrap(), data);
-        assert!(CheckpointData::from_bytes(&bytes[..20]).is_none());
+        assert_eq!(CheckpointData::from_bytes(&bytes[..20]), Err(CheckpointError::Torn));
+        // Flipping a magic byte reports BadMagic; flipping a payload byte
+        // reports ChecksumMismatch.
         let mut bad = bytes.clone();
         bad[0] ^= 1;
-        assert!(CheckpointData::from_bytes(&bad).is_none());
+        assert_eq!(CheckpointData::from_bytes(&bad), Err(CheckpointError::BadMagic));
+        let mut bad = bytes.clone();
+        bad[9] ^= 1;
+        assert_eq!(CheckpointData::from_bytes(&bad), Err(CheckpointError::ChecksumMismatch));
+        // Any truncation that still leaves a header must also fail.
+        assert!(CheckpointData::from_bytes(&bytes[..bytes.len() - 4]).is_err());
     }
 }

@@ -20,6 +20,12 @@ use faster_util::{Address, Pod};
 
 impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
     /// Expiration-based GC: invalidates everything below `addr`.
+    ///
+    /// When the store is checkpointed through a
+    /// [`crate::ckpt_manager::CheckpointManager`], truncate through
+    /// [`crate::ckpt_manager::CheckpointManager::gc_truncate`] instead: raw
+    /// truncation can climb above the `begin` of a retained checkpoint
+    /// generation and silently destroy its fallback replayability.
     pub fn truncate_until(&self, addr: Address) {
         self.inner.log.shift_begin_address(addr);
     }

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod ckpt_manager;
 mod completion;
 pub mod functions;
 pub mod gc;
@@ -46,6 +47,10 @@ pub mod record;
 pub mod varlen;
 mod session;
 
+pub use checkpoint::{CheckpointData, CheckpointError};
+pub use ckpt_manager::{
+    CheckpointConfig, CheckpointManager, GenerationMeta, RecoveredGeneration,
+};
 pub use functions::{BlindKv, CountStore, Functions, ValueCell};
 pub use inmem::{InMemKv, InMemSession};
 pub use session::{

@@ -153,6 +153,11 @@ struct Inner {
     head: AtomicU64,
     flushed_until: AtomicU64,
     begin: AtomicU64,
+    /// Page-flush device writes that completed with an error. The frontier
+    /// never advances past a failed flush; this counter lets the checkpoint
+    /// path additionally *detect* the failure (an untracked partial-page
+    /// flush stalls nothing, so the counter is the only signal it failed).
+    flush_failures: AtomicU64,
     /// Highest page whose seal actions (read-only/head advance) have run.
     sealed_through: AtomicU64,
     flush_tracker: Mutex<FlushTracker>,
@@ -194,6 +199,7 @@ impl HybridLog {
                 head: AtomicU64::new(0),
                 flushed_until: AtomicU64::new(0),
                 begin: AtomicU64::new(first),
+                flush_failures: AtomicU64::new(0),
                 sealed_through: AtomicU64::new(0),
                 flush_tracker: Mutex::new(FlushTracker::new(0)),
                 evict_hook: Mutex::new(None),
@@ -230,6 +236,7 @@ impl HybridLog {
                 head: AtomicU64::new(resume),
                 flushed_until: AtomicU64::new(resume),
                 begin: AtomicU64::new(begin.raw()),
+                flush_failures: AtomicU64::new(0),
                 sealed_through: AtomicU64::new(resume_page),
                 flush_tracker: Mutex::new(FlushTracker::new(resume_page)),
                 evict_hook: Mutex::new(None),
@@ -281,6 +288,13 @@ impl HybridLog {
     /// Contiguous flush frontier: everything below is durable.
     pub fn flushed_until_address(&self) -> Address {
         Address::new(self.inner.flushed_until.load(Ordering::SeqCst))
+    }
+
+    /// Count of page-flush writes that completed with a device error.
+    /// Monotone; the checkpoint path compares before/after snapshots to
+    /// detect a flush that failed inside its durability window.
+    pub fn flush_failures(&self) -> u64 {
+        self.inner.flush_failures.load(Ordering::SeqCst)
     }
 
     /// Earliest valid address (raised by log GC, Appendix C).
@@ -650,13 +664,20 @@ impl Inner {
             page * page_size,
             data,
             Box::new(move |res| {
-                if res.is_ok() && track {
-                    if let Some(inner) = weak.upgrade() {
-                        inner.flush_complete(page);
+                if let Some(inner) = weak.upgrade() {
+                    match res {
+                        Ok(()) if track => inner.flush_complete(page),
+                        Ok(()) => {}
+                        // A failed flush leaves flushed_until stalled
+                        // (allocation backpressure surfaces the problem
+                        // rather than losing data) and is counted so the
+                        // checkpoint commit path can refuse to declare the
+                        // log durable.
+                        Err(_) => {
+                            inner.flush_failures.fetch_add(1, Ordering::SeqCst);
+                        }
                     }
                 }
-                // A failed flush leaves flushed_until stalled; allocation
-                // backpressure surfaces the problem rather than losing data.
             }),
         );
     }

@@ -24,11 +24,28 @@
 //! hiccups: the scripted read attempt fails with [`IoError::Failed`], while
 //! a retry (a later read sequence number) succeeds.
 //!
-//! Every decision is keyed on a monotone sequence number (writes and reads
-//! counted separately, in submission order), so a fault schedule is a pure
-//! value: seed + crash point fully determine which bytes survive, which is
-//! what lets the recovery test framework sweep crash points and replay any
-//! failure.
+//! Every decision is keyed on a monotone sequence number (writes, reads,
+//! and flush barriers counted separately, in submission order), so a fault
+//! schedule is a pure value: seed + crash point fully determine which bytes
+//! survive, which is what lets the recovery test framework sweep crash
+//! points and replay any failure.
+//!
+//! ## Fault domains
+//!
+//! A power failure takes down every device in the machine at once. When a
+//! store spreads its bytes over more than one device (the HybridLog file
+//! plus the checkpoint manifest/blob file), wrap each in a [`FaultDevice`]
+//! sharing one [`FaultDomain`]: the domain owns a single write/read/flush
+//! sequence space and a single crashed flag, so "crash at the k-th write"
+//! sweeps the *interleaved* write stream of all member devices, and the
+//! crash halts all of them together. [`FaultDevice::wrap`] creates a
+//! private single-device domain, which preserves the original behavior.
+//!
+//! Crashes can also be armed on **flush boundaries**
+//! ([`FaultDomain::arm_crash_at_flush`]): the k-th `flush_barrier` from now
+//! marks the domain crashed — every write acknowledged before it persists,
+//! every operation after it is refused — modelling power loss at the exact
+//! fsync edge of a commit protocol.
 
 use crate::{Device, DeviceStats, IoError, ReadCallback, StatCells, WriteCallback};
 use parking_lot::Mutex;
@@ -72,11 +89,13 @@ impl ReadFaultRate {
 }
 
 /// The scripted fault plan. Sequence numbers are absolute (0-based, counted
-/// from device creation, in submission order).
+/// from domain creation, in submission order).
 #[derive(Debug, Default)]
 struct FaultPlan {
-    /// Write sequence number at which the device crashes.
+    /// Write sequence number at which the domain crashes.
     crash_at_write: Option<u64>,
+    /// Flush-barrier sequence number at which the domain crashes.
+    crash_at_flush: Option<u64>,
     /// Surviving prefix of the crash-point write.
     torn: TornWrite,
     /// Writes acknowledged `Ok` but never persisted.
@@ -100,85 +119,105 @@ enum WriteDecision {
     Refuse,
 }
 
-/// A [`Device`] wrapper that injects scripted faults. See module docs for
-/// the persistence model.
-pub struct FaultDevice {
-    inner: Arc<dyn Device>,
+/// Shared crash state: one plan, one sequence space, one crashed flag for
+/// every [`FaultDevice`] wrapped in it (see module docs, "Fault domains").
+/// Cheap to clone.
+#[derive(Clone)]
+pub struct FaultDomain {
+    state: Arc<DomainState>,
+}
+
+struct DomainState {
     plan: Mutex<FaultPlan>,
     wsn: AtomicU64,
     rsn: AtomicU64,
+    fsn: AtomicU64,
     crashed: AtomicBool,
-    stats: StatCells,
 }
 
-impl FaultDevice {
-    /// Wraps `inner` with an empty (fault-free) plan.
-    pub fn wrap(inner: Arc<dyn Device>) -> Arc<Self> {
-        Arc::new(Self {
-            inner,
-            plan: Mutex::new(FaultPlan::default()),
-            wsn: AtomicU64::new(0),
-            rsn: AtomicU64::new(0),
-            crashed: AtomicBool::new(false),
-            stats: StatCells::default(),
-        })
+impl Default for FaultDomain {
+    fn default() -> Self {
+        Self::new()
     }
+}
 
-    /// The wrapped device: after a crash it holds exactly the surviving
-    /// byte image — recover from it directly.
-    pub fn inner(&self) -> Arc<dyn Device> {
-        self.inner.clone()
+impl FaultDomain {
+    /// A fresh domain with an empty (fault-free) plan.
+    pub fn new() -> Self {
+        Self {
+            state: Arc::new(DomainState {
+                plan: Mutex::new(FaultPlan::default()),
+                wsn: AtomicU64::new(0),
+                rsn: AtomicU64::new(0),
+                fsn: AtomicU64::new(0),
+                crashed: AtomicBool::new(false),
+            }),
+        }
     }
 
     /// Arms a crash at the `after`-th write *from now* (0 = the very next
-    /// write), tearing that write per `torn`.
+    /// write, counted across every device in the domain), tearing that
+    /// write per `torn`.
     pub fn arm_crash(&self, after: u64, torn: TornWrite) {
-        let mut plan = self.plan.lock();
-        plan.crash_at_write = Some(self.wsn.load(Ordering::SeqCst) + after);
+        let mut plan = self.state.plan.lock();
+        plan.crash_at_write = Some(self.state.wsn.load(Ordering::SeqCst) + after);
         plan.torn = torn;
+    }
+
+    /// Arms a crash at the `after`-th flush barrier *from now* (0 = the
+    /// very next barrier). Every write acknowledged before that barrier
+    /// persists in full; the barrier itself and everything after is lost.
+    pub fn arm_crash_at_flush(&self, after: u64) {
+        self.state.plan.lock().crash_at_flush =
+            Some(self.state.fsn.load(Ordering::SeqCst) + after);
     }
 
     /// Scripts the write `after` submissions from now to be acknowledged
     /// `Ok` but silently dropped (volatile-cache lie).
     pub fn drop_write_at(&self, after: u64) {
-        self.plan.lock().drop_writes.insert(self.wsn.load(Ordering::SeqCst) + after);
+        self.state.plan.lock().drop_writes.insert(self.state.wsn.load(Ordering::SeqCst) + after);
     }
 
     /// Scripts the read `after` submissions from now to fail transiently.
     pub fn fail_read_at(&self, after: u64) {
-        self.plan.lock().fail_reads.insert(self.rsn.load(Ordering::SeqCst) + after);
+        self.state.plan.lock().fail_reads.insert(self.state.rsn.load(Ordering::SeqCst) + after);
     }
 
     /// Fails the next `n` reads unconditionally (transient).
     pub fn fail_next_reads(&self, n: u32) {
-        self.plan.lock().fail_next_reads = n;
+        self.state.plan.lock().fail_next_reads = n;
     }
 
     /// Installs (or clears) a seeded transient read-fault rate.
     pub fn set_read_fault_rate(&self, rate: Option<ReadFaultRate>) {
-        self.plan.lock().read_fault = rate;
+        self.state.plan.lock().read_fault = rate;
     }
 
-    /// True once the crash point has been hit.
+    /// True once a crash point has been hit.
     pub fn crashed(&self) -> bool {
-        self.crashed.load(Ordering::SeqCst)
+        self.state.crashed.load(Ordering::SeqCst)
     }
 
-    /// Writes submitted so far (the write-sequence-number frontier).
+    /// Writes submitted so far across the domain.
     pub fn writes_issued(&self) -> u64 {
-        self.wsn.load(Ordering::SeqCst)
+        self.state.wsn.load(Ordering::SeqCst)
     }
 
-    /// Reads submitted so far.
+    /// Reads submitted so far across the domain.
     pub fn reads_issued(&self) -> u64 {
-        self.rsn.load(Ordering::SeqCst)
+        self.state.rsn.load(Ordering::SeqCst)
     }
 
-    fn decide_write(&self, wsn: u64, len: usize) -> WriteDecision {
-        if self.crashed.load(Ordering::SeqCst) {
+    /// Flush barriers issued so far across the domain.
+    pub fn flushes_issued(&self) -> u64 {
+        self.state.fsn.load(Ordering::SeqCst)
+    }
+
+    fn decide_write(&self, wsn: u64, len: usize, sector: usize) -> WriteDecision {
+        if self.crashed() {
             return WriteDecision::Refuse;
         }
-        let mut plan = self.plan.lock();
+        let mut plan = self.state.plan.lock();
         match plan.crash_at_write {
             Some(c) if wsn > c => return WriteDecision::Refuse,
             Some(c) if wsn == c => {
@@ -186,7 +225,7 @@ impl FaultDevice {
                     TornWrite::Nothing => 0,
                     TornWrite::Bytes(n) => n.min(len),
                     TornWrite::SeededSectors { seed } => {
-                        let sector = self.inner.sector_size().max(1);
+                        let sector = sector.max(1);
                         let sectors = (len / sector) as u64;
                         let kept = faster_util::hash_u64(seed ^ wsn) % (sectors + 1);
                         (kept as usize) * sector
@@ -204,10 +243,10 @@ impl FaultDevice {
     }
 
     fn decide_read_fault(&self, rsn: u64) -> Option<IoError> {
-        if self.crashed.load(Ordering::SeqCst) {
+        if self.crashed() {
             return Some(IoError::Failed("device crashed".into()));
         }
-        let mut plan = self.plan.lock();
+        let mut plan = self.state.plan.lock();
         if plan.fail_next_reads > 0 {
             plan.fail_next_reads -= 1;
             return Some(IoError::Failed("injected transient read fault".into()));
@@ -222,6 +261,102 @@ impl FaultDevice {
         }
         None
     }
+
+    /// True when this flush barrier is the crash point (marks the domain
+    /// crashed as a side effect).
+    fn decide_flush_crash(&self, fsn: u64) -> bool {
+        if self.crashed() {
+            return true;
+        }
+        let plan = self.state.plan.lock();
+        match plan.crash_at_flush {
+            Some(c) if fsn >= c => {
+                self.state.crashed.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A [`Device`] wrapper that injects scripted faults. See module docs for
+/// the persistence model.
+pub struct FaultDevice {
+    inner: Arc<dyn Device>,
+    domain: FaultDomain,
+    stats: StatCells,
+}
+
+impl FaultDevice {
+    /// Wraps `inner` with an empty (fault-free) plan in its own private
+    /// fault domain.
+    pub fn wrap(inner: Arc<dyn Device>) -> Arc<Self> {
+        Self::wrap_in_domain(inner, &FaultDomain::new())
+    }
+
+    /// Wraps `inner` as a member of `domain`: it shares the domain's
+    /// sequence space and crashes together with every other member.
+    pub fn wrap_in_domain(inner: Arc<dyn Device>, domain: &FaultDomain) -> Arc<Self> {
+        Arc::new(Self { inner, domain: domain.clone(), stats: StatCells::default() })
+    }
+
+    /// The wrapped device: after a crash it holds exactly the surviving
+    /// byte image — recover from it directly.
+    pub fn inner(&self) -> Arc<dyn Device> {
+        self.inner.clone()
+    }
+
+    /// The fault domain this device belongs to.
+    pub fn domain(&self) -> FaultDomain {
+        self.domain.clone()
+    }
+
+    /// Arms a crash at the `after`-th write *from now* (0 = the very next
+    /// write), tearing that write per `torn`.
+    pub fn arm_crash(&self, after: u64, torn: TornWrite) {
+        self.domain.arm_crash(after, torn);
+    }
+
+    /// Arms a crash at the `after`-th flush barrier *from now*.
+    pub fn arm_crash_at_flush(&self, after: u64) {
+        self.domain.arm_crash_at_flush(after);
+    }
+
+    /// Scripts the write `after` submissions from now to be acknowledged
+    /// `Ok` but silently dropped (volatile-cache lie).
+    pub fn drop_write_at(&self, after: u64) {
+        self.domain.drop_write_at(after);
+    }
+
+    /// Scripts the read `after` submissions from now to fail transiently.
+    pub fn fail_read_at(&self, after: u64) {
+        self.domain.fail_read_at(after);
+    }
+
+    /// Fails the next `n` reads unconditionally (transient).
+    pub fn fail_next_reads(&self, n: u32) {
+        self.domain.fail_next_reads(n);
+    }
+
+    /// Installs (or clears) a seeded transient read-fault rate.
+    pub fn set_read_fault_rate(&self, rate: Option<ReadFaultRate>) {
+        self.domain.set_read_fault_rate(rate);
+    }
+
+    /// True once the crash point has been hit.
+    pub fn crashed(&self) -> bool {
+        self.domain.crashed()
+    }
+
+    /// Writes submitted so far (the domain's write-sequence frontier).
+    pub fn writes_issued(&self) -> u64 {
+        self.domain.writes_issued()
+    }
+
+    /// Reads submitted so far.
+    pub fn reads_issued(&self) -> u64 {
+        self.domain.reads_issued()
+    }
 }
 
 impl Device for FaultDevice {
@@ -231,14 +366,14 @@ impl Device for FaultDevice {
 
     fn write_async(&self, offset: u64, data: Vec<u8>, cb: WriteCallback) {
         self.stats.record_write(data.len());
-        let wsn = self.wsn.fetch_add(1, Ordering::SeqCst);
-        match self.decide_write(wsn, data.len()) {
+        let wsn = self.domain.state.wsn.fetch_add(1, Ordering::SeqCst);
+        match self.domain.decide_write(wsn, data.len(), self.inner.sector_size()) {
             WriteDecision::Forward => self.inner.write_async(offset, data, cb),
             WriteDecision::AckDrop => cb(Ok(())),
             WriteDecision::Crash(keep) => {
                 // Order matters: mark crashed before persisting the torn
                 // prefix so every concurrent submission already refuses.
-                self.crashed.store(true, Ordering::SeqCst);
+                self.domain.state.crashed.store(true, Ordering::SeqCst);
                 let fail = || Err(IoError::Failed("crash point: torn write".into()));
                 if keep == 0 {
                     cb(fail());
@@ -258,15 +393,16 @@ impl Device for FaultDevice {
 
     fn read_async(&self, offset: u64, len: usize, cb: ReadCallback) {
         self.stats.record_read(len);
-        let rsn = self.rsn.fetch_add(1, Ordering::SeqCst);
-        match self.decide_read_fault(rsn) {
+        let rsn = self.domain.state.rsn.fetch_add(1, Ordering::SeqCst);
+        match self.domain.decide_read_fault(rsn) {
             Some(err) => cb(Err(err)),
             None => self.inner.read_async(offset, len, cb),
         }
     }
 
     fn flush_barrier(&self) {
-        if !self.crashed() {
+        let fsn = self.domain.state.fsn.fetch_add(1, Ordering::SeqCst);
+        if !self.domain.decide_flush_crash(fsn) {
             self.inner.flush_barrier();
         }
     }
@@ -395,6 +531,50 @@ mod tests {
         d.set_read_fault_rate(Some(ReadFaultRate { seed: 1, num: 0, den: 1 }));
         assert!(read_blocking(&*d, 0, 8).is_ok());
         d.set_read_fault_rate(None);
+    }
+
+    #[test]
+    fn shared_domain_interleaves_sequence_numbers_and_crashes_together() {
+        let domain = FaultDomain::new();
+        let log_inner = MemDevice::new(1);
+        let ckpt_inner = MemDevice::new(1);
+        let log = FaultDevice::wrap_in_domain(log_inner.clone(), &domain);
+        let ckpt = FaultDevice::wrap_in_domain(ckpt_inner.clone(), &domain);
+        write_blocking(&*log, 0, vec![1u8; 128]).unwrap(); // wsn 0
+        write_blocking(&*ckpt, 0, vec![2u8; 128]).unwrap(); // wsn 1
+        assert_eq!(domain.writes_issued(), 2);
+        // Crash at wsn 3: the ckpt write at wsn 2 survives, the log write at
+        // wsn 3 is the crash point, and both devices refuse afterwards.
+        domain.arm_crash(1, TornWrite::Nothing);
+        write_blocking(&*ckpt, 128, vec![3u8; 128]).unwrap(); // wsn 2
+        assert!(write_blocking(&*log, 128, vec![4u8; 128]).is_err()); // wsn 3: crash
+        assert!(log.crashed() && ckpt.crashed() && domain.crashed());
+        assert!(write_blocking(&*ckpt, 256, vec![5u8; 128]).is_err());
+        assert!(matches!(read_blocking(&*log, 0, 8), Err(IoError::Failed(_))));
+        // Surviving images: everything acked before the crash point.
+        assert_eq!(read_blocking(&*log_inner, 0, 128).unwrap(), vec![1u8; 128]);
+        assert_eq!(read_blocking(&*ckpt_inner, 128, 128).unwrap(), vec![3u8; 128]);
+        assert!(read_blocking(&*log_inner, 128, 128).is_err());
+    }
+
+    #[test]
+    fn flush_boundary_crash_preserves_acked_writes() {
+        let inner = MemDevice::new(1);
+        let d = FaultDevice::wrap(inner.clone());
+        write_blocking(&*d, 0, vec![7u8; 64]).unwrap();
+        d.flush_barrier(); // fsn 0
+        d.arm_crash_at_flush(1); // fsn 1 from now = the second barrier below
+        write_blocking(&*d, 64, vec![8u8; 64]).unwrap();
+        d.flush_barrier(); // fsn 1: survives
+        write_blocking(&*d, 128, vec![9u8; 64]).unwrap();
+        d.flush_barrier(); // fsn 2: crash point
+        assert!(d.crashed());
+        assert!(write_blocking(&*d, 192, vec![1u8; 64]).is_err());
+        // Every write acked before the crash-point barrier persisted.
+        assert_eq!(read_blocking(&*inner, 0, 64).unwrap(), vec![7u8; 64]);
+        assert_eq!(read_blocking(&*inner, 64, 64).unwrap(), vec![8u8; 64]);
+        assert_eq!(read_blocking(&*inner, 128, 64).unwrap(), vec![9u8; 64]);
+        assert_eq!(d.domain().flushes_issued(), 3);
     }
 
     #[test]

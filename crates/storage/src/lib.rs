@@ -30,7 +30,7 @@ mod file;
 mod mem;
 mod worker;
 
-pub use fault::{FaultDevice, ReadFaultRate, TornWrite};
+pub use fault::{FaultDevice, FaultDomain, ReadFaultRate, TornWrite};
 pub use file::FileDevice;
 pub use mem::MemDevice;
 

@@ -1,14 +1,19 @@
-//! Checkpointing and recovery without a write-ahead log (§6.5).
+//! Checkpointing and recovery without a write-ahead log (§6.5), persisted
+//! through the atomic multi-generation commit protocol (DESIGN.md §7).
 //!
-//! Takes a fuzzy checkpoint while the store runs, "crashes" (drops the
-//! store, losing all in-memory state), and recovers from the checkpoint +
-//! the surviving log device. The recovered state is consistent with log
-//! position t2; post-checkpoint updates are (correctly) lost.
+//! Commits three checkpoint generations while the store runs, "crashes"
+//! (drops the store, losing all in-memory state), corrupts the newest
+//! generation's blob on the checkpoint device, and recovers: arbitration
+//! skips the damaged generation with a typed error and falls back to the
+//! previous one. The recovered state is consistent with that generation's
+//! log position t2; post-checkpoint updates are (correctly) lost.
 //!
 //! Run with: `cargo run --release -p faster-examples --bin checkpoint_recover`
 
-use faster_core::{CountStore, FasterKv, FasterKvConfig, ReadResult};
-use faster_storage::MemDevice;
+use faster_core::ckpt_manager::{self, CheckpointConfig, CheckpointManager};
+use faster_core::{CheckpointError, CountStore, FasterKv, FasterKvConfig, ReadResult};
+use faster_storage::{Device, MemDevice};
+use std::sync::Arc;
 
 /// Reads a key, driving the async path if the record is cold.
 fn read_blocking(
@@ -29,58 +34,91 @@ fn read_blocking(
 
 fn main() {
     let cfg = FasterKvConfig::for_keys(1 << 14);
-    let device = MemDevice::new(2); // the "SSD" that survives the crash
+    let log_dev: Arc<dyn Device> = MemDevice::new(2); // the "SSD" that survives the crash
+    let ckpt_dev: Arc<dyn Device> = MemDevice::new(1); // separate checkpoint device
 
-    let checkpoint = {
+    let mgr = CheckpointManager::new(ckpt_dev.clone(), CheckpointConfig::default());
+    {
         let store: FasterKv<u64, u64, CountStore> =
-            FasterKv::new(cfg, CountStore, device.clone());
-        let session = store.start_session();
-        for k in 0..10_000u64 {
-            session.upsert(&k, &(k + 1));
+            FasterKv::new(cfg, CountStore, log_dev.clone());
+        // Three rounds of updates, each committed as its own generation: the
+        // value of every key records which round last touched it.
+        for round in 1..=3u64 {
+            {
+                let session = store.start_session();
+                for k in 0..10_000u64 {
+                    session.upsert(&k, &(k + round));
+                }
+            } // session dropped: the epoch-gated durability wait needs no idle guards
+            let gen = mgr.checkpoint_store(&store).expect("commit");
+            let meta = mgr.generations().into_iter().find(|g| g.gen == gen).unwrap();
+            println!(
+                "committed generation {gen}: t1={} t2={} blob={} B",
+                meta.t1, meta.t2, meta.blob_len
+            );
         }
-        drop(session);
-        let data = store.checkpoint();
-        println!(
-            "checkpoint: t1={} t2={} ({} index entries, {} bytes)",
-            data.t1,
-            data.t2,
-            data.index.entries.len(),
-            data.to_bytes().len()
-        );
-        // Updates after the checkpoint will be lost by the "crash".
+        // An update after the last commit will be lost by the "crash".
         let s2 = store.start_session();
         s2.upsert(&0, &999_999_999);
-        data
         // <- store dropped here: simulated crash, memory gone.
-    };
+    }
 
-    // Recovery: rebuild the index from the fuzzy snapshot, replay [t1, t2).
-    let store: FasterKv<u64, u64, CountStore> =
-        FasterKv::recover(cfg, CountStore, device, &checkpoint);
+    // Storage-level damage on top of the crash: one flipped byte in the
+    // newest generation's blob.
+    let victim = *mgr.generations().last().unwrap();
+    drop(mgr);
+    {
+        let (tx, rx) = std::sync::mpsc::channel();
+        ckpt_dev.read_async(
+            victim.blob_offset,
+            victim.blob_len as usize,
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        let mut blob = rx.recv().unwrap().unwrap();
+        let at = blob.len() / 3;
+        blob[at] ^= 0x01;
+        let (tx, rx) = std::sync::mpsc::channel();
+        ckpt_dev.write_async(victim.blob_offset, blob, Box::new(move |r| tx.send(r).unwrap()));
+        rx.recv().unwrap().unwrap();
+        println!("corrupted generation {}'s blob (one bit)", victim.gen);
+    }
+
+    // Recovery: arbitrate the manifest, skip the damaged generation, rebuild
+    // the index from the surviving fuzzy snapshot, replay [t1, t2).
+    let (store, mgr, rec) = ckpt_manager::recover_store::<u64, u64, CountStore>(
+        cfg,
+        CountStore,
+        log_dev,
+        ckpt_dev,
+        CheckpointConfig::default(),
+    )
+    .expect("an older generation must survive");
+    assert_eq!(rec.gen, victim.gen - 1);
+    assert_eq!(rec.fallbacks(), 1);
+    assert!(matches!(rec.skipped[0], (g, CheckpointError::ChecksumMismatch) if g == victim.gen));
+    println!(
+        "recovered to generation {} after {} fallback(s); skipped: {:?}",
+        rec.gen,
+        rec.fallbacks(),
+        rec.skipped
+    );
+
+    // Generation 2 wrote k+2 everywhere; round 3's k+3 updates and the
+    // post-commit write to key 0 are gone with the damaged generation.
     let session = store.start_session();
     let mut verified = 0u64;
     for k in 0..10_000u64 {
-        match session.read(&k, &0) {
-            ReadResult::Found(v) => {
-                assert_eq!(v, k + 1, "key {k}");
-                verified += 1;
-            }
-            ReadResult::NotFound => panic!("key {k} lost by recovery"),
-            ReadResult::Pending(_) => {
-                for op in session.complete_pending(true) {
-                    if let faster_core::CompletedOp::Read { result, .. } = op {
-                        assert_eq!(result, Some(k + 1));
-                        verified += 1;
-                    }
-                }
-            }
-        }
+        assert_eq!(read_blocking(&session, k), Some(k + 2), "key {k}");
+        verified += 1;
     }
-    println!("verified {verified}/10000 keys after recovery");
-    // The post-checkpoint update to key 0 was lost, as §6.5 permits:
-    assert_eq!(read_blocking(&session, 0), Some(1));
-    // And the store continues normally.
+    println!("verified {verified}/10000 keys match generation {}'s state", rec.gen);
+    // And the store continues normally, including committing new generations
+    // (the damaged generation's number is never reused).
     session.upsert(&777_777, &1);
     assert_eq!(read_blocking(&session, 777_777), Some(1));
+    drop(session);
+    let g = mgr.checkpoint_store(&store).expect("post-recovery commit");
+    assert!(g > victim.gen);
+    println!("post-recovery commit produced generation {g}");
     println!("checkpoint_recover OK");
 }

@@ -1,29 +1,37 @@
 #!/usr/bin/env bash
-# Quick batched-vs-scalar throughput smoke: runs the batch_vs_scalar bench
-# at reduced scale and collects its json rows into BENCH_batch.json.
+# Quick perf smoke: runs the batch_vs_scalar and ckpt_latency benches at
+# reduced scale and collects their json rows into BENCH_batch.json and
+# BENCH_ckpt.json.
 #
-# Knobs (forwarded to the bench): FASTER_BENCH_KEYS, FASTER_BENCH_BATCH,
-# FASTER_BENCH_OPS. Output: BENCH_batch.json in the repo root (override
-# with BENCH_OUT=path).
+# Knobs (forwarded to the benches): FASTER_BENCH_KEYS, FASTER_BENCH_BATCH,
+# FASTER_BENCH_OPS (batch_vs_scalar); FASTER_BENCH_CKPT_KEYS,
+# FASTER_BENCH_CKPT_GENS (ckpt_latency). Outputs land in the repo root
+# (override with BENCH_OUT=path / BENCH_CKPT_OUT=path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_batch.json}"
 export FASTER_BENCH_KEYS="${FASTER_BENCH_KEYS:-2000000}"
 export FASTER_BENCH_BATCH="${FASTER_BENCH_BATCH:-64}"
 export FASTER_BENCH_OPS="${FASTER_BENCH_OPS:-2000000}"
+export FASTER_BENCH_CKPT_KEYS="${FASTER_BENCH_CKPT_KEYS:-50000}"
+export FASTER_BENCH_CKPT_GENS="${FASTER_BENCH_CKPT_GENS:-4}"
 
 LOG="$(mktemp)"
 trap 'rm -f "$LOG"' EXIT
 
+# Each `json,{...}` line is one measurement; emit a JSON array.
+collect() {
+  {
+    echo '['
+    grep '^json,' "$LOG" | sed 's/^json,//' | paste -sd ',' -
+    echo ']'
+  } > "$1"
+  echo "wrote $1:"
+  cat "$1"
+}
+
 cargo bench --bench batch_vs_scalar 2>&1 | tee "$LOG"
+collect "${BENCH_OUT:-BENCH_batch.json}"
 
-# Each `json,{...}` line is one mode's result; emit a JSON array.
-{
-  echo '['
-  grep '^json,' "$LOG" | sed 's/^json,//' | paste -sd ',' -
-  echo ']'
-} > "$OUT"
-
-echo "wrote $OUT:"
-cat "$OUT"
+cargo bench --bench ckpt_latency 2>&1 | tee "$LOG"
+collect "${BENCH_CKPT_OUT:-BENCH_ckpt.json}"

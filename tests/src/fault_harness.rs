@@ -20,11 +20,12 @@
 //! printed `(seed, crash_after)` pair.
 
 use faster_core::checkpoint::CheckpointData;
+use faster_core::ckpt_manager::{self, CheckpointConfig, CheckpointManager};
 use faster_core::{CountStore, FasterKv, FasterKvConfig, RmwResult, Session};
 use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
-use faster_storage::{FaultDevice, MemDevice, TornWrite};
-use faster_util::XorShift64;
+use faster_storage::{FaultDevice, FaultDomain, MemDevice, TornWrite};
+use faster_util::{Address, XorShift64};
 use std::collections::HashMap;
 
 /// Keys the seeded workload draws from. Small enough that most keys see
@@ -163,7 +164,7 @@ pub fn run_crash_recovery_case(
     // Round-trip the checkpoint through its serialized form, as a real
     // recovery would read it off durable storage.
     let ckpt = CheckpointData::from_bytes(&ckpt.to_bytes())
-        .unwrap_or_else(|| panic!("[{ctx}] serialized checkpoint failed to parse"));
+        .unwrap_or_else(|e| panic!("[{ctx}] serialized checkpoint failed to parse: {e}"));
 
     // Phase 2: arm the crash, then churn until it fires (plus a bounded
     // post-crash tail proving the store degrades without panicking).
@@ -226,4 +227,187 @@ pub fn run_crash_recovery_case(
         );
     }
     report
+}
+
+/// Operations issued between the baseline generation and the crash-swept
+/// one, so the in-flight checkpoint has real dirty pages to flush.
+const PHASE1B_OPS: u64 = 220;
+
+/// Where inside the swept `checkpoint_store()` call the crash fires.
+#[derive(Debug, Clone, Copy)]
+pub enum CkptCrashPoint {
+    /// Crash at the k-th device write issued after the call starts, counted
+    /// across the *interleaved* log + checkpoint device stream (they share a
+    /// [`FaultDomain`]), tearing that write per [`TornWrite`].
+    Write(u64, TornWrite),
+    /// Crash at the j-th flush barrier issued after the call starts.
+    Flush(u64),
+}
+
+/// What one in-checkpoint crash case observed, for sweep-level bookkeeping.
+#[derive(Debug)]
+pub struct CkptSweepReport {
+    /// Whether the armed crash point fired.
+    pub crashed: bool,
+    /// Whether `checkpoint_store()` acknowledged the swept generation.
+    pub commit_ok: bool,
+    /// Generation recovery arbitration selected.
+    pub recovered_gen: u64,
+    /// Fallback steps recovery took (newer generations skipped).
+    pub fallbacks: usize,
+    /// Device writes the checkpoint call issued (use a `point = None` dry
+    /// run to bound the write sweep — submission order is deterministic
+    /// because the harness drives the store single-threaded).
+    pub ckpt_writes: u64,
+    /// Flush barriers the checkpoint call issued (dry run bounds the flush
+    /// sweep the same way).
+    pub ckpt_flushes: u64,
+}
+
+/// Runs one crash *inside* `checkpoint_store()` and checks the atomic-commit
+/// contract end to end:
+///
+/// 1. a baseline generation commits, then more traffic runs, then a second
+///    `checkpoint_store()` is attempted with the crash armed at `point`;
+/// 2. recovery (manifest arbitration over the surviving images of both
+///    devices) must always succeed — to the in-flight generation if its
+///    commit landed, else to the baseline generation;
+/// 3. the recovered state must equal the matching oracle snapshot *exactly*
+///    (including deletes) over the whole touched keyspace;
+/// 4. `Ok` from `checkpoint_store()` one-directionally implies the in-flight
+///    generation is the one recovered (an `Err` may still have persisted its
+///    manifest — a torn full-prefix write acks failure yet survives);
+/// 5. the recovered store accepts fresh traffic, and checkpoint-aware GC
+///    stays clamped to the retained chain's oldest `begin`.
+pub fn run_in_checkpoint_crash_case(seed: u64, point: Option<CkptCrashPoint>) -> CkptSweepReport {
+    let ctx = format!("seed={seed} point={point:?}");
+    let domain = FaultDomain::new();
+    let log_fault = FaultDevice::wrap_in_domain(MemDevice::new(2), &domain);
+    let ckpt_fault = FaultDevice::wrap_in_domain(MemDevice::new(1), &domain);
+    let store: FasterKv<u64, u64, CountStore> =
+        FasterKv::new(harness_cfg(), CountStore, log_fault.clone());
+    let mgr = CheckpointManager::new(ckpt_fault.clone(), CheckpointConfig::default());
+    let mut rng = XorShift64::new(seed);
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+
+    // Baseline generation: committed fault-free, the fallback target.
+    {
+        let session = store.start_session();
+        for _ in 0..PHASE1_OPS {
+            apply_op(&session, &mut oracle, &mut rng);
+        }
+        session.complete_pending(true);
+    }
+    let gen1 = mgr
+        .checkpoint_store(&store)
+        .unwrap_or_else(|e| panic!("[{ctx}] baseline generation must commit: {e}"));
+    let snap1 = oracle.clone();
+
+    // Fresh traffic so the swept checkpoint has dirty pages to flush.
+    {
+        let session = store.start_session();
+        for _ in 0..PHASE1B_OPS {
+            apply_op(&session, &mut oracle, &mut rng);
+        }
+        session.complete_pending(true);
+    }
+    let snap2 = oracle.clone();
+
+    // Arm the crash *now*: every write/flush from here on belongs to the
+    // checkpoint call being swept.
+    let w0 = domain.writes_issued();
+    let f0 = domain.flushes_issued();
+    match point {
+        Some(CkptCrashPoint::Write(k, torn)) => domain.arm_crash(k, torn),
+        Some(CkptCrashPoint::Flush(j)) => domain.arm_crash_at_flush(j),
+        None => {}
+    }
+    let attempt = mgr.checkpoint_store(&store);
+    let report_writes = domain.writes_issued() - w0;
+    let report_flushes = domain.flushes_issued() - f0;
+    let crashed = domain.crashed();
+    let commit_ok = attempt.is_ok();
+    if point.is_none() {
+        assert!(commit_ok, "[{ctx}] fault-free checkpoint failed: {:?}", attempt.err());
+    }
+    drop(store);
+    drop(mgr);
+
+    // The inner devices hold exactly the surviving byte images; settle
+    // their worker queues before reading them back.
+    let log_img = log_fault.inner();
+    let ckpt_img = ckpt_fault.inner();
+    log_img.flush_barrier();
+    ckpt_img.flush_barrier();
+
+    let (recovered, mgr2, rec) = ckpt_manager::recover_store::<u64, u64, CountStore>(
+        harness_cfg(),
+        CountStore,
+        log_img,
+        ckpt_img,
+        CheckpointConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("[{ctx}] recovery must always find a generation: {e}"));
+
+    // Which oracle snapshot must the store match? The in-flight generation
+    // iff its manifest landed, else the baseline — never anything else.
+    let snapshot = if rec.gen == gen1 + 1 {
+        &snap2
+    } else if rec.gen == gen1 {
+        &snap1
+    } else {
+        panic!("[{ctx}] recovered to unexpected generation {} (baseline {gen1})", rec.gen);
+    };
+    if commit_ok {
+        assert_eq!(
+            rec.gen,
+            gen1 + 1,
+            "[{ctx}] checkpoint_store acked Ok but recovery fell back ({} skipped)",
+            rec.fallbacks()
+        );
+    }
+
+    {
+        let session = recovered.start_session();
+        let mut check: Vec<u64> = (0..KEYSPACE).collect();
+        check.extend(snap1.keys().chain(snap2.keys()).copied().filter(|&k| k >= KEYSPACE));
+        check.sort_unstable();
+        check.dedup();
+        for key in check {
+            let got = crate::read_blocking(&session, key);
+            let want = snapshot.get(&key).copied();
+            assert_eq!(
+                got, want,
+                "[{ctx}] gen {} key {key}: got {got:?}, oracle has {want:?}",
+                rec.gen
+            );
+        }
+        let probe = KEYSPACE + 8888;
+        session.upsert(&probe, &515_151);
+        assert_eq!(
+            crate::read_blocking(&session, probe),
+            Some(515_151),
+            "[{ctx}] recovered store rejected fresh traffic"
+        );
+    }
+
+    // GC satellite, exercised under every swept point: truncation through
+    // the manager clamps to the retained chain's oldest begin.
+    let bound = mgr2
+        .safe_truncation_bound()
+        .unwrap_or_else(|| panic!("[{ctx}] recovered manager retains no generation"));
+    let clamped = mgr2.gc_truncate(&recovered, Address::new(bound.raw() + (1 << 20)));
+    assert!(
+        clamped <= bound,
+        "[{ctx}] gc_truncate escaped the retention clamp: {clamped:?} > {bound:?}"
+    );
+
+    CkptSweepReport {
+        crashed,
+        commit_ok,
+        recovered_gen: rec.gen,
+        fallbacks: rec.fallbacks(),
+        ckpt_writes: report_writes,
+        ckpt_flushes: report_flushes,
+    }
 }

@@ -1,0 +1,322 @@
+//! In-checkpoint crash sweeps and manifest-arbitration fault tests for the
+//! atomic multi-generation checkpoint commit (`CheckpointManager`).
+//!
+//! The tentpole sweeps arm a crash at **every device write and every flush
+//! barrier issued inside `checkpoint_store()` itself** — log page flushes,
+//! the generation blob write, and the manifest slot write all share one
+//! `FaultDomain`, so the sweep walks the interleaved stream. Each swept
+//! point must recover to the in-flight generation iff its commit landed,
+//! else to the previous generation, matching the oracle snapshot exactly.
+//!
+//! Sharded via `FASTER_FAULT_SEED_BASE` / `FASTER_FAULT_SEEDS` like the
+//! other fault sweeps; failures print their `(seed, point)` for replay.
+
+use faster_core::checkpoint::{CheckpointData, CheckpointError};
+use faster_core::ckpt_manager::{self, CheckpointConfig, CheckpointManager, MANIFEST_SLOT_SIZE};
+use faster_core::{CountStore, FasterKv};
+use faster_integration_tests::fault_harness::{
+    fault_seed_range, harness_cfg, run_in_checkpoint_crash_case, CkptCrashPoint, KEYSPACE,
+};
+use faster_integration_tests::read_blocking as session_read;
+use faster_storage::{Device, MemDevice, TornWrite};
+use faster_util::Address;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn write_raw(dev: &Arc<dyn Device>, offset: u64, data: Vec<u8>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    dev.write_async(offset, data, Box::new(move |r| tx.send(r).unwrap()));
+    rx.recv().unwrap().unwrap();
+}
+
+fn read_raw(dev: &Arc<dyn Device>, offset: u64, len: usize) -> Vec<u8> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    dev.read_async(offset, len, Box::new(move |r| tx.send(r).unwrap()));
+    rx.recv().unwrap().unwrap()
+}
+
+/// Tentpole sweep, write axis: crash at every device write issued inside
+/// `checkpoint_store()`, cycling the torn-write model so each seed sees
+/// nothing-persisted, byte-torn, and sector-torn crash points.
+#[test]
+fn in_checkpoint_write_crash_sweep() {
+    let mut cases = 0u64;
+    let mut fell_back = 0u64;
+    let mut committed = 0u64;
+    for seed in fault_seed_range(4) {
+        // Dry run bounds the sweep; a second dry run guards the determinism
+        // the bound depends on (single-threaded driving => stable counts).
+        let dry = run_in_checkpoint_crash_case(seed, None);
+        assert!(dry.commit_ok && dry.recovered_gen == 2 && dry.fallbacks == 0);
+        assert!(
+            dry.ckpt_writes >= 2,
+            "seed {seed}: checkpoint issued only {} writes (blob + manifest missing?)",
+            dry.ckpt_writes
+        );
+        let dry2 = run_in_checkpoint_crash_case(seed, None);
+        assert_eq!(
+            (dry.ckpt_writes, dry.ckpt_flushes),
+            (dry2.ckpt_writes, dry2.ckpt_flushes),
+            "seed {seed}: checkpoint I/O schedule is nondeterministic; sweep bound invalid"
+        );
+
+        for k in 0..dry.ckpt_writes {
+            let torn = match k % 3 {
+                0 => TornWrite::Nothing,
+                1 => TornWrite::Bytes(((seed.wrapping_mul(31) + k * 7) % 4600) as usize),
+                _ => TornWrite::SeededSectors { seed: seed ^ (k << 8) },
+            };
+            let report =
+                run_in_checkpoint_crash_case(seed, Some(CkptCrashPoint::Write(k, torn)));
+            assert!(
+                report.crashed,
+                "seed {seed}: armed write {k} of {} never fired",
+                dry.ckpt_writes
+            );
+            cases += 1;
+            if report.recovered_gen == 1 {
+                fell_back += 1;
+            } else {
+                committed += 1;
+            }
+        }
+    }
+    // Crashing before the manifest write lands must fall back; a torn-but-
+    // fully-persisted manifest may still recover the in-flight generation.
+    assert!(cases >= 8, "write sweep ran only {cases} cases");
+    assert!(fell_back > 0, "no swept write point exercised the fallback path");
+    // `committed` may be 0: recovery to the in-flight generation on the
+    // write axis requires a full-prefix tear of the final manifest write.
+    let _ = committed;
+}
+
+/// Tentpole sweep, flush axis: crash at every flush barrier issued inside
+/// `checkpoint_store()` — the fsync edges of the commit protocol.
+#[test]
+fn in_checkpoint_flush_crash_sweep() {
+    let mut saw_committed = false;
+    let mut saw_fallback = false;
+    for seed in fault_seed_range(4) {
+        let dry = run_in_checkpoint_crash_case(seed, None);
+        assert!(
+            dry.ckpt_flushes >= 3,
+            "seed {seed}: expected log + blob + manifest barriers, saw {}",
+            dry.ckpt_flushes
+        );
+        for j in 0..dry.ckpt_flushes {
+            let report = run_in_checkpoint_crash_case(seed, Some(CkptCrashPoint::Flush(j)));
+            assert!(report.crashed, "seed {seed}: armed flush {j} never fired");
+            if report.commit_ok {
+                saw_committed = true;
+                assert_eq!(report.recovered_gen, 2);
+            } else {
+                saw_fallback = true;
+            }
+        }
+    }
+    // The final barrier sits after the manifest write was acknowledged: its
+    // crash must still commit. Earlier barriers must fall back.
+    assert!(saw_committed, "no flush point recovered to the in-flight generation");
+    assert!(saw_fallback, "no flush point exercised the fallback path");
+}
+
+/// Fallback chain deeper than one step: with the two newest generation
+/// blobs corrupted on the device, recovery walks back two generations and
+/// the store matches that generation's oracle exactly.
+#[test]
+fn fallback_chain_walks_multiple_generations() {
+    let log_dev: Arc<dyn Device> = MemDevice::new(2);
+    let ckpt_dev: Arc<dyn Device> = MemDevice::new(1);
+    let store: FasterKv<u64, u64, CountStore> =
+        FasterKv::new(harness_cfg(), CountStore, log_dev.clone());
+    let mgr = CheckpointManager::new(ckpt_dev.clone(), CheckpointConfig::default());
+
+    for round in 0..3u64 {
+        {
+            let session = store.start_session();
+            for k in 0..KEYSPACE {
+                session.upsert(&k, &(k * 100 + round + 1));
+            }
+            session.complete_pending(true);
+        }
+        mgr.checkpoint_store(&store).expect("fault-free commit");
+    }
+    let gens = mgr.generations();
+    assert_eq!(gens.len(), 3);
+    // Corrupt the two newest blobs in place.
+    for g in &gens[1..] {
+        let mut blob = read_raw(&ckpt_dev, g.blob_offset, g.blob_len as usize);
+        let at = (g.gen as usize * 13) % blob.len();
+        blob[at] ^= 0x5A;
+        write_raw(&ckpt_dev, g.blob_offset, blob);
+    }
+    drop(store);
+    log_dev.flush_barrier();
+
+    let (recovered, _mgr2, rec) = ckpt_manager::recover_store::<u64, u64, CountStore>(
+        harness_cfg(),
+        CountStore,
+        log_dev,
+        ckpt_dev,
+        CheckpointConfig::default(),
+    )
+    .expect("generation 1 must survive");
+    assert_eq!(rec.gen, gens[0].gen);
+    assert_eq!(rec.fallbacks(), 2);
+    for (skipped_gen, err) in &rec.skipped {
+        assert!(
+            matches!(err, CheckpointError::ChecksumMismatch),
+            "gen {skipped_gen} skipped for the wrong reason: {err:?}"
+        );
+    }
+    let session = recovered.start_session();
+    for k in 0..KEYSPACE {
+        // Round 0's values: k * 100 + 1.
+        assert_eq!(session_read(&session, k), Some(k * 100 + 1), "key {k} at fallback depth 2");
+    }
+}
+
+/// GC satellite: the truncation frontier can never climb above the `begin`
+/// of a retained generation, and pruning releases the clamp.
+#[test]
+fn gc_clamp_follows_retention() {
+    let log_dev: Arc<dyn Device> = MemDevice::new(2);
+    let ckpt_dev: Arc<dyn Device> = MemDevice::new(1);
+    let store: FasterKv<u64, u64, CountStore> =
+        FasterKv::new(harness_cfg(), CountStore, log_dev.clone());
+    let mgr = CheckpointManager::new(ckpt_dev, CheckpointConfig { retain: 8, auto_prune: true });
+
+    // Two generations with log growth (and a begin shift) between them.
+    {
+        let session = store.start_session();
+        for k in 0..KEYSPACE {
+            session.upsert(&k, &(k + 1));
+        }
+        session.complete_pending(true);
+    }
+    mgr.checkpoint_store(&store).unwrap();
+    {
+        let session = store.start_session();
+        for k in 0..4000u64 {
+            session.upsert(&(KEYSPACE + k), &k);
+        }
+        session.complete_pending(true);
+    }
+    mgr.checkpoint_store(&store).unwrap();
+
+    let gens = mgr.generations();
+    let oldest_begin = gens.iter().map(|g| g.begin).min().unwrap();
+    assert_eq!(mgr.safe_truncation_bound(), Some(oldest_begin));
+
+    // A truncation request far above the bound is clamped to it...
+    let tail = store.log().tail_address();
+    let truncated = mgr.gc_truncate(&store, tail);
+    assert_eq!(truncated, oldest_begin);
+    assert!(store.log().begin_address() <= oldest_begin);
+
+    // ...and after pruning to the newest generation only, the clamp rises
+    // to that generation's begin.
+    mgr.set_retain(1);
+    assert_eq!(mgr.prune().unwrap(), gens.len() - 1);
+    let new_bound = mgr.safe_truncation_bound().unwrap();
+    assert!(new_bound >= oldest_begin);
+    let truncated = mgr.gc_truncate(&store, tail);
+    assert_eq!(truncated, new_bound);
+
+    // The retained generation stays fully loadable after the truncation.
+    let g = mgr.generations()[0];
+    assert!(mgr.load_generation(g.gen).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Satellite: manifest arbitration under arbitrary corruption. Three
+    /// generations are committed (slot layout: slot 1 holds seq 3 listing
+    /// gens {1,2,3}, slot 0 holds seq 2 listing {1,2}); the test then
+    /// corrupts any subset of {slot 0, slot 1, blob 1, blob 2, blob 3} with
+    /// seeded byte flips inside the checksummed region. Recovery must never
+    /// panic and must select exactly the generation an independent
+    /// walk of the corruption mask predicts (or `NoValidGeneration`).
+    #[test]
+    fn manifest_arbitration_survives_arbitrary_corruption(
+        mask in 0u32..32,
+        flip_seed in any::<u64>(),
+    ) {
+        let ckpt_dev: Arc<dyn Device> = MemDevice::new(1);
+        let mgr = CheckpointManager::new(ckpt_dev.clone(), CheckpointConfig::default());
+        let mut datas = Vec::new();
+        for i in 1..=3u64 {
+            let data = CheckpointData {
+                t1: Address::new(64 * i),
+                t2: Address::new(64 * i + 32),
+                begin: Address::new(64),
+                index: faster_index::IndexCheckpoint {
+                    k_bits: 8,
+                    tag_bits: 15,
+                    entries: vec![(i, i * 7), (i + 1, i * 11)],
+                },
+            };
+            mgr.commit(&data).unwrap();
+            datas.push(data);
+        }
+        let gens = mgr.generations();
+        prop_assert_eq!(gens.len(), 3);
+        drop(mgr);
+
+        // mask bits: 0 -> slot 0, 1 -> slot 1, 2..=4 -> blobs of gen 1..=3.
+        let corrupt_slot0 = mask & 1 != 0;
+        let corrupt_slot1 = mask & 2 != 0;
+        let corrupt_blob = [mask & 4 != 0, mask & 8 != 0, mask & 16 != 0];
+        for slot in 0..2u64 {
+            if (slot == 0 && corrupt_slot0) || (slot == 1 && corrupt_slot1) {
+                let base = slot * MANIFEST_SLOT_SIZE;
+                let mut bytes = read_raw(&ckpt_dev, base, MANIFEST_SLOT_SIZE as usize);
+                // Flip inside the checksummed body (count on disk: slot 1
+                // has 3 records, slot 0 has 2), never the zero padding.
+                let count = if slot == 1 { 3 } else { 2 };
+                let body = 24 + count * 56 + 8;
+                let at = (faster_util::hash_u64(flip_seed ^ slot) % body as u64) as usize;
+                bytes[at] ^= 0x5A;
+                write_raw(&ckpt_dev, base, bytes);
+            }
+        }
+        for (i, g) in gens.iter().enumerate() {
+            if corrupt_blob[i] {
+                let mut blob = read_raw(&ckpt_dev, g.blob_offset, g.blob_len as usize);
+                let at = (faster_util::hash_u64(flip_seed ^ g.gen) % g.blob_len) as usize;
+                blob[at] ^= 0x5A;
+                write_raw(&ckpt_dev, g.blob_offset, blob);
+            }
+        }
+
+        // Independent expectation from the corruption mask alone: the
+        // newest slot that survives fixes the candidate list; the newest
+        // candidate with a clean blob wins.
+        let candidates: &[usize] = if !corrupt_slot1 {
+            &[2, 1, 0] // gens 3, 2, 1
+        } else if !corrupt_slot0 {
+            &[1, 0] // gens 2, 1
+        } else {
+            &[]
+        };
+        let expected = candidates.iter().copied().find(|&i| !corrupt_blob[i]);
+
+        match (
+            CheckpointManager::recover_latest(ckpt_dev, CheckpointConfig::default()),
+            expected,
+        ) {
+            (Ok((_mgr, rec)), Some(i)) => {
+                prop_assert_eq!(rec.gen, gens[i].gen, "arbitration picked the wrong generation");
+                prop_assert_eq!(&rec.data, &datas[i]);
+                // Everything newer than the winner was skipped with a reason.
+                prop_assert_eq!(rec.fallbacks(), candidates.iter().position(|&c| c == i).unwrap());
+            }
+            (Err(CheckpointError::NoValidGeneration), None) => {}
+            (got, want) => panic!(
+                "mask {mask:#07b}: expected {want:?}, arbitration returned {:?}",
+                got.map(|(_m, rec)| (rec.gen, rec.fallbacks()))
+            ),
+        }
+    }
+}

@@ -232,9 +232,10 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
 
     /// Satellite: corruption of serialized checkpoint bytes — truncation at
-    /// any point or any single bit flip — must yield `None` (or, in the
-    /// astronomically unlikely checksum-collision case, the exact original),
-    /// and must never panic or produce a differing checkpoint.
+    /// any point or any single bit flip — must yield a typed
+    /// `CheckpointError` (or, in the astronomically unlikely
+    /// checksum-collision case, the exact original), and must never panic or
+    /// produce a differing checkpoint.
     #[test]
     fn corrupted_checkpoint_bytes_never_parse_to_garbage(
         t1 in 0u64..Address::MASK,
@@ -255,13 +256,14 @@ proptest! {
         };
         let bytes = data.to_bytes();
         // Pristine bytes round-trip exactly.
-        prop_assert_eq!(CheckpointData::from_bytes(&bytes).as_ref(), Some(&data));
+        prop_assert_eq!(CheckpointData::from_bytes(&bytes).as_ref().ok(), Some(&data));
 
-        // Truncation: every strict prefix is rejected or identical.
+        // Truncation: every strict prefix is rejected (with a typed error)
+        // or identical.
         let cut = (cut_raw % bytes.len() as u64) as usize;
         match CheckpointData::from_bytes(&bytes[..cut]) {
-            None => {}
-            Some(parsed) => prop_assert_eq!(&parsed, &data, "truncated parse at cut {}", cut),
+            Err(_) => {}
+            Ok(parsed) => prop_assert_eq!(&parsed, &data, "truncated parse at cut {}", cut),
         }
 
         // Single bit flip anywhere: rejected or identical.
@@ -269,8 +271,8 @@ proptest! {
         let bit = (flip_raw % (bytes.len() as u64 * 8)) as usize;
         flipped[bit / 8] ^= 1 << (bit % 8);
         match CheckpointData::from_bytes(&flipped) {
-            None => {}
-            Some(parsed) => prop_assert_eq!(&parsed, &data, "bit flip {} parsed to garbage", bit),
+            Err(_) => {}
+            Ok(parsed) => prop_assert_eq!(&parsed, &data, "bit flip {} parsed to garbage", bit),
         }
     }
 }
