@@ -106,4 +106,20 @@ fn main() {
         batched_read / scalar_read,
         batched_rmw / scalar_rmw
     );
+
+    // Store-wide observability snapshot, tagged with the metrics build so
+    // `scripts/bench_smoke.sh` can pair default vs `metrics-off` runs when
+    // computing the counter-overhead delta for BENCH_metrics.json.
+    let build = if cfg!(feature = "metrics-off") {
+        "off"
+    } else if cfg!(feature = "metrics-timing") {
+        "timing"
+    } else {
+        "default"
+    };
+    println!(
+        "json,{{\"bench\":\"batch_vs_scalar\",\"mode\":\"metrics_snapshot\",\
+         \"metrics_build\":\"{build}\",\"metrics\":{}}}",
+        store.metrics().to_json()
+    );
 }

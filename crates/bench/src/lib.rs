@@ -285,6 +285,7 @@ where
                 }
             }
             session.complete_pending(true);
+            #[allow(deprecated)] // Session::stats shim
             (ops, session.stats())
         }));
     }
@@ -393,6 +394,7 @@ pub fn run_faster_bytes(
                 }
             }
             session.complete_pending(true);
+            #[allow(deprecated)] // Session::stats shim
             (ops, session.stats())
         }));
     }

@@ -234,9 +234,22 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
         device: Arc<dyn Device>,
         data: &CheckpointData,
     ) -> Self {
-        let epoch = Epoch::new(cfg.max_sessions);
-        let index = HashIndex::restore(&data.index, cfg.index.max_resize_chunks, epoch.clone());
-        let log = HybridLog::recover(cfg.log, epoch.clone(), device, data.begin, data.t2);
+        let metrics = Arc::new(faster_metrics::MetricsRegistry::new(cfg.metrics));
+        let epoch = Epoch::with_metrics(cfg.max_sessions, metrics.epoch.clone());
+        let index = HashIndex::restore_with_metrics(
+            &data.index,
+            cfg.index.max_resize_chunks,
+            epoch.clone(),
+            metrics.index.clone(),
+        );
+        let log = HybridLog::recover_with_metrics(
+            cfg.log,
+            epoch.clone(),
+            device,
+            data.begin,
+            data.t2,
+            metrics.hlog.clone(),
+        );
         // Recovery starts without a read cache; enable it by recreating the
         // store config if desired (cache contents are volatile anyway).
         let store = Self {
@@ -247,6 +260,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
                 rc: None,
                 functions,
                 cfg,
+                metrics,
                 _marker: std::marker::PhantomData,
             }),
         };

@@ -61,10 +61,13 @@ pub use varlen::{VarKv, VarValue};
 use faster_epoch::{Epoch, EpochGuard};
 use faster_hlog::{HLogConfig, HybridLog};
 use faster_index::{HashIndex, IndexConfig, RecordAccess};
+use faster_metrics::{HlogSnapshot, MetricsRegistry, StoreMetrics};
 use faster_storage::Device;
 use faster_util::{Address, KeyHash, Pod};
 use record::RecordRef;
 use std::sync::Arc;
+
+pub use faster_metrics::MetricsConfig;
 
 /// Store configuration.
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +81,13 @@ pub struct FasterKvConfig {
     /// Optional read-hot record cache (Appendix D): a second HybridLog that
     /// is never flushed; its size/IPU split control the second-chance degree.
     pub read_cache: Option<HLogConfig>,
+    /// Observability configuration (DESIGN.md §8).
+    pub metrics: MetricsConfig,
+    /// Batched reads ([`Session::read_batch`]) additionally prefetch one
+    /// `prev`-chain hop for chain heads that miss the read cache, trading
+    /// an extra prefetch slot per op for fewer dependent-load stalls on
+    /// collided chains (ROADMAP prefetch experiment; see EXPERIMENTS.md).
+    pub prefetch_prev_chain: bool,
 }
 
 impl FasterKvConfig {
@@ -89,6 +99,8 @@ impl FasterKvConfig {
             max_sessions: 32,
             refresh_interval: 64,
             read_cache: None,
+            metrics: MetricsConfig::default(),
+            prefetch_prev_chain: false,
         }
     }
 
@@ -105,6 +117,8 @@ impl FasterKvConfig {
             max_sessions: 128,
             refresh_interval: 256,
             read_cache: None,
+            metrics: MetricsConfig::default(),
+            prefetch_prev_chain: false,
         }
     }
 
@@ -118,9 +132,40 @@ impl FasterKvConfig {
         self
     }
 
+    /// Replaces the whole index configuration (shape + tag bits + resize
+    /// chunking) in one step.
+    pub fn with_index(mut self, index: IndexConfig) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Sets the epoch-table capacity (maximum concurrently live sessions).
+    pub fn with_max_sessions(mut self, max_sessions: usize) -> Self {
+        self.max_sessions = max_sessions;
+        self
+    }
+
+    /// Sets the automatic epoch refresh cadence (§2.5 suggests 256).
+    pub fn with_refresh_interval(mut self, ops: u32) -> Self {
+        self.refresh_interval = ops;
+        self
+    }
+
     /// Enables the Appendix D read cache with the given cache-log shape.
     pub fn with_read_cache(mut self, cache: HLogConfig) -> Self {
         self.read_cache = Some(cache);
+        self
+    }
+
+    /// Sets the observability configuration (DESIGN.md §8).
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Enables prev-chain prefetching in [`Session::read_batch`].
+    pub fn with_prefetch_prev_chain(mut self, on: bool) -> Self {
+        self.prefetch_prev_chain = on;
         self
     }
 }
@@ -139,6 +184,8 @@ pub(crate) struct StoreInner<K: Pod, V: Pod, F: Functions<K, V>> {
     pub rc: Option<HybridLog>,
     pub functions: F,
     pub cfg: FasterKvConfig,
+    /// Store-wide metrics registry; layers hold clones of its group `Arc`s.
+    pub metrics: Arc<MetricsRegistry>,
     _marker: std::marker::PhantomData<(K, V)>,
 }
 
@@ -157,12 +204,18 @@ impl<K: Pod, V: Pod, F: Functions<K, V>> Clone for FasterKv<K, V, F> {
 impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
     /// Creates a store over `device`.
     pub fn new(cfg: FasterKvConfig, functions: F, device: Arc<dyn Device>) -> Self {
-        let epoch = Epoch::new(cfg.max_sessions);
-        let index = HashIndex::new(cfg.index, epoch.clone());
-        let log = HybridLog::new(cfg.log, epoch.clone(), device);
-        let rc = cfg
-            .read_cache
-            .map(|c| HybridLog::new(c, epoch.clone(), faster_storage::NullDevice::new()));
+        let metrics = Arc::new(MetricsRegistry::new(cfg.metrics));
+        let epoch = Epoch::with_metrics(cfg.max_sessions, metrics.epoch.clone());
+        let index = HashIndex::with_metrics(cfg.index, epoch.clone(), metrics.index.clone());
+        let log = HybridLog::with_metrics(cfg.log, epoch.clone(), device, metrics.hlog.clone());
+        let rc = cfg.read_cache.map(|c| {
+            HybridLog::with_metrics(
+                c,
+                epoch.clone(),
+                faster_storage::NullDevice::new(),
+                metrics.rc_log.clone(),
+            )
+        });
         let store = Self {
             inner: Arc::new(StoreInner {
                 epoch,
@@ -171,6 +224,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
                 rc,
                 functions,
                 cfg,
+                metrics,
                 _marker: std::marker::PhantomData,
             }),
         };
@@ -213,6 +267,36 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
         &self.inner.functions
     }
 
+    /// The live metrics registry (per-layer counter groups). Most callers
+    /// want [`FasterKv::metrics`] instead.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.inner.metrics
+    }
+
+    /// Captures a [`StoreMetrics`] snapshot: every subsystem counter plus
+    /// point-in-time gauges (epoch positions, log region boundaries, index
+    /// geometry, device byte totals). Counters are exact at quiescence;
+    /// under concurrency the snapshot is monotone but not a linearizable
+    /// cut (DESIGN.md §8).
+    pub fn metrics(&self) -> StoreMetrics {
+        let inner = &self.inner;
+        let mut m = inner.metrics.snapshot_counters(inner.rc.is_some());
+        m.epoch.current = inner.epoch.current();
+        m.epoch.safe = inner.epoch.safe();
+        m.index.k_bits = inner.index.k_bits() as u64;
+        m.index.buckets = 1u64 << inner.index.k_bits();
+        fill_hlog_gauges(&mut m.hlog, &inner.log);
+        if let Some(rc) = &inner.rc {
+            fill_hlog_gauges(&mut m.rc_log, rc);
+        }
+        let dev = inner.log.device().stats();
+        m.storage.bytes_written = dev.bytes_written;
+        m.storage.bytes_read = dev.bytes_read;
+        m.storage.device_writes = dev.writes;
+        m.storage.device_reads = dev.reads;
+        m
+    }
+
     /// Record size of this store's fixed-size records.
     pub const fn record_size() -> usize {
         RecordRef::<K, V>::size()
@@ -230,6 +314,16 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
         let shim: Arc<dyn RecordAccess> = Arc::new(AccessShim { store: self.clone() });
         self.inner.index.shrink(shim, session.map(|s| s.guard()))
     }
+}
+
+/// Fills a snapshot's region-boundary gauges from a live log.
+fn fill_hlog_gauges(s: &mut HlogSnapshot, log: &HybridLog) {
+    s.begin = log.begin_address().raw();
+    s.head = log.head_address().raw();
+    s.safe_read_only = log.safe_read_only_address().raw();
+    s.read_only = log.read_only_address().raw();
+    s.flushed_until = log.flushed_until_address().raw();
+    s.tail = log.tail_address().raw();
 }
 
 /// Eviction hook body: walk evicted read-cache pages and CAS each still-

@@ -17,6 +17,7 @@ use crate::{hash_key, FasterKv};
 use faster_epoch::EpochGuard;
 use faster_hlog::Region;
 use faster_index::{CreateOutcome, EntrySlot, HashBucketEntry};
+use faster_metrics::{SessionHub, SessionRecorder, Timer};
 use faster_util::{Address, KeyHash, Pod};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -88,8 +89,12 @@ pub enum BatchOutcome<O> {
     Delete,
 }
 
-/// Per-session operation counters (cheap plain integers; aggregate across
-/// sessions in the harness). These drive Figs 12b and 13 (fuzzy-op rates).
+/// Per-session operation counters, kept for source compatibility.
+///
+/// Superseded by the store-wide registry: [`crate::FasterKv::metrics`]
+/// returns the same counts (and more) aggregated across every session,
+/// with no per-session bookkeeping to sum by hand. [`Session::stats`] now
+/// derives this struct from the registry's per-session recorder.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SessionStats {
     pub reads: u64,
@@ -165,12 +170,21 @@ pub struct Session<K: Pod, V: Pod, F: Functions<K, V>> {
     /// call once warm.
     io_scratch: RefCell<Vec<Completion<K, V, F::Input>>>,
     retries: RefCell<VecDeque<PendingOp<K, V, F::Input>>>,
-    stats: RefCell<SessionStats>,
+    /// This session's slot in the store-wide metrics registry (single
+    /// writer: this thread). Retired into the hub's accumulator on drop.
+    rec: Arc<SessionRecorder>,
+    /// Shared per-op latency histograms (+ the runtime latency switch).
+    hub: Arc<SessionHub>,
+    /// Set by `read_internal` when the current first-pass read was served
+    /// from the read cache; the caller classifies the read from it.
+    read_rc_hit: Cell<bool>,
 }
 
 impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     pub(crate) fn new(store: FasterKv<K, V, F>) -> Self {
         let guard = store.inner.epoch.acquire();
+        let hub = store.inner.metrics.sessions.clone();
+        let rec = hub.register();
         Self {
             store,
             guard,
@@ -180,7 +194,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             io_done: Arc::new(CompletionQueue::new()),
             io_scratch: RefCell::new(Vec::new()),
             retries: RefCell::new(VecDeque::new()),
-            stats: RefCell::new(SessionStats::default()),
+            rec,
+            hub,
+            read_rc_hit: Cell::new(false),
         }
     }
 
@@ -190,8 +206,59 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     }
 
     /// Counters accumulated by this session.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FasterKv::metrics()` — the store-wide registry aggregates \
+                these counters (and more) across all sessions"
+    )]
     pub fn stats(&self) -> SessionStats {
-        *self.stats.borrow()
+        SessionStats {
+            reads: self.rec.reads.get(),
+            upserts: self.rec.upserts.get(),
+            rmws: self.rec.rmws.get(),
+            deletes: self.rec.deletes.get(),
+            in_place: self.rec.in_place.get(),
+            copies: self.rec.rcu.get(),
+            fuzzy_pending: self.rec.fuzzy_pending.get(),
+            io_pending: self.rec.io_issued.get(),
+            deltas: self.rec.deltas.get(),
+        }
+    }
+
+    /// Classifies a first-pass read's synchronous outcome into exactly one
+    /// of `rc_hits` / `mem_reads` / `reads_pending` (the registry's read
+    /// identity), and feeds the read-cache hit/miss counters when the store
+    /// has a cache (a read that goes to disk is by definition a cache miss).
+    fn classify_read(&self, r: &ReadResult<F::Output>) {
+        let rc_hit = self.read_rc_hit.get();
+        match r {
+            ReadResult::Pending(_) => self.rec.reads_pending.inc(),
+            _ if rc_hit => self.rec.rc_hits.inc(),
+            _ => self.rec.mem_reads.inc(),
+        }
+        if self.store.inner.rc.is_some() {
+            let rcm = &self.store.inner.metrics.read_cache;
+            if rc_hit {
+                rcm.hits.inc();
+            } else {
+                rcm.misses.inc();
+            }
+        }
+    }
+
+    /// Starts a per-op latency timer (a no-op unless the crate is built
+    /// with `metrics-timing` and latency is enabled in `MetricsConfig`).
+    #[inline]
+    fn op_timer(&self) -> Timer {
+        Timer::start(self.hub.latency_enabled)
+    }
+
+    /// Counts one successful mutation: `writes` plus exactly one of the
+    /// `in_place` / `rcu` / `appends` buckets (the write identity).
+    #[inline]
+    fn count_write(&self, bucket: &faster_metrics::Cell64) {
+        self.rec.writes.inc();
+        bucket.inc();
     }
 
     /// Number of operations currently pending (I/O or fuzzy retries).
@@ -239,9 +306,13 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// Reads the value for `key` (Algorithm 2). For mergeable (CRDT) stores
     /// the read reconciles delta records along the chain (§6.3).
     pub fn read(&self, key: &K, input: &F::Input) -> ReadResult<F::Output> {
-        self.stats.borrow_mut().reads += 1;
+        let t = self.op_timer();
+        self.rec.reads.inc();
+        self.read_rc_hit.set(false);
         let hash = hash_key(key);
         let r = self.read_internal(key, hash, input, Address::INVALID, None, Vec::new(), None);
+        self.classify_read(&r);
+        t.observe(&self.hub.read_latency);
         self.maybe_refresh();
         r
     }
@@ -296,6 +367,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                             if acc.is_none() {
                                 self.rc_second_chance(key, hash, &rec, addr);
                             }
+                            self.read_rc_hit.set(true);
                             return ReadResult::Found(out);
                         }
                         // Cached record is for a different key (or deleted):
@@ -395,7 +467,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         id: Option<u64>,
     ) -> u64 {
         let id = id.unwrap_or_else(|| self.fresh_id());
-        self.stats.borrow_mut().io_pending += 1;
+        self.rec.io_issued.inc();
         self.outstanding.set(self.outstanding.get() + 1);
         let ctx = PendingOp {
             id,
@@ -426,9 +498,11 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// region, otherwise a new record at the tail. Never goes pending
     /// (Table 2: blind updates need no old value).
     pub fn upsert(&self, key: &K, value: &V) {
-        self.stats.borrow_mut().upserts += 1;
+        let t = self.op_timer();
+        self.rec.upserts.inc();
         let hash = hash_key(key);
         self.upsert_internal(key, hash, value);
+        t.observe(&self.hub.upsert_latency);
         self.maybe_refresh();
     }
 
@@ -450,7 +524,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         f.single_writer(key, value, unsafe { rec.value_mut() });
                         match slot.cas_address(entry, addr) {
                             Ok(()) => {
-                                self.stats.borrow_mut().copies += 1;
+                                self.count_write(&self.rec.rcu);
                                 return;
                             }
                             Err(_) => {
@@ -467,7 +541,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
                         if !rec.header().is_tombstone() && !rec.header().is_delta() {
                             f.concurrent_writer(key, value, rec.value_cell());
-                            self.stats.borrow_mut().in_place += 1;
+                            self.count_write(&self.rec.in_place);
                             return;
                         }
                     }
@@ -477,7 +551,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     f.single_writer(key, value, unsafe { rec.value_mut() });
                     match slot.cas_address(entry, addr) {
                         Ok(()) => {
-                            self.stats.borrow_mut().copies += 1;
+                            self.count_write(&self.rec.rcu);
                             return;
                         }
                         Err(_) => {
@@ -491,6 +565,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     let f = &self.store.inner.functions;
                     f.single_writer(key, value, unsafe { rec.value_mut() });
                     created.finalize(addr);
+                    self.count_write(&self.rec.appends);
                     return;
                 }
             }
@@ -502,9 +577,11 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// Read-modify-write (Algorithm 4 + Table 2). May return
     /// [`RmwResult::Pending`] for disk-resident records or fuzzy-region hits.
     pub fn rmw(&self, key: &K, input: &F::Input) -> RmwResult {
-        self.stats.borrow_mut().rmws += 1;
+        let t = self.op_timer();
+        self.rec.rmws.inc();
         let hash = hash_key(key);
         let r = self.rmw_internal(key, hash, input, None);
+        t.observe(&self.hub.rmw_latency);
         self.maybe_refresh();
         r
     }
@@ -535,7 +612,6 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                 if rec.key() == *key {
                                     let old = rec.read_value();
                                     if self.rcu_create(&slot, entry, key, input, Some(old)) {
-                                        self.stats.borrow_mut().copies += 1;
                                         return RmwResult::Done;
                                     }
                                     continue;
@@ -567,7 +643,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                             match inner.log.classify(laddr) {
                                 Region::Mutable => {
                                     f.in_place_updater(key, input, rec.value_cell());
-                                    self.stats.borrow_mut().in_place += 1;
+                                    self.count_write(&self.rec.in_place);
                                     return RmwResult::Done;
                                 }
                                 Region::Fuzzy => {
@@ -579,7 +655,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                         continue;
                                     }
                                     // Defer: pending list, retried later.
-                                    self.stats.borrow_mut().fuzzy_pending += 1;
+                                    self.rec.fuzzy_pending.inc();
                                     return RmwResult::Pending(
                                         self.queue_fuzzy_retry(key, hash, input, reuse_id),
                                     );
@@ -597,7 +673,6 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                     // Copy to tail with the updated value.
                                     let old = rec.read_value();
                                     if self.rcu_create(&slot, entry, key, input, Some(old)) {
-                                        self.stats.borrow_mut().copies += 1;
                                         return RmwResult::Done;
                                     }
                                     continue;
@@ -643,6 +718,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     let f = &self.store.inner.functions;
                     f.initial_updater(key, input, unsafe { rec.value_mut() });
                     created.finalize(addr);
+                    self.count_write(&self.rec.appends);
                     return RmwResult::Done;
                 }
             }
@@ -664,12 +740,18 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         let prev = self.chain_prev_for_new_record(entry.address());
         let (addr, rec) = self.write_record(prev, key, 0);
         let f = &self.store.inner.functions;
+        let had_old = old.is_some();
         match old {
             Some(old) => f.copy_updater(key, input, &old, unsafe { rec.value_mut() }),
             None => f.initial_updater(key, input, unsafe { rec.value_mut() }),
         }
         match slot.cas_address(entry, addr) {
-            Ok(()) => true,
+            Ok(()) => {
+                // With an old value this is a read-copy-update; without one
+                // it (re-)creates the key from the initial value.
+                self.count_write(if had_old { &self.rec.rcu } else { &self.rec.appends });
+                true
+            }
             Err(_) => {
                 rec.set_bits(INVALID_BIT);
                 false
@@ -693,7 +775,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         f.copy_updater(key, input, &identity, unsafe { rec.value_mut() });
         match slot.cas_address(entry, addr) {
             Ok(()) => {
-                self.stats.borrow_mut().deltas += 1;
+                self.count_write(&self.rec.appends);
+                self.rec.deltas.inc();
                 true
             }
             Err(_) => {
@@ -708,9 +791,11 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// Deletes `key` by appending a tombstone record (§5.3). Log GC reclaims
     /// the space (Appendix C).
     pub fn delete(&self, key: &K) {
-        self.stats.borrow_mut().deletes += 1;
+        let t = self.op_timer();
+        self.rec.deletes.inc();
         let hash = hash_key(key);
         self.delete_internal(key, hash);
+        t.observe(&self.hub.delete_latency);
         self.maybe_refresh();
     }
 
@@ -734,7 +819,10 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     let (addr, rec) = self.write_record(prev, key, TOMBSTONE_BIT);
                     // Tombstones carry no value; zeroed frame bytes suffice.
                     match slot.cas_address(entry, addr) {
-                        Ok(()) => break,
+                        Ok(()) => {
+                            self.count_write(&self.rec.appends);
+                            break;
+                        }
                         Err(_) => {
                             rec.set_bits(INVALID_BIT);
                             continue;
@@ -770,7 +858,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// pending results complete through [`Session::complete_pending`].
     pub fn read_batch(&self, keys: &[K], input: &F::Input) -> Vec<ReadResult<F::Output>> {
         let inner = &self.store.inner;
-        self.stats.borrow_mut().reads += keys.len() as u64;
+        self.rec.batches.inc();
+        self.rec.reads.add(keys.len() as u64);
         // Stage 1: hash every key, prefetch every target bucket.
         let mut hashes: Vec<KeyHash> = Vec::with_capacity(keys.len());
         for key in keys {
@@ -795,15 +884,36 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             }
             heads.push(head);
         }
+        // Stage 2.5 (opt-in via `prefetch_prev_chain`): by now the head
+        // lines issued in stage 2 are arriving, so dereferencing each head
+        // header is cheap; prefetch one `prev` hop so collided chains don't
+        // stall stage 3 on a second dependent load (ROADMAP prefetch
+        // experiment — measured in EXPERIMENTS.md).
+        if inner.cfg.prefetch_prev_chain {
+            for &head in &heads {
+                if !head.is_valid() || is_rc(head) {
+                    continue;
+                }
+                if let Some(p) = inner.log.get(head) {
+                    // Safety: epoch-protected resident record.
+                    let prev = unsafe { RecordRef::<K, V>::from_raw(p) }.header().prev();
+                    if prev.is_valid() && !is_rc(prev) && prev >= inner.log.head_address() {
+                        inner.log.prefetch(prev);
+                    }
+                }
+            }
+        }
         // Stage 3: execute in submission order — the same walk as scalar
         // `read`, resumed from the already-probed chain head.
         let mut out = Vec::with_capacity(keys.len());
         for (i, key) in keys.iter().enumerate() {
+            self.read_rc_hit.set(false);
             let r = if heads[i].is_valid() {
                 self.read_internal(key, hashes[i], input, heads[i], None, Vec::new(), None)
             } else {
                 self.finish_read(key, input, None)
             };
+            self.classify_read(&r);
             out.push(r);
         }
         self.batch_tick(keys.len());
@@ -814,7 +924,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// [`Session::upsert`] per pair, in order.
     pub fn upsert_batch(&self, pairs: &[(K, V)]) {
         let inner = &self.store.inner;
-        self.stats.borrow_mut().upserts += pairs.len() as u64;
+        self.rec.batches.inc();
+        self.rec.upserts.add(pairs.len() as u64);
         let mut hashes: Vec<KeyHash> = Vec::with_capacity(pairs.len());
         for (key, _) in pairs {
             let h = hash_key(key);
@@ -832,7 +943,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// results complete through [`Session::complete_pending`].
     pub fn rmw_batch(&self, ops: &[(K, F::Input)]) -> Vec<RmwResult> {
         let inner = &self.store.inner;
-        self.stats.borrow_mut().rmws += ops.len() as u64;
+        self.rec.batches.inc();
+        self.rec.rmws.add(ops.len() as u64);
         let mut hashes: Vec<KeyHash> = Vec::with_capacity(ops.len());
         for (key, _) in ops {
             let h = hash_key(key);
@@ -851,15 +963,13 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// in submission order. Equivalent to issuing each op individually.
     pub fn execute_batch(&self, ops: &[BatchOp<K, V, F::Input>]) -> Vec<BatchOutcome<F::Output>> {
         let inner = &self.store.inner;
-        {
-            let mut stats = self.stats.borrow_mut();
-            for op in ops {
-                match op {
-                    BatchOp::Read { .. } => stats.reads += 1,
-                    BatchOp::Upsert { .. } => stats.upserts += 1,
-                    BatchOp::Rmw { .. } => stats.rmws += 1,
-                    BatchOp::Delete { .. } => stats.deletes += 1,
-                }
+        self.rec.batches.inc();
+        for op in ops {
+            match op {
+                BatchOp::Read { .. } => self.rec.reads.inc(),
+                BatchOp::Upsert { .. } => self.rec.upserts.inc(),
+                BatchOp::Rmw { .. } => self.rec.rmws.inc(),
+                BatchOp::Delete { .. } => self.rec.deletes.inc(),
             }
         }
         let mut hashes: Vec<KeyHash> = Vec::with_capacity(ops.len());
@@ -872,15 +982,20 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         for (i, op) in ops.iter().enumerate() {
             let hash = hashes[i];
             out.push(match op {
-                BatchOp::Read { key, input } => BatchOutcome::Read(self.read_internal(
-                    key,
-                    hash,
-                    input,
-                    Address::INVALID,
-                    None,
-                    Vec::new(),
-                    None,
-                )),
+                BatchOp::Read { key, input } => {
+                    self.read_rc_hit.set(false);
+                    let r = self.read_internal(
+                        key,
+                        hash,
+                        input,
+                        Address::INVALID,
+                        None,
+                        Vec::new(),
+                        None,
+                    );
+                    self.classify_read(&r);
+                    BatchOutcome::Read(r)
+                }
                 BatchOp::Upsert { key, value } => {
                     self.upsert_internal(key, hash, value);
                     BatchOutcome::Upsert
@@ -1024,7 +1139,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         new_rec.init_header(RecordHeader::new(rec.header().prev()));
         new_rec.init_key(key);
         unsafe { *new_rec.value_mut() = rec.read_value() };
-        let _ = slot.cas_address(cur, rc_tag(addr));
+        if slot.cas_address(cur, rc_tag(addr)).is_ok() {
+            inner.metrics.read_cache.promotions.inc();
+        }
     }
 
     /// After a disk read served a key whose record is the chain head,
@@ -1044,7 +1161,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         rec.init_header(RecordHeader::new(primary));
         rec.init_key(key);
         unsafe { *rec.value_mut() = *value };
-        let _ = slot.cas_address(cur, rc_tag(addr));
+        if slot.cas_address(cur, rc_tag(addr)).is_ok() {
+            inner.metrics.read_cache.inserts.inc();
+        }
     }
 
     /// Allocates and initializes a record (header + key) at the tail.
@@ -1129,7 +1248,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         reuse: Option<u64>,
     ) -> u64 {
         let id = reuse.unwrap_or_else(|| self.fresh_id());
-        self.stats.borrow_mut().io_pending += 1;
+        self.rec.io_issued.inc();
         self.outstanding.set(self.outstanding.get() + 1);
         let ctx = PendingOp {
             id,
@@ -1182,6 +1301,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             self.io_done.drain_into(&mut completions);
             for (mut op, res) in completions.drain(..) {
                 self.outstanding.set(self.outstanding.get() - 1);
+                self.rec.io_completed.inc();
                 match res {
                     Ok(bytes) => self.continue_io(op, bytes, &mut done),
                     Err(err @ faster_storage::IoError::Failed(_)) => {
@@ -1193,12 +1313,14 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         // failure completion that mutates nothing.
                         if op.attempts < MAX_IO_RETRIES {
                             op.attempts += 1;
+                            self.rec.io_retries.inc();
                             let mut pause = faster_util::Backoff::new();
                             for _ in 0..op.attempts {
                                 pause.snooze();
                             }
                             self.reissue_io(op);
                         } else {
+                            self.rec.io_failed.inc();
                             done.push(CompletedOp::Failed { id: op.id, error: err });
                         }
                     }
@@ -1398,7 +1520,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// bounded transient-failure retry of the same address). The op keeps
     /// its id, kind, and accumulated state.
     fn reissue_io(&self, op: PendingOp<K, V, F::Input>) {
-        self.stats.borrow_mut().io_pending += 1;
+        self.rec.io_issued.inc();
         self.outstanding.set(self.outstanding.get() + 1);
         let addr = op.read_addr;
         let queue = self.io_done.clone();
@@ -1428,7 +1550,6 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     };
                 }
                 if self.rcu_create(&slot, entry, &op.key, &op.input, old) {
-                    self.stats.borrow_mut().copies += 1;
                     Some(op.id)
                 } else {
                     match self.rmw_internal(&op.key, op.hash, &op.input, Some(op.id)) {
@@ -1443,6 +1564,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                 let f = &self.store.inner.functions;
                 f.initial_updater(&op.key, &op.input, unsafe { rec.value_mut() });
                 created.finalize(addr);
+                self.count_write(&self.rec.appends);
                 Some(op.id)
             }
         }
@@ -1453,6 +1575,8 @@ impl<K: Pod, V: Pod, F: Functions<K, V>> Drop for Session<K, V, F> {
     fn drop(&mut self) {
         // Outstanding I/O callbacks only touch the Arc'd queue; results for a
         // dropped session are simply discarded. The guard's Drop releases the
-        // epoch slot (§2.5 Release).
+        // epoch slot (§2.5 Release). The recorder folds into the hub's
+        // retired accumulator so store-wide totals survive session churn.
+        self.hub.retire(&self.rec);
     }
 }

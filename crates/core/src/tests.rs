@@ -103,13 +103,11 @@ fn concurrent_count_store_exactness() {
     // The paper's canonical correctness property: with RMW increments, the
     // total equals the number of increments — across threads, in-place and
     // RCU paths alike.
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 14, buffer_pages: 16, mutable_pages: 12, io_threads: 2 },
-        max_sessions: 32,
-        refresh_interval: 64,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 14, buffer_pages: 16, mutable_pages: 12, io_threads: 2 })
+        .with_max_sessions(32)
+        .with_refresh_interval(64);
     let store = count_store(cfg);
     let threads = 8u64;
     let per_thread = 20_000u64;
@@ -186,13 +184,11 @@ fn batched_ops_match_scalar_inmemory() {
 fn concurrent_batched_rmw_exactness() {
     // The CountStore exactness property, driven through rmw_batch: batching
     // must not lose, duplicate, or reorder increments across threads.
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 14, buffer_pages: 16, mutable_pages: 12, io_threads: 2 },
-        max_sessions: 32,
-        refresh_interval: 64,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 14, buffer_pages: 16, mutable_pages: 12, io_threads: 2 })
+        .with_max_sessions(32)
+        .with_refresh_interval(64);
     let store = count_store(cfg);
     let threads = 8u64;
     let batches = 400u64;
@@ -237,13 +233,11 @@ fn concurrent_batched_rmw_exactness() {
 fn read_batch_straddling_disk_goes_pending_and_completes() {
     // Spill most keys to disk, then read a batch mixing resident and cold
     // keys: the cold ones must pend and complete with the right values.
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 2, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 32,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 2, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(32);
     let store = count_store(cfg);
     let s = store.start_session();
     let n = 4_000u64;
@@ -279,13 +273,11 @@ fn read_batch_straddling_disk_goes_pending_and_completes() {
 #[test]
 fn larger_than_memory_spill_and_read_back() {
     // Tiny buffer: 4 pages of 4 KB = 16 KB memory for ~24 B records.
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 2, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 32,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 2, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(32);
     let store = count_store(cfg);
     let s = store.start_session();
     let n = 4_000u64; // ~96 KB of records >> 16 KB buffer
@@ -324,13 +316,11 @@ fn larger_than_memory_spill_and_read_back() {
 
 #[test]
 fn rmw_on_disk_record_goes_pending_and_completes() {
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 32,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(32);
     // Non-mergeable functions force the I/O path (CRDTs would use deltas).
     let store: FasterKv<u64, u64, BlindKv<u64>> =
         FasterKv::new(cfg, BlindKv::new(), MemDevice::new(2));
@@ -352,13 +342,11 @@ fn rmw_on_disk_record_goes_pending_and_completes() {
 
 #[test]
 fn crdt_disk_rmw_avoids_io_with_delta() {
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 32,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(32);
     let store = count_store(cfg);
     let s = store.start_session();
     rmw_now(&s, 5, 100);
@@ -376,13 +364,11 @@ fn crdt_disk_rmw_avoids_io_with_delta() {
 
 #[test]
 fn upsert_never_pends_even_below_head() {
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 32,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(32);
     let store = count_store(cfg);
     let s = store.start_session();
     s.upsert(&3, &1);
@@ -396,16 +382,15 @@ fn upsert_never_pends_even_below_head() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the Session::stats compatibility shim
 fn table2_update_scheme_by_region() {
     // Drive the log so one key's record sits in each region, and check the
     // stats counters reflect the Table 2 actions.
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 2, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 8,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 2, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(8);
     let store: FasterKv<u64, u64, BlindKv<u64>> =
         FasterKv::new(cfg, BlindKv::new(), MemDevice::new(2));
     let s = store.start_session();
@@ -444,13 +429,11 @@ fn lost_update_anomaly_prevented() {
     // §6.2 regression: concurrent RMW increments while the read-only offset
     // shifts must never lose updates. The fuzzy region forces RMWs pending
     // instead of racing in-place vs. RCU.
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 },
-        log: HLogConfig { page_bits: 10, buffer_pages: 32, mutable_pages: 2, io_threads: 2 },
-        max_sessions: 16,
-        refresh_interval: 16,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 })
+        .with_log(HLogConfig { page_bits: 10, buffer_pages: 32, mutable_pages: 2, io_threads: 2 })
+        .with_max_sessions(16)
+        .with_refresh_interval(16);
     // NOTE: BlindKv is not mergeable, so RMW takes the pending path in the
     // fuzzy region; we use an additive RMW to detect lost updates.
     #[derive(Clone, Default)]
@@ -501,6 +484,7 @@ fn lost_update_anomaly_prevented() {
                 }
             }
             s.complete_pending(true);
+            #[allow(deprecated)] // Session::stats shim
             fuzzy_total.fetch_add(s.stats().fuzzy_pending, Ordering::Relaxed);
         }));
     }
@@ -573,13 +557,11 @@ fn checkpoint_replay_catches_fuzzy_window_updates() {
 
 #[test]
 fn gc_truncate_makes_cold_keys_absent() {
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 32,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 10, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(32);
     let store = count_store(cfg);
     let s = store.start_session();
     s.upsert(&1, &111);
@@ -598,13 +580,11 @@ fn gc_truncate_makes_cold_keys_absent() {
 
 #[test]
 fn gc_compact_preserves_live_keys() {
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 2, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 32,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 2, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(32);
     let store = count_store(cfg);
     let s = store.start_session();
     // Cold live keys.
@@ -655,6 +635,7 @@ fn index_grow_under_store_load() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the Session::stats compatibility shim
 fn session_stats_populate() {
     let store = count_store(FasterKvConfig::small());
     let s = store.start_session();
@@ -702,13 +683,11 @@ fn read_with_input_selects_output() {
 #[test]
 fn read_history_returns_versions_newest_first() {
     // Append-only mode: every update materializes a version (Appendix F).
-    let cfg = FasterKvConfig {
-        index: faster_index::IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 0, io_threads: 2 },
-        max_sessions: 4,
-        refresh_interval: 16,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(faster_index::IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 0, io_threads: 2 })
+        .with_max_sessions(4)
+        .with_refresh_interval(16);
     let store: FasterKv<u64, u64, BlindKv<u64>> =
         FasterKv::new(cfg, BlindKv::new(), MemDevice::new(2));
     let s = store.start_session();

@@ -75,12 +75,14 @@ impl DrainList {
         Err(action)
     }
 
-    /// Runs every action whose epoch is `≤ safe`. Each action runs exactly
-    /// once: claiming is a CAS from the stored epoch to `RESERVED`.
-    pub fn drain_up_to(&self, safe: u64) {
+    /// Runs every action whose epoch is `≤ safe`, returning how many ran.
+    /// Each action runs exactly once: claiming is a CAS from the stored
+    /// epoch to `RESERVED`.
+    pub fn drain_up_to(&self, safe: u64) -> usize {
         if self.len() == 0 {
-            return;
+            return 0;
         }
+        let mut ran = 0;
         for slot in self.slots.iter() {
             let e = slot.epoch.load(Ordering::SeqCst);
             if e <= safe
@@ -92,8 +94,10 @@ impl DrainList {
                 slot.epoch.store(FREE, Ordering::SeqCst);
                 self.count.fetch_sub(1, Ordering::SeqCst);
                 action();
+                ran += 1;
             }
         }
+        ran
     }
 }
 

@@ -58,6 +58,7 @@ mod table;
 pub use drain::DRAIN_LIST_SIZE;
 
 use drain::DrainList;
+use faster_metrics::EpochMetrics;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use table::EpochTable;
@@ -78,12 +79,19 @@ struct Inner {
     safe: faster_util::CacheAligned<AtomicU64>,
     table: EpochTable,
     drain: DrainList,
+    metrics: Arc<EpochMetrics>,
 }
 
 impl Epoch {
     /// Creates a framework instance supporting up to `max_threads` concurrent
-    /// guards.
+    /// guards, with a private metrics group.
     pub fn new(max_threads: usize) -> Self {
+        Self::with_metrics(max_threads, Arc::new(EpochMetrics::default()))
+    }
+
+    /// Like [`Epoch::new`], but events are recorded into the caller's shared
+    /// metrics group (the store's registry).
+    pub fn with_metrics(max_threads: usize, metrics: Arc<EpochMetrics>) -> Self {
         assert!(max_threads >= 1);
         Self {
             inner: Arc::new(Inner {
@@ -91,8 +99,14 @@ impl Epoch {
                 safe: faster_util::CacheAligned::new(AtomicU64::new(0)),
                 table: EpochTable::new(max_threads),
                 drain: DrainList::new(),
+                metrics,
             }),
         }
+    }
+
+    /// The metrics group this framework records into.
+    pub fn metrics(&self) -> &Arc<EpochMetrics> {
+        &self.inner.metrics
     }
 
     /// Current epoch `E`.
@@ -139,6 +153,7 @@ impl Epoch {
     /// Returns the *previous* epoch value `c`; callers may later test
     /// [`Epoch::is_safe`]`(c)`.
     pub fn bump(&self) -> u64 {
+        self.inner.metrics.bumps.inc();
         self.inner.current.fetch_add(1, Ordering::SeqCst)
     }
 
@@ -157,6 +172,7 @@ impl Epoch {
     }
 
     fn bump_with_inner(&self, caller_slot: Option<usize>, action: Box<dyn FnOnce() + Send>) {
+        self.inner.metrics.bumps.inc();
         let prior = self.inner.current.fetch_add(1, Ordering::SeqCst);
         let mut boxed = action;
         loop {
@@ -211,7 +227,8 @@ impl Epoch {
     /// Panics if any guard is still active.
     pub fn drain_all(&self) {
         assert_eq!(self.active_threads(), 0, "drain_all with active guards");
-        self.inner.drain.drain_up_to(u64::MAX);
+        let ran = self.inner.drain.drain_up_to(u64::MAX);
+        self.inner.metrics.drain_actions.add(ran as u64);
     }
 
     /// Scans the epoch table and returns the maximal safe epoch.
@@ -227,7 +244,10 @@ impl Epoch {
     fn update_safe_and_drain(&self, new_safe: u64) {
         self.inner.safe.fetch_max(new_safe, Ordering::SeqCst);
         if self.inner.drain.len() > 0 {
-            self.inner.drain.drain_up_to(self.inner.safe.load(Ordering::SeqCst));
+            let ran = self.inner.drain.drain_up_to(self.inner.safe.load(Ordering::SeqCst));
+            if ran > 0 {
+                self.inner.metrics.drain_actions.add(ran as u64);
+            }
         }
     }
 }
@@ -258,6 +278,7 @@ impl EpochGuard {
     /// Updates this thread's entry to the current epoch, recomputes the safe
     /// epoch, and runs any trigger actions that became safe (§2.4 *Refresh*).
     pub fn refresh(&self) {
+        self.epoch.inner.metrics.refreshes.inc();
         let e = self.epoch.inner.current.load(Ordering::SeqCst);
         self.epoch.inner.table.set(self.slot, e);
         let safe = self.epoch.compute_safe();

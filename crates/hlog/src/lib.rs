@@ -47,6 +47,7 @@ pub mod scan;
 pub use scan::LogScanner;
 
 use faster_epoch::{Epoch, EpochGuard};
+use faster_metrics::HlogMetrics;
 use faster_storage::{Device, IoError, ReadCallback};
 use faster_util::Address;
 use flush::FlushTracker;
@@ -166,6 +167,7 @@ struct Inner {
     /// recycled. Used by the Appendix D read cache to restore index entries
     /// for evicted cache records.
     evict_hook: Mutex<Option<EvictHook>>,
+    metrics: Arc<HlogMetrics>,
 }
 
 /// Callback invoked as pages leave the buffer (see `set_evict_hook`).
@@ -178,8 +180,20 @@ pub struct HybridLog {
 }
 
 impl HybridLog {
-    /// Creates a log over `device`, coordinated by `epoch`.
+    /// Creates a log over `device`, coordinated by `epoch`, with a private
+    /// metrics group.
     pub fn new(cfg: HLogConfig, epoch: Epoch, device: Arc<dyn Device>) -> Self {
+        Self::with_metrics(cfg, epoch, device, Arc::new(HlogMetrics::default()))
+    }
+
+    /// Like [`HybridLog::new`], but events are recorded into the caller's
+    /// shared metrics group (the store's registry).
+    pub fn with_metrics(
+        cfg: HLogConfig,
+        epoch: Epoch,
+        device: Arc<dyn Device>,
+        metrics: Arc<HlogMetrics>,
+    ) -> Self {
         cfg.validate();
         let page_size = cfg.page_size() as usize;
         let frames: Vec<Frame> = (0..cfg.buffer_pages).map(|_| Frame::new(page_size)).collect();
@@ -203,6 +217,7 @@ impl HybridLog {
                 sealed_through: AtomicU64::new(0),
                 flush_tracker: Mutex::new(FlushTracker::new(0)),
                 evict_hook: Mutex::new(None),
+                metrics,
             }),
         }
     }
@@ -211,6 +226,18 @@ impl HybridLog {
     /// (recovery, §6.5). The in-memory buffer restarts empty at the next page
     /// boundary at/after `tail`.
     pub fn recover(cfg: HLogConfig, epoch: Epoch, device: Arc<dyn Device>, begin: Address, tail: Address) -> Self {
+        Self::recover_with_metrics(cfg, epoch, device, begin, tail, Arc::new(HlogMetrics::default()))
+    }
+
+    /// Like [`HybridLog::recover`], but with a shared metrics group.
+    pub fn recover_with_metrics(
+        cfg: HLogConfig,
+        epoch: Epoch,
+        device: Arc<dyn Device>,
+        begin: Address,
+        tail: Address,
+        metrics: Arc<HlogMetrics>,
+    ) -> Self {
         cfg.validate();
         let page_size = cfg.page_size();
         // Resume at a fresh page: everything below is disk-resident.
@@ -240,8 +267,14 @@ impl HybridLog {
                 sealed_through: AtomicU64::new(resume_page),
                 flush_tracker: Mutex::new(FlushTracker::new(resume_page)),
                 evict_hook: Mutex::new(None),
+                metrics,
             }),
         }
+    }
+
+    /// The metrics group this log records into.
+    pub fn metrics(&self) -> &Arc<HlogMetrics> {
+        &self.inner.metrics
     }
 
     /// The log's configuration.
@@ -370,10 +403,12 @@ impl HybridLog {
         let page = old >> OFFSET_BITS;
         let offset = old & OFFSET_MASK;
         if offset + size <= inner.cfg.page_size() {
+            inner.metrics.appends.inc();
             return Some(Address::new(page * inner.cfg.page_size() + offset));
         }
         // Overflow: run the (exactly-once) seal actions for this page, then
         // try to open the next page; succeed or not, the caller retries.
+        inner.metrics.alloc_retries.inc();
         self.seal_page(page, Some(guard));
         self.try_open_page(page);
         None
@@ -403,6 +438,7 @@ impl HybridLog {
         {
             return; // someone else sealed it (or it's already sealed)
         }
+        inner.metrics.page_seals.inc();
         let new_tail_page = page + 1;
         // Advance the read-only offset to maintain the mutable-region lag.
         let ro_lag = inner.cfg.buffer_pages.min(inner.cfg.mutable_pages);
@@ -539,11 +575,21 @@ impl HybridLog {
     /// a record log, we retrieve only the record and not the entire logical
     /// page").
     pub fn read_async(&self, addr: Address, len: usize, cb: ReadCallback) {
+        let metrics = Arc::clone(&self.inner.metrics);
+        metrics.reads_issued.inc();
         if addr < self.begin_address() {
+            metrics.reads_completed.inc();
             cb(Err(IoError::Truncated { offset: addr.raw() }));
             return;
         }
-        self.inner.device.read_async(addr.raw(), len, cb);
+        self.inner.device.read_async(
+            addr.raw(),
+            len,
+            Box::new(move |r| {
+                metrics.reads_completed.inc();
+                cb(r);
+            }),
+        );
     }
 
     /// Installs the eviction hook (see `Inner::close_frames`). Call before
@@ -660,20 +706,26 @@ impl Inner {
         let fidx = (page % self.cfg.buffer_pages) as usize;
         let data = self.frames[fidx].snapshot();
         let weak = Arc::downgrade(self);
+        self.metrics.flushes_issued.inc();
         self.device.write_async(
             page * page_size,
             data,
             Box::new(move |res| {
                 if let Some(inner) = weak.upgrade() {
                     match res {
-                        Ok(()) if track => inner.flush_complete(page),
-                        Ok(()) => {}
+                        Ok(()) => {
+                            inner.metrics.flushes_completed.inc();
+                            if track {
+                                inner.flush_complete(page);
+                            }
+                        }
                         // A failed flush leaves flushed_until stalled
                         // (allocation backpressure surfaces the problem
                         // rather than losing data) and is counted so the
                         // checkpoint commit path can refuse to declare the
                         // log durable.
                         Err(_) => {
+                            inner.metrics.flushes_failed.inc();
                             inner.flush_failures.fetch_add(1, Ordering::SeqCst);
                         }
                     }
@@ -707,6 +759,7 @@ impl Inner {
         for page in (from / page_size)..(to / page_size) {
             let fidx = (page % self.cfg.buffer_pages) as usize;
             self.frame_status[fidx].store(FRAME_CLOSED, Ordering::SeqCst);
+            self.metrics.frames_evicted.inc();
         }
     }
 }

@@ -102,10 +102,16 @@ pub(crate) fn capture(index: &HashIndex) -> IndexCheckpoint {
 }
 
 /// Rebuilds an index from a checkpoint (single-threaded).
-pub(crate) fn restore(ckpt: &IndexCheckpoint, max_resize_chunks: usize, epoch: Epoch) -> HashIndex {
-    let index = HashIndex::new(
+pub(crate) fn restore(
+    ckpt: &IndexCheckpoint,
+    max_resize_chunks: usize,
+    epoch: Epoch,
+    metrics: std::sync::Arc<faster_metrics::IndexMetrics>,
+) -> HashIndex {
+    let index = HashIndex::with_metrics(
         IndexConfig { k_bits: ckpt.k_bits, tag_bits: ckpt.tag_bits, max_resize_chunks },
         epoch,
+        metrics,
     );
     let arr = index.active_array();
     for &(bucket_idx, raw) in &ckpt.entries {

@@ -41,6 +41,7 @@ pub use entry::{HashBucketEntry, MAX_TAG_BITS};
 pub use resize::{ChunkPins, RecordAccess};
 
 use faster_epoch::{Epoch, EpochGuard};
+use faster_metrics::IndexMetrics;
 use faster_util::{Address, KeyHash, XorShift64};
 use parking_lot::{Mutex, RwLock};
 use resize::ResizeRun;
@@ -121,6 +122,7 @@ pub struct HashIndex {
     overflow: OverflowPool,
     /// State of the in-progress (or most recent) resize.
     run: RwLock<Option<Arc<ResizeRun>>>,
+    metrics: Arc<IndexMetrics>,
 }
 
 // Safety: all interior state is atomics, locks, or pool-owned allocations.
@@ -251,8 +253,14 @@ pub enum CreateOutcome<'a> {
 }
 
 impl HashIndex {
-    /// Creates an index with `2^k_bits` buckets.
+    /// Creates an index with `2^k_bits` buckets and a private metrics group.
     pub fn new(config: IndexConfig, epoch: Epoch) -> Self {
+        Self::with_metrics(config, epoch, Arc::new(IndexMetrics::default()))
+    }
+
+    /// Like [`HashIndex::new`], but events are recorded into the caller's
+    /// shared metrics group (the store's registry).
+    pub fn with_metrics(config: IndexConfig, epoch: Epoch, metrics: Arc<IndexMetrics>) -> Self {
         assert!(config.tag_bits <= MAX_TAG_BITS);
         assert!(config.k_bits >= 1);
         assert!(config.max_resize_chunks >= 1);
@@ -269,7 +277,13 @@ impl HashIndex {
             graveyard: Mutex::new(Vec::new()),
             overflow: OverflowPool::new(),
             run: RwLock::new(None),
+            metrics,
         }
+    }
+
+    /// The metrics group this index records into.
+    pub fn metrics(&self) -> &Arc<IndexMetrics> {
+        &self.metrics
     }
 
     /// Current resize status.
@@ -481,17 +495,25 @@ impl HashIndex {
         let k = array.k_bits();
         let tag = hash.tag(k, self.tag_bits);
         let mut bucket = array.bucket(hash.bucket_index(k));
+        let mut steps = 0u64;
         loop {
             for i in 0..ENTRIES_PER_BUCKET {
                 let word = bucket.entry(i);
                 let e = HashBucketEntry(word.load(Ordering::SeqCst));
+                steps += 1;
                 if !e.is_empty() && !e.is_tentative() && e.tag() == tag {
+                    // Single shard lookup for the pair: this is the read
+                    // hot path, where two separate adds measurably cost.
+                    self.metrics.probes.add_two(1, &self.metrics.probe_steps, steps);
                     return Some(EntrySlot { word, tag, _pin: pin });
                 }
             }
             match bucket.overflow() {
                 Some(next) => bucket = next,
-                None => return None,
+                None => {
+                    self.metrics.probes.add_two(1, &self.metrics.probe_steps, steps);
+                    return None;
+                }
             }
         }
     }
@@ -508,14 +530,17 @@ impl HashIndex {
         let mut jitter = XorShift64::new(hash.0 | 1);
         // Shared pin across retries: moved into the eventual result.
         let mut pin = pin;
+        self.metrics.probes.inc();
         'retry: loop {
             // ---- Phase 1: scan the chain for the tag, noting a free slot.
             let mut free_word: Option<&AtomicU64> = None;
             let mut bucket = first;
+            let mut steps = 0u64;
             let last = loop {
                 for i in 0..ENTRIES_PER_BUCKET {
                     let word = bucket.entry(i);
                     let e = HashBucketEntry(word.load(Ordering::SeqCst));
+                    steps += 1;
                     if e.is_empty() {
                         if free_word.is_none() {
                             free_word = Some(word);
@@ -526,9 +551,12 @@ impl HashIndex {
                         if e.is_tentative() {
                             // Another thread mid-insert of this tag: back off
                             // and retry (§3.2).
+                            self.metrics.probe_steps.add(steps);
+                            self.metrics.tentative_restarts.inc();
                             backoff(&mut jitter);
                             continue 'retry;
                         }
+                        self.metrics.probe_steps.add(steps);
                         return CreateOutcome::Found(EntrySlot { word, tag, _pin: pin });
                     }
                 }
@@ -538,11 +566,14 @@ impl HashIndex {
                 }
             };
 
+            self.metrics.probe_steps.add(steps);
+
             // ---- Phase 2: claim an empty slot tentatively.
             let Some(word) = free_word else {
                 // Chain exhausted: extend it with an overflow bucket and retry
                 // (the new bucket has seven empty slots).
                 let fresh = self.overflow.alloc();
+                self.metrics.overflow_allocs.inc();
                 last.install_overflow(fresh);
                 continue 'retry;
             };
@@ -551,6 +582,7 @@ impl HashIndex {
                 .compare_exchange(0, tentative.0, Ordering::SeqCst, Ordering::SeqCst)
                 .is_err()
             {
+                self.metrics.tentative_restarts.inc();
                 continue 'retry;
             }
 
@@ -566,6 +598,7 @@ impl HashIndex {
                     if !e.is_empty() && e.tag() == tag {
                         // Duplicate: release our claim, back off, retry.
                         word.store(HashBucketEntry::EMPTY.0, Ordering::SeqCst);
+                        self.metrics.tentative_restarts.inc();
                         backoff(&mut jitter);
                         continue 'retry;
                     }
@@ -609,7 +642,17 @@ impl HashIndex {
 
     /// Rebuilds an index from a checkpoint (single-threaded recovery path).
     pub fn restore(ckpt: &IndexCheckpoint, max_resize_chunks: usize, epoch: Epoch) -> Self {
-        checkpoint::restore(ckpt, max_resize_chunks, epoch)
+        checkpoint::restore(ckpt, max_resize_chunks, epoch, Arc::new(IndexMetrics::default()))
+    }
+
+    /// [`HashIndex::restore`] recording into an existing metrics group.
+    pub fn restore_with_metrics(
+        ckpt: &IndexCheckpoint,
+        max_resize_chunks: usize,
+        epoch: Epoch,
+        metrics: Arc<IndexMetrics>,
+    ) -> Self {
+        checkpoint::restore(ckpt, max_resize_chunks, epoch, metrics)
     }
 
     /// Raw pointer to the active table (comparison only — may be stale, or

@@ -438,6 +438,7 @@ pub(crate) fn resize(
 /// epoch-gated transition cannot strand them), then back off exponentially so
 /// the wait does not starve the thread being waited on.
 fn wait_step(index: &HashIndex, guard: Option<&EpochGuard>, backoff: &mut Backoff) {
+    index.metrics().resize_backoffs.inc();
     match guard {
         Some(g) => g.refresh(),
         None => index.epoch().drive(),
@@ -457,6 +458,7 @@ fn participate(index: &HashIndex, run: &Arc<ResizeRun>, guard: Option<&EpochGuar
             }
             all_done = false;
             if run.try_claim(c) {
+                index.metrics().resize_chunk_claims.inc();
                 migrate_chunk(index, run, c, guard);
                 finish_chunk(index, run, c);
                 progressed = true;
@@ -497,6 +499,7 @@ pub(crate) fn ensure_migrated_for(
             return;
         }
         if run.try_claim(chunk) {
+            index.metrics().resize_chunk_claims.inc();
             migrate_chunk(index, run, chunk, guard);
             finish_chunk(index, run, chunk);
             return;
@@ -507,6 +510,7 @@ pub(crate) fn ensure_migrated_for(
         let mut helped = false;
         for c in 0..run.n_chunks {
             if c != chunk && run.try_claim(c) {
+                index.metrics().resize_chunk_claims.inc();
                 migrate_chunk(index, run, c, guard);
                 finish_chunk(index, run, c);
                 helped = true;

@@ -45,6 +45,7 @@ fn main() {
                     }
                 }
                 session.complete_pending(true);
+                #[allow(deprecated)] // Session::stats shim
                 session.stats()
             })
         })

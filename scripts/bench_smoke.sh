@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Quick perf smoke: runs the batch_vs_scalar and ckpt_latency benches at
 # reduced scale and collects their json rows into BENCH_batch.json and
-# BENCH_ckpt.json.
+# BENCH_ckpt.json. The batch bench is run in two builds — default (counters
+# on) and `--features metrics-off` (counters compiled to no-ops) — with
+# FASTER_BENCH_REPS interleaved repetitions each; the per-mode best of each
+# build is compared and written to BENCH_metrics.json, failing if the
+# default build's counter overhead exceeds FASTER_BENCH_MAX_OVERHEAD_PCT
+# (default 5%).
 #
 # Knobs (forwarded to the benches): FASTER_BENCH_KEYS, FASTER_BENCH_BATCH,
 # FASTER_BENCH_OPS (batch_vs_scalar); FASTER_BENCH_CKPT_KEYS,
 # FASTER_BENCH_CKPT_GENS (ckpt_latency). Outputs land in the repo root
-# (override with BENCH_OUT=path / BENCH_CKPT_OUT=path).
+# (override with BENCH_OUT=path / BENCH_CKPT_OUT=path / BENCH_METRICS_OUT=path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,9 +20,11 @@ export FASTER_BENCH_BATCH="${FASTER_BENCH_BATCH:-64}"
 export FASTER_BENCH_OPS="${FASTER_BENCH_OPS:-2000000}"
 export FASTER_BENCH_CKPT_KEYS="${FASTER_BENCH_CKPT_KEYS:-50000}"
 export FASTER_BENCH_CKPT_GENS="${FASTER_BENCH_CKPT_GENS:-4}"
+REPS="${FASTER_BENCH_REPS:-3}"
 
 LOG="$(mktemp)"
-trap 'rm -f "$LOG"' EXIT
+ABDIR="$(mktemp -d)"
+trap 'rm -rf "$LOG" "$ABDIR"' EXIT
 
 # Each `json,{...}` line is one measurement; emit a JSON array.
 collect() {
@@ -30,8 +37,86 @@ collect() {
   cat "$1"
 }
 
+# Resolve a bench executable path without running it.
+bench_bin() { # args: extra cargo flags...
+  cargo bench --bench batch_vs_scalar --no-run --message-format=json "$@" 2>/dev/null |
+    python3 -c '
+import json, sys
+for line in sys.stdin:
+    try:
+        m = json.loads(line)
+    except ValueError:
+        continue
+    if m.get("target", {}).get("name") == "batch_vs_scalar" and m.get("executable"):
+        print(m["executable"])'
+}
+
 cargo bench --bench batch_vs_scalar 2>&1 | tee "$LOG"
 collect "${BENCH_OUT:-BENCH_batch.json}"
+cp "$LOG" "$ABDIR/default.1"
+
+DEFAULT_BIN="$(bench_bin)"
+OFF_BIN="$(bench_bin --features metrics-off)"
+# Build the metrics-off variant (bench_bin only resolves the path).
+cargo bench --bench batch_vs_scalar --features metrics-off --no-run
+
+# Interleave the remaining reps so machine-load drift hits both builds alike.
+"$OFF_BIN" > "$ABDIR/off.1" 2>&1
+for r in $(seq 2 "$REPS"); do
+  "$DEFAULT_BIN" > "$ABDIR/default.$r" 2>&1
+  "$OFF_BIN" > "$ABDIR/off.$r" 2>&1
+done
+
+python3 - "$ABDIR" "$REPS" "${BENCH_METRICS_OUT:-BENCH_metrics.json}" <<'PY'
+import json, os, sys
+
+abdir, reps, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+
+def best_of(build):
+    """Per-mode best throughput across reps, plus the last metrics snapshot."""
+    best, snapshot = {}, None
+    for r in range(1, reps + 1):
+        with open(os.path.join(abdir, f"{build}.{r}")) as f:
+            for line in f:
+                if not line.startswith("json,"):
+                    continue
+                row = json.loads(line[len("json,"):])
+                if row.get("bench") != "batch_vs_scalar":
+                    continue
+                if row["mode"] == "metrics_snapshot":
+                    snapshot = row
+                else:
+                    best[row["mode"]] = max(best.get(row["mode"], 0.0), row["mops"])
+    return best, snapshot
+
+on, snap = best_of("default")
+off, _ = best_of("off")
+limit = float(os.environ.get("FASTER_BENCH_MAX_OVERHEAD_PCT", "5"))
+modes = {}
+for mode in sorted(set(on) & set(off)):
+    # Positive = the default (counters-on) build is slower than metrics-off.
+    delta = max(0.0, (off[mode] - on[mode]) / off[mode] * 100.0)
+    modes[mode] = {"mops_default": on[mode], "mops_off": off[mode],
+                   "overhead_pct": round(delta, 3)}
+if not modes:
+    sys.exit("no overlapping measurement modes between default and metrics-off runs")
+mean = sum(m["overhead_pct"] for m in modes.values()) / len(modes)
+result = {
+    "bench": "metrics_overhead",
+    "reps": reps,
+    "limit_pct": limit,
+    "mean_overhead_pct": round(mean, 3),
+    "modes": modes,
+    "snapshot": (snap or {}).get("metrics"),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+print(f"wrote {out_path}: mean counter overhead {mean:.2f}% (limit {limit}%, best of {reps})")
+for mode, m in modes.items():
+    print(f"  {mode:<14} default {m['mops_default']:.3f} Mops  off {m['mops_off']:.3f} Mops  overhead {m['overhead_pct']:.2f}%")
+if mean > limit:
+    sys.exit(f"metrics overhead {mean:.2f}% exceeds limit {limit}%")
+PY
 
 cargo bench --bench ckpt_latency 2>&1 | tee "$LOG"
 collect "${BENCH_CKPT_OUT:-BENCH_ckpt.json}"

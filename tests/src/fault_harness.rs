@@ -64,13 +64,11 @@ pub fn fault_seed_range(default_count: u64) -> std::ops::Range<u64> {
 /// traffic: 1 KiB pages hold ~42 `<u64, u64>` records, so a few hundred
 /// operations cross several page boundaries.
 pub fn harness_cfg() -> FasterKvConfig {
-    FasterKvConfig {
-        index: IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 10, buffer_pages: 8, mutable_pages: 6, io_threads: 2 },
-        max_sessions: 16,
-        refresh_interval: 32,
-        read_cache: None,
-    }
+    FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 10, buffer_pages: 8, mutable_pages: 6, io_threads: 2 })
+        .with_max_sessions(16)
+        .with_refresh_interval(32)
 }
 
 /// What a single crash/recovery run observed, for sweep-level assertions.

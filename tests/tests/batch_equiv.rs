@@ -33,15 +33,13 @@ fn op_strategy(key_space: u64) -> impl Strategy<Value = ModelOp> {
 }
 
 fn tiny_config() -> FasterKvConfig {
-    FasterKvConfig {
-        index: IndexConfig { k_bits: 4, tag_bits: 15, max_resize_chunks: 2 },
+    FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 4, tag_bits: 15, max_resize_chunks: 2 })
         // Minuscule buffer: sequences regularly spill, so batches straddle
         // resident and on-disk records and reads go pending mid-batch.
-        log: HLogConfig { page_bits: 9, buffer_pages: 4, mutable_pages: 2, io_threads: 1 },
-        max_sessions: 4,
-        refresh_interval: 8,
-        read_cache: None,
-    }
+        .with_log(HLogConfig { page_bits: 9, buffer_pages: 4, mutable_pages: 2, io_threads: 1 })
+        .with_max_sessions(4)
+        .with_refresh_interval(8)
 }
 
 fn to_batch_op(op: &ModelOp) -> BatchOp<u64, u64, u64> {

@@ -10,13 +10,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 fn spilling_config() -> FasterKvConfig {
-    FasterKvConfig {
-        index: IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 13, buffer_pages: 8, mutable_pages: 6, io_threads: 2 },
-        max_sessions: 32,
-        refresh_interval: 64,
-        read_cache: None,
-    }
+    FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 13, buffer_pages: 8, mutable_pages: 6, io_threads: 2 })
+        .with_max_sessions(32)
+        .with_refresh_interval(64)
 }
 
 #[test]

@@ -8,13 +8,11 @@ use faster_integration_tests::{read_blocking, rmw_blocking};
 use faster_storage::MemDevice;
 
 fn cfg() -> FasterKvConfig {
-    FasterKvConfig {
-        index: IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 2, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 16,
-        read_cache: None,
-    }
+    FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 2, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(16)
 }
 
 #[test]

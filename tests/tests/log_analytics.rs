@@ -11,14 +11,12 @@ use std::collections::HashMap;
 
 #[test]
 fn scan_reconstructs_update_history() {
-    let cfg = FasterKvConfig {
-        index: IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 },
+    let cfg = FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 })
         // Append-only so *every* update lands in the log (analytics mode).
-        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 0, io_threads: 2 },
-        max_sessions: 4,
-        refresh_interval: 16,
-        read_cache: None,
-    };
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 0, io_threads: 2 })
+        .with_max_sessions(4)
+        .with_refresh_interval(16);
     let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg, CountStore, MemDevice::new(2));
     let session = store.start_session();
     let rounds = 50u64;
@@ -61,13 +59,11 @@ fn scan_reconstructs_update_history() {
 #[test]
 fn hybrid_log_is_approximately_time_ordered() {
     // §1.2: "HybridLog is record-oriented and approximately time-ordered".
-    let cfg = FasterKvConfig {
-        index: IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 4, io_threads: 2 },
-        max_sessions: 4,
-        refresh_interval: 16,
-        read_cache: None,
-    };
+    let cfg = FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 2 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 4, io_threads: 2 })
+        .with_max_sessions(4)
+        .with_refresh_interval(16);
     let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg, CountStore, MemDevice::new(2));
     let session = store.start_session();
     // Two epochs of keys written in order.

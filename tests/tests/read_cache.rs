@@ -9,18 +9,17 @@ use faster_integration_tests::{read_blocking, rmw_blocking};
 use faster_storage::MemDevice;
 
 fn cfg_with_cache(cache_pages: u64) -> FasterKvConfig {
-    FasterKvConfig {
-        index: IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 },
-        max_sessions: 8,
-        refresh_interval: 16,
-        read_cache: Some(HLogConfig {
+    FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 1, io_threads: 2 })
+        .with_max_sessions(8)
+        .with_refresh_interval(16)
+        .with_read_cache(HLogConfig {
             page_bits: 12,
             buffer_pages: cache_pages,
             mutable_pages: (cache_pages / 2).max(1),
             io_threads: 1,
-        }),
-    }
+        })
 }
 
 /// Builds a store where keys 0..100 are cold (on disk) and returns it.

@@ -11,13 +11,11 @@ use proptest::prelude::*;
 use std::sync::{Arc, Barrier};
 
 fn cfg() -> FasterKvConfig {
-    FasterKvConfig {
-        index: IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 4 },
-        log: HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 2, io_threads: 2 },
-        max_sessions: 16,
-        refresh_interval: 32,
-        read_cache: None,
-    }
+    FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 6, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 4, mutable_pages: 2, io_threads: 2 })
+        .with_max_sessions(16)
+        .with_refresh_interval(32)
 }
 
 #[test]

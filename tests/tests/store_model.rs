@@ -28,15 +28,13 @@ fn op_strategy(key_space: u64) -> impl Strategy<Value = ModelOp> {
 }
 
 fn tiny_config() -> FasterKvConfig {
-    FasterKvConfig {
-        index: IndexConfig { k_bits: 4, tag_bits: 15, max_resize_chunks: 2 },
+    FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 4, tag_bits: 15, max_resize_chunks: 2 })
         // Minuscule buffer so sequences regularly cross page boundaries and
         // evict to the device.
-        log: HLogConfig { page_bits: 9, buffer_pages: 4, mutable_pages: 2, io_threads: 1 },
-        max_sessions: 4,
-        refresh_interval: 8,
-        read_cache: None,
-    }
+        .with_log(HLogConfig { page_bits: 9, buffer_pages: 4, mutable_pages: 2, io_threads: 1 })
+        .with_max_sessions(4)
+        .with_refresh_interval(8)
 }
 
 proptest! {
