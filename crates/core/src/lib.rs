@@ -38,7 +38,6 @@
 
 pub mod checkpoint;
 pub mod ckpt_manager;
-mod completion;
 pub mod functions;
 pub mod gc;
 pub mod inmem;

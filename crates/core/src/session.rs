@@ -6,8 +6,19 @@
 //! operations that returned `PENDING` — disk reads (§5.3) and fuzzy-region
 //! RMWs (§6.3). Call [`Session::complete_pending`] periodically to drive
 //! continuations, exactly as the paper's thread lifecycle prescribes.
+//!
+//! ## Completion-driven I/O
+//!
+//! Pending disk reads are continuation-driven over the device's
+//! submission/completion ring: each op that misses memory parks its context
+//! in a continuation table keyed by a fresh id, and queues a ring-routed
+//! SQE carrying that id. [`Session::complete_pending`] drives the cycle —
+//! submit every queued SQE in one batched handoff, reap CQEs straight off
+//! the session's [`CompletionRing`] (one atomic swap, no thread hop, no
+//! lock), and resume each continuation by id. A single session can
+//! therefore keep hundreds of disk reads in flight: issue a batch of
+//! reads, then call `complete_pending` to overlap all of their I/O.
 
-use crate::completion::CompletionQueue;
 use crate::functions::Functions;
 use crate::record::{
     MergeRecord, RecordHeader, RecordRef, DELTA_BIT, INVALID_BIT, TOMBSTONE_BIT,
@@ -18,10 +29,12 @@ use faster_epoch::EpochGuard;
 use faster_hlog::Region;
 use faster_index::{CreateOutcome, EntrySlot, HashBucketEntry};
 use faster_metrics::{SessionHub, SessionRecorder, Timer};
+use faster_storage::{CompletionRing, Cqe, Sqe};
 use faster_util::{Address, KeyHash, Pod};
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Result of a read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,12 +151,27 @@ struct PendingOp<K, V, I> {
     attempts: u32,
 }
 
-/// One completed I/O: the pending context plus the record bytes (or error).
-type Completion<K, V, I> = (PendingOp<K, V, I>, Result<Vec<u8>, faster_storage::IoError>);
+/// A pending op parked in the continuation table: the context to resume
+/// when the CQE bearing its id is reaped, plus the issue timestamp feeding
+/// the `io_latency` histogram.
+struct Parked<K, V, I> {
+    op: PendingOp<K, V, I>,
+    issued: Instant,
+}
 
-/// Lock-free MPSC queue from I/O worker threads to the owning session — the
-/// completion hot path takes no lock (see [`crate::completion`]).
-type IoQueue<K, V, I> = Arc<CompletionQueue<Completion<K, V, I>>>;
+/// The continuation table: pending ops keyed by SQE id.
+type ContinuationTable<K, V, I> = HashMap<u64, Parked<K, V, I>>;
+
+/// Retained-capacity bound for the CQE reap buffer: a pathological burst
+/// (deep io-depth drain) may grow it arbitrarily, so oversized buffers are
+/// shrunk back after the drain instead of pinning the high-water mark
+/// forever.
+const IO_SCRATCH_MAX: usize = 1024;
+
+/// How long a waiting `complete_pending` parks on the completion ring per
+/// pass. Bounded so the epoch keeps refreshing while we wait (flush and
+/// eviction triggers may be what our own I/O is stuck behind).
+const RING_WAIT: Duration = Duration::from_micros(200);
 
 /// A thread's handle onto the store. Not `Sync`: one session per thread,
 /// exactly like the paper's thread model.
@@ -165,10 +193,19 @@ pub struct Session<K: Pod, V: Pod, F: Functions<K, V>> {
     ops_since_refresh: Cell<u32>,
     next_id: Cell<u64>,
     outstanding: Cell<usize>,
-    io_done: IoQueue<K, V, F::Input>,
-    /// Reused drain buffer so completion processing allocates nothing per
-    /// call once warm.
-    io_scratch: RefCell<Vec<Completion<K, V, F::Input>>>,
+    /// Completion ring the session's SQEs route their CQEs into. Shared
+    /// with the device (each in-flight SQE holds an `Arc`), so completions
+    /// racing a session drop land harmlessly in the ring and are freed
+    /// with the last reference.
+    ring: Arc<CompletionRing>,
+    /// Locally queued SQEs, handed to the device in one `submit_all` batch
+    /// per `complete_pending` pass.
+    sq: RefCell<Vec<Sqe>>,
+    /// Continuation table: pending ops keyed by their SQE id.
+    pending: RefCell<ContinuationTable<K, V, F::Input>>,
+    /// Reused CQE reap buffer so completion processing allocates nothing
+    /// per call once warm (capacity bounded by [`IO_SCRATCH_MAX`]).
+    io_scratch: RefCell<Vec<Cqe>>,
     retries: RefCell<VecDeque<PendingOp<K, V, F::Input>>>,
     /// This session's slot in the store-wide metrics registry (single
     /// writer: this thread). Retired into the hub's accumulator on drop.
@@ -191,7 +228,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             ops_since_refresh: Cell::new(0),
             next_id: Cell::new(1),
             outstanding: Cell::new(0),
-            io_done: Arc::new(CompletionQueue::new()),
+            ring: Arc::new(CompletionRing::new()),
+            sq: RefCell::new(Vec::new()),
+            pending: RefCell::new(HashMap::new()),
             io_scratch: RefCell::new(Vec::new()),
             retries: RefCell::new(VecDeque::new()),
             rec,
@@ -299,6 +338,33 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         let id = self.next_id.get();
         self.next_id.set(id + 1);
         id
+    }
+
+    /// Decrements the outstanding-op count. Issue and completion are
+    /// strictly paired, so the count can never go negative — asserted in
+    /// debug builds because an unbalanced decrement would silently turn
+    /// `complete_pending(wait)` into a premature return.
+    #[inline]
+    fn dec_outstanding(&self) {
+        let n = self.outstanding.get();
+        debug_assert!(n > 0, "outstanding I/O accounting went negative");
+        self.outstanding.set(n.saturating_sub(1));
+    }
+
+    /// Parks `op` in the continuation table and queues the ring-routed SQE
+    /// for its `read_addr`. A GC-truncated address short-circuits: the
+    /// Truncated CQE is already in the ring under this id and no SQE is
+    /// queued.
+    fn park_and_enqueue(&self, op: PendingOp<K, V, F::Input>) {
+        let id = op.id;
+        let addr = op.read_addr;
+        let prev = self.pending.borrow_mut().insert(id, Parked { op, issued: Instant::now() });
+        debug_assert!(prev.is_none(), "duplicate pending id {id}");
+        if let Some(sqe) =
+            self.store.inner.log.make_read_sqe(id, addr, RecordRef::<K, V>::size(), &self.ring)
+        {
+            self.sq.borrow_mut().push(sqe);
+        }
     }
 
     // ================================================================ READ
@@ -469,7 +535,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         let id = id.unwrap_or_else(|| self.fresh_id());
         self.rec.io_issued.inc();
         self.outstanding.set(self.outstanding.get() + 1);
-        let ctx = PendingOp {
+        self.park_and_enqueue(PendingOp {
             id,
             key: *key,
             hash,
@@ -480,15 +546,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             acc,
             fallbacks,
             attempts: 0,
-        };
-        let queue = self.io_done.clone();
-        self.store.inner.log.read_async(
-            addr,
-            RecordRef::<K, V>::size(),
-            Box::new(move |res| {
-                queue.push((ctx, res));
-            }),
-        );
+        });
         id
     }
 
@@ -1250,7 +1308,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         let id = reuse.unwrap_or_else(|| self.fresh_id());
         self.rec.io_issued.inc();
         self.outstanding.set(self.outstanding.get() + 1);
-        let ctx = PendingOp {
+        self.park_and_enqueue(PendingOp {
             id,
             key: *key,
             hash,
@@ -1261,109 +1319,144 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             acc: None,
             fallbacks: Vec::new(),
             attempts: 0,
-        };
-        let queue = self.io_done.clone();
-        self.store.inner.log.read_async(
-            addr,
-            RecordRef::<K, V>::size(),
-            Box::new(move |res| {
-                queue.push((ctx, res));
-            }),
-        );
+        });
         id
     }
 
     // ================================================== pending completion
 
     /// Processes completed asynchronous operations and fuzzy retries,
-    /// returning finished results. With `wait`, blocks (refreshing) until
-    /// nothing is outstanding.
+    /// returning finished results. With `wait`, blocks until nothing is
+    /// outstanding — parked on the completion ring, not spinning.
+    ///
+    /// Each pass: run fuzzy retries, hand every queued SQE to the device in
+    /// one `submit_all` batch, reap CQEs straight off the ring, and resume
+    /// each continuation by id. Continuations that hop further down a chain
+    /// queue fresh SQEs, which go out before the pass parks — the device is
+    /// never idle while the session waits.
     pub fn complete_pending(&self, wait: bool) -> Vec<CompletedOp<F::Output>> {
         let mut done = Vec::new();
-        let mut backoff = faster_util::Backoff::new();
+        if self.outstanding.get() == 0 {
+            // Nothing outstanding: nothing queued, nothing parked, nothing
+            // in flight (every counted op is one of those). In particular
+            // `wait` must not touch the ring or the epoch here.
+            debug_assert!(self.sq.borrow().is_empty() && self.pending.borrow().is_empty());
+            return done;
+        }
         loop {
-            let done_before = done.len();
             // Fuzzy retries: by the time we're called again, the offending
             // address is usually below safe-read-only and takes the RCU path.
             let n_retries = self.retries.borrow().len();
             for _ in 0..n_retries {
                 let op = { self.retries.borrow_mut().pop_front() }.expect("len checked");
-                self.outstanding.set(self.outstanding.get() - 1);
+                self.dec_outstanding();
                 match self.rmw_internal(&op.key, op.hash, &op.input, Some(op.id)) {
                     RmwResult::Done => done.push(CompletedOp::Rmw { id: op.id }),
                     RmwResult::Pending(_) => { /* requeued under the same id */ }
                 }
             }
-            // Drained I/O completions: one lock-free grab-all per pass (the
-            // batched issue mode calls this once per batch), then private
-            // iteration — no lock, no per-completion synchronization.
-            let mut completions = std::mem::take(&mut *self.io_scratch.borrow_mut());
-            self.io_done.drain_into(&mut completions);
-            for (mut op, res) in completions.drain(..) {
-                self.outstanding.set(self.outstanding.get() - 1);
-                self.rec.io_completed.inc();
-                match res {
-                    Ok(bytes) => self.continue_io(op, bytes, &mut done),
-                    Err(err @ faster_storage::IoError::Failed(_)) => {
-                        // Transient device error: the record may well still
-                        // be durable, so answering "key absent" here would
-                        // fabricate a loss (and, for RMW, reset the value).
-                        // Retry the same read with bounded backoff; only
-                        // when the budget is exhausted surface a *distinct*
-                        // failure completion that mutates nothing.
-                        if op.attempts < MAX_IO_RETRIES {
-                            op.attempts += 1;
-                            self.rec.io_retries.inc();
-                            let mut pause = faster_util::Backoff::new();
-                            for _ in 0..op.attempts {
-                                pause.snooze();
-                            }
-                            self.reissue_io(op);
-                        } else {
-                            self.rec.io_failed.inc();
-                            done.push(CompletedOp::Failed { id: op.id, error: err });
-                        }
-                    }
-                    Err(_) => {
-                        // Truncated (log GC) or out-of-range: the record is
-                        // genuinely gone — key absent along this path.
-                        match op.kind {
-                            PendingKind::Read => {
-                                let r = self.finish_read(&op.key, &op.input, op.acc);
-                                done.push(CompletedOp::Read {
-                                    id: op.id,
-                                    result: match r {
-                                        ReadResult::Found(o) => Some(o),
-                                        _ => None,
-                                    },
-                                });
-                            }
-                            PendingKind::Rmw => {
-                                if let Some(id) = self.rmw_complete(op, None) {
-                                    done.push(CompletedOp::Rmw { id });
-                                }
-                            }
-                            PendingKind::RmwFuzzyRetry => unreachable!("no I/O for fuzzy"),
-                        }
-                    }
-                }
-            }
-            // Hand the (now empty) drain buffer back for reuse.
-            *self.io_scratch.borrow_mut() = completions;
+            // Batched doorbell, then reap whatever has completed so far.
+            self.submit_queued();
+            self.reap_and_run(&mut done);
+            // Continuations may have queued follow-up SQEs (next chain hop,
+            // transient retry): submit them before deciding to park.
+            self.submit_queued();
             if !wait || self.outstanding.get() == 0 {
                 break;
             }
-            if done.len() > done_before {
-                backoff.reset();
-            }
-            // Waiting on I/O threads: refresh (epoch triggers must keep
-            // firing) and back off exponentially instead of hot-looping —
-            // on a loaded single-core host a yield-only spin starves the
-            // very I/O completion it waits for.
+            // Waiting on the device: refresh (epoch triggers must keep
+            // firing — our own I/O may be gated behind a flush), then park
+            // on the ring's condvar until a CQE lands or the bounded
+            // timeout forces another maintenance pass. No backoff spinning.
             self.refresh();
-            backoff.snooze();
+            self.ring.wait_nonempty(RING_WAIT);
         }
         done
+    }
+
+    /// Hands every locally queued SQE to the device in one batch, sampling
+    /// the in-flight depth the batch tops up to.
+    fn submit_queued(&self) {
+        let mut sq = self.sq.borrow_mut();
+        if sq.is_empty() {
+            return;
+        }
+        self.hub.io_depth.record(self.outstanding.get() as u64);
+        self.store.inner.log.device().submit_all(&mut sq);
+    }
+
+    /// Reaps every published CQE and resumes the continuation each one
+    /// keys. Returns the number of CQEs consumed.
+    fn reap_and_run(&self, done: &mut Vec<CompletedOp<F::Output>>) -> usize {
+        let mut cqes = std::mem::take(&mut *self.io_scratch.borrow_mut());
+        self.ring.reap(&mut cqes);
+        let reaped = cqes.len();
+        for cqe in cqes.drain(..) {
+            // Scope the table borrow: continuations re-enter `park_and_enqueue`.
+            let parked = self.pending.borrow_mut().remove(&cqe.id);
+            let Some(Parked { mut op, issued }) = parked else {
+                debug_assert!(false, "CQE {} has no parked continuation", cqe.id);
+                continue;
+            };
+            self.dec_outstanding();
+            self.rec.io_completed.inc();
+            // The reaper owns the completed half of the hlog read identity
+            // (`make_read_sqe` counted the issue).
+            self.store.inner.log.metrics().reads_completed.inc();
+            self.hub.io_latency.record(issued.elapsed().as_nanos() as u64);
+            match cqe.result {
+                Ok(bytes) => self.continue_io(op, bytes, done),
+                Err(err @ faster_storage::IoError::Failed(_)) => {
+                    // Transient device error: the record may well still
+                    // be durable, so answering "key absent" here would
+                    // fabricate a loss (and, for RMW, reset the value).
+                    // Retry the same read with bounded backoff; only
+                    // when the budget is exhausted surface a *distinct*
+                    // failure completion that mutates nothing.
+                    if op.attempts < MAX_IO_RETRIES {
+                        op.attempts += 1;
+                        self.rec.io_retries.inc();
+                        let mut pause = faster_util::Backoff::new();
+                        for _ in 0..op.attempts {
+                            pause.snooze();
+                        }
+                        self.reissue_io(op);
+                    } else {
+                        self.rec.io_failed.inc();
+                        done.push(CompletedOp::Failed { id: op.id, error: err });
+                    }
+                }
+                Err(_) => {
+                    // Truncated (log GC) or out-of-range: the record is
+                    // genuinely gone — key absent along this path.
+                    match op.kind {
+                        PendingKind::Read => {
+                            let r = self.finish_read(&op.key, &op.input, op.acc.take());
+                            done.push(CompletedOp::Read {
+                                id: op.id,
+                                result: match r {
+                                    ReadResult::Found(o) => Some(o),
+                                    _ => None,
+                                },
+                            });
+                        }
+                        PendingKind::Rmw => {
+                            if let Some(id) = self.rmw_complete(op, None) {
+                                done.push(CompletedOp::Rmw { id });
+                            }
+                        }
+                        PendingKind::RmwFuzzyRetry => unreachable!("no I/O for fuzzy"),
+                    }
+                }
+            }
+        }
+        // Hand the drain buffer back for reuse, shrinking a burst-sized
+        // buffer so one deep drain doesn't pin its high-water capacity.
+        if cqes.capacity() > IO_SCRATCH_MAX {
+            cqes.shrink_to(IO_SCRATCH_MAX);
+        }
+        *self.io_scratch.borrow_mut() = cqes;
+        reaped
     }
 
     /// Continues a pending op with the record bytes read from storage.
@@ -1518,19 +1611,12 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
 
     /// Re-issues the record read for a pending op (next chain hop, or a
     /// bounded transient-failure retry of the same address). The op keeps
-    /// its id, kind, and accumulated state.
+    /// its id, kind, and accumulated state. The SQE queues locally and goes
+    /// out with the current `complete_pending` pass's next batch.
     fn reissue_io(&self, op: PendingOp<K, V, F::Input>) {
         self.rec.io_issued.inc();
         self.outstanding.set(self.outstanding.get() + 1);
-        let addr = op.read_addr;
-        let queue = self.io_done.clone();
-        self.store.inner.log.read_async(
-            addr,
-            RecordRef::<K, V>::size(),
-            Box::new(move |res| {
-                queue.push((op, res));
-            }),
-        );
+        self.park_and_enqueue(op);
     }
 
     /// Applies a pending RMW's update once the old value (or its absence) is

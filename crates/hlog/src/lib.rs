@@ -48,7 +48,7 @@ pub use scan::LogScanner;
 
 use faster_epoch::{Epoch, EpochGuard};
 use faster_metrics::HlogMetrics;
-use faster_storage::{Device, IoError, ReadCallback};
+use faster_storage::{CompletionRing, Cqe, Device, IoError, ReadCallback, Sqe};
 use faster_util::Address;
 use flush::FlushTracker;
 use frame::Frame;
@@ -592,6 +592,27 @@ impl HybridLog {
         );
     }
 
+    /// Builds a ring-routed read SQE for `addr` (the continuation-driven
+    /// pending-op path): the CQE echoing `id` lands in `ring` once the
+    /// device services it. A read below the begin address short-circuits —
+    /// the Truncated CQE is pushed into `ring` immediately and no SQE is
+    /// returned. Either way `reads_issued` is counted here; the reaper owns
+    /// the matching `reads_completed` increment (exactly once per CQE).
+    pub fn make_read_sqe(
+        &self,
+        id: u64,
+        addr: Address,
+        len: usize,
+        ring: &Arc<CompletionRing>,
+    ) -> Option<Sqe> {
+        self.inner.metrics.reads_issued.inc();
+        if addr < self.begin_address() {
+            ring.push(Cqe { id, result: Err(IoError::Truncated { offset: addr.raw() }) });
+            return None;
+        }
+        Some(Sqe::read(id, addr.raw(), len, ring))
+    }
+
     /// Installs the eviction hook (see `Inner::close_frames`). Call before
     /// any traffic; later installs only affect future evictions.
     pub fn set_eviction_hook<H: Fn(u64, u64) + Send + Sync + 'static>(&self, hook: H) {
@@ -707,7 +728,11 @@ impl Inner {
         let data = self.frames[fidx].snapshot();
         let weak = Arc::downgrade(self);
         self.metrics.flushes_issued.inc();
-        self.device.write_async(
+        // Submitted as an SQE on the device ring interface; the callback
+        // route keeps completion on an I/O worker thread (flush_complete
+        // re-enters the epoch machinery, which must not run on the
+        // submitting FASTER thread).
+        self.device.submit(Sqe::write_cb(
             page * page_size,
             data,
             Box::new(move |res| {
@@ -731,7 +756,7 @@ impl Inner {
                     }
                 }
             }),
-        );
+        ));
     }
 
     /// Flush-completion callback: advance the contiguous flushed frontier and

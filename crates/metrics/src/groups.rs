@@ -184,6 +184,15 @@ pub struct SessionHub {
     pub upsert_latency: LatencyHistogram,
     pub rmw_latency: LatencyHistogram,
     pub delete_latency: LatencyHistogram,
+    /// In-flight disk-I/O depth sampled at each ring submission (a count,
+    /// not a duration; log2 buckets still apply). Unlike the per-op
+    /// latencies above, not gated on the `timing` feature — no clock read
+    /// is involved.
+    pub io_depth: LatencyHistogram,
+    /// Disk-read latency, SQE submission to CQE reap, in nanoseconds.
+    /// Recorded whenever I/O goes through the ring path (the clock cost is
+    /// noise next to an actual disk read), gated only by the `off` feature.
+    pub io_latency: LatencyHistogram,
 }
 
 impl SessionHub {
@@ -196,6 +205,8 @@ impl SessionHub {
             upsert_latency: LatencyHistogram::new(),
             rmw_latency: LatencyHistogram::new(),
             delete_latency: LatencyHistogram::new(),
+            io_depth: LatencyHistogram::new(),
+            io_latency: LatencyHistogram::new(),
         }
     }
 

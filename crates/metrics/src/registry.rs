@@ -77,6 +77,9 @@ impl MetricsRegistry {
             sessions: SessionsSnapshot {
                 totals,
                 live_sessions: live_sessions as u64,
+                io_inflight: totals.io_issued.saturating_sub(totals.io_completed),
+                io_depth: self.sessions.io_depth.snapshot(),
+                io_latency: self.sessions.io_latency.snapshot(),
                 latency: if cfg!(feature = "timing") && self.config.latency {
                     Some(OpLatencies {
                         read: self.sessions.read_latency.snapshot(),
@@ -208,6 +211,15 @@ pub struct SessionsSnapshot {
     pub totals: SessionTotals,
     /// Gauge: sessions currently registered.
     pub live_sessions: u64,
+    /// Gauge: disk reads in flight at snapshot time (issued − completed
+    /// across all sessions, live and retired).
+    pub io_inflight: u64,
+    /// In-flight depth sampled at each ring submission (log2 buckets;
+    /// values are counts, not nanoseconds). Not gated on `timing`.
+    pub io_depth: HistogramSnapshot,
+    /// Disk-read latency (SQE submission → CQE reap), nanoseconds. Not
+    /// gated on `timing` — the clock read is noise next to the I/O itself.
+    pub io_latency: HistogramSnapshot,
     /// Per-op latency histograms; `None` unless built with the timing
     /// feature and enabled in `MetricsConfig`.
     pub latency: Option<OpLatencies>,
@@ -273,6 +285,18 @@ impl StoreMetrics {
         push_line(&mut out, "sessions.io_retries", t.io_retries);
         push_line(&mut out, "sessions.io_failed", t.io_failed);
         push_line(&mut out, "sessions.queue_depth", self.sessions.queue_depth());
+        push_line(&mut out, "sessions.io_inflight", self.sessions.io_inflight);
+        for (name, h, unit) in [
+            ("io_depth", &self.sessions.io_depth, ""),
+            ("io_latency", &self.sessions.io_latency, "_ns"),
+        ] {
+            push_line(&mut out, &format!("sessions.{name}.count"), h.total);
+            push_line(&mut out, &format!("sessions.{name}.p50{unit}"), h.p50());
+            push_line(&mut out, &format!("sessions.{name}.p95{unit}"), h.p95());
+            push_line(&mut out, &format!("sessions.{name}.p99{unit}"), h.p99());
+            push_line(&mut out, &format!("sessions.{name}.max{unit}"), h.max);
+            out.push_str(&format!("sessions.{name}.mean{unit} {:.1}\n", h.mean()));
+        }
         push_line(&mut out, "epoch.refreshes", self.epoch.refreshes);
         push_line(&mut out, "epoch.bumps", self.epoch.bumps);
         push_line(&mut out, "epoch.drain_actions", self.epoch.drain_actions);
@@ -341,15 +365,18 @@ impl StoreMetrics {
                 .collect();
             format!("{{{}}}", body.join(","))
         }
-        fn hist(h: &HistogramSnapshot) -> String {
+        fn hist_unit(h: &HistogramSnapshot, unit: &str) -> String {
             obj(&[
                 ("count", h.total.to_string()),
-                ("p50_ns", h.p50().to_string()),
-                ("p95_ns", h.p95().to_string()),
-                ("p99_ns", h.p99().to_string()),
-                ("max_ns", h.max.to_string()),
-                ("mean_ns", format!("{:.1}", h.mean())),
+                (&format!("p50{unit}"), h.p50().to_string()),
+                (&format!("p95{unit}"), h.p95().to_string()),
+                (&format!("p99{unit}"), h.p99().to_string()),
+                (&format!("max{unit}"), h.max.to_string()),
+                (&format!("mean{unit}"), format!("{:.1}", h.mean())),
             ])
+        }
+        fn hist(h: &HistogramSnapshot) -> String {
+            hist_unit(h, "_ns")
         }
         fn hlog(h: &HlogSnapshot) -> String {
             obj(&[
@@ -393,6 +420,9 @@ impl StoreMetrics {
                     ("io_retries", t.io_retries.to_string()),
                     ("io_failed", t.io_failed.to_string()),
                     ("queue_depth", self.sessions.queue_depth().to_string()),
+                    ("io_inflight", self.sessions.io_inflight.to_string()),
+                    ("io_depth", hist_unit(&self.sessions.io_depth, "")),
+                    ("io_latency", hist_unit(&self.sessions.io_latency, "_ns")),
                 ]),
             ),
             (

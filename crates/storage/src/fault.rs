@@ -47,7 +47,8 @@
 //! every operation after it is refused — modelling power loss at the exact
 //! fsync edge of a commit protocol.
 
-use crate::{Device, DeviceStats, IoError, ReadCallback, StatCells, WriteCallback};
+use crate::ring::{Sqe, SqeOp};
+use crate::{Device, DeviceStats, IoError, StatCells};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -364,39 +365,50 @@ impl Device for FaultDevice {
         self.inner.sector_size()
     }
 
-    fn write_async(&self, offset: u64, data: Vec<u8>, cb: WriteCallback) {
-        self.stats.record_write(data.len());
-        let wsn = self.domain.state.wsn.fetch_add(1, Ordering::SeqCst);
-        match self.domain.decide_write(wsn, data.len(), self.inner.sector_size()) {
-            WriteDecision::Forward => self.inner.write_async(offset, data, cb),
-            WriteDecision::AckDrop => cb(Ok(())),
-            WriteDecision::Crash(keep) => {
-                // Order matters: mark crashed before persisting the torn
-                // prefix so every concurrent submission already refuses.
-                self.domain.state.crashed.store(true, Ordering::SeqCst);
-                let fail = || Err(IoError::Failed("crash point: torn write".into()));
-                if keep == 0 {
-                    cb(fail());
-                } else {
-                    // The surviving prefix lands on the inner device; the
-                    // caller still sees a failed (unacknowledged) write.
-                    self.inner.write_async(
-                        offset,
-                        data[..keep].to_vec(),
-                        Box::new(move |_| cb(fail())),
-                    );
+    fn submit(&self, sqe: Sqe) {
+        let (op, completion) = sqe.into_parts();
+        match op {
+            SqeOp::Write { offset, data } => {
+                self.stats.record_write(data.len());
+                let wsn = self.domain.state.wsn.fetch_add(1, Ordering::SeqCst);
+                match self.domain.decide_write(wsn, data.len(), self.inner.sector_size()) {
+                    WriteDecision::Forward => {
+                        self.inner.submit(Sqe::from_parts(SqeOp::Write { offset, data }, completion))
+                    }
+                    WriteDecision::AckDrop => completion.complete(Ok(Vec::new())),
+                    WriteDecision::Crash(keep) => {
+                        // Order matters: mark crashed before persisting the torn
+                        // prefix so every concurrent submission already refuses.
+                        self.domain.state.crashed.store(true, Ordering::SeqCst);
+                        let fail = || Err(IoError::Failed("crash point: torn write".into()));
+                        if keep == 0 {
+                            completion.complete(fail());
+                        } else {
+                            // The surviving prefix lands on the inner device;
+                            // the caller still sees a failed (unacknowledged)
+                            // write — whichever route it arrived on.
+                            self.inner.write_async(
+                                offset,
+                                data[..keep].to_vec(),
+                                Box::new(move |_| completion.complete(fail())),
+                            );
+                        }
+                    }
+                    WriteDecision::Refuse => {
+                        completion.complete(Err(IoError::Failed("device crashed".into())))
+                    }
                 }
             }
-            WriteDecision::Refuse => cb(Err(IoError::Failed("device crashed".into()))),
-        }
-    }
-
-    fn read_async(&self, offset: u64, len: usize, cb: ReadCallback) {
-        self.stats.record_read(len);
-        let rsn = self.domain.state.rsn.fetch_add(1, Ordering::SeqCst);
-        match self.domain.decide_read_fault(rsn) {
-            Some(err) => cb(Err(err)),
-            None => self.inner.read_async(offset, len, cb),
+            SqeOp::Read { offset, len } => {
+                self.stats.record_read(len);
+                let rsn = self.domain.state.rsn.fetch_add(1, Ordering::SeqCst);
+                match self.domain.decide_read_fault(rsn) {
+                    Some(err) => completion.complete(Err(err)),
+                    None => {
+                        self.inner.submit(Sqe::from_parts(SqeOp::Read { offset, len }, completion))
+                    }
+                }
+            }
         }
     }
 

@@ -5,8 +5,9 @@
 //! `pread`/`pwrite` style positioned operations so concurrent requests never
 //! contend on a shared cursor.
 
+use crate::ring::{Sqe, SqeOp};
 use crate::worker::IoPool;
-use crate::{Device, DeviceStats, IoError, ReadCallback, StatCells, WriteCallback};
+use crate::{Device, DeviceStats, IoError, StatCells};
 use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,41 +66,44 @@ impl FileDevice {
 }
 
 impl Device for FileDevice {
-    fn write_async(&self, offset: u64, data: Vec<u8>, cb: WriteCallback) {
-        self.state.stats.record_write(data.len());
+    fn submit(&self, sqe: Sqe) {
+        let (op, completion) = sqe.into_parts();
         let state = self.state.clone();
-        self.pool.submit(move || {
-            let res = state
-                .file
-                .write_all_at(&data, offset)
-                .map_err(|e| IoError::Failed(e.to_string()));
-            if res.is_ok() {
-                state.extent.fetch_max(offset + data.len() as u64, Ordering::SeqCst);
+        match op {
+            SqeOp::Write { offset, data } => {
+                state.stats.record_write(data.len());
+                self.pool.submit(move || {
+                    let res = state
+                        .file
+                        .write_all_at(&data, offset)
+                        .map_err(|e| IoError::Failed(e.to_string()));
+                    if res.is_ok() {
+                        state.extent.fetch_max(offset + data.len() as u64, Ordering::SeqCst);
+                    }
+                    completion.complete(res.map(|()| Vec::new()));
+                });
             }
-            cb(res);
-        });
-    }
-
-    fn read_async(&self, offset: u64, len: usize, cb: ReadCallback) {
-        self.state.stats.record_read(len);
-        let state = self.state.clone();
-        self.pool.submit(move || {
-            if offset < state.begin.load(Ordering::SeqCst) {
-                cb(Err(IoError::Truncated { offset }));
-                return;
+            SqeOp::Read { offset, len } => {
+                state.stats.record_read(len);
+                self.pool.submit(move || {
+                    if offset < state.begin.load(Ordering::SeqCst) {
+                        completion.complete(Err(IoError::Truncated { offset }));
+                        return;
+                    }
+                    if offset + len as u64 > state.extent.load(Ordering::SeqCst) {
+                        completion.complete(Err(IoError::OutOfRange { offset, len }));
+                        return;
+                    }
+                    let mut buf = vec![0u8; len];
+                    let res = state
+                        .file
+                        .read_exact_at(&mut buf, offset)
+                        .map(|()| buf)
+                        .map_err(|e| IoError::Failed(e.to_string()));
+                    completion.complete(res);
+                });
             }
-            if offset + len as u64 > state.extent.load(Ordering::SeqCst) {
-                cb(Err(IoError::OutOfRange { offset, len }));
-                return;
-            }
-            let mut buf = vec![0u8; len];
-            let res = state
-                .file
-                .read_exact_at(&mut buf, offset)
-                .map(|()| buf)
-                .map_err(|e| IoError::Failed(e.to_string()));
-            cb(res);
-        });
+        }
     }
 
     fn flush_barrier(&self) {

@@ -28,11 +28,13 @@
 mod fault;
 mod file;
 mod mem;
+pub mod ring;
 mod worker;
 
 pub use fault::{FaultDevice, FaultDomain, ReadFaultRate, TornWrite};
 pub use file::FileDevice;
 pub use mem::MemDevice;
+pub use ring::{CompletionRing, Cqe, Sqe, SqeCompletion, SqeOp};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -83,13 +85,21 @@ pub struct DeviceStats {
     pub reads: u64,
 }
 
-/// An asynchronous block device.
+/// An asynchronous block device with a submission/completion-ring interface.
 ///
 /// Offsets are byte offsets into a flat address space (the log's stable
-/// region maps logical addresses directly to device offsets). Completion
-/// callbacks run on the device's I/O worker threads and must be short and
-/// non-blocking — FASTER's callbacks only move a context onto a session's
+/// region maps logical addresses directly to device offsets). The one
+/// required I/O method is [`Device::submit`]: the device services the SQE
+/// and delivers the result through the SQE's completion route — a CQE
+/// published into the submitter's [`CompletionRing`], or (for the legacy
+/// adapter route) a boxed callback. Either way, delivery happens on
+/// whatever thread finished the I/O and must be short and non-blocking —
+/// a ring push, or a callback that only moves a context onto a session's
 /// pending queue.
+///
+/// [`Device::write_async`] / [`Device::read_async`] are retained as thin
+/// adapters over `submit` (callback-routed SQEs), so pre-ring call sites
+/// keep working unchanged during migration.
 pub trait Device: Send + Sync + 'static {
     /// Sector size; write offsets and lengths should be multiples of this
     /// (the circular buffer allocates frames sector-aligned, §5.1).
@@ -97,11 +107,30 @@ pub trait Device: Send + Sync + 'static {
         512
     }
 
+    /// Queues one submission queue entry. Exactly-once completion through
+    /// the SQE's route, on success or failure.
+    fn submit(&self, sqe: Sqe);
+
+    /// Batched submission handoff: drains `sqes` into the device. The
+    /// default forwards one by one; devices may override to amortize
+    /// per-op costs (locks, doorbells) across the batch.
+    fn submit_all(&self, sqes: &mut Vec<Sqe>) {
+        for sqe in sqes.drain(..) {
+            self.submit(sqe);
+        }
+    }
+
     /// Queues an asynchronous write of `data` at byte `offset`.
-    fn write_async(&self, offset: u64, data: Vec<u8>, cb: WriteCallback);
+    /// Legacy adapter: equivalent to submitting a callback-routed SQE.
+    fn write_async(&self, offset: u64, data: Vec<u8>, cb: WriteCallback) {
+        self.submit(Sqe::write_cb(offset, data, cb));
+    }
 
     /// Queues an asynchronous read of `len` bytes at byte `offset`.
-    fn read_async(&self, offset: u64, len: usize, cb: ReadCallback);
+    /// Legacy adapter: equivalent to submitting a callback-routed SQE.
+    fn read_async(&self, offset: u64, len: usize, cb: ReadCallback) {
+        self.submit(Sqe::read_cb(offset, len, cb));
+    }
 
     /// Blocks until every operation queued before this call has completed.
     /// Used by checkpointing and by orderly shutdown.
@@ -203,13 +232,15 @@ impl NullDevice {
 }
 
 impl Device for NullDevice {
-    fn write_async(&self, _offset: u64, data: Vec<u8>, cb: WriteCallback) {
-        self.stats.record_write(data.len());
-        cb(Ok(()));
-    }
-
-    fn read_async(&self, _offset: u64, _len: usize, cb: ReadCallback) {
-        cb(Err(IoError::Unsupported));
+    fn submit(&self, sqe: Sqe) {
+        let (op, completion) = sqe.into_parts();
+        match op {
+            SqeOp::Write { data, .. } => {
+                self.stats.record_write(data.len());
+                completion.complete(Ok(Vec::new()));
+            }
+            SqeOp::Read { .. } => completion.complete(Err(IoError::Unsupported)),
+        }
     }
 
     fn flush_barrier(&self) {}

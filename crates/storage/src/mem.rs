@@ -5,8 +5,9 @@
 //! [`LatencyModel`]. Fault injection (`fail_next_reads`) lets failure tests
 //! exercise the pending-operation error path without a flaky filesystem.
 
-use crate::worker::{precise_sleep, IoPool};
-use crate::{Device, DeviceStats, IoError, LatencyModel, ReadCallback, StatCells, WriteCallback};
+use crate::ring::{Sqe, SqeOp};
+use crate::worker::{precise_sleep, DeadlineTimer, IoPool};
+use crate::{Device, DeviceStats, IoError, LatencyModel, StatCells};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -48,6 +49,18 @@ impl State {
         self.extent.fetch_max(offset + data.len() as u64, Ordering::SeqCst);
     }
 
+    /// One read attempt: injected-fault check, then the chunk-map copy.
+    fn service_read(&self, offset: u64, len: usize) -> Result<Vec<u8>, IoError> {
+        if self
+            .fail_next_reads
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(IoError::Failed("injected read fault".into()));
+        }
+        self.read_sync(offset, len)
+    }
+
     fn read_sync(&self, offset: u64, len: usize) -> Result<Vec<u8>, IoError> {
         if offset < self.begin.load(Ordering::SeqCst) {
             return Err(IoError::Truncated { offset });
@@ -77,6 +90,11 @@ impl State {
 pub struct MemDevice {
     state: Arc<State>,
     pool: IoPool,
+    /// Deadline scheduler for ring-routed reads under a non-zero latency
+    /// model: the read executes at submission and its CQE is published at
+    /// the latency deadline, so in-flight depth is unbounded by the worker
+    /// pool width (`None` for zero-latency devices — those complete inline).
+    timer: Option<DeadlineTimer>,
 }
 
 impl MemDevice {
@@ -87,6 +105,7 @@ impl MemDevice {
 
     /// A device whose completions are delayed per `latency`.
     pub fn with_latency(io_threads: usize, latency: LatencyModel) -> Arc<Self> {
+        let timed = !latency.fixed.is_zero() || latency.bytes_per_sec > 0;
         Arc::new(Self {
             state: Arc::new(State {
                 chunks: RwLock::new(HashMap::new()),
@@ -97,6 +116,7 @@ impl MemDevice {
                 fail_next_reads: AtomicU32::new(0),
             }),
             pool: IoPool::new(io_threads),
+            timer: timed.then(DeadlineTimer::new),
         })
     }
 
@@ -112,37 +132,50 @@ impl MemDevice {
 }
 
 impl Device for MemDevice {
-    fn write_async(&self, offset: u64, data: Vec<u8>, cb: WriteCallback) {
-        self.state.stats.record_write(data.len());
-        let delay = self.state.latency.delay_for(data.len());
-        let state = self.state.clone();
-        self.pool.submit(move || {
-            precise_sleep(delay);
-            state.write_sync(offset, &data);
-            cb(Ok(()));
-        });
-    }
-
-    fn read_async(&self, offset: u64, len: usize, cb: ReadCallback) {
-        self.state.stats.record_read(len);
-        let delay = self.state.latency.delay_for(len);
-        let state = self.state.clone();
-        self.pool.submit(move || {
-            precise_sleep(delay);
-            if state
-                .fail_next_reads
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-                .is_ok()
-            {
-                cb(Err(IoError::Failed("injected read fault".into())));
-                return;
+    fn submit(&self, sqe: Sqe) {
+        let (op, completion) = sqe.into_parts();
+        match op {
+            SqeOp::Write { offset, data } => {
+                self.state.stats.record_write(data.len());
+                let delay = self.state.latency.delay_for(data.len());
+                let state = self.state.clone();
+                self.pool.submit(move || {
+                    precise_sleep(delay);
+                    state.write_sync(offset, &data);
+                    completion.complete(Ok(Vec::new()));
+                });
             }
-            cb(state.read_sync(offset, len));
-        });
+            SqeOp::Read { offset, len } => {
+                self.state.stats.record_read(len);
+                let delay = self.state.latency.delay_for(len);
+                if completion.is_ring() {
+                    // Ring path: execute now (log reads target immutable
+                    // flushed bytes), publish the CQE at the latency
+                    // deadline — overlap is unbounded by pool width.
+                    let res = self.state.service_read(offset, len);
+                    match &self.timer {
+                        Some(t) if !delay.is_zero() => t.defer(delay, completion, res),
+                        _ => completion.complete(res),
+                    }
+                } else {
+                    // Callback route: preserve the worker-pool dispatch, so
+                    // legacy completions keep running on I/O threads (the
+                    // flush machinery depends on that execution context).
+                    let state = self.state.clone();
+                    self.pool.submit(move || {
+                        precise_sleep(delay);
+                        completion.complete(state.service_read(offset, len));
+                    });
+                }
+            }
+        }
     }
 
     fn flush_barrier(&self) {
         self.pool.barrier();
+        if let Some(t) = &self.timer {
+            t.barrier();
+        }
     }
 
     fn truncate_below(&self, offset: u64) {

@@ -1,0 +1,386 @@
+//! Submission/completion ring: the io_uring-shaped device interface.
+//!
+//! The original device API was callback-per-op: every read carried a boxed
+//! closure that an I/O worker invoked on completion, so a consumer waiting
+//! for its I/O had to poll a side queue the callbacks fed. This module
+//! replaces that contract with explicit submission queue entries ([`Sqe`])
+//! and completion queue entries ([`Cqe`]):
+//!
+//! * the submitter builds SQEs (id + read/write op + completion route) and
+//!   hands a batch to [`Device::submit_all`](crate::Device::submit_all) —
+//!   one "doorbell" per batch, not one closure dispatch per op;
+//! * the device services each SQE and publishes a [`Cqe`] into the
+//!   submitter's [`CompletionRing`];
+//! * the submitter reaps CQEs straight off the ring — a single atomic swap
+//!   for the whole batch, no thread hop, no lock — and resumes the
+//!   continuation keyed by the echoed id.
+//!
+//! The legacy callback API survives as a thin adapter: a callback-routed
+//! SQE ([`Sqe::read_cb`] / [`Sqe::write_cb`]) invokes its boxed closure at
+//! completion instead of publishing a CQE, which keeps every existing
+//! `read_async`/`write_async` call site working unchanged while migrated
+//! paths (the session pending-op machinery) go through the ring.
+//!
+//! ## Blocking reap
+//!
+//! [`CompletionRing::reap`] is the non-blocking grab-all (a Treiber-stack
+//! swap, wait-free for the consumer). [`CompletionRing::wait_nonempty`]
+//! parks the consumer on a condvar until a producer publishes, with a
+//! bounded timeout so callers can keep epoch maintenance alive; the
+//! producer side stays lock-free unless a sleeper is registered.
+
+use crate::{IoError, ReadCallback, WriteCallback};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One completed operation: the submitter's id plus the result bytes
+/// (empty for writes) or the error.
+#[derive(Debug)]
+pub struct Cqe {
+    pub id: u64,
+    pub result: Result<Vec<u8>, IoError>,
+}
+
+/// The operation half of an SQE.
+#[derive(Debug)]
+pub enum SqeOp {
+    /// Read `len` bytes at byte `offset`.
+    Read { offset: u64, len: usize },
+    /// Write `data` at byte `offset`.
+    Write { offset: u64, data: Vec<u8> },
+}
+
+/// Unified completion closure used by the legacy adapter route.
+type IoCallback = Box<dyn FnOnce(Result<Vec<u8>, IoError>) + Send>;
+
+enum Route {
+    /// Publish a [`Cqe`] into the submitter's ring.
+    Ring(Arc<CompletionRing>),
+    /// Legacy adapter: invoke the boxed callback.
+    Callback(IoCallback),
+}
+
+/// The completion half of an SQE: where (and under which id) the result
+/// goes. Devices split an SQE with [`Sqe::into_parts`], perform the I/O,
+/// and call [`SqeCompletion::complete`] exactly once.
+pub struct SqeCompletion {
+    id: u64,
+    route: Route,
+}
+
+impl SqeCompletion {
+    /// The submitter's id, echoed in the CQE.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// True when the result is published to a [`CompletionRing`] (as
+    /// opposed to a legacy callback). Devices may use this to pick a
+    /// completion strategy (e.g. inline vs. worker-pool dispatch).
+    pub fn is_ring(&self) -> bool {
+        matches!(self.route, Route::Ring(_))
+    }
+
+    /// Delivers the result: pushes a CQE (ring route) or invokes the
+    /// callback (adapter route). Consumes the completion — exactly-once.
+    pub fn complete(self, result: Result<Vec<u8>, IoError>) {
+        match self.route {
+            Route::Ring(ring) => ring.push(Cqe { id: self.id, result }),
+            Route::Callback(cb) => cb(result),
+        }
+    }
+}
+
+/// A submission queue entry: one asynchronous read or write plus its
+/// completion route.
+pub struct Sqe {
+    op: SqeOp,
+    completion: SqeCompletion,
+}
+
+impl Sqe {
+    /// A ring-routed read: the CQE (echoing `id`) lands in `ring`.
+    pub fn read(id: u64, offset: u64, len: usize, ring: &Arc<CompletionRing>) -> Self {
+        Self {
+            op: SqeOp::Read { offset, len },
+            completion: SqeCompletion { id, route: Route::Ring(Arc::clone(ring)) },
+        }
+    }
+
+    /// A ring-routed write: the CQE (empty bytes on success) lands in `ring`.
+    pub fn write(id: u64, offset: u64, data: Vec<u8>, ring: &Arc<CompletionRing>) -> Self {
+        Self {
+            op: SqeOp::Write { offset, data },
+            completion: SqeCompletion { id, route: Route::Ring(Arc::clone(ring)) },
+        }
+    }
+
+    /// Legacy-adapter read: `cb` runs at completion (no CQE is published).
+    pub fn read_cb(offset: u64, len: usize, cb: ReadCallback) -> Self {
+        Self {
+            op: SqeOp::Read { offset, len },
+            completion: SqeCompletion { id: 0, route: Route::Callback(cb) },
+        }
+    }
+
+    /// Legacy-adapter write: `cb` runs at completion (no CQE is published).
+    pub fn write_cb(offset: u64, data: Vec<u8>, cb: WriteCallback) -> Self {
+        Self {
+            op: SqeOp::Write { offset, data },
+            completion: SqeCompletion {
+                id: 0,
+                route: Route::Callback(Box::new(move |r| cb(r.map(|_| ())))),
+            },
+        }
+    }
+
+    /// The submitter's id (0 for legacy-adapter SQEs).
+    pub fn id(&self) -> u64 {
+        self.completion.id
+    }
+
+    /// The operation, for devices that inspect before splitting.
+    pub fn op(&self) -> &SqeOp {
+        &self.op
+    }
+
+    /// Splits into the op and its completion (device service path).
+    pub fn into_parts(self) -> (SqeOp, SqeCompletion) {
+        (self.op, self.completion)
+    }
+
+    /// Reassembles an SQE (wrapper devices forwarding to an inner device).
+    pub fn from_parts(op: SqeOp, completion: SqeCompletion) -> Self {
+        Self { op, completion }
+    }
+}
+
+struct Node {
+    cqe: Cqe,
+    next: *mut Node,
+}
+
+/// Lock-free MPSC completion ring: producers (device workers, or the
+/// submitter itself for synchronous completions) push CQEs; the owning
+/// consumer reaps them all with one atomic swap. A condvar lets the
+/// consumer block for the next completion without spinning.
+pub struct CompletionRing {
+    head: AtomicPtr<Node>,
+    /// Sleeper count; producers skip the mutex entirely while it is zero.
+    sleepers: AtomicUsize,
+    gate: Mutex<()>,
+    wake: Condvar,
+}
+
+// Raw node pointers hide the auto traits; CQEs only carry owned bytes.
+unsafe impl Send for CompletionRing {}
+unsafe impl Sync for CompletionRing {}
+
+impl Default for CompletionRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompletionRing {
+    pub fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(ptr::null_mut()),
+            sleepers: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Publishes one CQE from any thread. Lock-free unless the consumer is
+    /// parked, in which case the wake takes the (uncontended) gate mutex.
+    pub fn push(&self, cqe: Cqe) {
+        let node = Box::into_raw(Box::new(Node { cqe, next: ptr::null_mut() }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // Safety: `node` is unpublished — exclusively ours to mutate.
+            unsafe { (*node).next = head };
+            match self.head.compare_exchange_weak(
+                head,
+                node,
+                Ordering::SeqCst, // publish the CQE; also order before the sleeper check
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => head = actual,
+            }
+        }
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Taking the gate orders this wake after the sleeper's own
+            // empty-check-then-wait, so the notify cannot be lost.
+            let _g = self.gate.lock().unwrap();
+            self.wake.notify_all();
+        }
+    }
+
+    /// True when no CQE is currently published.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::SeqCst).is_null()
+    }
+
+    /// Detaches every published CQE and appends them to `out` in submission
+    /// (FIFO) order. Wait-free for the consumer: one swap, then private
+    /// work. Returns how many were reaped.
+    pub fn reap(&self, out: &mut Vec<Cqe>) -> usize {
+        // Acquire pairs with the publishing CAS in `push`.
+        let mut node = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        if node.is_null() {
+            return 0;
+        }
+        // The detached list is newest-first; reverse in place.
+        let mut reversed: *mut Node = ptr::null_mut();
+        while !node.is_null() {
+            // Safety: detached nodes are exclusively ours.
+            let next = unsafe { (*node).next };
+            unsafe { (*node).next = reversed };
+            reversed = node;
+            node = next;
+        }
+        let before = out.len();
+        while !reversed.is_null() {
+            // Safety: reclaiming a node we exclusively own.
+            let boxed = unsafe { Box::from_raw(reversed) };
+            reversed = boxed.next;
+            out.push(boxed.cqe);
+        }
+        out.len() - before
+    }
+
+    /// Parks the caller until at least one CQE is published or `timeout`
+    /// elapses. Returns true when the ring is (probably) non-empty. Never
+    /// spins: the wait is a condvar park paired with producer-side wakes.
+    pub fn wait_nonempty(&self, timeout: Duration) -> bool {
+        if !self.is_empty() {
+            return true;
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let guard = self.gate.lock().unwrap();
+            // Re-check under the gate: a producer that published before we
+            // registered must be observed here (its CAS is SeqCst-ordered
+            // before its sleeper check).
+            if self.is_empty() {
+                let _ = self.wake.wait_timeout(guard, timeout).unwrap();
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        !self.is_empty()
+    }
+}
+
+impl Drop for CompletionRing {
+    fn drop(&mut self) {
+        let mut node = *self.head.get_mut();
+        while !node.is_null() {
+            // Safety: sole owner during drop.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reap_preserves_fifo_per_producer() {
+        let ring = CompletionRing::new();
+        for i in 0..10 {
+            ring.push(Cqe { id: i, result: Ok(Vec::new()) });
+        }
+        let mut out = Vec::new();
+        assert_eq!(ring.reap(&mut out), 10);
+        let ids: Vec<u64> = out.iter().map(|c| c.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        assert_eq!(ring.reap(&mut out), 0, "second reap finds nothing new");
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let ring = Arc::new(CompletionRing::new());
+        let producers = 4;
+        let per = 10_000u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        ring.push(Cqe { id: p as u64 * per + i, result: Ok(Vec::new()) });
+                    }
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        while out.len() < (producers as usize) * per as usize {
+            ring.reap(&mut out);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        ring.reap(&mut out);
+        let mut ids: Vec<u64> = out.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..producers as u64 * per).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wait_nonempty_wakes_on_push() {
+        let ring = Arc::new(CompletionRing::new());
+        let r2 = Arc::clone(&ring);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            r2.push(Cqe { id: 7, result: Ok(Vec::new()) });
+        });
+        // A generous timeout: the wake, not the timeout, should end the wait.
+        let start = std::time::Instant::now();
+        assert!(ring.wait_nonempty(Duration::from_secs(5)));
+        assert!(start.elapsed() < Duration::from_secs(4), "woken, not timed out");
+        t.join().unwrap();
+        let mut out = Vec::new();
+        assert_eq!(ring.reap(&mut out), 1);
+        assert_eq!(out[0].id, 7);
+    }
+
+    #[test]
+    fn wait_nonempty_times_out_on_silence() {
+        let ring = CompletionRing::new();
+        let start = std::time::Instant::now();
+        assert!(!ring.wait_nonempty(Duration::from_millis(10)));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn callback_routes_adapt_both_result_shapes() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sqe = Sqe::write_cb(0, vec![1, 2, 3], Box::new(move |r| tx.send(r).unwrap()));
+        assert_eq!(sqe.id(), 0);
+        let (op, completion) = sqe.into_parts();
+        assert!(matches!(op, SqeOp::Write { offset: 0, ref data } if data == &[1, 2, 3]));
+        assert!(!completion.is_ring());
+        completion.complete(Ok(Vec::new()));
+        assert_eq!(rx.recv().unwrap(), Ok(()));
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sqe = Sqe::read_cb(8, 4, Box::new(move |r| tx.send(r).unwrap()));
+        let (_, completion) = sqe.into_parts();
+        completion.complete(Err(IoError::Unsupported));
+        assert_eq!(rx.recv().unwrap(), Err(IoError::Unsupported));
+    }
+
+    #[test]
+    fn drop_reclaims_unreaped_cqes() {
+        let ring = CompletionRing::new();
+        for i in 0..100 {
+            ring.push(Cqe { id: i, result: Ok(vec![0u8; 16]) });
+        }
+        drop(ring); // leak checkers would flag lost nodes here
+    }
+}

@@ -8,10 +8,19 @@
 # default build's counter overhead exceeds FASTER_BENCH_MAX_OVERHEAD_PCT
 # (default 5%).
 #
+# The io_depth bench sweeps a single session's disk-resident read
+# throughput over I/O depths 1/4/16/64 into BENCH_io.json, failing if the
+# depth-64 : depth-1 speedup falls below FASTER_BENCH_IO_MIN_RATIO (default
+# 8x, the completion-ring pipelining target) or depth-1 throughput falls
+# below FASTER_BENCH_IO_DEPTH1_MIN_MOPS (default 0.01 Mops, the seed's
+# single-outstanding-read floor — one ~20 us model read per op).
+#
 # Knobs (forwarded to the benches): FASTER_BENCH_KEYS, FASTER_BENCH_BATCH,
 # FASTER_BENCH_OPS (batch_vs_scalar); FASTER_BENCH_CKPT_KEYS,
-# FASTER_BENCH_CKPT_GENS (ckpt_latency). Outputs land in the repo root
-# (override with BENCH_OUT=path / BENCH_CKPT_OUT=path / BENCH_METRICS_OUT=path).
+# FASTER_BENCH_CKPT_GENS (ckpt_latency); FASTER_BENCH_IO_KEYS,
+# FASTER_BENCH_IO_SECS (io_depth). Outputs land in the repo root (override
+# with BENCH_OUT=path / BENCH_CKPT_OUT=path / BENCH_METRICS_OUT=path /
+# BENCH_IO_OUT=path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -120,3 +129,32 @@ PY
 
 cargo bench --bench ckpt_latency 2>&1 | tee "$LOG"
 collect "${BENCH_CKPT_OUT:-BENCH_ckpt.json}"
+
+cargo bench --bench io_depth 2>&1 | tee "$LOG"
+collect "${BENCH_IO_OUT:-BENCH_io.json}"
+
+python3 - "${BENCH_IO_OUT:-BENCH_io.json}" <<'PY'
+import json, os, sys
+
+out_path = sys.argv[1]
+rows = json.load(open(out_path))
+by_depth = {r["depth"]: r["mops"] for r in rows
+            if r.get("bench") == "io_depth" and "depth" in r}
+min_ratio = float(os.environ.get("FASTER_BENCH_IO_MIN_RATIO", "8"))
+floor = float(os.environ.get("FASTER_BENCH_IO_DEPTH1_MIN_MOPS", "0.01"))
+d1, d64 = by_depth.get(1), by_depth.get(64)
+if d1 is None or d64 is None:
+    sys.exit("io_depth sweep is missing the depth-1 or depth-64 row")
+ratio = d64 / d1
+rows.append({"bench": "io_depth_summary", "depth1_mops": d1, "depth64_mops": d64,
+             "ratio": round(ratio, 2), "min_ratio": min_ratio,
+             "depth1_min_mops": floor})
+with open(out_path, "w") as f:
+    json.dump(rows, f, indent=2)
+print(f"io_depth: depth1 {d1:.4f} Mops, depth64 {d64:.4f} Mops, "
+      f"ratio {ratio:.2f}x (min {min_ratio}x, depth-1 floor {floor} Mops)")
+if ratio < min_ratio:
+    sys.exit(f"io-depth speedup {ratio:.2f}x below minimum {min_ratio}x")
+if d1 < floor:
+    sys.exit(f"depth-1 throughput {d1:.4f} Mops below floor {floor} Mops")
+PY

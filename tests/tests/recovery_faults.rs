@@ -11,9 +11,14 @@ use faster_integration_tests::fault_harness::{
     fault_seed_range, harness_cfg, run_crash_recovery_case, KEYSPACE,
 };
 use faster_integration_tests::read_blocking;
-use faster_storage::{Device, FaultDevice, FileDevice, MemDevice, ReadFaultRate, TornWrite};
+use faster_storage::{
+    CompletionRing, Cqe, Device, FaultDevice, FileDevice, IoError, MemDevice, ReadFaultRate,
+    Sqe, TornWrite,
+};
 use faster_util::Address;
 use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// The tentpole sweep: 10 seeds x 10 crash points by default (CI shards
 /// raise the seed count), each run crashing the device mid-flush with a
@@ -226,6 +231,125 @@ fn file_device_checkpoint_recovery_round_trip() {
     assert!(final_stats.bytes_read >= replay_stats.bytes_read);
     drop(store);
     let _ = std::fs::remove_file(&path);
+}
+
+/// Drains `ring` until exactly `n` CQEs have arrived, returned sorted by
+/// SQE id (device completions may land out of submission order).
+fn reap_exactly(ring: &CompletionRing, n: usize) -> Vec<Cqe> {
+    let mut out = Vec::with_capacity(n);
+    let mut buf = Vec::new();
+    while out.len() < n {
+        if ring.reap(&mut buf) == 0 {
+            ring.wait_nonempty(Duration::from_millis(5));
+            continue;
+        }
+        out.append(&mut buf);
+    }
+    assert_eq!(out.len(), n, "reaped more CQEs than SQEs submitted");
+    out.sort_by_key(|c| c.id);
+    out
+}
+
+/// Satellite: transient read faults fire on SQE submission exactly as on
+/// the callback path — the scripted count is consumed in submission order
+/// and each fault arrives as an error CQE, never a lost completion.
+#[test]
+fn ring_read_faults_fire_on_sqe_submission() {
+    let fault = FaultDevice::wrap(MemDevice::new(1));
+    let ring = Arc::new(CompletionRing::new());
+    fault.submit(Sqe::write(0, 0, vec![0xAB; 64], &ring));
+    assert!(reap_exactly(&ring, 1)[0].result.is_ok());
+
+    fault.fail_next_reads(2);
+    for id in 1..=3u64 {
+        fault.submit(Sqe::read(id, 0, 64, &ring));
+    }
+    let cqes = reap_exactly(&ring, 3);
+    for cqe in &cqes[..2] {
+        assert!(
+            matches!(&cqe.result, Err(IoError::Failed(m)) if m.contains("read fault")),
+            "SQE {} should have drawn an injected fault, got {:?}",
+            cqe.id,
+            cqe.result
+        );
+    }
+    assert_eq!(cqes[2].result.as_deref().expect("third read retries clean"), &[0xAB; 64][..]);
+    assert_eq!(fault.reads_issued(), 3, "every SQE must consume a read sequence number");
+}
+
+/// Satellite: a crash point armed on the write sequence space fires on SQE
+/// submission, persists exactly the torn prefix to the inner device, and
+/// refuses every subsequent SQE — byte-identical to the callback path's
+/// prefix-persisted model.
+#[test]
+fn ring_write_crash_point_tears_exact_prefix() {
+    let mem = MemDevice::new(1);
+    let fault = FaultDevice::wrap(mem.clone());
+    let ring = Arc::new(CompletionRing::new());
+    fault.arm_crash(2, TornWrite::Bytes(24));
+
+    for (id, fill) in [(0u64, 1u8), (1, 2), (2, 3), (3, 4)] {
+        fault.submit(Sqe::write(id, id * 64, vec![fill; 64], &ring));
+    }
+    let cqes = reap_exactly(&ring, 4);
+    assert!(cqes[0].result.is_ok());
+    assert!(cqes[1].result.is_ok());
+    assert!(matches!(&cqes[2].result, Err(IoError::Failed(m)) if m.contains("torn write")));
+    assert!(matches!(&cqes[3].result, Err(IoError::Failed(m)) if m.contains("crashed")));
+    assert!(fault.crashed());
+
+    // Reads through the crashed wrapper are refused too.
+    fault.submit(Sqe::read(9, 0, 8, &ring));
+    assert!(
+        matches!(&reap_exactly(&ring, 1)[0].result, Err(IoError::Failed(m)) if m.contains("crashed"))
+    );
+
+    // The inner device holds exactly the post-crash image: writes 0 and 1
+    // in full, 24 bytes of write 2, nothing after.
+    let check = Arc::new(CompletionRing::new());
+    mem.submit(Sqe::read(0, 0, 64, &check));
+    mem.submit(Sqe::read(1, 64, 64, &check));
+    mem.submit(Sqe::read(2, 128, 24, &check));
+    let back = reap_exactly(&check, 3);
+    assert_eq!(back[0].result.as_deref().unwrap(), &[1u8; 64][..]);
+    assert_eq!(back[1].result.as_deref().unwrap(), &[2u8; 64][..]);
+    assert_eq!(back[2].result.as_deref().unwrap(), &[3u8; 24][..]);
+    mem.submit(Sqe::read(3, 128, 64, &check));
+    if let Ok(bytes) = &reap_exactly(&check, 1)[0].result {
+        assert_ne!(&bytes[24..], &[3u8; 40][..], "bytes past the torn prefix persisted");
+    }
+}
+
+/// Satellite: ring-routed and callback-routed writes draw from one write
+/// sequence space, so a crash point lands on the same write regardless of
+/// route, and after the crash both routes refuse.
+#[test]
+fn ring_and_callback_paths_share_one_sequence_space() {
+    let fault = FaultDevice::wrap(MemDevice::new(1));
+    let ring = Arc::new(CompletionRing::new());
+    fault.arm_crash(3, TornWrite::Nothing);
+
+    // wsn 0 (ring), 1 (callback), 2 (ring), 3 (callback — the crash point).
+    let (tx, rx) = std::sync::mpsc::channel();
+    fault.submit(Sqe::write(0, 0, vec![1; 32], &ring));
+    let tx0 = tx.clone();
+    fault.write_async(32, vec![2; 32], Box::new(move |r| tx0.send(r).unwrap()));
+    fault.submit(Sqe::write(2, 64, vec![3; 32], &ring));
+    fault.write_async(96, vec![4; 32], Box::new(move |r| tx.send(r).unwrap()));
+
+    assert!(reap_exactly(&ring, 2).iter().all(|c| c.result.is_ok()));
+    let cb: Vec<_> =
+        (0..2).map(|_| rx.recv_timeout(Duration::from_secs(5)).expect("callback ran")).collect();
+    assert_eq!(cb.iter().filter(|r| r.is_ok()).count(), 1);
+    assert!(cb.iter().any(|r| matches!(r, Err(IoError::Failed(m)) if m.contains("torn write"))));
+    assert!(fault.crashed());
+
+    // Post-crash refusal on both routes.
+    fault.submit(Sqe::write(9, 256, vec![9; 8], &ring));
+    assert!(reap_exactly(&ring, 1)[0].result.is_err());
+    let (tx2, rx2) = std::sync::mpsc::channel();
+    fault.write_async(256, vec![9; 8], Box::new(move |r| tx2.send(r).unwrap()));
+    assert!(rx2.recv_timeout(Duration::from_secs(5)).expect("callback ran").is_err());
 }
 
 proptest! {
