@@ -78,7 +78,7 @@ fn main() {
             for k in 0..cold_keys {
                 s.upsert(&k, &k);
             }
-            store.log().flush_barrier();
+            store.log().flush_barrier().unwrap();
         }
         // Zipf read stream driven synchronously (complete each pending read).
         let session = store.start_session();
@@ -164,7 +164,7 @@ fn main() {
             for k in 0..cold_keys {
                 s.upsert(&k, &k);
             }
-            store.log().flush_barrier();
+            store.log().flush_barrier().unwrap();
         }
         let session = store.start_session();
         let wl = WorkloadConfig::new(cold_keys, Mix::r_bu(100, 0), Distribution::zipf_default());

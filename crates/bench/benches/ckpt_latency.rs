@@ -77,7 +77,7 @@ fn main() {
         );
     }
     drop(store);
-    log_dev.flush_barrier();
+    log_dev.flush_barrier().unwrap();
 
     // Recovery cost per fallback depth: corrupt one more newest blob before
     // each measurement, so arbitration walks one generation deeper.

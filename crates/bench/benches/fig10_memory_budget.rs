@@ -113,7 +113,7 @@ fn main() {
     let before = dev_handle.stats().bytes_written;
     let start = Instant::now();
     let r = run_faster_bytes(&store, &wl, threads, dur, true);
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     let mbps = (dev_handle.stats().bytes_written - before) as f64
         / start.elapsed().as_secs_f64()
         / (1 << 20) as f64;

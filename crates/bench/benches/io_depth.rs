@@ -48,7 +48,7 @@ fn main() {
         session.upsert(&k, &k);
     }
     session.complete_pending(true);
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
 
     println!("# io_depth: {keys} keys disk-resident, NVMe latency model, {:.1}s/depth", dur.as_secs_f64());
 

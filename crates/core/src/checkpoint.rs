@@ -194,17 +194,21 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
             // immediately; otherwise their refreshes drive it.
             std::thread::yield_now();
         }
-        inner.log.flush_barrier();
+        // A barrier failure is latched into the log's flush-failure counter,
+        // which `checkpoint_durable` samples; plain `checkpoint()` keeps its
+        // infallible signature for in-memory/test use.
+        let _ = inner.log.flush_barrier();
         CheckpointData { t1, t2, begin: inner.log.begin_address(), index }
     }
 
     /// Like [`FasterKv::checkpoint`], but verifies that the log flushes the
     /// checkpoint depends on actually reached the device. A plain
-    /// `checkpoint()` on a failing device "completes" — the flush barrier of
-    /// a crashed device is a silent no-op — and would hand the caller a
-    /// `CheckpointData` whose `[begin, t2)` range is not durable. This
-    /// variant samples the log's flush-failure counter around the checkpoint
-    /// and refuses to return data that the log cannot back.
+    /// `checkpoint()` on a failing device still "completes" — page-flush and
+    /// barrier failures are latched into the log's failure counter rather
+    /// than propagated — and would hand the caller a `CheckpointData` whose
+    /// `[begin, t2)` range is not durable. This variant samples the log's
+    /// flush-failure counter around the checkpoint and refuses to return
+    /// data that the log cannot back.
     ///
     /// [`crate::ckpt_manager::CheckpointManager::checkpoint_store`] builds on
     /// this: a generation is only committed to the manifest once its log
@@ -261,6 +265,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
                 functions,
                 cfg,
                 metrics,
+                wal: std::sync::OnceLock::new(),
                 _marker: std::marker::PhantomData,
             }),
         };

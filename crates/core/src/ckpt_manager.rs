@@ -69,7 +69,7 @@ const MANIFEST_MAGIC: u64 = u64::from_le_bytes(*b"FASTERMF");
 pub const MANIFEST_SLOT_SIZE: u64 = 4096;
 /// First byte of the generation-blob region.
 pub const BLOB_REGION_BASE: u64 = 2 * MANIFEST_SLOT_SIZE;
-const GEN_REC_SIZE: usize = 56;
+const GEN_REC_SIZE: usize = 64;
 const MANIFEST_HEADER: usize = 24; // magic | seqno | count
 /// Hard cap on retained generations: what fits in one manifest slot.
 pub const MAX_GENERATIONS: usize =
@@ -112,6 +112,11 @@ pub struct GenerationMeta {
     pub t1: Address,
     pub t2: Address,
     pub begin: Address,
+    /// WAL truncation point: every WAL record with LSN ≤ this is already
+    /// reflected in the generation's state, so recovery to this generation
+    /// replays only the WAL suffix strictly above it. 0 = no WAL coverage
+    /// (LSNs start at 1), meaning replay the whole surviving WAL.
+    pub wal_lsn: u64,
 }
 
 /// What recovery arbitration decided.
@@ -121,6 +126,10 @@ pub struct RecoveredGeneration {
     pub gen: u64,
     /// Its checkpoint payload, already parsed and verified.
     pub data: CheckpointData,
+    /// WAL truncation point this generation recorded at commit: recovery
+    /// replays only WAL records with LSN strictly above it (0 = replay
+    /// everything / the store ran without a WAL).
+    pub wal_lsn: u64,
     /// Newer generations that were visible but unrecoverable, newest first,
     /// with why each was skipped.
     pub skipped: Vec<(u64, CheckpointError)>,
@@ -204,6 +213,13 @@ impl CheckpointManager {
         &self,
         store: &FasterKv<K, V, F>,
     ) -> Result<u64, CheckpointError> {
+        // WAL cutoff, sampled BEFORE the fuzzy checkpoint begins: any op
+        // appended at or below the cutoff was applied to memory first and
+        // is therefore below the checkpoint's t2 — fully captured. Ops
+        // racing the checkpoint land above the cutoff and get replayed on
+        // recovery; a racer may be both captured and replayed, which is
+        // safe because WAL records are idempotent post-images (§10).
+        let wal_cutoff = store.wal().map(|w| w.last_appended_lsn()).unwrap_or(0);
         let data = store.checkpoint_durable()?;
         // GC/checkpoint invariant at birth: the log frontier cannot already
         // be above the begin this generation records.
@@ -211,7 +227,18 @@ impl CheckpointManager {
             store.log().begin_address() <= data.begin,
             "log frontier above a generation's begin at commit time"
         );
-        self.commit(&data)
+        let gen = self.commit_with_wal_lsn(&data, wal_cutoff)?;
+        // Reclaim WAL segments no retained generation can ever replay:
+        // recovery falls back at most to the oldest retained generation,
+        // which replays strictly above its own recorded cutoff.
+        if let Some(wal) = store.wal() {
+            if let Some(min) = self.generations().iter().map(|g| g.wal_lsn).min() {
+                if min > 0 {
+                    wal.truncate_below_lsn(min);
+                }
+            }
+        }
+        Ok(gen)
     }
 
     /// Commits an already-taken checkpoint as a new generation. See
@@ -219,6 +246,17 @@ impl CheckpointManager {
     /// contract; this variant trusts the caller that the log is durable
     /// through `data.t2`.
     pub fn commit(&self, data: &CheckpointData) -> Result<u64, CheckpointError> {
+        self.commit_with_wal_lsn(data, 0)
+    }
+
+    /// Like [`commit`](Self::commit), recording `wal_lsn` as the WAL
+    /// truncation point in the same atomic manifest slot write: recovery to
+    /// this generation replays only WAL records strictly above `wal_lsn`.
+    pub fn commit_with_wal_lsn(
+        &self,
+        data: &CheckpointData,
+        wal_lsn: u64,
+    ) -> Result<u64, CheckpointError> {
         let blob = data.to_bytes();
         let blob_len = blob.len() as u64;
         let blob_checksum = faster_util::hash_bytes(&blob);
@@ -230,7 +268,13 @@ impl CheckpointManager {
             st.free_blob(offset, blob_len, sector);
             return Err(e);
         }
-        self.device.flush_barrier();
+        // A failed barrier means the blob's durability is unknown: the
+        // generation must not reach the manifest, and the previous chain
+        // stays untouched on disk and in memory.
+        if let Err(e) = self.device.flush_barrier() {
+            st.free_blob(offset, blob_len, sector);
+            return Err(CheckpointError::Io(e));
+        }
 
         let gen = st.next_gen;
         let mut gens = st.generations.clone();
@@ -242,6 +286,7 @@ impl CheckpointManager {
             t1: data.t1,
             t2: data.t2,
             begin: data.begin,
+            wal_lsn,
         });
         // Retention rides in the same atomic manifest write: the slot flip
         // that commits the new generation also drops the superseded one.
@@ -255,7 +300,14 @@ impl CheckpointManager {
             st.free_blob(offset, blob_len, sector);
             return Err(e);
         }
-        self.device.flush_barrier();
+        // Until this barrier succeeds the manifest write may not be durable:
+        // the commit cannot be acknowledged, so in-memory state is not
+        // advanced. (A crash may still have persisted the slot — recovery
+        // arbitration handles that, same as a crash between write and ack.)
+        if let Err(e) = self.device.flush_barrier() {
+            st.free_blob(offset, blob_len, sector);
+            return Err(CheckpointError::Io(e));
+        }
 
         st.seqno = seqno;
         st.next_gen = gen + 1;
@@ -280,7 +332,7 @@ impl CheckpointManager {
         let seqno = st.seqno + 1;
         let manifest = encode_manifest(seqno, &survivors);
         write_blocking(&self.device, (seqno % 2) * MANIFEST_SLOT_SIZE, manifest)?;
-        self.device.flush_barrier();
+        self.device.flush_barrier().map_err(CheckpointError::Io)?;
         st.seqno = seqno;
         let dropped: Vec<GenerationMeta> = st.generations.drain(..drop_n).collect();
         st.generations = survivors;
@@ -368,6 +420,7 @@ impl CheckpointManager {
                     let rec = RecoveredGeneration {
                         gen: meta.gen,
                         data,
+                        wal_lsn: meta.wal_lsn,
                         skipped,
                         candidates: total,
                     };
@@ -434,6 +487,78 @@ pub fn recover_store<K: Pod + Eq, V: Pod, F: Functions<K, V>>(
     Ok((store, mgr, rec))
 }
 
+/// What [`recover_store_with_wal`] hands back.
+pub struct RecoveredStoreWithWal<K: Pod, V: Pod, F: Functions<K, V>> {
+    /// The rebuilt store, WAL attached and accepting new appends.
+    pub store: FasterKv<K, V, F>,
+    /// Manager continuing the generation sequence.
+    pub manager: CheckpointManager,
+    /// The arbitration verdict; `None` when no generation had ever
+    /// committed (the store recovered from the WAL alone).
+    pub generation: Option<RecoveredGeneration>,
+    /// WAL records replayed on top of the recovered checkpoint.
+    pub wal_replayed: usize,
+}
+
+/// Recover a WAL-enabled store end-to-end (DESIGN.md §10): arbitrate the
+/// checkpoint device to the newest valid generation (or an empty store when
+/// none ever committed), rebuild the store over the surviving log device,
+/// then replay the WAL suffix — every valid record with LSN strictly above
+/// the recovered generation's cutoff, in LSN order, stopping at the first
+/// torn or checksum-failing record. The resumed WAL is attached only after
+/// replay, so replayed mutations never re-append. `store_cfg.wal` must be
+/// set.
+pub fn recover_store_with_wal<K: Pod + Eq, V: Pod, F: Functions<K, V>>(
+    store_cfg: FasterKvConfig,
+    functions: F,
+    log_device: Arc<dyn Device>,
+    ckpt_device: Arc<dyn Device>,
+    wal_device: Arc<dyn Device>,
+    ckpt_cfg: CheckpointConfig,
+) -> Result<RecoveredStoreWithWal<K, V, F>, CheckpointError> {
+    let wal_cfg = store_cfg.wal.expect("recover_store_with_wal requires cfg.wal");
+    // Checkpoint arbitration first (fallback chain); a store that never
+    // committed a generation recovers to empty and replays the whole WAL.
+    let (manager, generation) =
+        match CheckpointManager::recover_latest(ckpt_device.clone(), ckpt_cfg) {
+            Ok((mgr, rec)) => (mgr, Some(rec)),
+            Err(CheckpointError::NoValidGeneration) => {
+                (CheckpointManager::new(ckpt_device, ckpt_cfg), None)
+            }
+            Err(e) => return Err(e),
+        };
+    let store = match &generation {
+        Some(rec) => FasterKv::recover(store_cfg, functions, log_device, &rec.data),
+        None => FasterKv::build(store_cfg, functions, log_device, None),
+    };
+    let skip = generation.as_ref().map(|r| r.wal_lsn).unwrap_or(0);
+    let (wal, records) = faster_wal::Wal::recover(
+        wal_device,
+        wal_cfg,
+        store.metrics_registry().wal.clone(),
+        skip,
+    );
+    let wal_replayed = records.len();
+    {
+        // Replay through an ordinary session — the WAL is not attached
+        // yet, so nothing re-appends. Unknown payloads (codec skew) are
+        // skipped rather than trusted.
+        let session = store.start_session();
+        for r in records {
+            if let Some(op) = crate::walrec::decode::<K, V>(&r.payload) {
+                session.replay_wal_op(op);
+            }
+        }
+        session.complete_pending(true);
+    }
+    store
+        .inner
+        .wal
+        .set(wal)
+        .unwrap_or_else(|_| unreachable!("freshly built store already had a WAL"));
+    Ok(RecoveredStoreWithWal { store, manager, generation, wal_replayed })
+}
+
 impl ManagerState {
     fn alloc_blob(&mut self, len: u64, sector: u64) -> u64 {
         let alen = align_up(len, sector);
@@ -477,6 +602,7 @@ fn encode_manifest(seqno: u64, gens: &[GenerationMeta]) -> Vec<u8> {
         out.extend_from_slice(&g.t1.raw().to_le_bytes());
         out.extend_from_slice(&g.t2.raw().to_le_bytes());
         out.extend_from_slice(&g.begin.raw().to_le_bytes());
+        out.extend_from_slice(&g.wal_lsn.to_le_bytes());
     }
     let sum = faster_util::hash_bytes(&out);
     out.extend_from_slice(&sum.to_le_bytes());
@@ -517,6 +643,7 @@ fn decode_manifest(bytes: &[u8]) -> Result<(u64, Vec<GenerationMeta>), Checkpoin
             t1: Address::new(rd(base + 32) & Address::MASK),
             t2: Address::new(rd(base + 40) & Address::MASK),
             begin: Address::new(rd(base + 48) & Address::MASK),
+            wal_lsn: rd(base + 56),
         });
     }
     Ok((seqno, gens))
@@ -596,6 +723,7 @@ mod tests {
                 t1: Address::new(64),
                 t2: Address::new(128),
                 begin: Address::new(64),
+                wal_lsn: 17,
             },
             GenerationMeta {
                 gen: 4,
@@ -605,6 +733,7 @@ mod tests {
                 t1: Address::new(128),
                 t2: Address::new(256),
                 begin: Address::new(64),
+                wal_lsn: 42,
             },
         ];
         let bytes = encode_manifest(9, &gens);

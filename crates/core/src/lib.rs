@@ -45,6 +45,7 @@ pub mod read_cache;
 pub mod record;
 pub mod varlen;
 mod session;
+pub(crate) mod walrec;
 
 pub use checkpoint::{CheckpointData, CheckpointError};
 pub use ckpt_manager::{
@@ -87,6 +88,13 @@ pub struct FasterKvConfig {
     /// an extra prefetch slot per op for fewer dependent-load stalls on
     /// collided chains (ROADMAP prefetch experiment; see EXPERIMENTS.md).
     pub prefetch_prev_chain: bool,
+    /// Optional group-committed write-ahead log (DESIGN.md §10). `None`
+    /// keeps the classic FASTER durability model (CPR checkpoints only);
+    /// `Some` makes every mutating op append a logical record to the WAL
+    /// and lets sessions wait for group-commit durability. Build such a
+    /// store with [`FasterKv::new_with_wal`] (the plain constructor has no
+    /// WAL device to hand the log).
+    pub wal: Option<faster_wal::WalConfig>,
 }
 
 impl FasterKvConfig {
@@ -100,6 +108,7 @@ impl FasterKvConfig {
             read_cache: None,
             metrics: MetricsConfig::default(),
             prefetch_prev_chain: false,
+            wal: None,
         }
     }
 
@@ -118,6 +127,7 @@ impl FasterKvConfig {
             read_cache: None,
             metrics: MetricsConfig::default(),
             prefetch_prev_chain: false,
+            wal: None,
         }
     }
 
@@ -167,6 +177,14 @@ impl FasterKvConfig {
         self.prefetch_prev_chain = on;
         self
     }
+
+    /// Enables the group-committed WAL (DESIGN.md §10). The store must then
+    /// be built with [`FasterKv::new_with_wal`] or recovered with
+    /// [`ckpt_manager::recover_store_with_wal`].
+    pub fn with_wal(mut self, wal: faster_wal::WalConfig) -> Self {
+        self.wal = Some(wal);
+        self
+    }
 }
 
 impl Default for FasterKvConfig {
@@ -185,6 +203,11 @@ pub(crate) struct StoreInner<K: Pod, V: Pod, F: Functions<K, V>> {
     pub cfg: FasterKvConfig,
     /// Store-wide metrics registry; layers hold clones of its group `Arc`s.
     pub metrics: Arc<MetricsRegistry>,
+    /// Group-committed WAL (DESIGN.md §10). A `OnceLock` rather than an
+    /// `Option` field so recovery can rebuild the store, replay the WAL
+    /// suffix through ordinary sessions (no WAL attached yet — replayed
+    /// mutations must not re-append), and only then attach the resumed log.
+    pub wal: std::sync::OnceLock<Arc<faster_wal::Wal>>,
     _marker: std::marker::PhantomData<(K, V)>,
 }
 
@@ -202,7 +225,32 @@ impl<K: Pod, V: Pod, F: Functions<K, V>> Clone for FasterKv<K, V, F> {
 
 impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
     /// Creates a store over `device`.
+    ///
+    /// Panics if `cfg.wal` is set — a WAL needs its own device; use
+    /// [`FasterKv::new_with_wal`].
     pub fn new(cfg: FasterKvConfig, functions: F, device: Arc<dyn Device>) -> Self {
+        assert!(cfg.wal.is_none(), "cfg.wal set: use FasterKv::new_with_wal");
+        Self::build(cfg, functions, device, None)
+    }
+
+    /// Creates a store over `device` with a group-committed WAL on
+    /// `wal_device` (DESIGN.md §10). `cfg.wal` must be set.
+    pub fn new_with_wal(
+        cfg: FasterKvConfig,
+        functions: F,
+        device: Arc<dyn Device>,
+        wal_device: Arc<dyn Device>,
+    ) -> Self {
+        let wal_cfg = cfg.wal.expect("new_with_wal requires cfg.wal");
+        Self::build(cfg, functions, device, Some((wal_device, wal_cfg)))
+    }
+
+    pub(crate) fn build(
+        cfg: FasterKvConfig,
+        functions: F,
+        device: Arc<dyn Device>,
+        wal: Option<(Arc<dyn Device>, faster_wal::WalConfig)>,
+    ) -> Self {
         let metrics = Arc::new(MetricsRegistry::new(cfg.metrics));
         let epoch = Epoch::with_metrics(cfg.max_sessions, metrics.epoch.clone());
         let index = HashIndex::with_metrics(cfg.index, epoch.clone(), metrics.index.clone());
@@ -215,6 +263,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
                 metrics.rc_log.clone(),
             )
         });
+        let wal_log = wal.map(|(dev, wal_cfg)| {
+            faster_wal::Wal::with_metrics(dev, wal_cfg, metrics.wal.clone())
+        });
         let store = Self {
             inner: Arc::new(StoreInner {
                 epoch,
@@ -224,9 +275,13 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
                 functions,
                 cfg,
                 metrics,
+                wal: std::sync::OnceLock::new(),
                 _marker: std::marker::PhantomData,
             }),
         };
+        if let Some(w) = wal_log {
+            let _ = store.inner.wal.set(w);
+        }
         if let Some(rc_log) = &store.inner.rc {
             // Eviction hook: restore index entries to the primary-log
             // addresses before cache frames are recycled (Appendix D).
@@ -264,6 +319,11 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
     /// User functions instance.
     pub fn functions(&self) -> &F {
         &self.inner.functions
+    }
+
+    /// The group-committed WAL, if this store runs with one (DESIGN.md §10).
+    pub fn wal(&self) -> Option<&Arc<faster_wal::Wal>> {
+        self.inner.wal.get()
     }
 
     /// The live metrics registry (per-layer counter groups). Most callers

@@ -215,6 +215,12 @@ pub struct Session<K: Pod, V: Pod, F: Functions<K, V>> {
     /// Set by `read_internal` when the current first-pass read was served
     /// from the read cache; the caller classifies the read from it.
     read_rc_hit: Cell<bool>,
+    /// Highest WAL LSN this session has appended (0 = none). Mutations are
+    /// durable once the WAL acks through this LSN (DESIGN.md §10).
+    wal_lsn: Cell<u64>,
+    /// Sticky WAL append failure: once an append is refused (the log hit a
+    /// commit failure), every later durability wait on this session errors.
+    wal_error: RefCell<Option<faster_storage::IoError>>,
 }
 
 impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
@@ -236,6 +242,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             rec,
             hub,
             read_rc_hit: Cell::new(false),
+            wal_lsn: Cell::new(0),
+            wal_error: RefCell::new(None),
         }
     }
 
@@ -550,6 +558,61 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         id
     }
 
+    // ================================================================= WAL
+
+    /// Logs a logical redo record for a mutation this session just applied
+    /// (DESIGN.md §10). No-op for stores without a WAL — including a
+    /// recovering store mid-replay, which only attaches its WAL after the
+    /// suffix has been reapplied. An append refused by a failed log latches
+    /// into `wal_error`; the mutation itself stands (it is applied, just
+    /// not durable), and every subsequent durability wait reports the loss.
+    fn wal_log(&self, kind: u8, key: &K, value: Option<&V>) {
+        let Some(wal) = self.store.inner.wal.get() else { return };
+        let payload = crate::walrec::encode::<K, V>(kind, key, value);
+        match wal.append(&payload) {
+            Ok(lsn) => self.wal_lsn.set(lsn),
+            Err(e) => {
+                let mut err = self.wal_error.borrow_mut();
+                if err.is_none() {
+                    *err = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Highest WAL LSN this session has appended (0 = none, or no WAL).
+    pub fn wal_last_lsn(&self) -> u64 {
+        self.wal_lsn.get()
+    }
+
+    /// Blocks until every mutation this session has issued is group-commit
+    /// durable in the WAL. `Err` means some mutation was **never acked** —
+    /// either its append was refused or its group's flush barrier failed;
+    /// the error is sticky (the WAL refuses all further commits).
+    /// Immediately `Ok` on stores without a WAL.
+    pub fn wait_wal_durable(&self) -> Result<(), faster_storage::IoError> {
+        if let Some(e) = self.wal_error.borrow().as_ref() {
+            return Err(e.clone());
+        }
+        match self.store.inner.wal.get() {
+            Some(wal) => wal.wait_durable(self.wal_lsn.get()),
+            None => Ok(()),
+        }
+    }
+
+    /// Non-blocking durability check: `Some(Ok(()))` once everything this
+    /// session appended is durable, `Some(Err(_))` once the WAL has failed,
+    /// `None` while a group commit is still in flight.
+    pub fn poll_wal_durable(&self) -> Option<Result<(), faster_storage::IoError>> {
+        if let Some(e) = self.wal_error.borrow().as_ref() {
+            return Some(Err(e.clone()));
+        }
+        match self.store.inner.wal.get() {
+            Some(wal) => wal.poll_durable(self.wal_lsn.get()),
+            None => Some(Ok(())),
+        }
+    }
+
     // ============================================================== UPSERT
 
     /// Blind update (Algorithm 3): in-place if the record is in the mutable
@@ -583,6 +646,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         match slot.cas_address(entry, addr) {
                             Ok(()) => {
                                 self.count_write(&self.rec.rcu);
+                                let post = rec.read_value();
+                                self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                                 return;
                             }
                             Err(_) => {
@@ -600,6 +665,12 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         if !rec.header().is_tombstone() && !rec.header().is_delta() {
                             f.concurrent_writer(key, value, rec.value_cell());
                             self.count_write(&self.rec.in_place);
+                            // Post-image read may interleave with a racing
+                            // writer of the same cell; the WAL then orders
+                            // the two racers arbitrarily, exactly as racy
+                            // as the in-place update itself (DESIGN.md §10).
+                            let post = rec.read_value();
+                            self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                             return;
                         }
                     }
@@ -610,6 +681,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     match slot.cas_address(entry, addr) {
                         Ok(()) => {
                             self.count_write(&self.rec.rcu);
+                            let post = rec.read_value();
+                            self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                             return;
                         }
                         Err(_) => {
@@ -624,6 +697,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     f.single_writer(key, value, unsafe { rec.value_mut() });
                     created.finalize(addr);
                     self.count_write(&self.rec.appends);
+                    let post = rec.read_value();
+                    self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                     return;
                 }
             }
@@ -702,6 +777,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                 Region::Mutable => {
                                     f.in_place_updater(key, input, rec.value_cell());
                                     self.count_write(&self.rec.in_place);
+                                    let post = rec.read_value();
+                                    self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                                     return RmwResult::Done;
                                 }
                                 Region::Fuzzy => {
@@ -777,6 +854,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     f.initial_updater(key, input, unsafe { rec.value_mut() });
                     created.finalize(addr);
                     self.count_write(&self.rec.appends);
+                    let post = rec.read_value();
+                    self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                     return RmwResult::Done;
                 }
             }
@@ -808,6 +887,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                 // With an old value this is a read-copy-update; without one
                 // it (re-)creates the key from the initial value.
                 self.count_write(if had_old { &self.rec.rcu } else { &self.rec.appends });
+                let post = rec.read_value();
+                self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                 true
             }
             Err(_) => {
@@ -835,6 +916,10 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             Ok(()) => {
                 self.count_write(&self.rec.appends);
                 self.rec.deltas.inc();
+                // The delta record is exclusively ours (fresh tail record),
+                // so the logged partial is exact.
+                let partial = rec.read_value();
+                self.wal_log(crate::walrec::KIND_DELTA, key, Some(&partial));
                 true
             }
             Err(_) => {
@@ -879,6 +964,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     match slot.cas_address(entry, addr) {
                         Ok(()) => {
                             self.count_write(&self.rec.appends);
+                            self.wal_log(crate::walrec::KIND_DELETE, key, None);
                             break;
                         }
                         Err(_) => {
@@ -1341,6 +1427,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             // in flight (every counted op is one of those). In particular
             // `wait` must not touch the ring or the epoch here.
             debug_assert!(self.sq.borrow().is_empty() && self.pending.borrow().is_empty());
+            self.wal_wait_if(wait);
             return done;
         }
         loop {
@@ -1371,7 +1458,20 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             self.refresh();
             self.ring.wait_nonempty(RING_WAIT);
         }
+        self.wal_wait_if(wait);
         done
+    }
+
+    /// Ack-aware completion (DESIGN.md §10): a waiting `complete_pending`
+    /// also blocks until this session's WAL appends are group-commit
+    /// durable. A failed WAL returns immediately (the failure is sticky —
+    /// no group will ever ack again); the loss itself is surfaced through
+    /// [`Session::wait_wal_durable`] / [`Session::poll_wal_durable`], which
+    /// keep erroring.
+    fn wal_wait_if(&self, wait: bool) {
+        if wait {
+            let _ = self.wait_wal_durable();
+        }
     }
 
     /// Hands every locally queued SQE to the device in one batch, sampling
@@ -1651,7 +1751,99 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                 f.initial_updater(&op.key, &op.input, unsafe { rec.value_mut() });
                 created.finalize(addr);
                 self.count_write(&self.rec.appends);
+                let post = rec.read_value();
+                self.wal_log(crate::walrec::KIND_PUT, &op.key, Some(&post));
                 Some(op.id)
+            }
+        }
+    }
+
+    // ========================================================== WAL replay
+
+    /// Reapplies one decoded WAL record during recovery (DESIGN.md §10).
+    /// Only runs on a store whose WAL is not yet attached (recovery wires
+    /// the resumed log in after the suffix is replayed), so nothing here
+    /// re-appends.
+    pub(crate) fn replay_wal_op(&self, op: crate::walrec::WalOp<K, V>) {
+        debug_assert!(self.store.inner.wal.get().is_none(), "WAL replay with a WAL attached");
+        match op {
+            crate::walrec::WalOp::Put { key, value } => self.replay_put(&key, &value),
+            crate::walrec::WalOp::Delete { key } => self.delete_internal(&key, hash_key(&key)),
+            crate::walrec::WalOp::Delta { key, partial } => self.replay_delta(&key, &partial),
+        }
+        self.maybe_refresh();
+    }
+
+    /// Physical redo of a full post-image: appends a record holding exactly
+    /// `value` — no writer callbacks, the bytes already are the result the
+    /// original operation produced. Idempotent, so records double-covered
+    /// by a fuzzy checkpoint converge to the same state.
+    fn replay_put(&self, key: &K, value: &V) {
+        let hash = hash_key(key);
+        loop {
+            let inner = &self.store.inner;
+            match inner.index.find_or_create_tag(hash, Some(&self.guard)) {
+                CreateOutcome::Found(slot) => {
+                    let entry = slot.load();
+                    let prev = self.chain_prev_for_new_record(entry.address());
+                    let (addr, rec) = self.write_record(prev, key, 0);
+                    unsafe { *rec.value_mut() = *value };
+                    match slot.cas_address(entry, addr) {
+                        Ok(()) => {
+                            self.count_write(&self.rec.appends);
+                            return;
+                        }
+                        Err(_) => {
+                            rec.set_bits(INVALID_BIT);
+                            continue;
+                        }
+                    }
+                }
+                CreateOutcome::Created(created) => {
+                    let (addr, rec) = self.write_record(Address::INVALID, key, 0);
+                    unsafe { *rec.value_mut() = *value };
+                    created.finalize(addr);
+                    self.count_write(&self.rec.appends);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Redo of a CRDT delta: re-appends the partial atop the key's chain,
+    /// or folds it into a fresh full value when no chain exists anymore
+    /// (merge with the identity is exactly the partial's contribution).
+    fn replay_delta(&self, key: &K, partial: &V) {
+        let hash = hash_key(key);
+        loop {
+            let inner = &self.store.inner;
+            let f = &inner.functions;
+            match inner.index.find_or_create_tag(hash, Some(&self.guard)) {
+                CreateOutcome::Found(slot) => {
+                    let entry = slot.load();
+                    let prev = self.chain_prev_for_new_record(entry.address());
+                    let (addr, rec) = self.write_record(prev, key, DELTA_BIT);
+                    unsafe { *rec.value_mut() = *partial };
+                    match slot.cas_address(entry, addr) {
+                        Ok(()) => {
+                            self.count_write(&self.rec.appends);
+                            self.rec.deltas.inc();
+                            return;
+                        }
+                        Err(_) => {
+                            rec.set_bits(INVALID_BIT);
+                            continue;
+                        }
+                    }
+                }
+                CreateOutcome::Created(created) => {
+                    let (addr, rec) = self.write_record(Address::INVALID, key, 0);
+                    let full = f.merge(&f.identity(), partial);
+                    unsafe { *rec.value_mut() = full };
+                    created.finalize(addr);
+                    self.count_write(&self.rec.appends);
+                    return;
+                }
             }
         }
     }

@@ -244,7 +244,7 @@ fn read_batch_straddling_disk_goes_pending_and_completes() {
     for k in 0..n {
         s.upsert(&k, &(k + 1));
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     assert!(store.log().head_address().raw() > 0, "data must have spilled");
     // Early keys are on disk, the newest keys still resident.
     let keys: Vec<u64> = (0..64u64).chain(n - 8..n).chain(n..n + 4).collect();
@@ -284,7 +284,7 @@ fn larger_than_memory_spill_and_read_back() {
     for k in 0..n {
         s.upsert(&k, &(k + 1));
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     assert!(
         store.log().head_address().raw() > 0,
         "data must have spilled: {:?}",
@@ -330,7 +330,7 @@ fn rmw_on_disk_record_goes_pending_and_completes() {
     for k in 1000..4000u64 {
         s.upsert(&k, &k);
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     match s.rmw(&42, &777) {
         RmwResult::Pending(_) => {
             s.complete_pending(true);
@@ -353,7 +353,7 @@ fn crdt_disk_rmw_avoids_io_with_delta() {
     for k in 1000..4000u64 {
         s.upsert(&k, &k);
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     // Key 5's base is cold now; a CRDT RMW must return Done (delta appended).
     let reads_before = store.log().device().stats().reads;
     assert_eq!(s.rmw(&5, &11), RmwResult::Done, "CRDT RMW must not read disk (Table 2)");
@@ -568,7 +568,7 @@ fn gc_truncate_makes_cold_keys_absent() {
     for k in 1000..4000u64 {
         s.upsert(&k, &k);
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     let head = store.log().head_address();
     assert!(head.raw() > 0);
     store.truncate_until(head);
@@ -598,7 +598,7 @@ fn gc_compact_preserves_live_keys() {
     for k in 5000..8000u64 {
         s.upsert(&k, &1);
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     s.refresh();
     let compact_to = store.log().safe_read_only_address();
     assert!(compact_to.raw() > 0);
@@ -702,7 +702,7 @@ fn read_history_returns_versions_newest_first() {
     for k in 1000..5000u64 {
         s.upsert(&k, &k);
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     let hist = s.read_history(&7, 10);
     assert_eq!(hist, vec![500, 400, 300, 200, 100], "history readable from disk");
     // Tombstone ends history.

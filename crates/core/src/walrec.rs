@@ -1,0 +1,89 @@
+//! WAL payload codec (DESIGN.md §10).
+//!
+//! Each WAL record carries one logical redo operation as a flat byte
+//! payload: a one-byte kind tag, the `Pod` key bytes, and — for the kinds
+//! that write — the **post-image** value bytes. Post-image (physical redo)
+//! rather than the operation's input keeps replay independent of the
+//! user's `Functions::Input` type (which need not be `Pod`) and makes
+//! reapplying a record idempotent: replaying a suffix that partially
+//! overlaps a fuzzy checkpoint converges to the same state.
+//!
+//! CRDT deltas are the exception — their post-image is a *partial* value
+//! ([`crate::record::DELTA_BIT`] records), so they get their own kind and
+//! replay re-appends a delta (or folds into a fresh full value when the
+//! key's chain no longer exists).
+
+use faster_util::{bytes_of, pod_from_bytes, Pod};
+
+/// Full post-image write: upserts and completed (non-delta) RMWs.
+pub(crate) const KIND_PUT: u8 = 1;
+/// Tombstone append.
+pub(crate) const KIND_DELETE: u8 = 2;
+/// CRDT delta append: the value bytes are a partial (mergeable) value.
+pub(crate) const KIND_DELTA: u8 = 3;
+
+/// One decoded WAL operation, ready for replay.
+pub(crate) enum WalOp<K, V> {
+    Put { key: K, value: V },
+    Delete { key: K },
+    Delta { key: K, partial: V },
+}
+
+/// Encodes `kind | key bytes | value bytes?` into a WAL payload.
+pub(crate) fn encode<K: Pod, V: Pod>(kind: u8, key: &K, value: Option<&V>) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(1 + std::mem::size_of::<K>() + std::mem::size_of::<V>());
+    out.push(kind);
+    out.extend_from_slice(bytes_of(key));
+    if let Some(v) = value {
+        out.extend_from_slice(bytes_of(v));
+    }
+    out
+}
+
+/// Decodes a WAL payload. `None` for unknown kinds or size mismatches —
+/// recovery treats such a record as corrupt and skips it (the WAL's own
+/// checksum makes this unreachable short of a codec version skew).
+pub(crate) fn decode<K: Pod, V: Pod>(payload: &[u8]) -> Option<WalOp<K, V>> {
+    let (&kind, rest) = payload.split_first()?;
+    let ks = std::mem::size_of::<K>();
+    let vs = std::mem::size_of::<V>();
+    match kind {
+        KIND_PUT | KIND_DELTA if rest.len() == ks + vs => {
+            let key = pod_from_bytes::<K>(&rest[..ks]);
+            let value = pod_from_bytes::<V>(&rest[ks..]);
+            Some(if kind == KIND_PUT {
+                WalOp::Put { key, value }
+            } else {
+                WalOp::Delta { key, partial: value }
+            })
+        }
+        KIND_DELETE if rest.len() == ks => Some(WalOp::Delete { key: pod_from_bytes::<K>(rest) }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let p = encode::<u64, u64>(KIND_PUT, &7, Some(&9));
+        match decode::<u64, u64>(&p) {
+            Some(WalOp::Put { key: 7, value: 9 }) => {}
+            _ => panic!("bad decode"),
+        }
+        let d = encode::<u64, u64>(KIND_DELETE, &7, None);
+        assert!(matches!(decode::<u64, u64>(&d), Some(WalOp::Delete { key: 7 })));
+        let m = encode::<u64, u64>(KIND_DELTA, &7, Some(&3));
+        assert!(matches!(decode::<u64, u64>(&m), Some(WalOp::Delta { key: 7, partial: 3 })));
+    }
+
+    #[test]
+    fn rejects_wrong_sizes_and_kinds() {
+        assert!(decode::<u64, u64>(&[]).is_none());
+        assert!(decode::<u64, u64>(&[KIND_PUT, 0, 0]).is_none());
+        assert!(decode::<u64, u64>(&encode::<u64, u64>(99, &1, Some(&2))).is_none());
+    }
+}

@@ -636,9 +636,18 @@ impl HybridLog {
 
     // -------------------------------------------------------- maintenance --
 
-    /// Blocks until every issued page flush has completed on the device.
-    pub fn flush_barrier(&self) {
-        self.inner.device.flush_barrier();
+    /// Blocks until every issued page flush has completed on the device and
+    /// is durable. A barrier failure means durability of already-acked page
+    /// writes is unknown; it is latched into [`HybridLog::flush_failures`]
+    /// (and the metrics counter) so `checkpoint_durable`-style protocols
+    /// that sample the counter also observe it.
+    pub fn flush_barrier(&self) -> Result<(), faster_storage::IoError> {
+        let res = self.inner.device.flush_barrier();
+        if res.is_err() {
+            self.inner.flush_failures.fetch_add(1, Ordering::SeqCst);
+            self.inner.metrics.flushes_failed.inc();
+        }
+        res
     }
 
     /// Forces the read-only offset up to the current tail and synchronously

@@ -87,7 +87,7 @@ fn regions_progress_as_tail_grows() {
         log.allocate(64, &g);
         g.refresh();
     }
-    log.flush_barrier();
+    log.flush_barrier().unwrap();
     let r = log.regions();
     assert!(r.read_only.raw() > 0, "read-only advanced");
     assert!(r.safe_read_only <= r.read_only);
@@ -108,7 +108,7 @@ fn classification_matches_markers() {
         log.allocate(64, &g);
         g.refresh();
     }
-    log.flush_barrier();
+    log.flush_barrier().unwrap();
     // Give head-advance triggers a chance (they fire on refresh).
     for _ in 0..4 {
         g.refresh();
@@ -140,7 +140,7 @@ fn evicted_pages_are_durable_and_readable() {
         }
         g.refresh();
     }
-    log.flush_barrier();
+    log.flush_barrier().unwrap();
     for _ in 0..4 {
         g.refresh();
     }
@@ -221,7 +221,7 @@ fn shift_read_only_to_tail_flushes_everything() {
     }
     let t = log.shift_read_only_to_tail();
     g.refresh(); // let the safe-ro trigger fire
-    log.flush_barrier();
+    log.flush_barrier().unwrap();
     assert_eq!(log.read_only_address(), t);
     assert_eq!(log.safe_read_only_address(), t);
     assert!(dev.stats().bytes_written > 0, "data was flushed");
@@ -237,7 +237,7 @@ fn gc_shift_begin_truncates(){
         log.allocate(64, &g);
         g.refresh();
     }
-    log.flush_barrier();
+    log.flush_barrier().unwrap();
     log.shift_begin_address(Address::new(2048));
     assert_eq!(log.begin_address(), Address::new(2048));
     let (tx, rx) = std::sync::mpsc::channel();
@@ -259,7 +259,7 @@ fn scanner_covers_memory_and_disk() {
         written.push((a, 1000 + i as u64));
         g.refresh();
     }
-    log.flush_barrier();
+    log.flush_barrier().unwrap();
     for _ in 0..4 {
         g.refresh();
     }
@@ -299,7 +299,7 @@ fn recover_resumes_past_old_tail() {
         }
         old_tail = log.shift_read_only_to_tail();
         g.refresh();
-        log.flush_barrier();
+        log.flush_barrier().unwrap();
         drop(g);
     }
     let log2 = HybridLog::recover(cfg, epoch.clone(), dev.clone(), Address::FIRST_VALID, old_tail);

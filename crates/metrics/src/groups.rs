@@ -62,6 +62,24 @@ pub struct HlogMetrics {
     pub reads_completed: Counter,
 }
 
+/// Write-ahead-log events (populated only when the store runs with a WAL).
+#[derive(Default)]
+pub struct WalMetrics {
+    /// Records appended to the WAL.
+    pub appends: Counter,
+    /// Payload + header bytes appended.
+    pub bytes: Counter,
+    /// Group commits whose flush barrier succeeded (groups acked).
+    pub commits: Counter,
+    /// Group commits whose flush barrier failed (groups never acked).
+    pub commit_failures: Counter,
+    /// Records per acked group ("latency" histogram reused as a size
+    /// distribution: record with unit = records, not nanoseconds).
+    pub group_size: LatencyHistogram,
+    /// Append-to-durable latency per acked group.
+    pub commit_latency: LatencyHistogram,
+}
+
 /// Read-cache events (populated only when the store has a read cache).
 #[derive(Default, Debug)]
 pub struct ReadCacheMetrics {

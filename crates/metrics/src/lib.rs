@@ -26,12 +26,12 @@ mod registry;
 pub use counter::{Cell64, Counter, COUNTER_SHARDS};
 pub use groups::{
     EpochMetrics, HlogMetrics, IndexMetrics, ReadCacheMetrics, SessionHub, SessionRecorder,
-    SessionTotals,
+    SessionTotals, WalMetrics,
 };
 pub use histogram::{HistogramSnapshot, LatencyHistogram, Timer, HISTOGRAM_BUCKETS};
 pub use registry::{
     EpochSnapshot, HlogSnapshot, IndexSnapshot, MetricsRegistry, OpLatencies, ReadCacheSnapshot,
-    SessionsSnapshot, StorageSnapshot, StoreMetrics,
+    SessionsSnapshot, StorageSnapshot, StoreMetrics, WalSnapshot,
 };
 
 /// Runtime metrics configuration, set via `FasterKvConfig::with_metrics`.

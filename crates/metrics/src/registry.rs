@@ -9,6 +9,7 @@
 
 use crate::groups::{
     EpochMetrics, HlogMetrics, IndexMetrics, ReadCacheMetrics, SessionHub, SessionTotals,
+    WalMetrics,
 };
 use crate::histogram::HistogramSnapshot;
 use crate::MetricsConfig;
@@ -24,6 +25,8 @@ pub struct MetricsRegistry {
     pub rc_log: Arc<HlogMetrics>,
     pub read_cache: Arc<ReadCacheMetrics>,
     pub sessions: Arc<SessionHub>,
+    /// Write-ahead-log counters (all zero when the store runs without one).
+    pub wal: Arc<WalMetrics>,
 }
 
 impl MetricsRegistry {
@@ -37,6 +40,7 @@ impl MetricsRegistry {
             rc_log: Arc::new(HlogMetrics::default()),
             read_cache: Arc::new(ReadCacheMetrics::default()),
             sessions: Arc::new(SessionHub::new(latency)),
+            wal: Arc::new(WalMetrics::default()),
         }
     }
 
@@ -92,6 +96,14 @@ impl MetricsRegistry {
                 },
             },
             storage: StorageSnapshot::default(),
+            wal: WalSnapshot {
+                appends: self.wal.appends.get(),
+                bytes: self.wal.bytes.get(),
+                commits: self.wal.commits.get(),
+                commit_failures: self.wal.commit_failures.get(),
+                group_size: self.wal.group_size.snapshot(),
+                commit_latency: self.wal.commit_latency.snapshot(),
+            },
         }
     }
 }
@@ -232,6 +244,19 @@ impl SessionsSnapshot {
     }
 }
 
+/// Write-ahead-log counters and group-commit distributions.
+#[derive(Clone, Debug, Default)]
+pub struct WalSnapshot {
+    pub appends: u64,
+    pub bytes: u64,
+    pub commits: u64,
+    pub commit_failures: u64,
+    /// Records per acked group (counts, not nanoseconds).
+    pub group_size: HistogramSnapshot,
+    /// Append-to-durable latency per acked group, nanoseconds.
+    pub commit_latency: HistogramSnapshot,
+}
+
 /// Device byte/op totals, pulled from `DeviceStats` at snapshot time.
 #[derive(Clone, Debug, Default)]
 pub struct StorageSnapshot {
@@ -251,6 +276,7 @@ pub struct StoreMetrics {
     pub read_cache: Option<ReadCacheSnapshot>,
     pub sessions: SessionsSnapshot,
     pub storage: StorageSnapshot,
+    pub wal: WalSnapshot,
 }
 
 impl StoreMetrics {
@@ -337,6 +363,21 @@ impl StoreMetrics {
         push_line(&mut out, "storage.bytes_read", self.storage.bytes_read);
         push_line(&mut out, "storage.device_writes", self.storage.device_writes);
         push_line(&mut out, "storage.device_reads", self.storage.device_reads);
+        push_line(&mut out, "wal.appends", self.wal.appends);
+        push_line(&mut out, "wal.bytes", self.wal.bytes);
+        push_line(&mut out, "wal.commits", self.wal.commits);
+        push_line(&mut out, "wal.commit_failures", self.wal.commit_failures);
+        for (name, h, unit) in [
+            ("group_size", &self.wal.group_size, ""),
+            ("commit_latency", &self.wal.commit_latency, "_ns"),
+        ] {
+            push_line(&mut out, &format!("wal.{name}.count"), h.total);
+            push_line(&mut out, &format!("wal.{name}.p50{unit}"), h.p50());
+            push_line(&mut out, &format!("wal.{name}.p95{unit}"), h.p95());
+            push_line(&mut out, &format!("wal.{name}.p99{unit}"), h.p99());
+            push_line(&mut out, &format!("wal.{name}.max{unit}"), h.max);
+            out.push_str(&format!("wal.{name}.mean{unit} {:.1}\n", h.mean()));
+        }
         if let Some(lat) = &self.sessions.latency {
             for (name, h) in [
                 ("read", &lat.read),
@@ -459,6 +500,17 @@ impl StoreMetrics {
                     ("bytes_read", self.storage.bytes_read.to_string()),
                     ("device_writes", self.storage.device_writes.to_string()),
                     ("device_reads", self.storage.device_reads.to_string()),
+                ]),
+            ),
+            (
+                "wal",
+                obj(&[
+                    ("appends", self.wal.appends.to_string()),
+                    ("bytes", self.wal.bytes.to_string()),
+                    ("commits", self.wal.commits.to_string()),
+                    ("commit_failures", self.wal.commit_failures.to_string()),
+                    ("group_size", hist_unit(&self.wal.group_size, "")),
+                    ("commit_latency", hist_unit(&self.wal.commit_latency, "_ns")),
                 ]),
             ),
         ];

@@ -45,7 +45,16 @@
 //! ([`FaultDomain::arm_crash_at_flush`]): the k-th `flush_barrier` from now
 //! marks the domain crashed — every write acknowledged before it persists,
 //! every operation after it is refused — modelling power loss at the exact
-//! fsync edge of a commit protocol.
+//! fsync edge of a commit protocol. A crash-point barrier reports `Err`:
+//! the sync never completed, so a commit protocol waiting on it must not
+//! acknowledge its group.
+//!
+//! Barriers can additionally *fail without crashing*
+//! ([`FaultDomain::fail_flush_at`]): the scripted `flush_barrier` returns
+//! `Err` while the device stays alive — modelling a transient fsync error
+//! (EIO from a full journal, a controller reset). Commit protocols must
+//! treat such a barrier exactly like a crash for acking purposes: the
+//! group's durability is unknown, so it must never be acknowledged.
 
 use crate::ring::{Sqe, SqeOp};
 use crate::{Device, DeviceStats, IoError, StatCells};
@@ -108,6 +117,8 @@ struct FaultPlan {
     /// Unconditionally fail this many upcoming reads (parity with
     /// `MemDevice::fail_next_reads`).
     fail_next_reads: u32,
+    /// Flush barriers that fail (return `Err`) without crashing the domain.
+    fail_flushes: HashSet<u64>,
 }
 
 enum WriteDecision {
@@ -182,6 +193,13 @@ impl FaultDomain {
     /// Scripts the read `after` submissions from now to fail transiently.
     pub fn fail_read_at(&self, after: u64) {
         self.state.plan.lock().fail_reads.insert(self.state.rsn.load(Ordering::SeqCst) + after);
+    }
+
+    /// Scripts the flush barrier `after` barriers from now (0 = the very
+    /// next one) to return `Err` without crashing the domain — a transient
+    /// fsync failure. The barrier's group must never be acknowledged.
+    pub fn fail_flush_at(&self, after: u64) {
+        self.state.plan.lock().fail_flushes.insert(self.state.fsn.load(Ordering::SeqCst) + after);
     }
 
     /// Fails the next `n` reads unconditionally (transient).
@@ -263,6 +281,12 @@ impl FaultDomain {
         None
     }
 
+    /// True when the scripted transient failure for this barrier fires
+    /// (one-shot: the script entry is consumed).
+    fn take_flush_failure(&self, fsn: u64) -> bool {
+        self.state.plan.lock().fail_flushes.remove(&fsn)
+    }
+
     /// True when this flush barrier is the crash point (marks the domain
     /// crashed as a side effect).
     fn decide_flush_crash(&self, fsn: u64) -> bool {
@@ -332,6 +356,12 @@ impl FaultDevice {
     /// Scripts the read `after` submissions from now to fail transiently.
     pub fn fail_read_at(&self, after: u64) {
         self.domain.fail_read_at(after);
+    }
+
+    /// Scripts the flush barrier `after` barriers from now to fail
+    /// transiently (Err, no crash).
+    pub fn fail_flush_at(&self, after: u64) {
+        self.domain.fail_flush_at(after);
     }
 
     /// Fails the next `n` reads unconditionally (transient).
@@ -412,11 +442,17 @@ impl Device for FaultDevice {
         }
     }
 
-    fn flush_barrier(&self) {
+    fn flush_barrier(&self) -> Result<(), IoError> {
         let fsn = self.domain.state.fsn.fetch_add(1, Ordering::SeqCst);
-        if !self.domain.decide_flush_crash(fsn) {
-            self.inner.flush_barrier();
+        if self.domain.decide_flush_crash(fsn) {
+            // The sync never completed; a commit protocol waiting on this
+            // barrier must not acknowledge its group.
+            return Err(IoError::Failed("device crashed at flush barrier".into()));
         }
+        if self.domain.take_flush_failure(fsn) {
+            return Err(IoError::Failed("injected flush failure".into()));
+        }
+        self.inner.flush_barrier()
     }
 
     fn truncate_below(&self, offset: u64) {
@@ -574,12 +610,14 @@ mod tests {
         let inner = MemDevice::new(1);
         let d = FaultDevice::wrap(inner.clone());
         write_blocking(&*d, 0, vec![7u8; 64]).unwrap();
-        d.flush_barrier(); // fsn 0
+        d.flush_barrier().unwrap(); // fsn 0
         d.arm_crash_at_flush(1); // fsn 1 from now = the second barrier below
         write_blocking(&*d, 64, vec![8u8; 64]).unwrap();
-        d.flush_barrier(); // fsn 1: survives
+        d.flush_barrier().unwrap(); // fsn 1: survives
         write_blocking(&*d, 128, vec![9u8; 64]).unwrap();
-        d.flush_barrier(); // fsn 2: crash point
+        // fsn 2: crash point — the sync never happened, so the barrier must
+        // report failure (its group can never be acked).
+        assert!(d.flush_barrier().is_err());
         assert!(d.crashed());
         assert!(write_blocking(&*d, 192, vec![1u8; 64]).is_err());
         // Every write acked before the crash-point barrier persisted.
@@ -587,6 +625,23 @@ mod tests {
         assert_eq!(read_blocking(&*inner, 64, 64).unwrap(), vec![8u8; 64]);
         assert_eq!(read_blocking(&*inner, 128, 64).unwrap(), vec![9u8; 64]);
         assert_eq!(d.domain().flushes_issued(), 3);
+    }
+
+    #[test]
+    fn injected_flush_failure_is_transient_and_does_not_crash() {
+        let inner = MemDevice::new(1);
+        let d = FaultDevice::wrap(inner.clone());
+        write_blocking(&*d, 0, vec![3u8; 64]).unwrap();
+        d.flush_barrier().unwrap(); // fsn 0
+        d.fail_flush_at(1); // fsn 2 = the second barrier from now
+        d.flush_barrier().unwrap(); // fsn 1
+        assert!(matches!(d.flush_barrier(), Err(IoError::Failed(_)))); // fsn 2
+        // Unlike a crash, the device stays alive and later barriers succeed.
+        assert!(!d.crashed());
+        d.flush_barrier().unwrap(); // fsn 3
+        write_blocking(&*d, 64, vec![4u8; 64]).unwrap();
+        assert_eq!(read_blocking(&*d, 64, 64).unwrap(), vec![4u8; 64]);
+        assert_eq!(d.domain().flushes_issued(), 4);
     }
 
     #[test]

@@ -106,9 +106,11 @@ impl Device for FileDevice {
         }
     }
 
-    fn flush_barrier(&self) {
+    fn flush_barrier(&self) -> Result<(), IoError> {
         self.pool.barrier();
-        let _ = self.state.file.sync_data();
+        // A failed sync means previously acknowledged writes may not be on
+        // stable storage; surface it so commit protocols refuse to ack.
+        self.state.file.sync_data().map_err(|e| IoError::Failed(e.to_string()))
     }
 
     fn truncate_below(&self, offset: u64) {
@@ -152,7 +154,7 @@ mod tests {
             write_blocking(&d, 0, b"hello world!".to_vec());
             write_blocking(&d, 4096, vec![0xAB; 512]);
             assert_eq!(read_blocking(&d, 0, 5).unwrap(), b"hello");
-            d.flush_barrier();
+            d.flush_barrier().unwrap();
         }
         {
             let d = FileDevice::open(&path, 1).unwrap();

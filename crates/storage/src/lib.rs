@@ -132,9 +132,13 @@ pub trait Device: Send + Sync + 'static {
         self.submit(Sqe::read_cb(offset, len, cb));
     }
 
-    /// Blocks until every operation queued before this call has completed.
-    /// Used by checkpointing and by orderly shutdown.
-    fn flush_barrier(&self);
+    /// Blocks until every operation queued before this call has completed
+    /// *and is durable*, reporting any synchronization failure. Used by
+    /// checkpointing, WAL group commit, and orderly shutdown. An `Err`
+    /// means durability of previously acknowledged writes is unknown — a
+    /// commit protocol must treat the barrier's group as not persisted and
+    /// must never acknowledge it.
+    fn flush_barrier(&self) -> Result<(), IoError>;
 
     /// Drops all data below `offset` (log GC / expiration, Appendix C).
     /// Subsequent reads below `offset` fail with [`IoError::Truncated`].
@@ -243,7 +247,9 @@ impl Device for NullDevice {
         }
     }
 
-    fn flush_barrier(&self) {}
+    fn flush_barrier(&self) -> Result<(), IoError> {
+        Ok(())
+    }
 
     fn stats(&self) -> DeviceStats {
         self.stats.snapshot()

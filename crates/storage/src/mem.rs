@@ -171,11 +171,12 @@ impl Device for MemDevice {
         }
     }
 
-    fn flush_barrier(&self) {
+    fn flush_barrier(&self) -> Result<(), IoError> {
         self.pool.barrier();
         if let Some(t) = &self.timer {
             t.barrier();
         }
+        Ok(())
     }
 
     fn truncate_below(&self, offset: u64) {

@@ -103,6 +103,10 @@ struct TimerShared {
     wake: Condvar,
     /// Entries deferred but not yet completed (barrier support).
     pending: AtomicU64,
+    /// Parks [`DeadlineTimer::barrier`] callers; the run loop takes this
+    /// lock and notifies when the last deferred completion delivers.
+    drained_lock: Mutex<()>,
+    drained: Condvar,
     shutdown: AtomicBool,
 }
 
@@ -139,6 +143,8 @@ impl DeadlineTimer {
             queue: Mutex::new(BinaryHeap::new()),
             wake: Condvar::new(),
             pending: AtomicU64::new(0),
+            drained_lock: Mutex::new(()),
+            drained: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
         let s = shared.clone();
@@ -170,10 +176,13 @@ impl DeadlineTimer {
         self.shared.wake.notify_one();
     }
 
-    /// Spins until every deferred completion has been delivered.
+    /// Parks until every deferred completion has been delivered. The run
+    /// loop notifies `drained` when `pending` hits zero, so a barrier over
+    /// a long deadline sleeps instead of burning a core.
     pub fn barrier(&self) {
+        let mut g = self.shared.drained_lock.lock().unwrap();
         while self.shared.pending.load(Ordering::SeqCst) != 0 {
-            std::thread::yield_now();
+            g = self.shared.drained.wait(g).expect("timer drained lock poisoned");
         }
     }
 }
@@ -235,7 +244,12 @@ impl TimerShared {
             due_now.sort_by(|a, b| a.due.cmp(&b.due).then(a.seq.cmp(&b.seq)));
             for e in due_now {
                 e.completion.complete(e.result);
-                self.pending.fetch_sub(1, Ordering::SeqCst);
+                if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // Take the barrier's lock before notifying so a waiter
+                    // between its pending check and its wait can't miss us.
+                    drop(self.drained_lock.lock().unwrap());
+                    self.drained.notify_all();
+                }
             }
             if draining {
                 return;
@@ -292,6 +306,55 @@ mod tests {
             }
         } // drop: barrier + join
         assert_eq!(count.load(Ordering::SeqCst), 50);
+    }
+
+    /// This thread's accumulated CPU time (utime + stime) in clock ticks,
+    /// from /proc — the ground truth for "did the barrier spin or park".
+    #[cfg(target_os = "linux")]
+    fn thread_cpu_ticks() -> u64 {
+        let stat = std::fs::read_to_string("/proc/thread-self/stat").unwrap();
+        // comm can contain spaces; fields resume after the closing paren.
+        // utime/stime are stat fields 14/15, i.e. indices 11/12 past state.
+        let rest = &stat[stat.rfind(')').unwrap() + 2..];
+        let f: Vec<&str> = rest.split_whitespace().collect();
+        f[11].parse::<u64>().unwrap() + f[12].parse::<u64>().unwrap()
+    }
+
+    /// Regression for the busy-wait barrier: waiting out a long deadline
+    /// must park on the condvar, not burn a core on `yield_now`.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn timer_barrier_parks_without_spinning() {
+        let timer = DeadlineTimer::new();
+        let delivered = Arc::new(AtomicU32::new(0));
+        let d = delivered.clone();
+        let (_op, completion) = crate::ring::Sqe::read_cb(
+            0,
+            0,
+            Box::new(move |_| {
+                d.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
+        .into_parts();
+        let wait = std::time::Duration::from_millis(600);
+        timer.defer(wait, completion, Ok(Vec::new()));
+        let wall = Instant::now();
+        let cpu0 = thread_cpu_ticks();
+        timer.barrier();
+        let cpu = thread_cpu_ticks() - cpu0;
+        assert!(wall.elapsed() >= wait - std::time::Duration::from_millis(10));
+        assert_eq!(delivered.load(Ordering::SeqCst), 1);
+        // Parked: ~0 ticks. The old spin burned the full 600 ms (~60 ticks
+        // at 100 Hz). 20 ticks (~200 ms) leaves slack for scheduler noise.
+        assert!(cpu <= 20, "barrier consumed {cpu} CPU ticks while waiting");
+    }
+
+    #[test]
+    fn timer_barrier_with_nothing_pending_returns_immediately() {
+        let timer = DeadlineTimer::new();
+        let start = Instant::now();
+        timer.barrier();
+        assert!(start.elapsed() < std::time::Duration::from_millis(100));
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() {
     for k in 0..n {
         session.upsert(&k, &(k * 7));
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     let r = store.log().regions();
     println!(
         "regions: begin={} head={} safe_ro={} ro={} tail={}",

@@ -39,7 +39,7 @@ fn main() {
             session.complete_pending(true);
         }
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
 
     // ---- The analytics pass: a single ordered scan of the log.
     let rec_size = RecordRef::<u64, u64>::size();

@@ -36,7 +36,7 @@ fn run(with_cache: bool) -> (f64, u64) {
         for k in 0..keys {
             s.upsert(&k, &(k * 3));
         }
-        store.log().flush_barrier();
+        store.log().flush_barrier().unwrap();
     }
 
     let session = store.start_session();

@@ -8,6 +8,11 @@
 # default build's counter overhead exceeds FASTER_BENCH_MAX_OVERHEAD_PCT
 # (default 5%).
 #
+# The wal_latency bench compares per-op fsync against group commit on the
+# NVMe latency model into BENCH_wal.json, failing if group commit at 8
+# sessions falls below FASTER_BENCH_WAL_MIN_RATIO (default 3x) times the
+# per-op-fsync throughput at 8 sessions.
+#
 # The io_depth bench sweeps a single session's disk-resident read
 # throughput over I/O depths 1/4/16/64 into BENCH_io.json, failing if the
 # depth-64 : depth-1 speedup falls below FASTER_BENCH_IO_MIN_RATIO (default
@@ -18,9 +23,10 @@
 # Knobs (forwarded to the benches): FASTER_BENCH_KEYS, FASTER_BENCH_BATCH,
 # FASTER_BENCH_OPS (batch_vs_scalar); FASTER_BENCH_CKPT_KEYS,
 # FASTER_BENCH_CKPT_GENS (ckpt_latency); FASTER_BENCH_IO_KEYS,
-# FASTER_BENCH_IO_SECS (io_depth). Outputs land in the repo root (override
-# with BENCH_OUT=path / BENCH_CKPT_OUT=path / BENCH_METRICS_OUT=path /
-# BENCH_IO_OUT=path).
+# FASTER_BENCH_IO_SECS (io_depth); FASTER_BENCH_WAL_SECS (wal_latency).
+# Outputs land in the repo root (override with BENCH_OUT=path /
+# BENCH_CKPT_OUT=path / BENCH_METRICS_OUT=path / BENCH_IO_OUT=path /
+# BENCH_WAL_OUT=path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -157,4 +163,30 @@ if ratio < min_ratio:
     sys.exit(f"io-depth speedup {ratio:.2f}x below minimum {min_ratio}x")
 if d1 < floor:
     sys.exit(f"depth-1 throughput {d1:.4f} Mops below floor {floor} Mops")
+PY
+
+cargo bench --bench wal_latency 2>&1 | tee "$LOG"
+collect "${BENCH_WAL_OUT:-BENCH_wal.json}"
+
+python3 - "${BENCH_WAL_OUT:-BENCH_wal.json}" <<'PY'
+import json, os, sys
+
+out_path = sys.argv[1]
+rows = json.load(open(out_path))
+kops = {(r["mode"], r["sessions"], r["window_us"]): r["kops"] for r in rows
+        if r.get("bench") == "wal_latency" and "mode" in r}
+min_ratio = float(os.environ.get("FASTER_BENCH_WAL_MIN_RATIO", "3"))
+per_op, group = kops.get(("per_op", 8, 0)), kops.get(("group", 8, 0))
+if per_op is None or group is None:
+    sys.exit("wal_latency sweep is missing the 8-session per_op or group row")
+ratio = group / per_op
+rows.append({"bench": "wal_latency_summary", "per_op_8_kops": per_op,
+             "group_8_kops": group, "ratio": round(ratio, 2),
+             "min_ratio": min_ratio})
+with open(out_path, "w") as f:
+    json.dump(rows, f, indent=2)
+print(f"wal_latency: per-op fsync {per_op:.1f} Kops, group commit {group:.1f} Kops "
+      f"at 8 sessions, ratio {ratio:.2f}x (min {min_ratio}x)")
+if ratio < min_ratio:
+    sys.exit(f"group-commit speedup {ratio:.2f}x below minimum {min_ratio}x")
 PY

@@ -335,8 +335,8 @@ pub fn run_in_checkpoint_crash_case(seed: u64, point: Option<CkptCrashPoint>) ->
     // their worker queues before reading them back.
     let log_img = log_fault.inner();
     let ckpt_img = ckpt_fault.inner();
-    log_img.flush_barrier();
-    ckpt_img.flush_barrier();
+    log_img.flush_barrier().unwrap();
+    ckpt_img.flush_barrier().unwrap();
 
     let (recovered, mgr2, rec) = ckpt_manager::recover_store::<u64, u64, CountStore>(
         harness_cfg(),
@@ -407,5 +407,211 @@ pub fn run_in_checkpoint_crash_case(seed: u64, point: Option<CkptCrashPoint>) ->
         fallbacks: rec.fallbacks(),
         ckpt_writes: report_writes,
         ckpt_flushes: report_flushes,
+    }
+}
+
+// ====================================================== WAL group commit
+
+/// Ops issued before the mid-run checkpoint in the WAL sweep.
+const WAL_PHASE1_OPS: usize = 60;
+/// Ops issued after the checkpoint (the WAL-replay suffix).
+const WAL_PHASE2_OPS: usize = 60;
+
+/// Shape for the WAL crash sweep: zero batch window (every op forms its own
+/// group, so per-op durability waits return promptly) and tiny segments so
+/// the workload crosses several segment boundaries.
+pub fn wal_harness_cfg() -> FasterKvConfig {
+    harness_cfg().with_wal(faster_wal::WalConfig {
+        batch_window: std::time::Duration::ZERO,
+        segment_size: 4096,
+    })
+}
+
+/// Where the swept crash fires, counted across the shared fault domain of
+/// all three devices (log + checkpoint + WAL) from the start of the run —
+/// so the sweep covers every WAL group write, every flush barrier (WAL,
+/// checkpoint, and hybrid-log), and every interleaved data write.
+#[derive(Debug, Clone, Copy)]
+pub enum WalCrashPoint {
+    Write(u64, TornWrite),
+    Flush(u64),
+}
+
+/// What one WAL crash case observed.
+#[derive(Debug)]
+pub struct WalSweepReport {
+    /// Whether the armed crash fired.
+    pub crashed: bool,
+    /// Ops whose per-op durability wait returned `Ok` (a dense prefix of
+    /// issue order — the session stops issuing at the first `Err`).
+    pub acked: usize,
+    /// Ops applied to the in-memory store (acked or not).
+    pub issued: usize,
+    /// `checkpoint_store` verdict, `None` if the run died before trying.
+    pub commit_ok: Option<bool>,
+    /// Which oracle prefix the recovered state matched.
+    pub matched_prefix: usize,
+    /// WAL records the recovery replayed.
+    pub wal_replayed: usize,
+    /// Domain-wide writes / flush barriers issued (a `point = None` dry run
+    /// bounds the sweep ranges).
+    pub writes_issued: u64,
+    pub flushes_issued: u64,
+}
+
+/// Runs one oracle-tracked WAL crash/recovery case and checks the
+/// group-commit durability contract:
+///
+/// 1. every op whose durability wait was acknowledged survives recovery —
+///    the recovered state equals the oracle after `N` ops for some `N`
+///    with `acked ≤ N ≤ issued` (an unacked group may persist in full, a
+///    torn one is cut at its checksum; an acked one may never be lost);
+/// 2. the mid-run checkpoint interleaves correctly with WAL replay: the
+///    suffix above the generation's recorded cutoff re-applies on top of
+///    the recovered checkpoint image, and WAL truncation after the commit
+///    never drops records a retained generation still needs;
+/// 3. recovery always succeeds (falling back to an empty store + full WAL
+///    replay when no generation ever committed), and the recovered store
+///    accepts fresh traffic with a working, appendable WAL.
+pub fn run_wal_crash_case(seed: u64, point: Option<WalCrashPoint>) -> WalSweepReport {
+    let ctx = format!("seed={seed} point={point:?}");
+    let domain = FaultDomain::new();
+    let log_fault = FaultDevice::wrap_in_domain(MemDevice::new(2), &domain);
+    let ckpt_fault = FaultDevice::wrap_in_domain(MemDevice::new(1), &domain);
+    let wal_fault = FaultDevice::wrap_in_domain(MemDevice::new(1), &domain);
+    match point {
+        Some(WalCrashPoint::Write(k, torn)) => domain.arm_crash(k, torn),
+        Some(WalCrashPoint::Flush(j)) => domain.arm_crash_at_flush(j),
+        None => {}
+    }
+
+    let store: FasterKv<u64, u64, CountStore> = FasterKv::new_with_wal(
+        wal_harness_cfg(),
+        CountStore,
+        log_fault.clone(),
+        wal_fault.clone(),
+    );
+    let mgr = CheckpointManager::new(ckpt_fault.clone(), CheckpointConfig::default());
+    let mut rng = XorShift64::new(seed);
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    // `states[n]` = oracle after the first `n` ops.
+    let mut states: Vec<HashMap<u64, u64>> = vec![oracle.clone()];
+    let mut acked = 0usize;
+    let mut failed = false;
+    let mut commit_ok: Option<bool> = None;
+
+    // Phase 1 → checkpoint → phase 2, stopping at the first un-acked group
+    // (the failure is sticky: nothing later can ever become durable).
+    {
+        let session = store.start_session();
+        for _ in 0..WAL_PHASE1_OPS {
+            apply_op(&session, &mut oracle, &mut rng);
+            states.push(oracle.clone());
+            match session.wait_wal_durable() {
+                Ok(()) => acked += 1,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+    }
+    if !failed {
+        commit_ok = Some(mgr.checkpoint_store(&store).is_ok());
+        let session = store.start_session();
+        for _ in 0..WAL_PHASE2_OPS {
+            apply_op(&session, &mut oracle, &mut rng);
+            states.push(oracle.clone());
+            match session.wait_wal_durable() {
+                Ok(()) => acked += 1,
+                Err(_) => break,
+            }
+        }
+        session.complete_pending(false);
+    }
+    let issued = states.len() - 1;
+    let crashed = domain.crashed();
+    let writes_issued = domain.writes_issued();
+    let flushes_issued = domain.flushes_issued();
+    if point.is_none() {
+        assert!(!crashed && acked == issued, "[{ctx}] fault-free run lost acks");
+        assert_eq!(commit_ok, Some(true), "[{ctx}] fault-free checkpoint failed");
+    }
+    drop(store);
+    drop(mgr);
+
+    // Recover over the surviving byte images of all three devices.
+    let log_img = log_fault.inner();
+    let ckpt_img = ckpt_fault.inner();
+    let wal_img = wal_fault.inner();
+    log_img.flush_barrier().unwrap();
+    ckpt_img.flush_barrier().unwrap();
+    wal_img.flush_barrier().unwrap();
+    let rec = ckpt_manager::recover_store_with_wal::<u64, u64, CountStore>(
+        wal_harness_cfg(),
+        CountStore,
+        log_img,
+        ckpt_img,
+        wal_img,
+        CheckpointConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("[{ctx}] WAL recovery must always succeed: {e}"));
+
+    // The recovered state must be the oracle after N ops, acked ≤ N ≤
+    // issued, over every key any prefix ever touched.
+    let mut keys: Vec<u64> = (0..KEYSPACE).collect();
+    keys.extend(states.last().unwrap().keys().copied().filter(|&k| k >= KEYSPACE));
+    keys.sort_unstable();
+    keys.dedup();
+    let matched_prefix = {
+        let session = rec.store.start_session();
+        let got: HashMap<u64, Option<u64>> =
+            keys.iter().map(|&k| (k, crate::read_blocking(&session, k))).collect();
+        (acked..=issued)
+            .find(|&n| {
+                keys.iter().all(|k| got[k] == states[n].get(k).copied())
+            })
+            .unwrap_or_else(|| {
+                let n = acked;
+                let diff: Vec<String> = keys
+                    .iter()
+                    .filter(|k| got[*k] != states[n].get(*k).copied())
+                    .map(|k| {
+                        format!("key {k}: got {:?}, acked-oracle {:?}", got[k], states[n].get(k))
+                    })
+                    .collect();
+                panic!(
+                    "[{ctx}] recovered state matches no oracle prefix in [{acked}, {issued}] \
+                     (acked={acked} issued={issued} replayed={}); vs acked prefix: {diff:?}",
+                    rec.wal_replayed
+                )
+            })
+    };
+
+    // The recovered store must accept fresh traffic and ack its durability
+    // through the resumed WAL.
+    {
+        let session = rec.store.start_session();
+        let probe = KEYSPACE + 9999;
+        session.upsert(&probe, &616_161);
+        session
+            .wait_wal_durable()
+            .unwrap_or_else(|e| panic!("[{ctx}] resumed WAL refused a fresh group: {e}"));
+        assert_eq!(
+            crate::read_blocking(&session, probe),
+            Some(616_161),
+            "[{ctx}] recovered store rejected fresh traffic"
+        );
+    }
+
+    WalSweepReport {
+        crashed,
+        acked,
+        issued,
+        commit_ok,
+        matched_prefix,
+        wal_replayed: rec.wal_replayed,
+        writes_issued,
+        flushes_issued,
     }
 }

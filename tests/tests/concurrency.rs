@@ -65,7 +65,7 @@ fn mixed_workload_with_spill_is_exact() {
     for h in handles {
         h.join().unwrap();
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     assert!(store.log().head_address().raw() > 0, "workload must spill");
     let session = store.start_session();
     let mut total = 0u64;

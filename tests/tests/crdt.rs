@@ -25,7 +25,7 @@ fn deltas_on_cold_keys_reconcile() {
     for k in 1000..5000u64 {
         session.upsert(&k, &k);
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     // Three cold increments: the first appends a delta without I/O; the
     // delta lands at the tail (mutable), so the rest update it in place.
     let reads_before = store.log().device().stats().reads;

@@ -28,7 +28,7 @@ fn compaction_keeps_counters_exact() {
             session.upsert(&(100_000 + round * 200 + k), &round);
         }
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     session.refresh();
     let target = store.log().safe_read_only_address();
     let rolled = store.compact_until(target, &session);
@@ -57,7 +57,7 @@ fn compaction_drops_deleted_keys() {
     for k in 10_000..13_000u64 {
         session.upsert(&k, &1);
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     session.refresh();
     store.compact_until(store.log().safe_read_only_address(), &session);
     for k in 0..50u64 {
@@ -78,7 +78,7 @@ fn expiration_is_observed_lazily_by_all_ops() {
     for k in 10_000..14_000u64 {
         session.upsert(&k, &1);
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     let head = store.log().head_address();
     assert!(head.raw() > 0);
     store.truncate_until(head);

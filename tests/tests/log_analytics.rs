@@ -26,7 +26,7 @@ fn scan_reconstructs_update_history() {
             rmw_blocking(&session, k, 1);
         }
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
 
     // Stream the log: count versions per key and track the max value seen.
     let rec_size = RecordRef::<u64, u64>::size();

@@ -159,7 +159,7 @@ fn read_cache_hit_accounting_matches_session_classification() {
     for k in 10_000..14_000u64 {
         session.upsert(&k, &1); // push 0..100 to disk
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
 
     // First pass populates the cache from disk; second pass hits it.
     for k in 0..50u64 {
@@ -199,7 +199,7 @@ fn batched_ops_keep_the_identities() {
     for k in 5_000..9_000u64 {
         session.upsert(&k, &1); // spill so some batched reads go pending
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
 
     let results = session.read_batch(&keys, &0);
     assert_eq!(results.len(), keys.len());

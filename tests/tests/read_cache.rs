@@ -33,7 +33,7 @@ fn store_with_cold_keys(cache_pages: u64) -> FasterKv<u64, u64, CountStore> {
     for k in 10_000..14_000u64 {
         session.upsert(&k, &1); // push 0..100 to disk
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     assert!(store.log().head_address().raw() > 0);
     store
 }
@@ -79,7 +79,7 @@ fn upsert_over_cached_key_wins() {
     for k in 20_000..24_000u64 {
         session.upsert(&k, &1);
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     assert_eq!(read_blocking(&session, 9), Some(42));
 }
 
@@ -121,7 +121,7 @@ fn checkpoint_with_read_cache_resolves_tagged_entries() {
         for k in 10_000..14_000u64 {
             session.upsert(&k, &1);
         }
-        store.log().flush_barrier();
+        store.log().flush_barrier().unwrap();
         // Cache a handful of cold keys so their index entries are tagged.
         for k in 0..20u64 {
             assert_eq!(read_blocking(&session, k), Some(k + 500));

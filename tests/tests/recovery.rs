@@ -98,7 +98,7 @@ fn injected_read_faults_do_not_wedge_sessions() {
     for k in 100..4000u64 {
         session.upsert(&k, &k); // evict key 7
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     device.fail_next_reads(1);
     // A transiently faulted read retries and lands the true value: it must
     // neither hang nor fabricate a "key absent" answer.

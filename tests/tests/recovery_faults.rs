@@ -75,7 +75,7 @@ fn evicted_store(
     }
     session.complete_pending(true);
     drop(session);
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     store
 }
 

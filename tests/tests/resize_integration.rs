@@ -26,7 +26,7 @@ fn grow_with_disk_resident_chains() {
     for k in 0..n {
         session.upsert(&k, &(k + 9));
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     assert!(store.log().head_address().raw() > 0, "chains must reach disk");
     let k0 = store.index().k_bits();
     assert!(store.grow_index(Some(&session)));
@@ -44,7 +44,7 @@ fn shrink_with_disk_resident_chains_links_meta_records() {
     for k in 0..n {
         session.upsert(&k, &(k * 2));
     }
-    store.log().flush_barrier();
+    store.log().flush_barrier().unwrap();
     assert!(store.log().head_address().raw() > 0);
     assert!(store.shrink_index(Some(&session)));
     // All keys remain reachable — including through merge meta-records.
@@ -202,7 +202,7 @@ proptest! {
             session.upsert(&k, &v);
             model.insert(k, v);
         }
-        store.log().flush_barrier();
+        store.log().flush_barrier().unwrap();
         prop_assert!(store.log().head_address().raw() > 0, "chains must reach disk");
 
         let k0 = store.index().k_bits();
@@ -217,7 +217,7 @@ proptest! {
             }
         }
         prop_assert!(store.shrink_index(Some(&session)));
-        store.log().flush_barrier();
+        store.log().flush_barrier().unwrap();
         prop_assert!(store.grow_index(Some(&session)));
         prop_assert_eq!(store.index().k_bits(), k0 + 1);
 
