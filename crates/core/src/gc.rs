@@ -34,6 +34,21 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
     /// still live to the tail, then truncates. Returns the number of records
     /// rolled forward. Run from a maintenance thread with its own session.
     pub fn compact_until(&self, until: Address, session: &Session<K, V, F>) -> u64 {
+        self.compact_until_clamped(until, until, session)
+    }
+
+    /// [`compact_until`](Self::compact_until) for checkpoint-aware callers:
+    /// scans (and rolls) up to `until` but truncates only to `truncate_to`
+    /// (≤ `until`). Rolling a live record to the tail is always safe;
+    /// truncation is what can orphan a retained checkpoint generation, so
+    /// only it takes the manager's clamp
+    /// ([`crate::ckpt_manager::CheckpointManager::safe_truncation_bound`]).
+    pub fn compact_until_clamped(
+        &self,
+        until: Address,
+        truncate_to: Address,
+        session: &Session<K, V, F>,
+    ) -> u64 {
         let inner = &self.inner;
         let until = until.min(inner.log.safe_read_only_address());
         let rec_size = RecordRef::<K, V>::size();
@@ -64,7 +79,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
                 session.refresh();
             }
         }
-        self.truncate_until(until);
+        self.truncate_until(truncate_to.min(until));
         rolled
     }
 
@@ -165,6 +180,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
                     true
                 } else {
                     rec.set_bits(INVALID_BIT);
+                    inner.log.note_dead_bytes(RecordRef::<K, V>::size() as u64);
                     // Entry changed: a fresh update supersedes the old record
                     // anyway, so dropping it is correct.
                     false

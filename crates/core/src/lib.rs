@@ -41,6 +41,7 @@ pub mod ckpt_manager;
 pub mod functions;
 pub mod gc;
 pub mod inmem;
+pub mod maintenance;
 pub mod read_cache;
 pub mod record;
 pub mod varlen;
@@ -95,6 +96,11 @@ pub struct FasterKvConfig {
     /// store with [`FasterKv::new_with_wal`] (the plain constructor has no
     /// WAL device to hand the log).
     pub wal: Option<faster_wal::WalConfig>,
+    /// Tuning thresholds for the background maintenance service
+    /// (DESIGN.md §11). Stored here so `FasterKv::start_maintenance` can
+    /// spawn the service with no further ceremony; `None` uses
+    /// `PolicyConfig::default()`.
+    pub maintenance: Option<faster_maintenance::PolicyConfig>,
 }
 
 impl FasterKvConfig {
@@ -109,6 +115,7 @@ impl FasterKvConfig {
             metrics: MetricsConfig::default(),
             prefetch_prev_chain: false,
             wal: None,
+            maintenance: None,
         }
     }
 
@@ -128,6 +135,7 @@ impl FasterKvConfig {
             metrics: MetricsConfig::default(),
             prefetch_prev_chain: false,
             wal: None,
+            maintenance: None,
         }
     }
 
@@ -183,6 +191,13 @@ impl FasterKvConfig {
     /// [`ckpt_manager::recover_store_with_wal`].
     pub fn with_wal(mut self, wal: faster_wal::WalConfig) -> Self {
         self.wal = Some(wal);
+        self
+    }
+
+    /// Sets the maintenance-policy thresholds used by
+    /// [`FasterKv::start_maintenance`] (DESIGN.md §11).
+    pub fn with_maintenance(mut self, policy: faster_maintenance::PolicyConfig) -> Self {
+        self.maintenance = Some(policy);
         self
     }
 }
@@ -326,6 +341,17 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
         self.inner.wal.get()
     }
 
+    /// The read cache's backing log, if the store has one (Appendix D). The
+    /// maintenance service resizes the cache through its `set_active_pages`.
+    pub fn read_cache_log(&self) -> Option<&HybridLog> {
+        self.inner.rc.as_ref()
+    }
+
+    /// The store's configuration (as passed at construction).
+    pub fn config(&self) -> &FasterKvConfig {
+        &self.inner.cfg
+    }
+
     /// The live metrics registry (per-layer counter groups). Most callers
     /// want [`FasterKv::metrics`] instead.
     pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
@@ -383,6 +409,7 @@ fn fill_hlog_gauges(s: &mut HlogSnapshot, log: &HybridLog) {
     s.read_only = log.read_only_address().raw();
     s.flushed_until = log.flushed_until_address().raw();
     s.tail = log.tail_address().raw();
+    s.active_pages = log.active_pages();
 }
 
 /// Eviction hook body: walk evicted read-cache pages and CAS each still-

@@ -308,6 +308,19 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         bucket.inc();
     }
 
+    /// Reports `records` log records made dead by this op (RCU-superseded,
+    /// tombstoned, or abandoned after a lost CAS) to the hlog's dead-space
+    /// counter. An RCU supersedes at most one older version per key, so this
+    /// is an upper bound when the chain never actually held the key — the
+    /// safe direction for a compaction trigger.
+    #[inline]
+    fn note_dead(&self, records: u64) {
+        self.store
+            .inner
+            .log
+            .note_dead_bytes(records * RecordRef::<K, V>::size() as u64);
+    }
+
     /// Number of operations currently pending (I/O or fuzzy retries).
     pub fn pending_count(&self) -> usize {
         self.outstanding.get()
@@ -646,12 +659,14 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         match slot.cas_address(entry, addr) {
                             Ok(()) => {
                                 self.count_write(&self.rec.rcu);
+                                self.note_dead(1);
                                 let post = rec.read_value();
                                 self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                                 return;
                             }
                             Err(_) => {
                                 rec.set_bits(INVALID_BIT);
+                                self.note_dead(1);
                                 continue;
                             }
                         }
@@ -681,12 +696,14 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     match slot.cas_address(entry, addr) {
                         Ok(()) => {
                             self.count_write(&self.rec.rcu);
+                            self.note_dead(1);
                             let post = rec.read_value();
                             self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                             return;
                         }
                         Err(_) => {
                             rec.set_bits(INVALID_BIT);
+                            self.note_dead(1);
                             continue; // Alg 3 line 19: retry
                         }
                     }
@@ -887,12 +904,16 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                 // With an old value this is a read-copy-update; without one
                 // it (re-)creates the key from the initial value.
                 self.count_write(if had_old { &self.rec.rcu } else { &self.rec.appends });
+                if had_old {
+                    self.note_dead(1);
+                }
                 let post = rec.read_value();
                 self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
                 true
             }
             Err(_) => {
                 rec.set_bits(INVALID_BIT);
+                self.note_dead(1);
                 false
             }
         }
@@ -924,6 +945,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             }
             Err(_) => {
                 rec.set_bits(INVALID_BIT);
+                self.note_dead(1);
                 false
             }
         }
@@ -964,11 +986,15 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     match slot.cas_address(entry, addr) {
                         Ok(()) => {
                             self.count_write(&self.rec.appends);
+                            // The shadowed version plus the tombstone itself
+                            // are both reclaimable by compaction.
+                            self.note_dead(2);
                             self.wal_log(crate::walrec::KIND_DELETE, key, None);
                             break;
                         }
                         Err(_) => {
                             rec.set_bits(INVALID_BIT);
+                            self.note_dead(1);
                             continue;
                         }
                     }

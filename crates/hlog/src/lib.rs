@@ -159,6 +159,12 @@ struct Inner {
     /// path additionally *detect* the failure (an untracked partial-page
     /// flush stalls nothing, so the counter is the only signal it failed).
     flush_failures: AtomicU64,
+    /// In-memory page budget currently allowed, in `[2, cfg.buffer_pages]`.
+    /// Starts at `cfg.buffer_pages`; the maintenance service shrinks it to
+    /// give memory back (head advances sooner, frames evict earlier) and
+    /// grows it again when the workload wants residency. Frames are never
+    /// deallocated — this only moves the head/read-only targets.
+    active_pages: AtomicU64,
     /// Highest page whose seal actions (read-only/head advance) have run.
     sealed_through: AtomicU64,
     flush_tracker: Mutex<FlushTracker>,
@@ -214,6 +220,7 @@ impl HybridLog {
                 flushed_until: AtomicU64::new(0),
                 begin: AtomicU64::new(first),
                 flush_failures: AtomicU64::new(0),
+                active_pages: AtomicU64::new(cfg.buffer_pages),
                 sealed_through: AtomicU64::new(0),
                 flush_tracker: Mutex::new(FlushTracker::new(0)),
                 evict_hook: Mutex::new(None),
@@ -264,6 +271,7 @@ impl HybridLog {
                 flushed_until: AtomicU64::new(resume),
                 begin: AtomicU64::new(begin.raw()),
                 flush_failures: AtomicU64::new(0),
+                active_pages: AtomicU64::new(cfg.buffer_pages),
                 sealed_through: AtomicU64::new(resume_page),
                 flush_tracker: Mutex::new(FlushTracker::new(resume_page)),
                 evict_hook: Mutex::new(None),
@@ -441,7 +449,10 @@ impl HybridLog {
         inner.metrics.page_seals.inc();
         let new_tail_page = page + 1;
         // Advance the read-only offset to maintain the mutable-region lag.
-        let ro_lag = inner.cfg.buffer_pages.min(inner.cfg.mutable_pages);
+        // The lag never exceeds the active residency budget: a shrunk buffer
+        // must be able to seal/flush pages early enough to evict them.
+        let active = inner.active_pages.load(Ordering::SeqCst);
+        let ro_lag = active.min(inner.cfg.mutable_pages);
         if new_tail_page > ro_lag {
             let desired = (new_tail_page - ro_lag) * inner.cfg.page_size();
             let old = inner.read_only.fetch_max(desired, Ordering::SeqCst);
@@ -469,7 +480,8 @@ impl HybridLog {
         // Target residency for the *incoming* page (tail_page + 1): frames
         // for pages [head_page, tail_page + 1] must fit in the buffer.
         let tail_page = inner.tail.load(Ordering::SeqCst) >> OFFSET_BITS;
-        let needed = (tail_page + 2).saturating_sub(inner.cfg.buffer_pages);
+        let active = inner.active_pages.load(Ordering::SeqCst).clamp(2, inner.cfg.buffer_pages);
+        let needed = (tail_page + 2).saturating_sub(active);
         if needed == 0 {
             return;
         }
@@ -675,8 +687,36 @@ impl HybridLog {
     /// [`IoError::Truncated`], which the store layer treats as "key absent".
     pub fn shift_begin_address(&self, addr: Address) {
         let inner = &*self.inner;
-        inner.begin.fetch_max(addr.raw(), Ordering::SeqCst);
+        let old = inner.begin.fetch_max(addr.raw(), Ordering::SeqCst);
+        if addr.raw() > old {
+            inner.metrics.bytes_truncated.add(addr.raw() - old);
+        }
         inner.device.truncate_below(addr.raw());
+    }
+
+    /// Reports `bytes` of log content made dead by the store layer (a record
+    /// superseded by RCU, shadowed by a tombstone, or abandoned after a lost
+    /// insert race). Feeds the `dead_bytes` counter the maintenance policy
+    /// uses to estimate reclaimable space (`dead_bytes - bytes_truncated`).
+    pub fn note_dead_bytes(&self, bytes: u64) {
+        self.inner.metrics.dead_bytes.add(bytes);
+    }
+
+    /// Current in-memory residency budget in pages (≤ `config().buffer_pages`).
+    pub fn active_pages(&self) -> u64 {
+        self.inner.active_pages.load(Ordering::SeqCst)
+    }
+
+    /// Adjusts the in-memory residency budget. `pages` is clamped to
+    /// `[2, config().buffer_pages]`; frames beyond the budget are evicted as
+    /// the head advances (shrinking is asynchronous — it takes effect as the
+    /// flush frontier allows). Growing takes effect lazily as new pages open.
+    pub fn set_active_pages(&self, pages: u64) -> u64 {
+        let clamped = pages.clamp(2, self.inner.cfg.buffer_pages);
+        self.inner.active_pages.store(clamped, Ordering::SeqCst);
+        // A shrink should bite without waiting for the next page seal.
+        self.maybe_advance_head(None);
+        clamped
     }
 
     /// True if the page holding `addr` is resident in the buffer.

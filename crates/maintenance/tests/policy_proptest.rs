@@ -1,0 +1,284 @@
+//! Property tests of the [`Policy`] engine over scripted metric-snapshot
+//! sequences (ISSUE 8 satellite). Two families:
+//!
+//! * **Hysteresis stability** — however the signals move, the decision trace
+//!   can never flap: opposing index resizes are separated by the 4× reversal
+//!   cooldown, same-direction resizes by the base cooldown, compactions by
+//!   their cooldown *and* an observed re-arm (ratio below resume, or the
+//!   previous compaction's truncation landing), checkpoints by their minimum
+//!   interval.
+//! * **Monotonicity** — every decision is monotone in its triggering signal:
+//!   if a snapshot fires an action, the same snapshot with that signal
+//!   pushed further in the triggering direction (on a cloned policy in the
+//!   identical state) fires it too.
+//!
+//! The engine is pure (snapshot in → actions out, cadence counted in ticks),
+//! so scripts replay with no threads or clocks involved.
+
+use faster_maintenance::{Action, Policy, PolicyConfig};
+use faster_metrics::StoreMetrics;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// One scripted tick: deltas applied to the monotone counters.
+#[derive(Debug, Clone, Copy)]
+struct TickDelta {
+    probes: u64,
+    /// Windowed mean probe length × 100 (probe_steps += probes · avg).
+    avg_x100: u64,
+    overflow: u64,
+    dead: u64,
+    /// Simulates a compaction's truncation landing: `bytes_truncated`
+    /// catches up to `dead_bytes`.
+    truncate: bool,
+    tail: u64,
+    wal: u64,
+    rc_hits: u64,
+    rc_misses: u64,
+}
+
+fn tick_strategy() -> impl Strategy<Value = TickDelta> {
+    (
+        (0u64..4096, 95u64..350, 0u64..2, 0u64..32_768, any::<bool>()),
+        (0u64..65_536, 0u64..65_536, 0u64..2048, 0u64..2048),
+    )
+        .prop_map(|((probes, avg_x100, overflow, dead, truncate), (tail, wal, rc_hits, rc_misses))| {
+            TickDelta { probes, avg_x100, overflow, dead, truncate, tail, wal, rc_hits, rc_misses }
+        })
+}
+
+/// Aggressive-but-banded config so random scripts actually fire actions.
+fn cfg() -> PolicyConfig {
+    PolicyConfig {
+        grow_probe_hi: 1.5,
+        shrink_probe_lo: 1.02,
+        min_probe_samples: 256,
+        min_k_bits: 8,
+        max_k_bits: 28,
+        resize_cooldown_ticks: 3,
+        compact_dead_ratio_hi: 0.3,
+        compact_resume_ratio: 0.15,
+        compact_min_bytes: 1024,
+        compact_cooldown_ticks: 2,
+        rc_hit_lo: 0.1,
+        rc_hit_hi: 0.5,
+        rc_min_samples: 128,
+        rc_cooldown_ticks: 2,
+        ckpt_growth_bytes: 32_768,
+        ckpt_min_interval_ticks: 2,
+        tick_interval: Duration::from_millis(1),
+    }
+}
+
+/// Replays `script` into a snapshot sequence, simulating the actuators'
+/// effect on the gauges (k_bits and read-cache residency follow the emitted
+/// actions; truncation follows the script's `truncate` flag).
+fn snapshots(script: &[TickDelta]) -> Vec<StoreMetrics> {
+    let mut out = Vec::with_capacity(script.len());
+    let mut m = StoreMetrics::default();
+    m.index.k_bits = 16;
+    m.hlog.begin = 64;
+    m.hlog.tail = 1 << 20;
+    m.read_cache = Some(Default::default());
+    m.rc_log.active_pages = 8;
+    for d in script {
+        m.index.probes += d.probes;
+        m.index.probe_steps += d.probes * d.avg_x100 / 100;
+        m.index.overflow_allocs += d.overflow;
+        m.hlog.dead_bytes += d.dead;
+        if d.truncate {
+            m.hlog.bytes_truncated = m.hlog.dead_bytes;
+        }
+        m.hlog.tail += d.tail;
+        m.hlog.safe_read_only = m.hlog.tail / 2;
+        m.wal.bytes += d.wal;
+        let rc = m.read_cache.as_mut().unwrap();
+        rc.hits += d.rc_hits;
+        rc.misses += d.rc_misses;
+        out.push(m.clone());
+    }
+    out
+}
+
+/// Applies the actuator side of `actions` to the gauges of the *next*
+/// snapshots, as the real store would (index doubling/halving, rc clamp).
+fn apply_gauges(snaps: &mut [StoreMetrics], from: usize, actions: &[Action]) {
+    for a in actions {
+        for s in snaps[from..].iter_mut() {
+            match *a {
+                Action::GrowIndex => s.index.k_bits += 1,
+                Action::ShrinkIndex => s.index.k_bits -= 1,
+                Action::ResizeReadCache { pages } => {
+                    s.rc_log.active_pages = pages.clamp(2, 64)
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+proptest! {
+    /// No decision sequence may flap: every pair of related actions is
+    /// separated by its cooldown, opposing resizes by the 4× reversal
+    /// cooldown, and two compactions always have an observed re-arm cause
+    /// in between.
+    #[test]
+    fn decisions_are_hysteresis_stable(script in proptest::collection::vec(tick_strategy(), 20..120)) {
+        let cfg = cfg();
+        let mut snaps = snapshots(&script);
+        let mut policy = Policy::new(cfg);
+        // (tick index, action) trace; ticks are 1-based like Policy::tick.
+        let mut trace: Vec<(usize, Action)> = Vec::new();
+        for i in 0..snaps.len() {
+            let actions = policy.decide(&snaps[i]);
+            if i + 1 < snaps.len() {
+                apply_gauges(&mut snaps, i + 1, &actions);
+            }
+            trace.extend(actions.into_iter().map(|a| (i + 1, a)));
+        }
+
+        let resizes: Vec<(usize, bool)> = trace
+            .iter()
+            .filter_map(|&(t, a)| match a {
+                Action::GrowIndex => Some((t, true)),
+                Action::ShrinkIndex => Some((t, false)),
+                _ => None,
+            })
+            .collect();
+        for w in resizes.windows(2) {
+            let ((t1, d1), (t2, d2)) = (w[0], w[1]);
+            let need = if d1 == d2 {
+                cfg.resize_cooldown_ticks
+            } else {
+                cfg.resize_cooldown_ticks * 4
+            } as usize;
+            prop_assert!(
+                t2 - t1 >= need,
+                "resize flap: {:?}@{t1} then {:?}@{t2} (< {need} ticks)",
+                d1, d2
+            );
+        }
+
+        let compacts: Vec<usize> = trace
+            .iter()
+            .filter_map(|&(t, a)| matches!(a, Action::Compact { .. }).then_some(t))
+            .collect();
+        for w in compacts.windows(2) {
+            let (t1, t2) = (w[0], w[1]);
+            prop_assert!(t2 - t1 >= cfg.compact_cooldown_ticks as usize, "compact cooldown violated");
+            // Re-arm must have an observable cause between the two fires:
+            // the ratio dipped below resume, or the first compaction's
+            // truncation landed (bytes_truncated grew past its fire-time
+            // value).
+            let base = snaps[t1 - 1].hlog.bytes_truncated;
+            let rearmed = (t1..t2).any(|t| {
+                let h = &snaps[t].hlog;
+                let ratio = h.dead_space() as f64 / h.log_size().max(1) as f64;
+                ratio <= cfg.compact_resume_ratio || h.bytes_truncated > base
+            });
+            prop_assert!(rearmed, "compact@{t2} fired with no re-arm cause after compact@{t1}");
+        }
+
+        let ckpts: Vec<usize> = trace
+            .iter()
+            .filter_map(|&(t, a)| matches!(a, Action::Checkpoint).then_some(t))
+            .collect();
+        for w in ckpts.windows(2) {
+            prop_assert!(
+                w[1] - w[0] >= cfg.ckpt_min_interval_ticks as usize,
+                "checkpoint interval violated"
+            );
+        }
+
+        let rc: Vec<usize> = trace
+            .iter()
+            .filter_map(|&(t, a)| matches!(a, Action::ResizeReadCache { .. }).then_some(t))
+            .collect();
+        for w in rc.windows(2) {
+            prop_assert!(w[1] - w[0] >= cfg.rc_cooldown_ticks as usize, "rc cooldown violated");
+        }
+    }
+
+    /// Every decision is monotone in its triggering signal: push the signal
+    /// further in the firing direction on a clone in the identical state,
+    /// and the action must still fire.
+    #[test]
+    fn decisions_are_monotone_in_signal(script in proptest::collection::vec(tick_strategy(), 20..100)) {
+        let mut snaps = snapshots(&script);
+        let mut policy = Policy::new(cfg());
+        for i in 0..snaps.len() {
+            let m = snaps[i].clone();
+            // Clones taken *before* the real tick see the same policy state.
+            let mut p_probe = policy.clone();
+            let mut p_dead = policy.clone();
+            let mut p_wal = policy.clone();
+            let actions = policy.decide(&m);
+
+            let mut m_hi = m.clone();
+            m_hi.index.probe_steps += m.index.probes; // avg strictly higher
+            let hi = p_probe.decide(&m_hi);
+            if actions.contains(&Action::GrowIndex) {
+                prop_assert!(
+                    hi.contains(&Action::GrowIndex),
+                    "tick {}: grow vanished when probe signal rose", i + 1
+                );
+            }
+
+            let mut m_dead = m.clone();
+            m_dead.hlog.dead_bytes += 1 << 20;
+            let hi = p_dead.decide(&m_dead);
+            if actions.iter().any(|a| matches!(a, Action::Compact { .. })) {
+                prop_assert!(
+                    hi.iter().any(|a| matches!(a, Action::Compact { .. })),
+                    "tick {}: compact vanished when dead space rose", i + 1
+                );
+            }
+
+            let mut m_wal = m.clone();
+            m_wal.wal.bytes += 1 << 20;
+            let hi = p_wal.decide(&m_wal);
+            if actions.contains(&Action::Checkpoint) {
+                prop_assert!(
+                    hi.contains(&Action::Checkpoint),
+                    "tick {}: checkpoint vanished when WAL growth rose", i + 1
+                );
+            }
+
+            if i + 1 < snaps.len() {
+                apply_gauges(&mut snaps, i + 1, &actions);
+            }
+        }
+    }
+
+    /// The shrink decision is monotone downward: if the windowed probe
+    /// length already reads "oversized", reading even shorter chains must
+    /// not cancel the shrink.
+    #[test]
+    fn shrink_is_monotone_downward(script in proptest::collection::vec(tick_strategy(), 20..100)) {
+        let mut snaps = snapshots(&script);
+        let mut policy = Policy::new(cfg());
+        for i in 0..snaps.len() {
+            let m = snaps[i].clone();
+            let mut p_lo = policy.clone();
+            let actions = policy.decide(&m);
+
+            if actions.contains(&Action::ShrinkIndex) {
+                let mut m_lo = m.clone();
+                // Drop the window to exactly 1.0 steps/probe (the floor).
+                let prev_steps = snaps[i.saturating_sub(1)].index.probe_steps;
+                let prev_probes = snaps[i.saturating_sub(1)].index.probes;
+                let window_probes = m.index.probes - if i == 0 { 0 } else { prev_probes };
+                m_lo.index.probe_steps = if i == 0 { 0 } else { prev_steps } + window_probes;
+                let lo = p_lo.decide(&m_lo);
+                prop_assert!(
+                    lo.contains(&Action::ShrinkIndex),
+                    "tick {}: shrink vanished when probe signal fell", i + 1
+                );
+            }
+
+            if i + 1 < snaps.len() {
+                apply_gauges(&mut snaps, i + 1, &actions);
+            }
+        }
+    }
+}

@@ -60,6 +60,14 @@ pub struct HlogMetrics {
     pub reads_issued: Counter,
     /// Record reads whose completion callback ran.
     pub reads_completed: Counter,
+    /// Bytes made dead by the store layer: records superseded by an RCU,
+    /// shadowed by a tombstone, or abandoned after a lost insert race. Fed by
+    /// `HybridLog::note_dead_bytes`; monotone — truncation is tracked
+    /// separately so `dead_bytes - bytes_truncated` estimates reclaimable
+    /// space still on the log.
+    pub dead_bytes: Counter,
+    /// Bytes dropped below `begin` by `shift_begin_address` (GC/compaction).
+    pub bytes_truncated: Counter,
 }
 
 /// Write-ahead-log events (populated only when the store runs with a WAL).

@@ -119,12 +119,15 @@ fn hlog_snapshot(m: &HlogMetrics) -> HlogSnapshot {
         frames_evicted: m.frames_evicted.get(),
         reads_issued: m.reads_issued.get(),
         reads_completed: m.reads_completed.get(),
+        dead_bytes: m.dead_bytes.get(),
+        bytes_truncated: m.bytes_truncated.get(),
         begin: 0,
         head: 0,
         safe_read_only: 0,
         read_only: 0,
         flushed_until: 0,
         tail: 0,
+        active_pages: 0,
     }
 }
 
@@ -182,6 +185,10 @@ pub struct HlogSnapshot {
     pub frames_evicted: u64,
     pub reads_issued: u64,
     pub reads_completed: u64,
+    /// Bytes superseded/tombstoned/abandoned on the log (monotone).
+    pub dead_bytes: u64,
+    /// Bytes reclaimed by begin-address truncation (monotone).
+    pub bytes_truncated: u64,
     /// Gauges: region boundaries at snapshot time.
     pub begin: u64,
     pub head: u64,
@@ -189,6 +196,24 @@ pub struct HlogSnapshot {
     pub read_only: u64,
     pub flushed_until: u64,
     pub tail: u64,
+    /// Gauge: in-memory page budget currently allowed (≤ configured
+    /// `buffer_pages`; shrunk/grown by the maintenance service).
+    pub active_pages: u64,
+}
+
+impl HlogSnapshot {
+    /// Estimated dead bytes still occupying log space. Truncation reclaims
+    /// both live and dead bytes, so subtracting `bytes_truncated` makes this
+    /// an under-estimate right after a compaction — exactly the conservative
+    /// direction a compaction trigger wants.
+    pub fn dead_space(&self) -> u64 {
+        self.dead_bytes.saturating_sub(self.bytes_truncated)
+    }
+
+    /// Addressable log span (begin → tail).
+    pub fn log_size(&self) -> u64 {
+        self.tail.saturating_sub(self.begin)
+    }
 }
 
 #[derive(Clone, Debug, Default)]
@@ -347,10 +372,14 @@ impl StoreMetrics {
             push_line(&mut out, &format!("{prefix}.frames_evicted"), h.frames_evicted);
             push_line(&mut out, &format!("{prefix}.reads_issued"), h.reads_issued);
             push_line(&mut out, &format!("{prefix}.reads_completed"), h.reads_completed);
+            push_line(&mut out, &format!("{prefix}.dead_bytes"), h.dead_bytes);
+            push_line(&mut out, &format!("{prefix}.bytes_truncated"), h.bytes_truncated);
+            push_line(&mut out, &format!("{prefix}.dead_space"), h.dead_space());
             push_line(&mut out, &format!("{prefix}.begin"), h.begin);
             push_line(&mut out, &format!("{prefix}.head"), h.head);
             push_line(&mut out, &format!("{prefix}.read_only"), h.read_only);
             push_line(&mut out, &format!("{prefix}.tail"), h.tail);
+            push_line(&mut out, &format!("{prefix}.active_pages"), h.active_pages);
         }
         if let Some(rc) = &self.read_cache {
             push_line(&mut out, "read_cache.hits", rc.hits);
@@ -430,10 +459,14 @@ impl StoreMetrics {
                 ("frames_evicted", h.frames_evicted.to_string()),
                 ("reads_issued", h.reads_issued.to_string()),
                 ("reads_completed", h.reads_completed.to_string()),
+                ("dead_bytes", h.dead_bytes.to_string()),
+                ("bytes_truncated", h.bytes_truncated.to_string()),
+                ("dead_space", h.dead_space().to_string()),
                 ("begin", h.begin.to_string()),
                 ("head", h.head.to_string()),
                 ("read_only", h.read_only.to_string()),
                 ("tail", h.tail.to_string()),
+                ("active_pages", h.active_pages.to_string()),
             ])
         }
         let t = &self.sessions.totals;

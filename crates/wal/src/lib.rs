@@ -57,7 +57,7 @@
 //! half of the `Device::flush_barrier() -> Result` contract.
 
 use faster_metrics::WalMetrics;
-use faster_storage::{Device, IoError};
+use faster_storage::{CompletionRing, Device, IoError, Sqe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -323,6 +323,12 @@ impl Drop for Wal {
 fn commit_loop(shared: &Shared) {
     let sector = shared.device.sector_size() as u64;
     let seg = shared.cfg.segment_size;
+    // Group writes ride the submission/completion ring (DESIGN.md §9): the
+    // commit thread owns a private ring, submits each group block as a
+    // ring-routed SQE (id = the group's last LSN) and parks on the ring for
+    // its CQE. One SQE is in flight at a time, so reaping is trivial.
+    let ring = Arc::new(CompletionRing::new());
+    let mut cqes: Vec<faster_storage::Cqe> = Vec::with_capacity(1);
     loop {
         let mut st = shared.state.lock().unwrap();
         while st.pending.is_empty() {
@@ -366,8 +372,17 @@ fn commit_loop(shared: &Shared) {
 
         let last_lsn = group.last().expect("non-empty group").lsn;
         let oldest = group.iter().map(|r| r.enqueued).min().expect("non-empty group");
-        let res = write_blocking(&shared.device, write_off, block)
-            .and_then(|()| shared.device.flush_barrier());
+        shared.device.submit(Sqe::write(last_lsn, write_off, block, &ring));
+        let write_res = loop {
+            cqes.clear();
+            if ring.reap(&mut cqes) > 0 {
+                debug_assert_eq!(cqes.len(), 1, "one group write in flight");
+                debug_assert_eq!(cqes[0].id, last_lsn);
+                break cqes.pop().expect("reaped CQE").result.map(|_| ());
+            }
+            ring.wait_nonempty(Duration::from_millis(100));
+        };
+        let res = write_res.and_then(|()| shared.device.flush_barrier());
 
         let mut st = shared.state.lock().unwrap();
         match res {
@@ -507,17 +522,6 @@ fn scan_device(device: &Arc<dyn Device>, seg: u64) -> ScanResult {
             read_blocking(device, aligned, (off - aligned) as usize).unwrap_or_default();
     }
     out
-}
-
-fn write_blocking(device: &Arc<dyn Device>, offset: u64, data: Vec<u8>) -> Result<(), IoError> {
-    let (tx, rx) = std::sync::mpsc::channel();
-    device.write_async(offset, data, Box::new(move |r| {
-        let _ = tx.send(r);
-    }));
-    match rx.recv() {
-        Ok(r) => r,
-        Err(_) => Err(IoError::Failed("WAL write callback dropped".into())),
-    }
 }
 
 fn read_blocking(device: &Arc<dyn Device>, offset: u64, len: usize) -> Result<Vec<u8>, IoError> {

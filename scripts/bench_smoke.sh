@@ -20,13 +20,21 @@
 # below FASTER_BENCH_IO_DEPTH1_MIN_MOPS (default 0.01 Mops, the seed's
 # single-outstanding-read floor — one ~20 us model read per op).
 #
+# The maint_selftune bench starts an undersized index with the background
+# maintenance service enabled (no manual grow anywhere) into
+# BENCH_maint.json, failing if the service never grew the index or the
+# final measurement window's probe length exceeds
+# FASTER_BENCH_MAINT_MAX_PROBE (default 2.0; the untuned seed read ~5.6).
+#
 # Knobs (forwarded to the benches): FASTER_BENCH_KEYS, FASTER_BENCH_BATCH,
 # FASTER_BENCH_OPS (batch_vs_scalar); FASTER_BENCH_CKPT_KEYS,
 # FASTER_BENCH_CKPT_GENS (ckpt_latency); FASTER_BENCH_IO_KEYS,
-# FASTER_BENCH_IO_SECS (io_depth); FASTER_BENCH_WAL_SECS (wal_latency).
+# FASTER_BENCH_IO_SECS (io_depth); FASTER_BENCH_WAL_SECS (wal_latency);
+# FASTER_BENCH_MAINT_KEYS, FASTER_BENCH_MAINT_K_BITS,
+# FASTER_BENCH_MAINT_SECS (maint_selftune).
 # Outputs land in the repo root (override with BENCH_OUT=path /
 # BENCH_CKPT_OUT=path / BENCH_METRICS_OUT=path / BENCH_IO_OUT=path /
-# BENCH_WAL_OUT=path).
+# BENCH_WAL_OUT=path / BENCH_MAINT_OUT=path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -189,4 +197,30 @@ print(f"wal_latency: per-op fsync {per_op:.1f} Kops, group commit {group:.1f} Ko
       f"at 8 sessions, ratio {ratio:.2f}x (min {min_ratio}x)")
 if ratio < min_ratio:
     sys.exit(f"group-commit speedup {ratio:.2f}x below minimum {min_ratio}x")
+PY
+
+cargo bench --bench maint_selftune 2>&1 | tee "$LOG"
+collect "${BENCH_MAINT_OUT:-BENCH_maint.json}"
+
+python3 - "${BENCH_MAINT_OUT:-BENCH_maint.json}" <<'PY'
+import json, os, sys
+
+out_path = sys.argv[1]
+rows = json.load(open(out_path))
+row = next((r for r in rows if r.get("bench") == "maint_selftune"), None)
+if row is None:
+    sys.exit("maint_selftune emitted no json row")
+max_probe = float(os.environ.get("FASTER_BENCH_MAINT_MAX_PROBE", "2.0"))
+probe, grows = row["probe_len_final"], row["grows"]
+rows.append({"bench": "maint_selftune_summary", "probe_len_final": probe,
+             "grows": grows, "max_probe": max_probe})
+with open(out_path, "w") as f:
+    json.dump(rows, f, indent=2)
+print(f"maint_selftune: index 2^{row['k_bits_start']} -> 2^{row['k_bits_final']} "
+      f"({grows} policy grows), final-window probe len {probe:.2f} "
+      f"(start {row['probe_len_start']:.2f}, max {max_probe})")
+if grows < 1:
+    sys.exit("maintenance service never grew the undersized index")
+if probe > max_probe:
+    sys.exit(f"self-tuned probe length {probe:.2f} exceeds gate {max_probe}")
 PY

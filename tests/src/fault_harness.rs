@@ -21,6 +21,7 @@
 
 use faster_core::checkpoint::CheckpointData;
 use faster_core::ckpt_manager::{self, CheckpointConfig, CheckpointManager};
+use faster_core::maintenance::{run_tick, MaintenanceStats, Policy, PolicyConfig};
 use faster_core::{CountStore, FasterKv, FasterKvConfig, RmwResult, Session};
 use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
@@ -613,5 +614,263 @@ pub fn run_wal_crash_case(seed: u64, point: Option<WalCrashPoint>) -> WalSweepRe
         wal_replayed: rec.wal_replayed,
         writes_issued,
         flushes_issued,
+    }
+}
+
+// ================================================ maintenance-window crashes
+
+/// Where inside the swept maintenance window the crash fires, counted (like
+/// [`CkptCrashPoint`]) across the interleaved log + checkpoint device stream
+/// of the shared [`FaultDomain`] from the moment the `run_tick` loop starts.
+#[derive(Debug, Clone, Copy)]
+pub enum MaintCrashPoint {
+    /// Crash at the k-th device write issued inside the window, torn per
+    /// [`TornWrite`]. The window's writes are the compaction roll's page
+    /// flushes plus the policy-triggered checkpoint's blob + manifest.
+    Write(u64, TornWrite),
+    /// Crash at the j-th flush barrier issued inside the window.
+    Flush(u64),
+}
+
+/// What one maintenance-window crash case observed.
+#[derive(Debug)]
+pub struct MaintSweepReport {
+    /// Whether the armed crash point fired.
+    pub crashed: bool,
+    /// Whether the policy-triggered checkpoint acknowledged its generation.
+    pub commit_ok: bool,
+    /// Generation recovery arbitration selected.
+    pub recovered_gen: u64,
+    /// Fallback steps recovery took.
+    pub fallbacks: usize,
+    /// Live records the policy-triggered compaction rolled to the tail.
+    pub rolled: u64,
+    /// Compactions the window fired (≥ 1 on a dry run).
+    pub compactions: u64,
+    /// Device writes the window issued (`point = None` dry run bounds the
+    /// write sweep; the window is driven single-threaded so the schedule is
+    /// deterministic — the sweeps double-check with a second dry run).
+    pub maint_writes: u64,
+    /// Flush barriers the window issued (dry run bounds the flush sweep).
+    pub maint_flushes: u64,
+}
+
+/// Policy whose compaction and checkpoint arms fire within a couple of
+/// ticks of the harness's scripted dead space, with the probe and
+/// read-cache arms disabled — the sweep pins exactly the two actuators
+/// whose crash behaviour matters for durability.
+fn maint_window_policy() -> Policy {
+    Policy::new(PolicyConfig {
+        compact_dead_ratio_hi: 0.02,
+        compact_resume_ratio: 0.01,
+        compact_min_bytes: 64,
+        compact_cooldown_ticks: 1,
+        ckpt_growth_bytes: 1,
+        ckpt_min_interval_ticks: 1,
+        min_probe_samples: u64::MAX,
+        rc_min_samples: u64::MAX,
+        ..PolicyConfig::default()
+    })
+}
+
+/// Runs one crash *inside a maintenance window* — a `run_tick` loop whose
+/// policy triggers a roll-to-tail compaction and then a checkpoint against
+/// the store, exactly as the background service would — and checks that
+/// background maintenance never weakens the atomic-commit contract:
+///
+/// 1. a baseline generation commits fault-free, more traffic runs (leaving
+///    dead space for the policy to see), then the window runs with the
+///    crash armed at `point`;
+/// 2. throughout the window the store's begin address stays at or below the
+///    manager's safe truncation bound — the actuator's roll/truncate split
+///    rolls unclamped but never truncates above the retained chain;
+/// 3. recovery must always succeed: to a maintenance-committed generation
+///    if one landed, else to the baseline — and because the window runs no
+///    foreground ops, *every* post-baseline generation equals the same
+///    oracle snapshot, which the recovered store must match exactly;
+/// 4. an acked maintenance checkpoint one-directionally implies recovery
+///    does not fall back to the baseline;
+/// 5. the recovered store accepts fresh traffic and checkpoint-aware GC
+///    stays clamped.
+pub fn run_maintenance_crash_case(seed: u64, point: Option<MaintCrashPoint>) -> MaintSweepReport {
+    let ctx = format!("seed={seed} point={point:?}");
+    let domain = FaultDomain::new();
+    let log_fault = FaultDevice::wrap_in_domain(MemDevice::new(2), &domain);
+    let ckpt_fault = FaultDevice::wrap_in_domain(MemDevice::new(1), &domain);
+    let store: FasterKv<u64, u64, CountStore> =
+        FasterKv::new(harness_cfg(), CountStore, log_fault.clone());
+    let mgr = std::sync::Arc::new(CheckpointManager::new(
+        ckpt_fault.clone(),
+        CheckpointConfig::default(),
+    ));
+    let mut rng = XorShift64::new(seed);
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+
+    // Baseline generation: committed fault-free, the fallback target the
+    // swept compaction must never orphan.
+    {
+        let session = store.start_session();
+        for _ in 0..PHASE1_OPS {
+            apply_op(&session, &mut oracle, &mut rng);
+        }
+        session.complete_pending(true);
+    }
+    let gen1 = mgr
+        .checkpoint_store(&store)
+        .unwrap_or_else(|e| panic!("[{ctx}] baseline generation must commit: {e}"));
+    let snap1 = oracle.clone();
+
+    // Churn so the window has dead space to compact and dirty pages to
+    // checkpoint; top up (bounded) until some prefix of the log is flushed,
+    // since `Compact` only targets below the safe-read-only address.
+    {
+        let session = store.start_session();
+        for _ in 0..PHASE1B_OPS {
+            apply_op(&session, &mut oracle, &mut rng);
+        }
+        let mut extra = 0u32;
+        while store.log().safe_read_only_address() <= store.log().begin_address() {
+            apply_op(&session, &mut oracle, &mut rng);
+            extra += 1;
+            assert!(extra < 4096, "[{ctx}] log never flushed a compactable prefix");
+        }
+        session.complete_pending(true);
+    }
+    let snap2 = oracle.clone();
+
+    // Arm the crash *now*: every write/flush from here on belongs to the
+    // maintenance window being swept.
+    let w0 = domain.writes_issued();
+    let f0 = domain.flushes_issued();
+    match point {
+        Some(MaintCrashPoint::Write(k, torn)) => domain.arm_crash(k, torn),
+        Some(MaintCrashPoint::Flush(j)) => domain.arm_crash_at_flush(j),
+        None => {}
+    }
+
+    // The maintenance window: tick the policy against the live store until
+    // it has fired (at least) one compaction and attempted one checkpoint.
+    // Tick 1 baselines the windowed signals, tick 2 fires the compaction,
+    // and the roll's tail growth trips the checkpoint arm a tick later; the
+    // cap only guards against a crashed device stalling the signals.
+    let acts = store.maintenance_actuators(Some(mgr.clone()));
+    let mut policy = maint_window_policy();
+    let stats = MaintenanceStats::default();
+    for _ in 0..8 {
+        run_tick(&mut policy, &*acts, &stats);
+        if let Some(bound) = mgr.safe_truncation_bound() {
+            assert!(
+                store.log().begin_address() <= bound,
+                "[{ctx}] maintenance compaction truncated above the retained \
+                 chain: begin {:?} > bound {bound:?}",
+                store.log().begin_address()
+            );
+        }
+        let attempts = stats.checkpoints.load(std::sync::atomic::Ordering::Relaxed)
+            + stats.checkpoint_failures.load(std::sync::atomic::Ordering::Relaxed);
+        if stats.compactions.load(std::sync::atomic::Ordering::Relaxed) >= 1 && attempts >= 1 {
+            break;
+        }
+    }
+    let maint_writes = domain.writes_issued() - w0;
+    let maint_flushes = domain.flushes_issued() - f0;
+    let crashed = domain.crashed();
+    let compactions = stats.compactions.load(std::sync::atomic::Ordering::Relaxed);
+    let rolled = stats.records_rolled.load(std::sync::atomic::Ordering::Relaxed);
+    let ckpt_acks = stats.checkpoints.load(std::sync::atomic::Ordering::Relaxed);
+    let ckpt_attempts =
+        ckpt_acks + stats.checkpoint_failures.load(std::sync::atomic::Ordering::Relaxed);
+    let commit_ok = ckpt_acks >= 1;
+    if point.is_none() {
+        assert!(
+            compactions >= 1 && commit_ok,
+            "[{ctx}] fault-free window must compact and checkpoint \
+             (compactions {compactions}, acked checkpoints {ckpt_acks})"
+        );
+    }
+    drop(acts);
+    drop(store);
+    drop(mgr);
+
+    // Recover from the surviving byte images of both devices.
+    let log_img = log_fault.inner();
+    let ckpt_img = ckpt_fault.inner();
+    log_img.flush_barrier().unwrap();
+    ckpt_img.flush_barrier().unwrap();
+
+    let (recovered, mgr2, rec) = ckpt_manager::recover_store::<u64, u64, CountStore>(
+        harness_cfg(),
+        CountStore,
+        log_img,
+        ckpt_img,
+        CheckpointConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("[{ctx}] recovery must always find a generation: {e}"));
+
+    // The window ran no foreground ops, so every generation the maintenance
+    // checkpoint(s) produced carries the same logical state: the oracle at
+    // window entry. Only the baseline maps to the earlier snapshot.
+    let snapshot = if rec.gen == gen1 {
+        &snap1
+    } else if rec.gen > gen1 && rec.gen <= gen1 + ckpt_attempts {
+        &snap2
+    } else {
+        panic!(
+            "[{ctx}] recovered to unexpected generation {} (baseline {gen1}, \
+             {ckpt_attempts} maintenance attempts)",
+            rec.gen
+        );
+    };
+    if commit_ok {
+        assert!(
+            rec.gen > gen1,
+            "[{ctx}] maintenance checkpoint acked Ok but recovery fell back \
+             to the baseline ({} skipped)",
+            rec.fallbacks()
+        );
+    }
+
+    {
+        let session = recovered.start_session();
+        let mut check: Vec<u64> = (0..KEYSPACE).collect();
+        check.extend(snap1.keys().chain(snap2.keys()).copied().filter(|&k| k >= KEYSPACE));
+        check.sort_unstable();
+        check.dedup();
+        for key in check {
+            let got = crate::read_blocking(&session, key);
+            let want = snapshot.get(&key).copied();
+            assert_eq!(
+                got, want,
+                "[{ctx}] gen {} key {key}: got {got:?}, oracle has {want:?}",
+                rec.gen
+            );
+        }
+        let probe = KEYSPACE + 6666;
+        session.upsert(&probe, &313_131);
+        assert_eq!(
+            crate::read_blocking(&session, probe),
+            Some(313_131),
+            "[{ctx}] recovered store rejected fresh traffic"
+        );
+    }
+
+    let bound = mgr2
+        .safe_truncation_bound()
+        .unwrap_or_else(|| panic!("[{ctx}] recovered manager retains no generation"));
+    let clamped = mgr2.gc_truncate(&recovered, Address::new(bound.raw() + (1 << 20)));
+    assert!(
+        clamped <= bound,
+        "[{ctx}] gc_truncate escaped the retention clamp: {clamped:?} > {bound:?}"
+    );
+
+    MaintSweepReport {
+        crashed,
+        commit_ok,
+        recovered_gen: rec.gen,
+        fallbacks: rec.fallbacks(),
+        rolled,
+        compactions,
+        maint_writes,
+        maint_flushes,
     }
 }
