@@ -194,6 +194,10 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
             // immediately; otherwise their refreshes drive it.
             std::thread::yield_now();
         }
+        // Flush-retry chains re-submit after a barrier they raced with;
+        // quiesce first so the barrier actually covers every attempt (and no
+        // stale partial-page retry can land after a later full-page flush).
+        inner.log.wait_flush_quiesced();
         // A barrier failure is latched into the log's flush-failure counter,
         // which `checkpoint_durable` samples; plain `checkpoint()` keeps its
         // infallible signature for in-memory/test use.
@@ -266,9 +270,11 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
                 cfg,
                 metrics,
                 wal: std::sync::OnceLock::new(),
+                health: crate::health::HealthCell::new(),
                 _marker: std::marker::PhantomData,
             }),
         };
+        store.attach_health_hook();
         store.replay(data.t1, data.t2);
         store
     }
@@ -278,7 +284,15 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
         let inner = &self.inner;
         let rec_size = RecordRef::<K, V>::size();
         for page in LogScanner::new(&inner.log, t1, t2) {
-            let Ok(page) = page else { continue };
+            let page = match page {
+                Ok(page) => page,
+                // A checksum-failed page ends the trustworthy prefix:
+                // records past it may depend on state the corrupt page held,
+                // so replay truncates to the last-valid prefix rather than
+                // skipping over the hole.
+                Err(IoError::Corrupt { .. }) => break,
+                Err(_) => continue,
+            };
             let mut off = page.start_offset;
             while off + rec_size <= page.end_offset {
                 let Some((header, key, _v)) =

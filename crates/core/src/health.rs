@@ -1,0 +1,240 @@
+//! Store-health ladder for graceful degradation under storage failure
+//! (DESIGN.md §12).
+//!
+//! Storage faults the lower layers survive (a quarantined page flush, a
+//! sticky WAL failure, a checksum-failed cold read) are reported up to the
+//! store, which walks a monotone ladder:
+//!
+//! ```text
+//! Healthy ──▶ Degraded(reason) ──▶ ReadOnly(reason)
+//! ```
+//!
+//! *Degraded* means data loss was observed but new writes are still safe
+//! (e.g. one corrupt cold read). *ReadOnly* means the store can no longer
+//! make new mutations durable (a page flush was abandoned, the device is
+//! full, or the WAL is dead): reads and scans keep serving whatever is
+//! still intact, while the fallible mutation API (`Session::try_upsert`
+//! and friends) returns [`StoreError::ReadOnly`]. The ladder never walks
+//! back down — a store that lost durability once cannot silently promise
+//! it again; recover from the last good checkpoint instead.
+
+use faster_hlog::LogFault;
+use faster_storage::IoError;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Why the store left the `Healthy` state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthReason {
+    /// A log page's flush exhausted its retry budget (or hit a permanent
+    /// device error) and the page was quarantined: records on it are lost.
+    FlushQuarantine { page: u64 },
+    /// The device reported out of space; nothing further can be persisted.
+    DeviceFull,
+    /// A WAL append or group commit failed; per-operation durability is
+    /// gone even though the append may have been acked in memory.
+    WalFailed,
+    /// A cold read's bytes failed checksum verification at this log offset.
+    CorruptRead { offset: u64 },
+}
+
+impl HealthReason {
+    /// Stable lowercase token for metrics text/JSON output.
+    pub fn token(&self) -> &'static str {
+        match self {
+            HealthReason::FlushQuarantine { .. } => "flush_quarantine",
+            HealthReason::DeviceFull => "device_full",
+            HealthReason::WalFailed => "wal_failed",
+            HealthReason::CorruptRead { .. } => "corrupt_read",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthReason::FlushQuarantine { page } => {
+                write!(f, "log page {page} quarantined after flush-retry exhaustion")
+            }
+            HealthReason::DeviceFull => write!(f, "storage device full"),
+            HealthReason::WalFailed => write!(f, "write-ahead log failed"),
+            HealthReason::CorruptRead { offset } => {
+                write!(f, "corrupt data read at log offset {offset}")
+            }
+        }
+    }
+}
+
+/// Where the store sits on the degradation ladder (monotone; see module
+/// docs). Returned by `FasterKv::health`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// No storage fault observed.
+    Healthy,
+    /// A fault lost (or may have lost) existing data, but new mutations are
+    /// still durable — e.g. an isolated corrupt cold read.
+    Degraded(HealthReason),
+    /// New mutations can no longer be made durable. Reads and scans still
+    /// serve; `Session::try_upsert`/`try_rmw`/`try_delete` return
+    /// [`StoreError::ReadOnly`]; maintenance suspends compaction and
+    /// checkpointing.
+    ReadOnly(HealthReason),
+}
+
+/// Typed error surfaced by the fallible mutation API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store degraded to read-only; the reason names the fault.
+    ReadOnly(HealthReason),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::ReadOnly(r) => write!(f, "store is read-only: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+const HEALTHY: u8 = 0;
+const DEGRADED: u8 = 1;
+const READ_ONLY: u8 = 2;
+
+/// Lock-free-readable health state. Mutation hot paths check
+/// [`HealthCell::is_read_only`] (one atomic load); the reason travels
+/// under a mutex taken only on faults and full snapshots.
+pub(crate) struct HealthCell {
+    state: AtomicU8,
+    reason: Mutex<Option<HealthReason>>,
+}
+
+impl HealthCell {
+    pub fn new() -> Self {
+        Self { state: AtomicU8::new(HEALTHY), reason: Mutex::new(None) }
+    }
+
+    /// True once the store has reached the read-only rung.
+    #[inline]
+    pub fn is_read_only(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == READ_ONLY
+    }
+
+    /// The full ladder position with its reason.
+    pub fn get(&self) -> StoreHealth {
+        let reason = self.reason.lock().unwrap();
+        match self.state.load(Ordering::SeqCst) {
+            HEALTHY => StoreHealth::Healthy,
+            DEGRADED => {
+                StoreHealth::Degraded(reason.clone().expect("degraded state carries a reason"))
+            }
+            _ => StoreHealth::ReadOnly(reason.clone().expect("read-only state carries a reason")),
+        }
+    }
+
+    /// `(state, reason-token)` for the metrics snapshot.
+    pub fn tokens(&self) -> (u64, String) {
+        let reason = self.reason.lock().unwrap();
+        let state = self.state.load(Ordering::SeqCst) as u64;
+        (state, reason.as_ref().map_or("none", |r| r.token()).to_string())
+    }
+
+    /// The read-only error this store's mutations should return, if any.
+    pub fn read_only_error(&self) -> Option<StoreError> {
+        if !self.is_read_only() {
+            return None;
+        }
+        let reason = self.reason.lock().unwrap();
+        Some(StoreError::ReadOnly(reason.clone().expect("read-only state carries a reason")))
+    }
+
+    pub fn degrade(&self, reason: HealthReason) {
+        self.escalate(DEGRADED, reason);
+    }
+
+    pub fn to_read_only(&self, reason: HealthReason) {
+        self.escalate(READ_ONLY, reason);
+    }
+
+    /// Maps a HybridLog fault onto the ladder (installed as the log's fault
+    /// hook): a quarantined page means lost mutations — read-only; a single
+    /// corrupt read loses existing data but new writes are still durable —
+    /// degraded.
+    pub fn on_log_fault(&self, fault: &LogFault) {
+        match fault {
+            LogFault::PageQuarantined { page, error } => {
+                let reason = match error {
+                    IoError::Full { .. } => HealthReason::DeviceFull,
+                    _ => HealthReason::FlushQuarantine { page: *page },
+                };
+                self.to_read_only(reason);
+            }
+            LogFault::CorruptRead { offset } => {
+                self.degrade(HealthReason::CorruptRead { offset: *offset });
+            }
+        }
+    }
+
+    /// Monotone step: the state only rises, and the reason recorded is the
+    /// first fault that reached the new rung (later, lesser faults don't
+    /// overwrite it). State and reason move together under the lock so a
+    /// snapshot never pairs a state with another fault's reason.
+    fn escalate(&self, level: u8, reason: HealthReason) {
+        let mut slot = self.reason.lock().unwrap();
+        let old = self.state.fetch_max(level, Ordering::SeqCst);
+        if old < level {
+            *slot = Some(reason);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_and_keeps_first_reason_per_rung() {
+        let cell = HealthCell::new();
+        assert_eq!(cell.get(), StoreHealth::Healthy);
+        assert!(!cell.is_read_only());
+        assert!(cell.read_only_error().is_none());
+
+        cell.degrade(HealthReason::CorruptRead { offset: 64 });
+        assert_eq!(cell.get(), StoreHealth::Degraded(HealthReason::CorruptRead { offset: 64 }));
+
+        // A second degradation doesn't overwrite the first reason.
+        cell.degrade(HealthReason::CorruptRead { offset: 128 });
+        assert_eq!(cell.get(), StoreHealth::Degraded(HealthReason::CorruptRead { offset: 64 }));
+
+        cell.to_read_only(HealthReason::DeviceFull);
+        assert!(cell.is_read_only());
+        assert_eq!(cell.get(), StoreHealth::ReadOnly(HealthReason::DeviceFull));
+        assert_eq!(cell.tokens(), (2, "device_full".to_string()));
+        assert_eq!(cell.read_only_error(), Some(StoreError::ReadOnly(HealthReason::DeviceFull)));
+
+        // Never walks back down.
+        cell.degrade(HealthReason::CorruptRead { offset: 999 });
+        assert_eq!(cell.get(), StoreHealth::ReadOnly(HealthReason::DeviceFull));
+    }
+
+    #[test]
+    fn log_faults_map_to_the_expected_rungs() {
+        let cell = HealthCell::new();
+        cell.on_log_fault(&LogFault::CorruptRead { offset: 4096 });
+        assert_eq!(cell.get(), StoreHealth::Degraded(HealthReason::CorruptRead { offset: 4096 }));
+
+        cell.on_log_fault(&LogFault::PageQuarantined {
+            page: 3,
+            error: IoError::Failed("dead device".into()),
+        });
+        assert_eq!(cell.get(), StoreHealth::ReadOnly(HealthReason::FlushQuarantine { page: 3 }));
+
+        let full = HealthCell::new();
+        full.on_log_fault(&LogFault::PageQuarantined {
+            page: 9,
+            error: IoError::Full { offset: 1 << 20 },
+        });
+        assert_eq!(full.get(), StoreHealth::ReadOnly(HealthReason::DeviceFull));
+    }
+}

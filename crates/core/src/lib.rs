@@ -40,6 +40,7 @@ pub mod checkpoint;
 pub mod ckpt_manager;
 pub mod functions;
 pub mod gc;
+pub mod health;
 pub mod inmem;
 pub mod maintenance;
 pub mod read_cache;
@@ -53,6 +54,7 @@ pub use ckpt_manager::{
     CheckpointConfig, CheckpointManager, GenerationMeta, RecoveredGeneration,
 };
 pub use functions::{BlindKv, CountStore, Functions, ValueCell};
+pub use health::{HealthReason, StoreError, StoreHealth};
 pub use inmem::{InMemKv, InMemSession};
 pub use session::{
     BatchOp, BatchOutcome, CompletedOp, ReadResult, RmwResult, Session, SessionStats,
@@ -223,6 +225,10 @@ pub(crate) struct StoreInner<K: Pod, V: Pod, F: Functions<K, V>> {
     /// suffix through ordinary sessions (no WAL attached yet — replayed
     /// mutations must not re-append), and only then attach the resumed log.
     pub wal: std::sync::OnceLock<Arc<faster_wal::Wal>>,
+    /// Degradation-ladder state (DESIGN.md §12): fed by the log's fault
+    /// hook and the WAL error paths, checked by the fallible mutation API
+    /// and the maintenance actuators.
+    pub health: health::HealthCell,
     _marker: std::marker::PhantomData<(K, V)>,
 }
 
@@ -291,12 +297,14 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
                 cfg,
                 metrics,
                 wal: std::sync::OnceLock::new(),
+                health: health::HealthCell::new(),
                 _marker: std::marker::PhantomData,
             }),
         };
         if let Some(w) = wal_log {
             let _ = store.inner.wal.set(w);
         }
+        store.attach_health_hook();
         if let Some(rc_log) = &store.inner.rc {
             // Eviction hook: restore index entries to the primary-log
             // addresses before cache frames are recycled (Appendix D).
@@ -308,6 +316,26 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
             });
         }
         store
+    }
+
+    /// Subscribes the health cell to the log's storage-fault stream
+    /// (quarantined pages, corrupt reads). Every construction path — plain
+    /// build and checkpoint recovery — must call this once.
+    pub(crate) fn attach_health_hook(&self) {
+        let weak = Arc::downgrade(&self.inner);
+        self.inner.log.set_fault_hook(move |fault| {
+            if let Some(inner) = weak.upgrade() {
+                inner.health.on_log_fault(fault);
+            }
+        });
+    }
+
+    /// Where the store sits on the degradation ladder (DESIGN.md §12).
+    /// `Healthy` until a storage fault is observed; `ReadOnly` once new
+    /// mutations can no longer be made durable — reads keep serving, and
+    /// [`Session::try_upsert`]-family ops return [`StoreError::ReadOnly`].
+    pub fn health(&self) -> StoreHealth {
+        self.inner.health.get()
     }
 
     /// Registers the calling thread with the store (§2.5 `Acquire`). Drop the
@@ -379,6 +407,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
         m.storage.bytes_read = dev.bytes_read;
         m.storage.device_writes = dev.writes;
         m.storage.device_reads = dev.reads;
+        let (state, reason) = inner.health.tokens();
+        m.health.state = state;
+        m.health.reason = reason;
         m
     }
 

@@ -64,6 +64,13 @@ where
     }
 
     fn compact(&self, until: u64) -> u64 {
+        // A read-only store must not compact: compaction rewrites live
+        // records to the tail and truncates the prefix, but tail pages can
+        // no longer be made durable — truncation would destroy the only
+        // intact copy (DESIGN.md §12).
+        if self.store.inner.health.is_read_only() {
+            return 0;
+        }
         let until = Address::new(until);
         if until <= self.store.log().begin_address() {
             return 0;
@@ -88,6 +95,13 @@ where
     }
 
     fn checkpoint(&self) -> bool {
+        // No checkpoint on a read-only store: its log flushes cannot be
+        // made durable, so `checkpoint_store` would only churn and fail
+        // (and must not overwrite manifest state racing with an operator's
+        // recovery). The last committed generation stays authoritative.
+        if self.store.inner.health.is_read_only() {
+            return false;
+        }
         match &self.mgr {
             Some(mgr) => mgr.checkpoint_store(&self.store).is_ok(),
             None => false,

@@ -24,9 +24,10 @@ use crate::record::{
     MergeRecord, RecordHeader, RecordRef, DELTA_BIT, INVALID_BIT, TOMBSTONE_BIT,
 };
 use crate::read_cache::{is_rc, rc_tag, rc_untag};
+use crate::health::{HealthReason, StoreError};
 use crate::{hash_key, FasterKv};
 use faster_epoch::EpochGuard;
-use faster_hlog::Region;
+use faster_hlog::{ReadSpan, Region};
 use faster_index::{CreateOutcome, EntrySlot, HashBucketEntry};
 use faster_metrics::{SessionHub, SessionRecorder, Timer};
 use faster_storage::{CompletionRing, Cqe, Sqe};
@@ -157,6 +158,9 @@ struct PendingOp<K, V, I> {
 struct Parked<K, V, I> {
     op: PendingOp<K, V, I>,
     issued: Instant,
+    /// Checksum-verification plan for the in-flight read; `None` when the
+    /// op short-circuited (its error CQE is already in the ring).
+    span: Option<ReadSpan>,
 }
 
 /// The continuation table: pending ops keyed by SQE id.
@@ -379,11 +383,18 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     fn park_and_enqueue(&self, op: PendingOp<K, V, F::Input>) {
         let id = op.id;
         let addr = op.read_addr;
-        let prev = self.pending.borrow_mut().insert(id, Parked { op, issued: Instant::now() });
+        let made =
+            self.store.inner.log.make_read_sqe(id, addr, RecordRef::<K, V>::size(), &self.ring);
+        let (sqe, span) = match made {
+            Some((sqe, span)) => (Some(sqe), Some(span)),
+            None => (None, None),
+        };
+        let prev = self
+            .pending
+            .borrow_mut()
+            .insert(id, Parked { op, issued: Instant::now(), span });
         debug_assert!(prev.is_none(), "duplicate pending id {id}");
-        if let Some(sqe) =
-            self.store.inner.log.make_read_sqe(id, addr, RecordRef::<K, V>::size(), &self.ring)
-        {
+        if let Some(sqe) = sqe {
             self.sq.borrow_mut().push(sqe);
         }
     }
@@ -585,6 +596,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         match wal.append(&payload) {
             Ok(lsn) => self.wal_lsn.set(lsn),
             Err(e) => {
+                // A refused append means per-op durability is gone for good
+                // (WAL failures are sticky): degrade the store to read-only.
+                self.store.inner.health.to_read_only(HealthReason::WalFailed);
                 let mut err = self.wal_error.borrow_mut();
                 if err.is_none() {
                     *err = Some(e);
@@ -608,7 +622,13 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             return Err(e.clone());
         }
         match self.store.inner.wal.get() {
-            Some(wal) => wal.wait_durable(self.wal_lsn.get()),
+            Some(wal) => {
+                let r = wal.wait_durable(self.wal_lsn.get());
+                if r.is_err() {
+                    self.store.inner.health.to_read_only(HealthReason::WalFailed);
+                }
+                r
+            }
             None => Ok(()),
         }
     }
@@ -621,7 +641,13 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             return Some(Err(e.clone()));
         }
         match self.store.inner.wal.get() {
-            Some(wal) => wal.poll_durable(self.wal_lsn.get()),
+            Some(wal) => {
+                let r = wal.poll_durable(self.wal_lsn.get());
+                if matches!(&r, Some(Err(_))) {
+                    self.store.inner.health.to_read_only(HealthReason::WalFailed);
+                }
+                r
+            }
             None => Some(Ok(())),
         }
     }
@@ -638,6 +664,38 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         self.upsert_internal(key, hash, value);
         t.observe(&self.hub.upsert_latency);
         self.maybe_refresh();
+    }
+
+    /// Fallible upsert (DESIGN.md §12): like [`Session::upsert`], but
+    /// refuses with [`StoreError::ReadOnly`] once the store has degraded to
+    /// read-only — a mutation the store can no longer make durable should
+    /// not be silently accepted. The legacy infallible ops are unchanged
+    /// (crash-recovery replay and in-memory stores rely on them).
+    pub fn try_upsert(&self, key: &K, value: &V) -> Result<(), StoreError> {
+        if let Some(e) = self.store.inner.health.read_only_error() {
+            return Err(e);
+        }
+        self.upsert(key, value);
+        Ok(())
+    }
+
+    /// Fallible RMW: refuses with [`StoreError::ReadOnly`] on a degraded
+    /// store (see [`Session::try_upsert`]).
+    pub fn try_rmw(&self, key: &K, input: &F::Input) -> Result<RmwResult, StoreError> {
+        if let Some(e) = self.store.inner.health.read_only_error() {
+            return Err(e);
+        }
+        Ok(self.rmw(key, input))
+    }
+
+    /// Fallible delete: refuses with [`StoreError::ReadOnly`] on a degraded
+    /// store (see [`Session::try_upsert`]).
+    pub fn try_delete(&self, key: &K) -> Result<(), StoreError> {
+        if let Some(e) = self.store.inner.health.read_only_error() {
+            return Err(e);
+        }
+        self.delete(key);
+        Ok(())
     }
 
     /// Algorithm 3 body, shared by the scalar and batched paths (the wrapper
@@ -1520,7 +1578,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         for cqe in cqes.drain(..) {
             // Scope the table borrow: continuations re-enter `park_and_enqueue`.
             let parked = self.pending.borrow_mut().remove(&cqe.id);
-            let Some(Parked { mut op, issued }) = parked else {
+            let Some(Parked { mut op, issued, span }) = parked else {
                 debug_assert!(false, "CQE {} has no parked continuation", cqe.id);
                 continue;
             };
@@ -1531,7 +1589,30 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             self.store.inner.log.metrics().reads_completed.inc();
             self.hub.io_latency.record(issued.elapsed().as_nanos() as u64);
             match cqe.result {
-                Ok(bytes) => self.continue_io(op, bytes, done),
+                Ok(bytes) => {
+                    let verified = match &span {
+                        Some(s) => self.store.inner.log.verify_extract(s, bytes),
+                        None => Ok(bytes),
+                    };
+                    match verified {
+                        Ok(bytes) => self.continue_io(op, bytes, done),
+                        Err(err) => {
+                            // Checksum mismatch (or a short read): never hand
+                            // the suspect bytes to the continuation, and never
+                            // answer "key absent" — the record may exist, we
+                            // just cannot prove what it held.
+                            self.rec.io_failed.inc();
+                            done.push(CompletedOp::Failed { id: op.id, error: err });
+                        }
+                    }
+                }
+                Err(err @ faster_storage::IoError::Corrupt { .. }) => {
+                    // Quarantined page (or corruption detected at issue
+                    // time): permanent, no point retrying. Surface the typed
+                    // failure; the fault hook has already degraded the store.
+                    self.rec.io_failed.inc();
+                    done.push(CompletedOp::Failed { id: op.id, error: err });
+                }
                 Err(err @ faster_storage::IoError::Failed(_)) => {
                     // Transient device error: the record may well still
                     // be durable, so answering "key absent" here would

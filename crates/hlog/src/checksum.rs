@@ -1,0 +1,184 @@
+//! Per-sector-group checksum footers for flushed log pages.
+//!
+//! Checkpoint blobs and WAL records are checksummed; before this module,
+//! hlog data pages were not — a torn or bit-rotted page read back from the
+//! device was served to continuations as valid records. Every page flush
+//! now appends a footer after the page bytes, so the on-disk layout is a
+//! fixed *stride* per page:
+//!
+//! ```text
+//! device offset = page * stride(page_size)
+//!   [ page_size bytes of record data | footer_len(page_size) bytes footer ]
+//! ```
+//!
+//! The footer (little-endian u64 words, padded to a whole sector):
+//!
+//! ```text
+//! [ MAGIC | page | sealed | ngroups | sum[0] .. sum[ngroups-1] | footer_sum ]
+//! ```
+//!
+//! `sum[i]` hashes the i-th `group_size` bytes of the page; `footer_sum`
+//! hashes every preceding footer word, making the footer self-validating —
+//! a crash-torn footer parses as absent, not as wrong sums.
+//!
+//! ## The `sealed` field and verification soundness
+//!
+//! A *partial* flush (checkpoint path: read-only shifted to a mid-page
+//! tail) snapshots the frame while bytes past the safe-read-only offset are
+//! still being written by allocators, so their group sums are meaningless.
+//! `sealed` records how many leading page bytes were immutable (covered by
+//! safe-read-only) when the footer was built; only groups entirely below
+//! `sealed` are *covered* and ever verified. Sealed bytes never change in
+//! memory, so for any footer version that survives on disk — including a
+//! stale partial footer left by a torn partial-then-full rewrite — the
+//! covered groups' device bytes either match that footer's own write or a
+//! later rewrite that agrees byte-for-byte below its `sealed`. A covered-
+//! group mismatch is therefore always genuine corruption; strict
+//! verification of covered groups is sound for every surviving footer.
+
+use faster_util::hash_bytes;
+
+/// First footer word; versioned so a layout change is detectable.
+pub const MAGIC: u64 = 0xFA57_E21F_007E_0001;
+
+/// Checksum granularity: one sum per sector-sized group (or per page for
+/// sub-sector pages).
+pub fn group_size(page_size: u64) -> u64 {
+    page_size.min(512)
+}
+
+/// Number of checksum groups per page.
+pub fn group_count(page_size: u64) -> u64 {
+    page_size / group_size(page_size)
+}
+
+/// On-disk footer length: the words above, padded to a whole 512-byte
+/// sector so page strides stay sector-aligned.
+pub fn footer_len(page_size: u64) -> u64 {
+    ((5 + group_count(page_size)) * 8).next_multiple_of(512)
+}
+
+/// Device bytes occupied per page: data plus footer. Logical address
+/// `page * page_size + offset` lives at device offset
+/// `page * stride + offset`.
+pub fn stride(page_size: u64) -> u64 {
+    page_size + footer_len(page_size)
+}
+
+/// A validated footer: the sums and how much of the page they cover.
+#[derive(Debug, Clone)]
+pub struct ParsedFooter {
+    /// Leading page bytes that were sealed (immutable) at flush time; only
+    /// groups entirely below this are covered by `sums`.
+    pub sealed: u64,
+    /// Per-group hashes of the page bytes (all groups; use `covered`).
+    pub sums: Vec<u64>,
+}
+
+impl ParsedFooter {
+    /// True when group `g` is covered (entirely within the sealed prefix).
+    pub fn covers(&self, g: usize, group_size: u64) -> bool {
+        (g as u64 + 1) * group_size <= self.sealed
+    }
+}
+
+/// Builds the on-disk footer for `data` (a full page snapshot) and the
+/// parsed form for the in-memory cache.
+pub fn build(page: u64, sealed: u64, data: &[u8]) -> (Vec<u8>, ParsedFooter) {
+    let page_size = data.len() as u64;
+    let g = group_size(page_size) as usize;
+    let sums: Vec<u64> = data.chunks_exact(g).map(hash_bytes).collect();
+    let mut footer = Vec::with_capacity(footer_len(page_size) as usize);
+    for word in [MAGIC, page, sealed, sums.len() as u64] {
+        footer.extend_from_slice(&word.to_le_bytes());
+    }
+    for s in &sums {
+        footer.extend_from_slice(&s.to_le_bytes());
+    }
+    let self_sum = hash_bytes(&footer);
+    footer.extend_from_slice(&self_sum.to_le_bytes());
+    footer.resize(footer_len(page_size) as usize, 0);
+    (footer, ParsedFooter { sealed, sums })
+}
+
+/// Parses and self-validates a footer read back from the device. `None`
+/// means the footer is absent or torn (crash between data and footer
+/// writes) — the page must then be served unverified, never rejected.
+pub fn parse(page: u64, page_size: u64, bytes: &[u8]) -> Option<ParsedFooter> {
+    let ngroups = group_count(page_size) as usize;
+    let words_len = (4 + ngroups) * 8;
+    if bytes.len() < words_len + 8 {
+        return None;
+    }
+    let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+    if word(0) != MAGIC || word(1) != page || word(3) != ngroups as u64 {
+        return None;
+    }
+    let sealed = word(2);
+    if sealed > page_size {
+        return None;
+    }
+    if hash_bytes(&bytes[..words_len]) != word(4 + ngroups) {
+        return None;
+    }
+    let sums = (0..ngroups).map(|i| word(4 + i)).collect();
+    Some(ParsedFooter { sealed, sums })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footer_round_trips() {
+        let page_size = 4096u64;
+        let data: Vec<u8> = (0..page_size).map(|i| (i % 251) as u8).collect();
+        let (footer, built) = build(7, 3000, &data);
+        assert_eq!(footer.len() as u64, footer_len(page_size));
+        let parsed = parse(7, page_size, &footer).expect("valid footer parses");
+        assert_eq!(parsed.sealed, 3000);
+        assert_eq!(parsed.sums, built.sums);
+        assert_eq!(parsed.sums.len() as u64, group_count(page_size));
+        // Sealed = 3000 covers groups 0..5 (group 5 ends at 3072 > 3000).
+        assert!(parsed.covers(4, 512) && !parsed.covers(5, 512));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_page_torn_and_garbage() {
+        let page_size = 1024u64;
+        let data = vec![0xABu8; page_size as usize];
+        let (footer, _) = build(3, page_size, &data);
+        assert!(parse(3, page_size, &footer).is_some());
+        assert!(parse(4, page_size, &footer).is_none(), "page mismatch");
+        assert!(parse(3, page_size, &footer[..40]).is_none(), "truncated");
+        let mut flipped = footer.clone();
+        flipped[33] ^= 0x10; // corrupt a sum word: self-sum no longer matches
+        assert!(parse(3, page_size, &flipped).is_none());
+        assert!(parse(3, page_size, &vec![0u8; footer.len()]).is_none());
+    }
+
+    #[test]
+    fn sums_localize_data_corruption() {
+        let page_size = 2048u64;
+        let mut data: Vec<u8> = (0..page_size).map(|i| (i % 131) as u8).collect();
+        let (_, footer) = build(0, page_size, &data);
+        data[700] ^= 1; // group 1
+        let g = group_size(page_size) as usize;
+        let corrupted: Vec<bool> = data
+            .chunks_exact(g)
+            .enumerate()
+            .map(|(i, chunk)| hash_bytes(chunk) != footer.sums[i])
+            .collect();
+        assert_eq!(corrupted, vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn geometry_is_sector_aligned() {
+        for bits in [6u32, 10, 16, 20, 22] {
+            let ps = 1u64 << bits;
+            assert_eq!(footer_len(ps) % 512, 0);
+            assert!(footer_len(ps) >= (5 + group_count(ps)) * 8);
+            assert_eq!(stride(ps), ps + footer_len(ps));
+        }
+    }
+}

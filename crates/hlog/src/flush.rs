@@ -38,10 +38,16 @@ impl FlushTracker {
         Some(self.next)
     }
 
-    /// Current frontier in pages.
-    #[cfg(test)]
+    /// Current frontier in pages: every page below it is accounted for
+    /// (flushed, or quarantined after retry exhaustion).
     pub fn frontier(&self) -> u64 {
         self.next
+    }
+
+    /// Pages completed out of order, above the frontier — when the frontier
+    /// stalls, the gap `frontier()..min(pending)` names the blocking pages.
+    pub fn pending_above_frontier(&self) -> Vec<u64> {
+        self.completed.iter().copied().collect()
     }
 }
 

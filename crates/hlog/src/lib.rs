@@ -40,21 +40,80 @@
 //! allocator of §5; setting it to one (with a large buffer) yields a pure
 //! in-memory store. The same code path serves all three tables of Fig 1.
 
+pub mod checksum;
 mod flush;
 mod frame;
 pub mod scan;
 
 pub use scan::LogScanner;
 
+use checksum::ParsedFooter;
 use faster_epoch::{Epoch, EpochGuard};
 use faster_metrics::HlogMetrics;
 use faster_storage::{CompletionRing, Cqe, Device, IoError, ReadCallback, Sqe};
-use faster_util::Address;
+use faster_util::{Address, Backoff};
 use flush::FlushTracker;
 use frame::Frame;
 use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+
+/// Flush attempts per page before the page is quarantined (mirrors the read
+/// path's `MAX_IO_RETRIES` in the session pending-op machinery).
+const MAX_FLUSH_RETRIES: u32 = 8;
+
+/// A storage fault the log survived but the store layer must hear about
+/// (see [`HybridLog::set_fault_hook`]).
+#[derive(Debug, Clone)]
+pub enum LogFault {
+    /// A page flush exhausted its retry budget (or hit a permanent error
+    /// such as device-full): the frontier advanced past the page so
+    /// allocation never wedges, but its on-disk bytes are untrusted and
+    /// reads of it return [`IoError::Corrupt`]. The store should stop
+    /// accepting new mutations.
+    PageQuarantined { page: u64, error: IoError },
+    /// A cold read's bytes failed checksum verification at this logical
+    /// address; the read returned [`IoError::Corrupt`] instead of data.
+    CorruptRead { offset: u64 },
+}
+
+/// Callback invoked when the log detects a storage fault.
+type FaultHook = Box<dyn Fn(&LogFault) + Send + Sync>;
+
+/// Flush-machinery state for diagnosis: when the frontier stalls or jumps,
+/// this names the pages responsible (satellite of the resilience work —
+/// previously `FlushTracker`'s internals were `#[cfg(test)]`-only).
+#[derive(Debug, Clone)]
+pub struct FlushDebug {
+    /// Next page whose completion would advance the contiguous frontier.
+    pub frontier_page: u64,
+    /// Pages completed out of order above the frontier; a stalled frontier
+    /// means pages in `frontier_page..min(pending)` are still in flight.
+    pub pending_above_frontier: Vec<u64>,
+    /// Pages quarantined after flush-retry exhaustion (untrusted on disk).
+    pub quarantined: Vec<u64>,
+    /// Flush attempts currently in flight (including retry chains).
+    pub inflight: u64,
+}
+
+/// Issue-time plan for a verified cold read (built by
+/// [`HybridLog::make_read_sqe`]): the device span is group-aligned so the
+/// returned bytes can be checked against the page's checksum footer before
+/// the record is extracted. Opaque to callers — hold it next to the pending
+/// op and hand it back to [`HybridLog::verify_extract`] with the CQE bytes.
+#[derive(Debug)]
+pub struct ReadSpan {
+    page: u64,
+    /// Page offset of the first byte read (group-aligned).
+    span_start: u64,
+    /// Record position within the returned bytes.
+    rec_off: usize,
+    rec_len: usize,
+    /// Footer cached at issue time; `None` = the span extends through the
+    /// on-disk footer (first cold read of a recovered page).
+    footer: Option<Arc<ParsedFooter>>,
+}
 
 /// Which region of the hybrid log an address falls in (Table 1 / Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +227,20 @@ struct Inner {
     /// Highest page whose seal actions (read-only/head advance) have run.
     sealed_through: AtomicU64,
     flush_tracker: Mutex<FlushTracker>,
+    /// Flush attempts in flight, counting retry chains until their terminal
+    /// outcome (success or quarantine). `wait_flush_quiesced` spins on zero
+    /// so a durability barrier can't be satisfied under a live retry chain.
+    flush_inflight: AtomicU64,
+    /// Pages whose flush was abandoned: their device bytes are untrusted,
+    /// reads of them short-circuit to [`IoError::Corrupt`].
+    quarantined: Mutex<BTreeSet<u64>>,
+    /// Parsed checksum footers of flushed pages, so record-sized cold reads
+    /// verify without re-reading the footer (populated at flush issue and on
+    /// first cold read of a recovered page; evicted below `begin`). Costs
+    /// ~`footer_len/stride` (≈1.6% for 4 MB pages) of the on-disk log in RAM.
+    footers: Mutex<HashMap<u64, Arc<ParsedFooter>>>,
+    /// Called when the log detects a storage fault (quarantine, corruption).
+    fault_hook: Mutex<Option<FaultHook>>,
     /// Called with an address range `[from, to)` after the head passed it
     /// (epoch-safe: no thread can still read it) and before its frames are
     /// recycled. Used by the Appendix D read cache to restore index entries
@@ -223,6 +296,10 @@ impl HybridLog {
                 active_pages: AtomicU64::new(cfg.buffer_pages),
                 sealed_through: AtomicU64::new(0),
                 flush_tracker: Mutex::new(FlushTracker::new(0)),
+                flush_inflight: AtomicU64::new(0),
+                quarantined: Mutex::new(BTreeSet::new()),
+                footers: Mutex::new(HashMap::new()),
+                fault_hook: Mutex::new(None),
                 evict_hook: Mutex::new(None),
                 metrics,
             }),
@@ -274,6 +351,10 @@ impl HybridLog {
                 active_pages: AtomicU64::new(cfg.buffer_pages),
                 sealed_through: AtomicU64::new(resume_page),
                 flush_tracker: Mutex::new(FlushTracker::new(resume_page)),
+                flush_inflight: AtomicU64::new(0),
+                quarantined: Mutex::new(BTreeSet::new()),
+                footers: Mutex::new(HashMap::new()),
+                fault_hook: Mutex::new(None),
                 evict_hook: Mutex::new(None),
                 metrics,
             }),
@@ -331,9 +412,11 @@ impl HybridLog {
         Address::new(self.inner.flushed_until.load(Ordering::SeqCst))
     }
 
-    /// Count of page-flush writes that completed with a device error.
+    /// Count of *terminal* flush failures: pages quarantined after retry
+    /// exhaustion, plus failed flush barriers. Transient faults whose retry
+    /// landed are excluded — they feed the `flushes_failed` metric only.
     /// Monotone; the checkpoint path compares before/after snapshots to
-    /// detect a flush that failed inside its durability window.
+    /// detect durability actually lost inside its window.
     pub fn flush_failures(&self) -> u64 {
         self.inner.flush_failures.load(Ordering::SeqCst)
     }
@@ -594,35 +677,94 @@ impl HybridLog {
             cb(Err(IoError::Truncated { offset: addr.raw() }));
             return;
         }
+        if self.inner.is_quarantined(addr.raw() / self.inner.cfg.page_size()) {
+            self.inner.note_corrupt_read(addr.raw());
+            metrics.reads_completed.inc();
+            cb(Err(IoError::Corrupt { offset: addr.raw() }));
+            return;
+        }
+        let (phys, read_len, span) = self.inner.plan_read(addr.raw(), len);
+        let inner = Arc::clone(&self.inner);
         self.inner.device.read_async(
-            addr.raw(),
-            len,
+            phys,
+            read_len,
             Box::new(move |r| {
-                metrics.reads_completed.inc();
-                cb(r);
+                inner.metrics.reads_completed.inc();
+                cb(r.and_then(|bytes| inner.verify_extract(&span, bytes)));
             }),
         );
     }
 
     /// Builds a ring-routed read SQE for `addr` (the continuation-driven
     /// pending-op path): the CQE echoing `id` lands in `ring` once the
-    /// device services it. A read below the begin address short-circuits —
-    /// the Truncated CQE is pushed into `ring` immediately and no SQE is
-    /// returned. Either way `reads_issued` is counted here; the reaper owns
-    /// the matching `reads_completed` increment (exactly once per CQE).
+    /// device services it, and the returned [`ReadSpan`] must be handed to
+    /// [`HybridLog::verify_extract`] with the CQE bytes. A read below the
+    /// begin address (Truncated) or into a quarantined page (Corrupt)
+    /// short-circuits — the error CQE is pushed into `ring` immediately and
+    /// no SQE is returned. Either way `reads_issued` is counted here; the
+    /// reaper owns the matching `reads_completed` increment.
     pub fn make_read_sqe(
         &self,
         id: u64,
         addr: Address,
         len: usize,
         ring: &Arc<CompletionRing>,
-    ) -> Option<Sqe> {
+    ) -> Option<(Sqe, ReadSpan)> {
         self.inner.metrics.reads_issued.inc();
         if addr < self.begin_address() {
             ring.push(Cqe { id, result: Err(IoError::Truncated { offset: addr.raw() }) });
             return None;
         }
-        Some(Sqe::read(id, addr.raw(), len, ring))
+        if self.inner.is_quarantined(addr.raw() / self.inner.cfg.page_size()) {
+            self.inner.note_corrupt_read(addr.raw());
+            ring.push(Cqe { id, result: Err(IoError::Corrupt { offset: addr.raw() }) });
+            return None;
+        }
+        let (phys, read_len, span) = self.inner.plan_read(addr.raw(), len);
+        Some((Sqe::read(id, phys, read_len, ring), span))
+    }
+
+    /// Verifies a completed cold read's bytes against the page's checksum
+    /// footer (per the plan built at issue time) and extracts the record
+    /// bytes. Returns [`IoError::Corrupt`] on any covered-group mismatch —
+    /// corrupted device bytes are never handed to a continuation.
+    pub fn verify_extract(&self, span: &ReadSpan, bytes: Vec<u8>) -> Result<Vec<u8>, IoError> {
+        self.inner.verify_extract(span, bytes)
+    }
+
+    /// Installs the storage-fault hook: called when a page is quarantined
+    /// or a cold read fails verification. Call before traffic; later
+    /// installs only see future faults.
+    pub fn set_fault_hook<H: Fn(&LogFault) + Send + Sync + 'static>(&self, hook: H) {
+        *self.inner.fault_hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Flush-machinery diagnosis: the contiguous frontier page, the
+    /// out-of-order completions above it (a stalled frontier names its
+    /// blocking pages), quarantined pages, and in-flight attempts.
+    pub fn flush_debug(&self) -> FlushDebug {
+        let (frontier_page, pending_above_frontier) = {
+            let t = self.inner.flush_tracker.lock();
+            (t.frontier(), t.pending_above_frontier())
+        };
+        FlushDebug {
+            frontier_page,
+            pending_above_frontier,
+            quarantined: self.inner.quarantined.lock().iter().copied().collect(),
+            inflight: self.inner.flush_inflight.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Blocks until no flush attempt — including retry chains — is in
+    /// flight. Retry budgets are bounded, so this terminates even on a dead
+    /// device. Durability protocols must call this before their flush
+    /// barrier: a barrier only covers writes already submitted, and a retry
+    /// chain re-submits *after* a barrier it raced with.
+    pub fn wait_flush_quiesced(&self) {
+        let mut pace = Backoff::new();
+        while self.inner.flush_inflight.load(Ordering::SeqCst) != 0 {
+            pace.snooze();
+        }
     }
 
     /// Installs the eviction hook (see `Inner::close_frames`). Call before
@@ -691,7 +833,17 @@ impl HybridLog {
         if addr.raw() > old {
             inner.metrics.bytes_truncated.add(addr.raw() - old);
         }
-        inner.device.truncate_below(addr.raw());
+        // Footers and quarantine marks of fully-truncated pages are moot;
+        // drop them so the caches don't grow with log lifetime.
+        let first_page = addr.raw() / inner.cfg.page_size();
+        inner.footers.lock().retain(|&p, _| p >= first_page);
+        inner.quarantined.lock().retain(|&p| p >= first_page);
+        // Device truncation is page-granular: checksum-span reads of records
+        // on the first live page start at its group-aligned page start, so
+        // the whole stride (data + footer) of that page must stay readable
+        // even when `begin` points mid-page. Logical reads below `begin` are
+        // already refused above the device layer.
+        inner.device.truncate_below(first_page * inner.stride());
     }
 
     /// Reports `bytes` of log content made dead by the store layer (a record
@@ -725,7 +877,8 @@ impl HybridLog {
     }
 
     /// Copies a full page image, from memory if resident, otherwise from the
-    /// device (blocking). Used by the log scanner (Appendix F).
+    /// device (blocking, checksum-verified). Used by the log scanner
+    /// (Appendix F).
     pub fn page_image(&self, page: u64) -> Result<Vec<u8>, IoError> {
         let inner = &*self.inner;
         let page_size = inner.cfg.page_size();
@@ -736,15 +889,52 @@ impl HybridLog {
             let fidx = (page % inner.cfg.buffer_pages) as usize;
             return Ok(inner.frames[fidx].snapshot());
         }
+        if inner.is_quarantined(page) {
+            inner.note_corrupt_read(start);
+            return Err(IoError::Corrupt { offset: start });
+        }
         let (tx, rx) = std::sync::mpsc::channel();
+        // Read the full stride (data + footer) so the image verifies in one
+        // round trip even when the footer isn't cached.
         self.inner.device.read_async(
-            start,
-            page_size as usize,
+            page * inner.stride(),
+            inner.stride() as usize,
             Box::new(move |r| {
                 let _ = tx.send(r);
             }),
         );
-        rx.recv().map_err(|_| IoError::Failed("device dropped request".into()))?
+        let mut bytes =
+            rx.recv().map_err(|_| IoError::Failed("device dropped request".into()))??;
+        let g = checksum::group_size(page_size);
+        // Bind the cache probe first: a `match` on the locked temporary
+        // would hold the guard across the arm that re-locks to insert.
+        let cached = inner.footers.lock().get(&page).cloned();
+        let footer = match cached {
+            Some(f) => Some(f),
+            None => bytes
+                .get(page_size as usize..)
+                .and_then(|fb| checksum::parse(page, page_size, fb))
+                .map(|p| {
+                    let p = Arc::new(p);
+                    inner.footers.lock().insert(page, Arc::clone(&p));
+                    p
+                }),
+        };
+        if let Some(f) = footer {
+            for gi in 0..checksum::group_count(page_size) as usize {
+                if !f.covers(gi, g) {
+                    continue;
+                }
+                let lo = gi * g as usize;
+                if faster_util::hash_bytes(&bytes[lo..lo + g as usize]) != f.sums[gi] {
+                    let offset = start + (gi as u64) * g;
+                    inner.note_corrupt_read(offset);
+                    return Err(IoError::Corrupt { offset });
+                }
+            }
+        }
+        bytes.truncate(page_size as usize);
+        Ok(bytes)
     }
 }
 
@@ -760,21 +950,43 @@ impl Inner {
         // Full pages advance the flush frontier; a trailing partial page
         // (checkpoint path: read-only shifted to a mid-page tail) is written
         // for durability but does not advance the frontier — it will be
-        // re-flushed in full when the page fills.
+        // re-flushed in full when the page fills. `sealed` records how much
+        // of the frame snapshot is immutable, bounding what the checksum
+        // footer covers (see the `checksum` module docs).
         for page in (old / page_size)..(new / page_size) {
-            self.flush_page(page, true);
+            self.flush_page(page, true, page_size);
         }
         if !new.is_multiple_of(page_size) {
-            self.flush_page(new / page_size, false);
+            self.flush_page(new / page_size, false, new % page_size);
         }
     }
 
     /// Issues the asynchronous flush of `page` (§5.2). When `track` is set,
-    /// completion advances the flushed-until frontier.
-    fn flush_page(self: &Arc<Inner>, page: u64, track: bool) {
-        let page_size = self.cfg.page_size();
+    /// completion advances the flushed-until frontier. `sealed` is the
+    /// immutable (safe-read-only-covered) prefix of the page in bytes.
+    fn flush_page(self: &Arc<Inner>, page: u64, track: bool, sealed: u64) {
+        self.flush_inflight.fetch_add(1, Ordering::SeqCst);
+        self.flush_page_attempt(page, track, sealed, 0);
+    }
+
+    /// One flush attempt. Transient device errors re-submit with `Backoff`
+    /// pacing up to [`MAX_FLUSH_RETRIES`]; budget exhaustion (or a permanent
+    /// error such as device-full) quarantines the page instead of wedging
+    /// the frontier. The frame is re-snapshotted per attempt — sealed bytes
+    /// are immutable, so every attempt agrees on the bytes the footer covers.
+    fn flush_page_attempt(self: &Arc<Inner>, page: u64, track: bool, sealed: u64, attempt: u32) {
         let fidx = (page % self.cfg.buffer_pages) as usize;
-        let data = self.frames[fidx].snapshot();
+        if attempt > 0 {
+            self.metrics.flush_retries.inc();
+            let mut pace = Backoff::new();
+            for _ in 0..attempt {
+                pace.snooze();
+            }
+        }
+        let mut data = self.frames[fidx].snapshot();
+        let (footer, parsed) = checksum::build(page, sealed, &data);
+        self.footers.lock().insert(page, Arc::new(parsed));
+        data.extend_from_slice(&footer);
         let weak = Arc::downgrade(self);
         self.metrics.flushes_issued.inc();
         // Submitted as an SQE on the device ring interface; the callback
@@ -782,7 +994,7 @@ impl Inner {
         // re-enters the epoch machinery, which must not run on the
         // submitting FASTER thread).
         self.device.submit(Sqe::write_cb(
-            page * page_size,
+            page * self.stride(),
             data,
             Box::new(move |res| {
                 if let Some(inner) = weak.upgrade() {
@@ -792,20 +1004,141 @@ impl Inner {
                             if track {
                                 inner.flush_complete(page);
                             }
+                            inner.flush_inflight.fetch_sub(1, Ordering::SeqCst);
                         }
-                        // A failed flush leaves flushed_until stalled
-                        // (allocation backpressure surfaces the problem
-                        // rather than losing data) and is counted so the
-                        // checkpoint commit path can refuse to declare the
-                        // log durable.
-                        Err(_) => {
+                        // Failed attempts feed the `flushes_failed` metric
+                        // but NOT `flush_failures`: a transient fault whose
+                        // retry lands leaves the device bytes intact, and
+                        // `checkpoint_durable` quiesces before sampling, so
+                        // only *terminal* outcomes (quarantine, barrier
+                        // failure) may poison its durability window.
+                        Err(err) => {
                             inner.metrics.flushes_failed.inc();
-                            inner.flush_failures.fetch_add(1, Ordering::SeqCst);
+                            let transient = matches!(err, IoError::Failed(_));
+                            if transient && attempt + 1 < MAX_FLUSH_RETRIES {
+                                inner.flush_page_attempt(page, track, sealed, attempt + 1);
+                            } else {
+                                inner.quarantine_page(page, track, err);
+                            }
                         }
                     }
                 }
             }),
         ));
+    }
+
+    /// Terminal flush failure: quarantine `page`. The frontier advances past
+    /// it — allocation and head advancement never wedge on a dead device —
+    /// but the page's bytes are untrusted: reads of it return
+    /// [`IoError::Corrupt`], `flush_failures` stays latched (no checkpoint
+    /// can declare the window durable), and the fault hook tells the store
+    /// to degrade to read-only.
+    fn quarantine_page(self: &Arc<Inner>, page: u64, track: bool, error: IoError) {
+        self.quarantined.lock().insert(page);
+        self.metrics.pages_quarantined.inc();
+        self.flush_failures.fetch_add(1, Ordering::SeqCst);
+        if track {
+            self.flush_complete(page);
+        }
+        self.flush_inflight.fetch_sub(1, Ordering::SeqCst);
+        if let Some(hook) = self.fault_hook.lock().as_ref() {
+            hook(&LogFault::PageQuarantined { page, error });
+        }
+    }
+
+    /// Device byte span per page (data + checksum footer).
+    fn stride(&self) -> u64 {
+        checksum::stride(self.cfg.page_size())
+    }
+
+    /// True when `page` was quarantined by a terminal flush failure.
+    fn is_quarantined(&self, page: u64) -> bool {
+        self.quarantined.lock().contains(&page)
+    }
+
+    fn note_corrupt_read(&self, offset: u64) {
+        self.metrics.corrupt_reads.inc();
+        if let Some(hook) = self.fault_hook.lock().as_ref() {
+            hook(&LogFault::CorruptRead { offset });
+        }
+    }
+
+    /// Plans a verified cold read of `len` record bytes at logical `a`:
+    /// returns the device offset, the read length, and the [`ReadSpan`] that
+    /// extracts/verifies the record from the returned bytes. The span is
+    /// widened to whole checksum groups; when the page's footer is not
+    /// cached (first cold read after recovery) the read extends through the
+    /// on-disk footer so verification needs no second I/O.
+    fn plan_read(&self, a: u64, len: usize) -> (u64, usize, ReadSpan) {
+        let page_size = self.cfg.page_size();
+        let g = checksum::group_size(page_size);
+        let page = a / page_size;
+        let offset = a % page_size;
+        let span_start = (offset / g) * g;
+        let footer = self.footers.lock().get(&page).cloned();
+        let read_len = match &footer {
+            Some(_) => {
+                let span_end = ((offset + len as u64).div_ceil(g) * g).min(page_size);
+                (span_end - span_start) as usize
+            }
+            None => ((page_size - span_start) + checksum::footer_len(page_size)) as usize,
+        };
+        (
+            page * self.stride() + span_start,
+            read_len,
+            ReadSpan { page, span_start, rec_off: (offset - span_start) as usize, rec_len: len, footer },
+        )
+    }
+
+    /// Checks a completed read's bytes against the page footer (cached at
+    /// issue time, or parsed from the tail of an extended read) and extracts
+    /// the record. Only *covered* groups — entirely below the footer's
+    /// sealed prefix — are verified; a mismatch there is genuine corruption
+    /// (sealed bytes never change in memory, see the `checksum` module) and
+    /// returns [`IoError::Corrupt`] instead of the bytes.
+    fn verify_extract(&self, span: &ReadSpan, bytes: Vec<u8>) -> Result<Vec<u8>, IoError> {
+        let page_size = self.cfg.page_size();
+        let g = checksum::group_size(page_size);
+        let footer = match &span.footer {
+            Some(f) => Some(Arc::clone(f)),
+            None => {
+                let foot_off = (page_size - span.span_start) as usize;
+                let parsed = bytes
+                    .get(foot_off..foot_off + checksum::footer_len(page_size) as usize)
+                    .and_then(|fb| checksum::parse(span.page, page_size, fb));
+                // A footer that fails its self-check (crash-torn) leaves the
+                // page served unverified — matching pre-checksum behavior.
+                parsed.map(|p| {
+                    let p = Arc::new(p);
+                    self.footers.lock().insert(span.page, Arc::clone(&p));
+                    p
+                })
+            }
+        };
+        if let Some(f) = footer {
+            let data_len = (bytes.len() as u64).min(page_size - span.span_start);
+            let first = span.span_start / g;
+            for i in 0..data_len / g {
+                let gi = (first + i) as usize;
+                if !f.covers(gi, g) {
+                    continue;
+                }
+                let lo = (i * g) as usize;
+                if faster_util::hash_bytes(&bytes[lo..lo + g as usize]) != f.sums[gi] {
+                    let offset = span.page * page_size + (gi as u64) * g;
+                    self.note_corrupt_read(offset);
+                    return Err(IoError::Corrupt { offset });
+                }
+            }
+        }
+        let end = span.rec_off + span.rec_len;
+        if end > bytes.len() {
+            return Err(IoError::OutOfRange {
+                offset: span.page * page_size + span.span_start,
+                len: span.rec_len,
+            });
+        }
+        Ok(bytes[span.rec_off..end].to_vec())
     }
 
     /// Flush-completion callback: advance the contiguous flushed frontier and

@@ -318,18 +318,36 @@ impl HashIndex {
         self.max_resize_chunks
     }
 
+    /// The table pointer for `version`, or `None` if the slot is empty. A
+    /// `None` means the status the caller routed on went stale between its
+    /// status and pointer loads — a resize completed in the gap and retired
+    /// that version (resizers null the old slot when they retire it) — so
+    /// the caller must reread the status and retry. A *non-null* pointer is
+    /// always safe to dereference: tables are only ever retired to the
+    /// graveyard (alive until Drop), never freed while the index lives.
     #[inline]
-    fn array(&self, version: usize) -> &BucketArray {
+    fn try_array(&self, version: usize) -> Option<&BucketArray> {
         let p = self.versions[version].load(Ordering::SeqCst);
-        debug_assert!(!p.is_null());
-        // Safety: table pointers are only retired to the graveyard (alive
-        // until Drop), never freed while the index lives.
-        unsafe { &*p }
+        if p.is_null() {
+            return None;
+        }
+        Some(unsafe { &*p })
     }
 
+    /// The active table, revalidated: retries until a status/pointer pair
+    /// agrees, so a concurrent resize can neither hand out a null slot nor
+    /// the next run's still-unmigrated table.
     #[inline]
     pub(crate) fn active_array(&self) -> &BucketArray {
-        self.array(self.status().version)
+        loop {
+            let s = self.status();
+            if let Some(arr) = self.try_array(s.version) {
+                if self.status() == s {
+                    return arr;
+                }
+            }
+            std::hint::spin_loop();
+        }
     }
 
     /// Finds the non-tentative entry for `hash`'s `(offset, tag)`, if any
@@ -448,11 +466,27 @@ impl HashIndex {
     fn route(&self, hash: KeyHash, guard: Option<&EpochGuard>) -> Route<'_> {
         let s = self.status();
         match s.phase {
-            Phase::Stable => Route::Table { array: self.array(s.version), pin: None },
+            Phase::Stable => {
+                // The status may go stale between its load and the pointer
+                // load: a guardless caller (no epoch to gate the flips) can
+                // observe a whole resize complete in the gap, leaving the
+                // slot null — or, one run later, holding the *next* run's
+                // still-unmigrated table. Revalidate the pair; the graveyard
+                // keeps a stale-but-revalidated array dereferenceable.
+                let Some(array) = self.try_array(s.version) else {
+                    return Route::Retry;
+                };
+                if self.status() != s {
+                    return Route::Retry;
+                }
+                Route::Table { array, pin: None }
+            }
             Phase::Prepare => {
                 // Version is still the old table; pin its chunk so migration
                 // cannot freeze it mid-operation.
-                let array = self.array(s.version);
+                let Some(array) = self.try_array(s.version) else {
+                    return Route::Retry;
+                };
                 let run = self.run.read().clone();
                 let Some(run) = run else {
                     // Run not yet published; transient - retry.
@@ -474,7 +508,9 @@ impl HashIndex {
                 // Version already points at the new table; make sure the
                 // source chunks feeding our bucket have been migrated,
                 // cooperatively migrating if needed.
-                let new_array = self.array(s.version);
+                let Some(new_array) = self.try_array(s.version) else {
+                    return Route::Retry;
+                };
                 let run = self.run.read().clone();
                 let Some(run) = run else { return Route::Retry };
                 if !resize::run_matches(&run, s) {

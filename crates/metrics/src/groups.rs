@@ -54,6 +54,16 @@ pub struct HlogMetrics {
     pub flushes_completed: Counter,
     /// Page flushes whose completion callback reported an error.
     pub flushes_failed: Counter,
+    /// Flush attempts re-submitted after a transient device write error
+    /// (each also re-counted in `flushes_issued`).
+    pub flush_retries: Counter,
+    /// Pages whose flush exhausted its retry budget (or hit a permanent
+    /// error) and were quarantined: the frontier advanced past them, their
+    /// on-disk bytes are untrusted, and reads of them return `Corrupt`.
+    pub pages_quarantined: Counter,
+    /// Cold reads whose bytes failed checksum verification (includes reads
+    /// short-circuited by a quarantined page).
+    pub corrupt_reads: Counter,
     /// In-memory frames evicted when the head advanced.
     pub frames_evicted: Counter,
     /// Record reads issued to the device (`read_async`).

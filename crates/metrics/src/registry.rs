@@ -104,6 +104,7 @@ impl MetricsRegistry {
                 group_size: self.wal.group_size.snapshot(),
                 commit_latency: self.wal.commit_latency.snapshot(),
             },
+            health: HealthSnapshot::default(),
         }
     }
 }
@@ -116,6 +117,9 @@ fn hlog_snapshot(m: &HlogMetrics) -> HlogSnapshot {
         flushes_issued: m.flushes_issued.get(),
         flushes_completed: m.flushes_completed.get(),
         flushes_failed: m.flushes_failed.get(),
+        flush_retries: m.flush_retries.get(),
+        pages_quarantined: m.pages_quarantined.get(),
+        corrupt_reads: m.corrupt_reads.get(),
         frames_evicted: m.frames_evicted.get(),
         reads_issued: m.reads_issued.get(),
         reads_completed: m.reads_completed.get(),
@@ -182,6 +186,9 @@ pub struct HlogSnapshot {
     pub flushes_issued: u64,
     pub flushes_completed: u64,
     pub flushes_failed: u64,
+    pub flush_retries: u64,
+    pub pages_quarantined: u64,
+    pub corrupt_reads: u64,
     pub frames_evicted: u64,
     pub reads_issued: u64,
     pub reads_completed: u64,
@@ -282,6 +289,23 @@ pub struct WalSnapshot {
     pub commit_latency: HistogramSnapshot,
 }
 
+/// Store health (the degradation ladder), filled by `FasterKv::metrics()`
+/// from the live health cell — the registry itself has no health state.
+#[derive(Clone, Debug)]
+pub struct HealthSnapshot {
+    /// 0 = healthy, 1 = degraded, 2 = read-only.
+    pub state: u64,
+    /// Token naming the reason for the current state (`none` when healthy;
+    /// e.g. `flush_quarantine`, `device_full`, `wal_failed`, `corrupt_read`).
+    pub reason: String,
+}
+
+impl Default for HealthSnapshot {
+    fn default() -> Self {
+        Self { state: 0, reason: "none".to_string() }
+    }
+}
+
 /// Device byte/op totals, pulled from `DeviceStats` at snapshot time.
 #[derive(Clone, Debug, Default)]
 pub struct StorageSnapshot {
@@ -302,6 +326,7 @@ pub struct StoreMetrics {
     pub sessions: SessionsSnapshot,
     pub storage: StorageSnapshot,
     pub wal: WalSnapshot,
+    pub health: HealthSnapshot,
 }
 
 impl StoreMetrics {
@@ -369,6 +394,9 @@ impl StoreMetrics {
             push_line(&mut out, &format!("{prefix}.flushes_issued"), h.flushes_issued);
             push_line(&mut out, &format!("{prefix}.flushes_completed"), h.flushes_completed);
             push_line(&mut out, &format!("{prefix}.flushes_failed"), h.flushes_failed);
+            push_line(&mut out, &format!("{prefix}.flush_retries"), h.flush_retries);
+            push_line(&mut out, &format!("{prefix}.pages_quarantined"), h.pages_quarantined);
+            push_line(&mut out, &format!("{prefix}.corrupt_reads"), h.corrupt_reads);
             push_line(&mut out, &format!("{prefix}.frames_evicted"), h.frames_evicted);
             push_line(&mut out, &format!("{prefix}.reads_issued"), h.reads_issued);
             push_line(&mut out, &format!("{prefix}.reads_completed"), h.reads_completed);
@@ -388,6 +416,8 @@ impl StoreMetrics {
             push_line(&mut out, "read_cache.inserts", rc.inserts);
             out.push_str(&format!("read_cache.hit_rate {:.4}\n", rc.hit_rate()));
         }
+        push_line(&mut out, "health.state", self.health.state);
+        out.push_str(&format!("health.reason {}\n", self.health.reason));
         push_line(&mut out, "storage.bytes_written", self.storage.bytes_written);
         push_line(&mut out, "storage.bytes_read", self.storage.bytes_read);
         push_line(&mut out, "storage.device_writes", self.storage.device_writes);
@@ -456,6 +486,9 @@ impl StoreMetrics {
                 ("flushes_issued", h.flushes_issued.to_string()),
                 ("flushes_completed", h.flushes_completed.to_string()),
                 ("flushes_failed", h.flushes_failed.to_string()),
+                ("flush_retries", h.flush_retries.to_string()),
+                ("pages_quarantined", h.pages_quarantined.to_string()),
+                ("corrupt_reads", h.corrupt_reads.to_string()),
                 ("frames_evicted", h.frames_evicted.to_string()),
                 ("reads_issued", h.reads_issued.to_string()),
                 ("reads_completed", h.reads_completed.to_string()),
@@ -527,6 +560,13 @@ impl StoreMetrics {
             ("hlog", hlog(&self.hlog)),
             ("rc_log", hlog(&self.rc_log)),
             (
+                "health",
+                obj(&[
+                    ("state", self.health.state.to_string()),
+                    ("reason", format!("\"{}\"", self.health.reason)),
+                ]),
+            ),
+            (
                 "storage",
                 obj(&[
                     ("bytes_written", self.storage.bytes_written.to_string()),
@@ -595,7 +635,10 @@ mod tests {
             assert!(text.contains("index.probe_steps 7\n"));
         }
         assert!(text.contains("index.k_bits 13\n"));
+        assert!(text.contains("health.state 0\n"));
+        assert!(text.contains("health.reason none\n"));
         let json = snap.to_json();
+        assert!(json.contains("\"health\":{\"state\":0,\"reason\":\"none\"}"));
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"k_bits\":13"));
         assert!(json.contains("\"read_cache\""));

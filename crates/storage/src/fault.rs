@@ -22,7 +22,17 @@
 //! cache that lies: the write is acknowledged `Ok` to the caller but never
 //! reaches the inner device. Transient read faults model bus resets / ECC
 //! hiccups: the scripted read attempt fails with [`IoError::Failed`], while
-//! a retry (a later read sequence number) succeeds.
+//! a retry (a later read sequence number) succeeds. Transient **write**
+//! faults ([`FaultDevice::fail_write_at`] / [`FaultDevice::fail_next_writes`]
+//! / [`FaultDevice::set_write_fault_rate`]) are the write-side mirror: the
+//! scripted write fails with [`IoError::Failed`] and persists nothing, but
+//! the device stays alive and a resubmission (a later write sequence
+//! number) succeeds — the `EIO`-then-fine behavior the flush-retry path
+//! must survive. A scripted capacity limit
+//! ([`FaultDevice::set_full_after_bytes`]) fails every write that would
+//! push the forwarded byte total past the limit with [`IoError::Full`]
+//! (permanent until the limit is raised), modelling a disk running out of
+//! space mid-flush.
 //!
 //! Every decision is keyed on a monotone sequence number (writes, reads,
 //! and flush barriers counted separately, in submission order), so a fault
@@ -119,6 +129,17 @@ struct FaultPlan {
     fail_next_reads: u32,
     /// Flush barriers that fail (return `Err`) without crashing the domain.
     fail_flushes: HashSet<u64>,
+    /// Individual writes that fail transiently (error-returning, non-crash,
+    /// nothing persisted).
+    fail_writes: HashSet<u64>,
+    /// Unconditionally fail this many upcoming writes (transient).
+    fail_next_writes: u32,
+    /// Seeded transient write-fault rate (same schedule math as reads,
+    /// keyed on the write sequence number).
+    write_fault: Option<ReadFaultRate>,
+    /// Capacity limit: a write that would push the forwarded byte total
+    /// past this fails with [`IoError::Full`].
+    full_after_bytes: Option<u64>,
 }
 
 enum WriteDecision {
@@ -127,6 +148,8 @@ enum WriteDecision {
     AckDrop,
     /// Persist a prefix of this many bytes, then crash.
     Crash(usize),
+    /// Fail with this error without persisting; the device stays alive.
+    Fail(IoError),
     /// Already crashed: refuse.
     Refuse,
 }
@@ -145,6 +168,9 @@ struct DomainState {
     rsn: AtomicU64,
     fsn: AtomicU64,
     crashed: AtomicBool,
+    /// Bytes forwarded to inner devices (the capacity-limit accumulator;
+    /// dropped and failed writes don't count — they never hit the medium).
+    bytes_forwarded: AtomicU64,
 }
 
 impl Default for FaultDomain {
@@ -163,6 +189,7 @@ impl FaultDomain {
                 rsn: AtomicU64::new(0),
                 fsn: AtomicU64::new(0),
                 crashed: AtomicBool::new(false),
+                bytes_forwarded: AtomicU64::new(0),
             }),
         }
     }
@@ -212,6 +239,32 @@ impl FaultDomain {
         self.state.plan.lock().read_fault = rate;
     }
 
+    /// Scripts the write `after` submissions from now to fail transiently
+    /// (error returned, nothing persisted, device stays alive).
+    pub fn fail_write_at(&self, after: u64) {
+        self.state.plan.lock().fail_writes.insert(self.state.wsn.load(Ordering::SeqCst) + after);
+    }
+
+    /// Fails the next `n` writes unconditionally (transient).
+    pub fn fail_next_writes(&self, n: u32) {
+        self.state.plan.lock().fail_next_writes = n;
+    }
+
+    /// Installs (or clears) a seeded transient write-fault rate (the same
+    /// schedule math as [`ReadFaultRate`], keyed on write sequence numbers).
+    pub fn set_write_fault_rate(&self, rate: Option<ReadFaultRate>) {
+        self.state.plan.lock().write_fault = rate;
+    }
+
+    /// Scripts the device to run out of space after `n` more forwarded
+    /// bytes: a write that would push the forwarded byte total past the
+    /// limit fails with [`IoError::Full`]. `None` clears the limit.
+    pub fn set_full_after_bytes(&self, n: Option<u64>) {
+        let mut plan = self.state.plan.lock();
+        plan.full_after_bytes =
+            n.map(|n| self.state.bytes_forwarded.load(Ordering::SeqCst).saturating_add(n));
+    }
+
     /// True once a crash point has been hit.
     pub fn crashed(&self) -> bool {
         self.state.crashed.load(Ordering::SeqCst)
@@ -232,7 +285,7 @@ impl FaultDomain {
         self.state.fsn.load(Ordering::SeqCst)
     }
 
-    fn decide_write(&self, wsn: u64, len: usize, sector: usize) -> WriteDecision {
+    fn decide_write(&self, wsn: u64, offset: u64, len: usize, sector: usize) -> WriteDecision {
         if self.crashed() {
             return WriteDecision::Refuse;
         }
@@ -254,9 +307,27 @@ impl FaultDomain {
             }
             _ => {}
         }
+        if plan.fail_next_writes > 0 {
+            plan.fail_next_writes -= 1;
+            return WriteDecision::Fail(IoError::Failed("injected transient write fault".into()));
+        }
+        if plan.fail_writes.remove(&wsn) {
+            return WriteDecision::Fail(IoError::Failed("scripted transient write fault".into()));
+        }
+        if let Some(rate) = plan.write_fault {
+            if rate.hits(wsn) {
+                return WriteDecision::Fail(IoError::Failed("seeded transient write fault".into()));
+            }
+        }
+        if let Some(limit) = plan.full_after_bytes {
+            if self.state.bytes_forwarded.load(Ordering::SeqCst) + len as u64 > limit {
+                return WriteDecision::Fail(IoError::Full { offset });
+            }
+        }
         if plan.drop_writes.remove(&wsn) {
             WriteDecision::AckDrop
         } else {
+            self.state.bytes_forwarded.fetch_add(len as u64, Ordering::SeqCst);
             WriteDecision::Forward
         }
     }
@@ -374,6 +445,28 @@ impl FaultDevice {
         self.domain.set_read_fault_rate(rate);
     }
 
+    /// Scripts the write `after` submissions from now to fail transiently
+    /// (error returned, nothing persisted, device stays alive).
+    pub fn fail_write_at(&self, after: u64) {
+        self.domain.fail_write_at(after);
+    }
+
+    /// Fails the next `n` writes unconditionally (transient).
+    pub fn fail_next_writes(&self, n: u32) {
+        self.domain.fail_next_writes(n);
+    }
+
+    /// Installs (or clears) a seeded transient write-fault rate.
+    pub fn set_write_fault_rate(&self, rate: Option<ReadFaultRate>) {
+        self.domain.set_write_fault_rate(rate);
+    }
+
+    /// Scripts the device to run out of space after `n` more forwarded
+    /// bytes ([`IoError::Full`] on the write that would exceed it).
+    pub fn set_full_after_bytes(&self, n: Option<u64>) {
+        self.domain.set_full_after_bytes(n);
+    }
+
     /// True once the crash point has been hit.
     pub fn crashed(&self) -> bool {
         self.domain.crashed()
@@ -401,11 +494,12 @@ impl Device for FaultDevice {
             SqeOp::Write { offset, data } => {
                 self.stats.record_write(data.len());
                 let wsn = self.domain.state.wsn.fetch_add(1, Ordering::SeqCst);
-                match self.domain.decide_write(wsn, data.len(), self.inner.sector_size()) {
+                match self.domain.decide_write(wsn, offset, data.len(), self.inner.sector_size()) {
                     WriteDecision::Forward => {
                         self.inner.submit(Sqe::from_parts(SqeOp::Write { offset, data }, completion))
                     }
                     WriteDecision::AckDrop => completion.complete(Ok(Vec::new())),
+                    WriteDecision::Fail(err) => completion.complete(Err(err)),
                     WriteDecision::Crash(keep) => {
                         // Order matters: mark crashed before persisting the torn
                         // prefix so every concurrent submission already refuses.
@@ -642,6 +736,57 @@ mod tests {
         write_blocking(&*d, 64, vec![4u8; 64]).unwrap();
         assert_eq!(read_blocking(&*d, 64, 64).unwrap(), vec![4u8; 64]);
         assert_eq!(d.domain().flushes_issued(), 4);
+    }
+
+    #[test]
+    fn scripted_write_faults_are_transient_and_persist_nothing() {
+        let inner = MemDevice::new(1);
+        let d = FaultDevice::wrap(inner.clone());
+        write_blocking(&*d, 0, vec![1u8; 128]).unwrap();
+        d.fail_write_at(0);
+        assert!(matches!(
+            write_blocking(&*d, 0, vec![2u8; 128]),
+            Err(IoError::Failed(_))
+        ));
+        // The failed write never reached the medium; the device stays alive
+        // and the resubmission (a later wsn) succeeds.
+        assert!(!d.crashed());
+        assert_eq!(read_blocking(&*inner, 0, 128).unwrap(), vec![1u8; 128]);
+        write_blocking(&*d, 0, vec![2u8; 128]).unwrap();
+        assert_eq!(read_blocking(&*inner, 0, 128).unwrap(), vec![2u8; 128]);
+
+        d.fail_next_writes(2);
+        assert!(write_blocking(&*d, 128, vec![3u8; 64]).is_err());
+        assert!(write_blocking(&*d, 128, vec![3u8; 64]).is_err());
+        write_blocking(&*d, 128, vec![3u8; 64]).unwrap();
+
+        d.set_write_fault_rate(Some(ReadFaultRate { seed: 9, num: 1, den: 1 }));
+        assert!(write_blocking(&*d, 256, vec![4u8; 64]).is_err());
+        d.set_write_fault_rate(Some(ReadFaultRate { seed: 9, num: 0, den: 1 }));
+        write_blocking(&*d, 256, vec![4u8; 64]).unwrap();
+        d.set_write_fault_rate(None);
+    }
+
+    #[test]
+    fn device_full_fails_the_overflowing_write_permanently() {
+        let inner = MemDevice::new(1);
+        let d = FaultDevice::wrap(inner.clone());
+        write_blocking(&*d, 0, vec![1u8; 256]).unwrap();
+        d.set_full_after_bytes(Some(512));
+        write_blocking(&*d, 256, vec![2u8; 512]).unwrap(); // exactly at the limit
+        assert_eq!(
+            write_blocking(&*d, 768, vec![3u8; 1]),
+            Err(IoError::Full { offset: 768 })
+        );
+        // Full is sticky until the limit is raised; the device never crashed.
+        assert_eq!(
+            write_blocking(&*d, 768, vec![3u8; 1]),
+            Err(IoError::Full { offset: 768 })
+        );
+        assert!(!d.crashed());
+        assert_eq!(read_blocking(&*d, 256, 512).unwrap(), vec![2u8; 512]);
+        d.set_full_after_bytes(None);
+        write_blocking(&*d, 768, vec![3u8; 64]).unwrap();
     }
 
     #[test]

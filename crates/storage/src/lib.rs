@@ -48,6 +48,12 @@ pub enum IoError {
     Truncated { offset: u64 },
     /// Injected fault (tests) or underlying OS error.
     Failed(String),
+    /// The bytes at `offset` failed checksum verification: the device
+    /// returned data, but it is not what was written (torn write, bit rot,
+    /// or a quarantined page whose contents were never persisted).
+    Corrupt { offset: u64 },
+    /// The device ran out of space; the write at `offset` was not persisted.
+    Full { offset: u64 },
     /// Reads are unsupported on this device (e.g. [`NullDevice`]).
     Unsupported,
 }
@@ -60,6 +66,10 @@ impl std::fmt::Display for IoError {
             }
             IoError::Truncated { offset } => write!(f, "offset {offset} was truncated away"),
             IoError::Failed(msg) => write!(f, "I/O failed: {msg}"),
+            IoError::Corrupt { offset } => {
+                write!(f, "data at offset {offset} failed checksum verification")
+            }
+            IoError::Full { offset } => write!(f, "device full: write at {offset} not persisted"),
             IoError::Unsupported => write!(f, "operation unsupported by this device"),
         }
     }
@@ -289,5 +299,7 @@ mod tests {
         assert!(IoError::OutOfRange { offset: 5, len: 10 }.to_string().contains("out of range"));
         assert!(IoError::Truncated { offset: 9 }.to_string().contains("truncated"));
         assert!(IoError::Failed("boom".into()).to_string().contains("boom"));
+        assert!(IoError::Corrupt { offset: 4096 }.to_string().contains("checksum"));
+        assert!(IoError::Full { offset: 8192 }.to_string().contains("full"));
     }
 }

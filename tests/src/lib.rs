@@ -30,6 +30,33 @@ where
     }
 }
 
+/// Like [`read_blocking`], but surfaces a failed pending read as `Err`
+/// instead of panicking — resilience tests assert on the typed error
+/// (`IoError::Corrupt`, exhausted-retry `IoError::Failed`, ...).
+pub fn read_result<V: Pod, F>(
+    session: &Session<u64, V, F>,
+    key: u64,
+) -> Result<Option<F::Output>, faster_storage::IoError>
+where
+    F: Functions<u64, V, Input = u64>,
+{
+    match session.read(&key, &0) {
+        ReadResult::Found(v) => Ok(Some(v)),
+        ReadResult::NotFound => Ok(None),
+        ReadResult::Pending(id) => {
+            let done = session.complete_pending(true);
+            for op in done {
+                match op {
+                    CompletedOp::Read { id: did, result } if did == id => return Ok(result),
+                    CompletedOp::Failed { id: did, error } if did == id => return Err(error),
+                    _ => {}
+                }
+            }
+            panic!("pending read {id} never completed");
+        }
+    }
+}
+
 /// RMW that always runs to completion.
 pub fn rmw_blocking<V: Pod, F>(session: &Session<u64, V, F>, key: u64, input: u64)
 where
