@@ -16,7 +16,7 @@
 //!    cache hit rate from the new metrics counters.
 
 use faster_bench::*;
-use faster_core::{BlindKv, CountStore, FasterKv, FasterKvConfig, ReadResult};
+use faster_core::{BlindKv, CountStore, FasterKv, FasterKvConfig, OpError};
 use faster_hlog::HLogConfig;
 use faster_storage::{Device, LatencyModel, MemDevice};
 use faster_ycsb::{Distribution, Mix, WorkloadConfig};
@@ -76,7 +76,7 @@ fn main() {
         {
             let s = store.start_session();
             for k in 0..cold_keys {
-                s.upsert(&k, &k);
+                s.upsert(&k, &k).unwrap();
             }
             store.log().flush_barrier().unwrap();
         }
@@ -88,14 +88,13 @@ fn main() {
         let mut ops = 0u64;
         while start.elapsed() < dur {
             let op = gen.next_op();
-            if let ReadResult::Pending(_) = session.read(&op.key, &0) {
+            if let Err(OpError::Pending(_)) = session.read(&op.key, &0) {
                 session.complete_pending(true);
             }
             ops += 1;
         }
         let mops = ops as f64 / start.elapsed().as_secs_f64() / 1e6;
-        #[allow(deprecated)] // Session::stats shim
-        let io = session.stats().io_pending;
+        let io = store.metrics().sessions.totals.io_issued;
         println!(
             "ablation-readcache enabled={enabled:5} {mops:8.3} Mops ({io} disk reads, {} device reads)",
             device.stats().reads
@@ -125,7 +124,7 @@ fn main() {
             FasterKv::new(cfg, BlindKv::new(), MemDevice::new(2));
         let session = store.start_session();
         for k in 0..chain_keys {
-            session.upsert(&k, &k);
+            session.upsert(&k, &k).unwrap();
         }
         session.complete_pending(true);
         let wl = WorkloadConfig::new(chain_keys, Mix::r_bu(100, 0), Distribution::Uniform);
@@ -162,7 +161,7 @@ fn main() {
         {
             let s = store.start_session();
             for k in 0..cold_keys {
-                s.upsert(&k, &k);
+                s.upsert(&k, &k).unwrap();
             }
             store.log().flush_barrier().unwrap();
         }
@@ -176,7 +175,7 @@ fn main() {
             keys_buf.clear();
             keys_buf.extend((0..batch).map(|_| gen.next_op().key));
             let rs = session.read_batch(&keys_buf, &0);
-            if rs.iter().any(|r| matches!(r, ReadResult::Pending(_))) {
+            if rs.iter().any(|r| matches!(r, Err(OpError::Pending(_)))) {
                 session.complete_pending(true);
             }
             ops += batch as u64;

@@ -12,7 +12,7 @@
 //! (default 64), `FASTER_BENCH_OPS` (default 4 M per mode).
 
 use faster_bench::{in_memory_log, SumStore};
-use faster_core::{FasterKv, FasterKvConfig, ReadResult};
+use faster_core::{FasterKv, FasterKvConfig, Outcome};
 use faster_storage::MemDevice;
 use faster_util::XorShift64;
 use std::time::Instant;
@@ -50,7 +50,7 @@ fn main() {
     );
     let session = store.start_session();
     for k in 0..keys {
-        session.upsert(&k, &k);
+        session.upsert(&k, &k).unwrap();
     }
     session.complete_pending(true);
 
@@ -69,7 +69,7 @@ fn main() {
     let t = Instant::now();
     let mut found = 0u64;
     for k in &stream {
-        if let ReadResult::Found(v) = session.read(k, &0) {
+        if let Ok(Outcome::Value(v)) = session.read(k, &0) {
             found += std::hint::black_box(v) & 1;
         }
     }
@@ -78,7 +78,7 @@ fn main() {
     let t = Instant::now();
     for chunk in stream.chunks(batch) {
         for r in session.read_batch(chunk, &0) {
-            if let ReadResult::Found(v) = r {
+            if let Ok(Outcome::Value(v)) = r {
                 found += std::hint::black_box(v) & 1;
             }
         }
@@ -87,7 +87,7 @@ fn main() {
 
     let t = Instant::now();
     for k in &stream {
-        std::hint::black_box(session.rmw(k, &1));
+        std::hint::black_box(session.rmw(k, &1)).unwrap();
     }
     let scalar_rmw = report("scalar_rmw", 1, total_ops, t.elapsed().as_secs_f64());
 

@@ -55,7 +55,7 @@ fn main() {
             let session = store.start_session();
             let base = g * keys_per_gen;
             for k in base..base + keys_per_gen {
-                session.upsert(&k, &(k + 1));
+                session.upsert(&k, &(k + 1)).unwrap();
             }
             session.complete_pending(true);
         }

@@ -16,7 +16,7 @@
 //! (seconds per depth, default 1.0).
 
 use faster_bench::SumStore;
-use faster_core::{FasterKv, FasterKvConfig, ReadResult};
+use faster_core::{FasterKv, FasterKvConfig, OpError};
 use faster_hlog::HLogConfig;
 use faster_storage::{LatencyModel, MemDevice};
 use faster_util::XorShift64;
@@ -45,7 +45,7 @@ fn main() {
     );
     let session = store.start_session();
     for k in 0..keys {
-        session.upsert(&k, &k);
+        session.upsert(&k, &k).unwrap();
     }
     session.complete_pending(true);
     store.log().flush_barrier().unwrap();
@@ -60,7 +60,7 @@ fn main() {
             let mut pending = false;
             for _ in 0..depth {
                 let k = rng.next_below(keys);
-                if matches!(session.read(&k, &0), ReadResult::Pending(_)) {
+                if matches!(session.read(&k, &0), Err(OpError::Pending(_))) {
                     pending = true;
                 }
             }
@@ -74,7 +74,7 @@ fn main() {
             let mut pending = false;
             for _ in 0..depth {
                 let k = rng.next_below(keys);
-                if matches!(session.read(&k, &0), ReadResult::Pending(_)) {
+                if matches!(session.read(&k, &0), Err(OpError::Pending(_))) {
                     pending = true;
                     io_pending += 1;
                 }

@@ -17,7 +17,7 @@
 
 use faster_bench::{in_memory_log, SumStore};
 use faster_core::maintenance::{Policy, PolicyConfig};
-use faster_core::{FasterKv, FasterKvConfig, ReadResult};
+use faster_core::{FasterKv, FasterKvConfig, Outcome};
 use faster_index::IndexConfig;
 use faster_storage::MemDevice;
 use faster_util::XorShift64;
@@ -73,7 +73,7 @@ fn main() {
     let session = store.start_session();
     let t0 = Instant::now();
     for k in 0..keys {
-        session.upsert(&k, &k);
+        session.upsert(&k, &k).unwrap();
     }
     session.complete_pending(true);
     let load_secs = t0.elapsed().as_secs_f64();
@@ -84,7 +84,7 @@ fn main() {
     let round = (keys / 4).max(1 << 16);
     let mut m0 = store.metrics();
     for _ in 0..round {
-        std::hint::black_box(session.read(&rng.next_below(keys), &0));
+        std::hint::black_box(session.read(&rng.next_below(keys), &0)).unwrap();
     }
     let probe_start = window_probe_len(&m0, &store.metrics());
 
@@ -95,7 +95,7 @@ fn main() {
     loop {
         m0 = store.metrics();
         for _ in 0..round {
-            std::hint::black_box(session.read(&rng.next_below(keys), &0));
+            std::hint::black_box(session.read(&rng.next_below(keys), &0)).unwrap();
         }
         probe_final = window_probe_len(&m0, &store.metrics());
         if probe_final <= 1.5 || tune0.elapsed() > deadline {
@@ -108,7 +108,7 @@ fn main() {
     let m = store.metrics();
     let mut hits = 0u64;
     for _ in 0..1024 {
-        if let ReadResult::Found(_) = session.read(&rng.next_below(keys), &0) {
+        if let Ok(Outcome::Value(_)) = session.read(&rng.next_below(keys), &0) {
             hits += 1;
         }
     }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use faster_bench::SumStore;
-use faster_core::{FasterKv, FasterKvConfig, ReadResult};
+use faster_core::{FasterKv, FasterKvConfig, Outcome};
 use faster_epoch::Epoch;
 use faster_hlog::{HLogConfig, HybridLog};
 use faster_index::{CreateOutcome, HashIndex, IndexConfig};
@@ -93,14 +93,14 @@ fn bench_store_ops(c: &mut Criterion) {
     );
     let session = store.start_session();
     for k in 0..(1u64 << 16) {
-        session.upsert(&k, &1);
+        session.upsert(&k, &1).unwrap();
     }
     c.bench_function("faster_read_hot", |b| {
         let mut k = 0u64;
         b.iter(|| {
             k = (k + 1) & 0xFFFF;
             match session.read(&k, &0) {
-                ReadResult::Found(v) => std::hint::black_box(v),
+                Ok(Outcome::Value(v)) => std::hint::black_box(v),
                 _ => 0,
             }
         })

@@ -15,8 +15,7 @@
 //! thread sweep.
 
 use faster_core::{
-    BatchOp, BatchOutcome, CompletedOp, FasterKv, FasterKvConfig, Functions, ReadResult,
-    RmwResult, Session, SessionStats,
+    BatchOp, FasterKv, FasterKvConfig, Functions, OpError, Outcome, Session,
 };
 use faster_hlog::HLogConfig;
 use faster_storage::{Device, MemDevice};
@@ -80,22 +79,50 @@ pub fn emit(figure: &str, series: &str, x: impl std::fmt::Display, y: impl std::
 pub struct BenchResult {
     /// Millions of operations per second.
     pub mops: f64,
-    /// Aggregated per-session stats.
-    pub stats: SessionStats,
+    /// Operation counters over the measurement window (store-wide registry
+    /// deltas — the per-session stats shim is gone).
+    pub stats: OpStats,
     /// Log growth over the measurement, MB/s (HybridLog only).
     pub log_growth_mb_s: f64,
 }
 
-fn add_stats(a: &mut SessionStats, b: SessionStats) {
-    a.reads += b.reads;
-    a.upserts += b.upserts;
-    a.rmws += b.rmws;
-    a.deletes += b.deletes;
-    a.in_place += b.in_place;
-    a.copies += b.copies;
-    a.fuzzy_pending += b.fuzzy_pending;
-    a.io_pending += b.io_pending;
-    a.deltas += b.deltas;
+/// Aggregated operation counters over one measurement, diffed from
+/// [`FasterKv::metrics`] snapshots taken before and after the run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpStats {
+    pub reads: u64,
+    pub upserts: u64,
+    pub rmws: u64,
+    pub deletes: u64,
+    /// In-place updates (mutable region hits).
+    pub in_place: u64,
+    /// Read-copy-updates (records copied to the tail).
+    pub copies: u64,
+    /// RMWs deferred because the record was in the fuzzy region (§6.3).
+    pub fuzzy_pending: u64,
+    /// Operations that issued disk I/O.
+    pub io_pending: u64,
+    /// CRDT delta records created (§6.3).
+    pub deltas: u64,
+}
+
+/// Counter deltas between two store snapshots.
+pub fn op_stats_delta(
+    before: &faster_metrics::StoreMetrics,
+    after: &faster_metrics::StoreMetrics,
+) -> OpStats {
+    let (b, a) = (&before.sessions.totals, &after.sessions.totals);
+    OpStats {
+        reads: a.reads - b.reads,
+        upserts: a.upserts - b.upserts,
+        rmws: a.rmws - b.rmws,
+        deletes: a.deletes - b.deletes,
+        in_place: a.in_place - b.in_place,
+        copies: a.rcu - b.rcu,
+        fuzzy_pending: a.fuzzy_pending - b.fuzzy_pending,
+        io_pending: a.io_issued - b.io_issued,
+        deltas: a.deltas - b.deltas,
+    }
 }
 
 /// Builds a FASTER store with the paper's defaults: index at #keys/2
@@ -131,12 +158,12 @@ pub fn apply_faster_op<V: Pod, F: Functions<u64, V>>(
     upsert_value: &V,
 ) -> bool {
     match kind {
-        OpKind::Read => matches!(session.read(&key, read_input), ReadResult::Pending(_)),
+        OpKind::Read => matches!(session.read(&key, read_input), Err(OpError::Pending(_))),
         OpKind::Upsert => {
-            session.upsert(&key, upsert_value);
+            session.upsert(&key, upsert_value).expect("bench store is writable");
             false
         }
-        OpKind::Rmw => matches!(session.rmw(&key, rmw_input), RmwResult::Pending(_)),
+        OpKind::Rmw => matches!(session.rmw(&key, rmw_input), Err(OpError::Pending(_))),
     }
 }
 
@@ -163,12 +190,7 @@ where
         OpKind::Upsert => BatchOp::Upsert { key: op.key, value: upsert_value(op.input) },
         OpKind::Rmw => BatchOp::Rmw { key: op.key, input: rmw_input(op.input) },
     }));
-    session.execute_batch(scratch).iter().any(|outcome| {
-        matches!(
-            outcome,
-            BatchOutcome::Read(ReadResult::Pending(_)) | BatchOutcome::Rmw(RmwResult::Pending(_))
-        )
-    })
+    session.execute_batch(scratch).iter().any(|outcome| matches!(outcome, Err(OpError::Pending(_))))
 }
 
 /// Non-mergeable per-key running sum: identical update logic to
@@ -285,22 +307,20 @@ where
                 }
             }
             session.complete_pending(true);
-            #[allow(deprecated)] // Session::stats shim
-            (ops, session.stats())
+            ops
         }));
     }
+    let m_before = store.metrics();
     barrier.wait();
     let start = Instant::now();
     std::thread::sleep(duration);
     stop.store(true, Ordering::SeqCst);
     let mut total_ops = 0u64;
-    let mut stats = SessionStats::default();
     for h in handles {
-        let (ops, st) = h.join().expect("bench worker");
-        total_ops += ops;
-        add_stats(&mut stats, st);
+        total_ops += h.join().expect("bench worker");
     }
     let secs = start.elapsed().as_secs_f64();
+    let stats = op_stats_delta(&m_before, &store.metrics());
     let log_growth =
         (store.log().tail_address().raw() - log_bytes_before) as f64 / secs / (1 << 20) as f64;
     BenchResult { mops: total_ops as f64 / secs / 1e6, stats, log_growth_mb_s: log_growth }
@@ -313,7 +333,7 @@ pub fn preload_counts<F: Functions<u64, u64, Input = u64, Output = u64>>(
 ) {
     let session = store.start_session();
     for k in 0..keys {
-        session.upsert(&k, &0);
+        session.upsert(&k, &0).expect("preload store is writable");
     }
     session.complete_pending(true);
 }
@@ -334,7 +354,7 @@ pub fn run_faster_bytes(
         let session = store.start_session();
         let v: Payload100 = [7u8; 104];
         for k in 0..workload.keys {
-            session.upsert(&k, &v);
+            session.upsert(&k, &v).expect("preload store is writable");
         }
         session.complete_pending(true);
     }
@@ -394,22 +414,20 @@ pub fn run_faster_bytes(
                 }
             }
             session.complete_pending(true);
-            #[allow(deprecated)] // Session::stats shim
-            (ops, session.stats())
+            ops
         }));
     }
+    let m_before = store.metrics();
     barrier.wait();
     let start = Instant::now();
     std::thread::sleep(duration);
     stop.store(true, Ordering::SeqCst);
     let mut total_ops = 0u64;
-    let mut stats = SessionStats::default();
     for h in handles {
-        let (ops, st) = h.join().expect("bench worker");
-        total_ops += ops;
-        add_stats(&mut stats, st);
+        total_ops += h.join().expect("bench worker");
     }
     let secs = start.elapsed().as_secs_f64();
+    let stats = op_stats_delta(&m_before, &store.metrics());
     let growth = (store.log().tail_address().raw() - before) as f64 / secs / (1 << 20) as f64;
     BenchResult { mops: total_ops as f64 / secs / 1e6, stats, log_growth_mb_s: growth }
 }
@@ -546,9 +564,10 @@ pub fn drain_reads<V: Pod, F: Functions<u64, V>>(
     session
         .complete_pending(true)
         .into_iter()
-        .filter_map(|op| match op {
-            CompletedOp::Read { id, result } => Some((id, result)),
-            CompletedOp::Rmw { .. } | CompletedOp::Failed { .. } => None,
+        .filter_map(|c| match c.result {
+            Ok(Outcome::Value(v)) => Some((c.id, Some(v))),
+            Err(OpError::NotFound) => Some((c.id, None)),
+            _ => None,
         })
         .collect()
 }

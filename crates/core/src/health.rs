@@ -13,8 +13,8 @@
 //! (e.g. one corrupt cold read). *ReadOnly* means the store can no longer
 //! make new mutations durable (a page flush was abandoned, the device is
 //! full, or the WAL is dead): reads and scans keep serving whatever is
-//! still intact, while the fallible mutation API (`Session::try_upsert`
-//! and friends) returns [`StoreError::ReadOnly`]. The ladder never walks
+//! still intact, while mutations (`Session::upsert` and friends — fallible
+//! by default) are refused with `OpError::ReadOnly`. The ladder never walks
 //! back down — a store that lost durability once cannot silently promise
 //! it again; recover from the last good checkpoint instead.
 
@@ -75,8 +75,8 @@ pub enum StoreHealth {
     /// still durable — e.g. an isolated corrupt cold read.
     Degraded(HealthReason),
     /// New mutations can no longer be made durable. Reads and scans still
-    /// serve; `Session::try_upsert`/`try_rmw`/`try_delete` return
-    /// [`StoreError::ReadOnly`]; maintenance suspends compaction and
+    /// serve; `Session::upsert`/`rmw`/`delete` are refused with
+    /// `OpError::ReadOnly`; maintenance suspends compaction and
     /// checkpointing.
     ReadOnly(HealthReason),
 }

@@ -21,16 +21,16 @@
 //! ## Quick example — the paper's count store (§2.5)
 //!
 //! ```
-//! use faster_core::{FasterKv, FasterKvConfig, functions::CountStore};
+//! use faster_core::prelude::*;
 //! use faster_storage::MemDevice;
 //!
 //! let store = FasterKv::new(FasterKvConfig::small(), CountStore, MemDevice::new(2));
 //! let mut session = store.start_session();
 //! for _ in 0..10 {
-//!     session.rmw(&42, &1); // increment key 42's counter
+//!     session.rmw(&42, &1).unwrap(); // increment key 42's counter
 //! }
 //! let n = match session.read(&42, &0) {
-//!     faster_core::ReadResult::Found(v) => v,
+//!     Ok(Outcome::Value(v)) => v,
 //!     _ => panic!("in memory, never pending"),
 //! };
 //! assert_eq!(n, 10);
@@ -56,10 +56,24 @@ pub use ckpt_manager::{
 pub use functions::{BlindKv, CountStore, Functions, ValueCell};
 pub use health::{HealthReason, StoreError, StoreHealth};
 pub use inmem::{InMemKv, InMemSession};
-pub use session::{
-    BatchOp, BatchOutcome, CompletedOp, ReadResult, RmwResult, Session, SessionStats,
-};
+pub use session::{BatchOp, Completion, OpError, OpResult, Outcome, Session};
+#[allow(deprecated)]
+pub use session::{BatchOutcome, CompletedOp, ReadResult, RmwResult};
 pub use varlen::{VarKv, VarValue};
+
+/// The documented public surface in one import: the store and its config
+/// builder, sessions, the unified operation result types, user-function
+/// traits with the stock implementations, and the health ladder.
+///
+/// ```
+/// use faster_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::functions::{BlindKv, CountStore, Functions, ValueCell};
+    pub use crate::health::{HealthReason, StoreError, StoreHealth};
+    pub use crate::session::{BatchOp, Completion, OpError, OpResult, Outcome, Session};
+    pub use crate::{FasterKv, FasterKvConfig, MetricsConfig};
+}
 
 use faster_epoch::{Epoch, EpochGuard};
 use faster_hlog::{HLogConfig, HybridLog};
@@ -71,6 +85,8 @@ use record::RecordRef;
 use std::sync::Arc;
 
 pub use faster_metrics::MetricsConfig;
+/// Re-exported so WAL-backed stores need only `faster-core` in scope.
+pub use faster_wal::WalConfig;
 
 /// Store configuration.
 #[derive(Debug, Clone, Copy)]
@@ -333,7 +349,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
     /// Where the store sits on the degradation ladder (DESIGN.md §12).
     /// `Healthy` until a storage fault is observed; `ReadOnly` once new
     /// mutations can no longer be made durable — reads keep serving, and
-    /// [`Session::try_upsert`]-family ops return [`StoreError::ReadOnly`].
+    /// mutations return [`OpError::ReadOnly`].
     pub fn health(&self) -> StoreHealth {
         self.inner.health.get()
     }
@@ -398,6 +414,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> FasterKv<K, V, F> {
         m.epoch.safe = inner.epoch.safe();
         m.index.k_bits = inner.index.k_bits() as u64;
         m.index.buckets = 1u64 << inner.index.k_bits();
+        m.index.resize_active =
+            (inner.index.status().phase != faster_index::Phase::Stable) as u64;
         fill_hlog_gauges(&mut m.hlog, &inner.log);
         if let Some(rc) = &inner.rc {
             fill_hlog_gauges(&mut m.rc_log, rc);

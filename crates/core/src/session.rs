@@ -37,39 +37,132 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Result of a read.
+/// Successful completion of a store operation (the unified operation API).
+///
+/// Every public operation returns [`OpResult`] = `Result<Outcome, OpError>`:
+/// a read that finds the key yields `Value`, an applied mutation yields
+/// `Done`, and everything else — absent key, asynchronous continuation,
+/// read-only degradation, exhausted I/O — is a typed [`OpError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome<O> {
+    /// A read found the key; the user functions produced this output.
+    Value(O),
+    /// A mutation (upsert / RMW / delete) was applied.
+    Done,
+}
+
+impl<O> Outcome<O> {
+    /// The read output, if this outcome carries one.
+    #[inline]
+    pub fn value(self) -> Option<O> {
+        match self {
+            Outcome::Value(o) => Some(o),
+            Outcome::Done => None,
+        }
+    }
+}
+
+/// Why an operation did not (or has not yet) produced an [`Outcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpError {
+    /// The key does not exist (reads; a delete of an absent key is `Done`).
+    NotFound,
+    /// The operation went asynchronous (disk read, fuzzy-region RMW); the id
+    /// is echoed by the [`Completion`] that [`Session::complete_pending`]
+    /// eventually returns for it.
+    Pending(u64),
+    /// The store has degraded to read-only (DESIGN.md §12) and refuses new
+    /// mutations; the reason names the fault. Reads are never refused.
+    ReadOnly(HealthReason),
+    /// The operation's I/O failed ([`faster_storage::IoError`]) and
+    /// exhausted its bounded retry budget. The store was **not** mutated and
+    /// the key was **not** declared absent — the caller may re-issue the
+    /// operation once the device recovers. (A GC-truncated record, by
+    /// contrast, genuinely means "key absent" and completes as
+    /// `Err(NotFound)` / `Ok(Done)`.) Surfaced only through completions.
+    Io(faster_storage::IoError),
+}
+
+impl OpError {
+    /// The pending id, when the operation went asynchronous.
+    #[inline]
+    pub fn pending_id(&self) -> Option<u64> {
+        match self {
+            OpError::Pending(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::NotFound => write!(f, "key not found"),
+            OpError::Pending(id) => write!(f, "operation pending (id {id})"),
+            OpError::ReadOnly(r) => write!(f, "store is read-only: {r}"),
+            OpError::Io(e) => write!(f, "I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<StoreError> for OpError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::ReadOnly(r) => OpError::ReadOnly(r),
+        }
+    }
+}
+
+/// Result of every store operation. See [`Outcome`] and [`OpError`].
+pub type OpResult<O> = Result<Outcome<O>, OpError>;
+
+/// A formerly pending operation completed by [`Session::complete_pending`]:
+/// the id the operation originally returned via `OpError::Pending`, plus its
+/// final [`OpResult`] (`Ok(Value)` / `Err(NotFound)` for reads, `Ok(Done)`
+/// for RMWs, `Err(Io)` when the I/O retry budget ran out).
+#[derive(Debug)]
+pub struct Completion<O> {
+    pub id: u64,
+    pub result: OpResult<O>,
+}
+
+// ------------------------------------------------------------------ legacy
+// One-PR compatibility shims for the pre-unification result types. Nothing
+// in the workspace uses them; external callers get a deprecation nudge
+// toward the `OpResult` surface and the shims disappear next release.
+
+/// Result of a read (legacy surface).
+#[deprecated(since = "0.2.0", note = "use the unified `OpResult` returned by `Session::read`")]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadResult<O> {
     Found(O),
     NotFound,
-    /// Went asynchronous; the id is echoed by [`Session::complete_pending`].
     Pending(u64),
 }
 
-/// Result of an RMW.
+/// Result of an RMW (legacy surface).
+#[deprecated(since = "0.2.0", note = "use the unified `OpResult` returned by `Session::rmw`")]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RmwResult {
     Done,
     Pending(u64),
 }
 
-/// A completed formerly-pending operation.
+/// A completed formerly-pending operation (legacy surface).
+#[deprecated(since = "0.2.0", note = "use `Completion` from `Session::complete_pending`")]
 #[derive(Debug)]
+#[allow(deprecated)]
 pub enum CompletedOp<O> {
     Read { id: u64, result: Option<O> },
     Rmw { id: u64 },
-    /// The operation's I/O failed transiently ([`faster_storage::IoError::Failed`])
-    /// and exhausted its bounded retry budget. The store was **not** mutated
-    /// and the key was **not** declared absent — the caller may re-issue the
-    /// operation once the device recovers. (A GC-truncated record, by
-    /// contrast, genuinely means "key absent" and completes as
-    /// `Read { result: None }` / `Rmw`.)
     Failed { id: u64, error: faster_storage::IoError },
 }
 
 /// Bounded retry budget for transiently failed I/O (device errors, not
 /// GC truncation). Retries pace themselves with [`faster_util::Backoff`];
-/// past the budget the op completes as [`CompletedOp::Failed`].
+/// past the budget the op completes as `Err(OpError::Io)`.
 const MAX_IO_RETRIES: u32 = 8;
 
 /// One operation of a heterogeneous batch ([`Session::execute_batch`]).
@@ -93,38 +186,18 @@ impl<K, V, I> BatchOp<K, V, I> {
     }
 }
 
-/// Per-op result of [`Session::execute_batch`], positionally matching the
-/// submitted ops.
+/// Per-op result of [`Session::execute_batch`] (legacy surface).
+#[deprecated(
+    since = "0.2.0",
+    note = "`Session::execute_batch` now returns positional `OpResult`s directly"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(deprecated)]
 pub enum BatchOutcome<O> {
     Read(ReadResult<O>),
     Upsert,
     Rmw(RmwResult),
     Delete,
-}
-
-/// Per-session operation counters, kept for source compatibility.
-///
-/// Superseded by the store-wide registry: [`crate::FasterKv::metrics`]
-/// returns the same counts (and more) aggregated across every session,
-/// with no per-session bookkeeping to sum by hand. [`Session::stats`] now
-/// derives this struct from the registry's per-session recorder.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct SessionStats {
-    pub reads: u64,
-    pub upserts: u64,
-    pub rmws: u64,
-    pub deletes: u64,
-    /// In-place updates (mutable region hits).
-    pub in_place: u64,
-    /// Read-copy-updates (records copied to the tail).
-    pub copies: u64,
-    /// RMWs deferred because the record was in the fuzzy region (§6.3).
-    pub fuzzy_pending: u64,
-    /// Operations that issued disk I/O.
-    pub io_pending: u64,
-    /// CRDT delta records created (§6.3).
-    pub deltas: u64,
 }
 
 enum PendingKind {
@@ -225,6 +298,16 @@ pub struct Session<K: Pod, V: Pod, F: Functions<K, V>> {
     /// Sticky WAL append failure: once an append is refused (the log hit a
     /// commit failure), every later durability wait on this session errors.
     wal_error: RefCell<Option<faster_storage::IoError>>,
+    /// Ids of WAL durability notices registered on this session's ring
+    /// ([`Session::notify_wal_durable`]); their CQEs are routed here, not to
+    /// the continuation table.
+    wal_notices: RefCell<std::collections::HashSet<u64>>,
+    /// Resolved WAL notices awaiting pickup by [`Session::take_wal_notice`].
+    wal_notice_results: RefCell<HashMap<u64, Result<(), faster_storage::IoError>>>,
+    /// Completions drained while a caller was parked in
+    /// [`Session::wait_wal_durable_ring`]; handed back by the next
+    /// `complete_pending`.
+    done_backlog: RefCell<Vec<Completion<F::Output>>>,
 }
 
 impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
@@ -248,6 +331,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             read_rc_hit: Cell::new(false),
             wal_lsn: Cell::new(0),
             wal_error: RefCell::new(None),
+            wal_notices: RefCell::new(std::collections::HashSet::new()),
+            wal_notice_results: RefCell::new(HashMap::new()),
+            done_backlog: RefCell::new(Vec::new()),
         }
     }
 
@@ -256,34 +342,14 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         &self.guard
     }
 
-    /// Counters accumulated by this session.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `FasterKv::metrics()` — the store-wide registry aggregates \
-                these counters (and more) across all sessions"
-    )]
-    pub fn stats(&self) -> SessionStats {
-        SessionStats {
-            reads: self.rec.reads.get(),
-            upserts: self.rec.upserts.get(),
-            rmws: self.rec.rmws.get(),
-            deletes: self.rec.deletes.get(),
-            in_place: self.rec.in_place.get(),
-            copies: self.rec.rcu.get(),
-            fuzzy_pending: self.rec.fuzzy_pending.get(),
-            io_pending: self.rec.io_issued.get(),
-            deltas: self.rec.deltas.get(),
-        }
-    }
-
     /// Classifies a first-pass read's synchronous outcome into exactly one
     /// of `rc_hits` / `mem_reads` / `reads_pending` (the registry's read
     /// identity), and feeds the read-cache hit/miss counters when the store
     /// has a cache (a read that goes to disk is by definition a cache miss).
-    fn classify_read(&self, r: &ReadResult<F::Output>) {
+    fn classify_read(&self, r: &OpResult<F::Output>) {
         let rc_hit = self.read_rc_hit.get();
         match r {
-            ReadResult::Pending(_) => self.rec.reads_pending.inc(),
+            Err(OpError::Pending(_)) => self.rec.reads_pending.inc(),
             _ if rc_hit => self.rec.rc_hits.inc(),
             _ => self.rec.mem_reads.inc(),
         }
@@ -403,7 +469,11 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
 
     /// Reads the value for `key` (Algorithm 2). For mergeable (CRDT) stores
     /// the read reconciles delta records along the chain (§6.3).
-    pub fn read(&self, key: &K, input: &F::Input) -> ReadResult<F::Output> {
+    ///
+    /// Returns `Ok(Outcome::Value(out))` on a hit, `Err(OpError::NotFound)`
+    /// on a miss, or `Err(OpError::Pending(id))` when the read went to disk
+    /// (resolved by [`Session::complete_pending`]).
+    pub fn read(&self, key: &K, input: &F::Input) -> OpResult<F::Output> {
         let t = self.op_timer();
         self.rec.reads.inc();
         self.read_rc_hit.set(false);
@@ -428,7 +498,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         mut acc: Option<V>,
         mut fallbacks: Vec<Address>,
         id: Option<u64>,
-    ) -> ReadResult<F::Output> {
+    ) -> OpResult<F::Output> {
         let inner = &self.store.inner;
         let f = &inner.functions;
         let mut addr = if start_at.is_valid() {
@@ -466,7 +536,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                 self.rc_second_chance(key, hash, &rec, addr);
                             }
                             self.read_rc_hit.set(true);
-                            return ReadResult::Found(out);
+                            return Ok(Outcome::Value(out));
                         }
                         // Cached record is for a different key (or deleted):
                         // continue into the primary chain it points at.
@@ -497,9 +567,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             }
             let Some(p) = inner.log.get(addr) else {
                 // Below head: go asynchronous (Alg 2 line 6).
-                return ReadResult::Pending(self.issue_read_io(
+                return Err(OpError::Pending(self.issue_read_io(
                     key, hash, input, addr, acc, fallbacks, id,
-                ));
+                )));
             };
             // Safety: epoch-protected resident record.
             let rec = unsafe { RecordRef::<K, V>::from_raw(p) };
@@ -535,21 +605,21 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             } else {
                 f.concurrent_reader(key, input, rec.value_cell())
             };
-            // (When resuming a pending op, continue_io normalizes this
-            // Found into a CompletedOp for the caller.)
-            return ReadResult::Found(out);
+            // (When resuming a pending op, continue_io wraps this result
+            // into a Completion for the caller.)
+            return Ok(Outcome::Value(out));
         }
     }
 
     /// Chain exhausted: deltas with no base fold onto the identity (§6.3).
-    fn finish_read(&self, key: &K, input: &F::Input, acc: Option<V>) -> ReadResult<F::Output> {
+    fn finish_read(&self, key: &K, input: &F::Input, acc: Option<V>) -> OpResult<F::Output> {
         match acc {
             Some(a) => {
                 let f = &self.store.inner.functions;
                 let merged = f.merge(&f.identity(), &a);
-                ReadResult::Found(f.single_reader(key, input, &merged))
+                Ok(Outcome::Value(f.single_reader(key, input, &merged)))
             }
-            None => ReadResult::NotFound,
+            None => Err(OpError::NotFound),
         }
     }
 
@@ -652,50 +722,134 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         }
     }
 
+    /// Registers a ring-routed durability notice for everything this session
+    /// has appended (DESIGN.md §10 follow-on): when the WAL group covering
+    /// [`Session::wal_last_lsn`] commits (or the log fails), a CQE bearing
+    /// the returned id lands in this session's completion ring — the same
+    /// ring `complete_pending` reaps — so a pipelined caller can park once
+    /// for disk reads *and* durability acks. Returns `None` when there is
+    /// nothing to wait for (no WAL, or no append yet). Resolve the notice
+    /// with [`Session::take_wal_notice`] after a `complete_pending` pass, or
+    /// park directly with [`Session::wait_wal_durable_ring`].
+    pub fn notify_wal_durable(&self) -> Option<u64> {
+        let wal = self.store.inner.wal.get()?;
+        if self.wal_lsn.get() == 0 {
+            return None;
+        }
+        let id = self.fresh_id();
+        self.wal_notices.borrow_mut().insert(id);
+        wal.notify_durable(self.wal_lsn.get(), id, &self.ring);
+        Some(id)
+    }
+
+    /// Takes the resolved result of a durability notice registered with
+    /// [`Session::notify_wal_durable`], if its CQE has been reaped (by
+    /// `complete_pending` or `wait_wal_durable_ring`). `None` = still in
+    /// flight.
+    pub fn take_wal_notice(&self, id: u64) -> Option<Result<(), faster_storage::IoError>> {
+        self.wal_notice_results.borrow_mut().remove(&id)
+    }
+
+    /// Like [`Session::wait_wal_durable`], but parks on the session's
+    /// completion ring instead of the WAL condvar, driving any outstanding
+    /// I/O continuations while it waits (their completions are handed to the
+    /// next [`Session::complete_pending`] call). This is the ack path for a
+    /// pipelined front-end: no thread burns a condvar slot per connection.
+    pub fn wait_wal_durable_ring(&self) -> Result<(), faster_storage::IoError> {
+        if let Some(e) = self.wal_error.borrow().as_ref() {
+            return Err(e.clone());
+        }
+        let Some(id) = self.notify_wal_durable() else { return Ok(()) };
+        loop {
+            self.submit_queued();
+            let mut done = Vec::new();
+            self.reap_and_run(&mut done);
+            if !done.is_empty() {
+                self.done_backlog.borrow_mut().append(&mut done);
+            }
+            if let Some(r) = self.take_wal_notice(id) {
+                if r.is_err() {
+                    self.store.inner.health.to_read_only(HealthReason::WalFailed);
+                }
+                return r;
+            }
+            self.refresh();
+            self.ring.wait_nonempty(RING_WAIT);
+        }
+    }
+
+    /// Installs `waker` as the ring's push hook: every CQE pushed into this
+    /// session's completion ring (I/O completions, WAL durability notices)
+    /// invokes it. A front-end points this at a self-pipe/eventfd so one
+    /// `poll` park covers ring CQEs *and* socket readiness.
+    pub fn set_io_waker(&self, waker: impl Fn() + Send + Sync + 'static) {
+        self.ring.set_waker(waker);
+    }
+
+    /// Removes the hook installed by [`Session::set_io_waker`].
+    pub fn clear_io_waker(&self) {
+        self.ring.clear_waker();
+    }
+
     // ============================================================== UPSERT
+
+    /// The read-only gate every mutation passes (DESIGN.md §12): a store
+    /// degraded to read-only refuses new mutations with a typed reason.
+    #[inline]
+    fn writable(&self) -> Result<(), OpError> {
+        match self.store.inner.health.read_only_error() {
+            Some(StoreError::ReadOnly(r)) => Err(OpError::ReadOnly(r)),
+            None => Ok(()),
+        }
+    }
 
     /// Blind update (Algorithm 3): in-place if the record is in the mutable
     /// region, otherwise a new record at the tail. Never goes pending
-    /// (Table 2: blind updates need no old value).
-    pub fn upsert(&self, key: &K, value: &V) {
+    /// (Table 2: blind updates need no old value). Fallible by default:
+    /// refuses with [`OpError::ReadOnly`] once the store has degraded —
+    /// a mutation the store can no longer make durable should not be
+    /// silently accepted.
+    pub fn upsert(&self, key: &K, value: &V) -> OpResult<F::Output> {
+        self.writable()?;
         let t = self.op_timer();
         self.rec.upserts.inc();
         let hash = hash_key(key);
         self.upsert_internal(key, hash, value);
         t.observe(&self.hub.upsert_latency);
         self.maybe_refresh();
+        Ok(Outcome::Done)
     }
 
-    /// Fallible upsert (DESIGN.md §12): like [`Session::upsert`], but
-    /// refuses with [`StoreError::ReadOnly`] once the store has degraded to
-    /// read-only — a mutation the store can no longer make durable should
-    /// not be silently accepted. The legacy infallible ops are unchanged
-    /// (crash-recovery replay and in-memory stores rely on them).
+    /// Fallible upsert (legacy name; `upsert` itself is now fallible).
+    #[deprecated(since = "0.2.0", note = "`Session::upsert` is now fallible; call it directly")]
     pub fn try_upsert(&self, key: &K, value: &V) -> Result<(), StoreError> {
-        if let Some(e) = self.store.inner.health.read_only_error() {
-            return Err(e);
+        match self.upsert(key, value) {
+            Ok(_) => Ok(()),
+            Err(OpError::ReadOnly(r)) => Err(StoreError::ReadOnly(r)),
+            Err(_) => unreachable!("upsert only fails ReadOnly"),
         }
-        self.upsert(key, value);
-        Ok(())
     }
 
-    /// Fallible RMW: refuses with [`StoreError::ReadOnly`] on a degraded
-    /// store (see [`Session::try_upsert`]).
+    /// Fallible RMW (legacy name; `rmw` itself is now fallible).
+    #[deprecated(since = "0.2.0", note = "`Session::rmw` is now fallible; call it directly")]
+    #[allow(deprecated)]
     pub fn try_rmw(&self, key: &K, input: &F::Input) -> Result<RmwResult, StoreError> {
-        if let Some(e) = self.store.inner.health.read_only_error() {
-            return Err(e);
+        match self.rmw(key, input) {
+            Ok(_) => Ok(RmwResult::Done),
+            Err(OpError::Pending(id)) => Ok(RmwResult::Pending(id)),
+            Err(OpError::ReadOnly(r)) => Err(StoreError::ReadOnly(r)),
+            Err(_) => unreachable!("rmw only fails Pending or ReadOnly"),
         }
-        Ok(self.rmw(key, input))
     }
 
-    /// Fallible delete: refuses with [`StoreError::ReadOnly`] on a degraded
-    /// store (see [`Session::try_upsert`]).
+    /// Fallible delete (legacy name; `delete` itself is now fallible).
+    #[deprecated(since = "0.2.0", note = "`Session::delete` is now fallible; call it directly")]
     pub fn try_delete(&self, key: &K) -> Result<(), StoreError> {
-        if let Some(e) = self.store.inner.health.read_only_error() {
-            return Err(e);
+        match self.delete(key) {
+            Ok(_) => Ok(()),
+            Err(OpError::ReadOnly(r)) => Err(StoreError::ReadOnly(r)),
+            Err(_) => unreachable!("delete only fails ReadOnly"),
         }
-        self.delete(key);
-        Ok(())
     }
 
     /// Algorithm 3 body, shared by the scalar and batched paths (the wrapper
@@ -783,8 +937,10 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     // ================================================================= RMW
 
     /// Read-modify-write (Algorithm 4 + Table 2). May return
-    /// [`RmwResult::Pending`] for disk-resident records or fuzzy-region hits.
-    pub fn rmw(&self, key: &K, input: &F::Input) -> RmwResult {
+    /// [`OpError::Pending`] for disk-resident records or fuzzy-region hits,
+    /// and refuses with [`OpError::ReadOnly`] on a degraded store.
+    pub fn rmw(&self, key: &K, input: &F::Input) -> OpResult<F::Output> {
+        self.writable()?;
         let t = self.op_timer();
         self.rec.rmws.inc();
         let hash = hash_key(key);
@@ -800,7 +956,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         hash: KeyHash,
         input: &F::Input,
         reuse_id: Option<u64>,
-    ) -> RmwResult {
+    ) -> OpResult<F::Output> {
         loop {
             let inner = &self.store.inner;
             let f = &inner.functions;
@@ -820,7 +976,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                 if rec.key() == *key {
                                     let old = rec.read_value();
                                     if self.rcu_create(&slot, entry, key, input, Some(old)) {
-                                        return RmwResult::Done;
+                                        return Ok(Outcome::Done);
                                     }
                                     continue;
                                 }
@@ -844,7 +1000,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                             if h.is_tombstone() {
                                 // Deleted: re-create from the initial value.
                                 if self.rcu_create(&slot, entry, key, input, None) {
-                                    return RmwResult::Done;
+                                    return Ok(Outcome::Done);
                                 }
                                 continue;
                             }
@@ -854,21 +1010,21 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                     self.count_write(&self.rec.in_place);
                                     let post = rec.read_value();
                                     self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
-                                    return RmwResult::Done;
+                                    return Ok(Outcome::Done);
                                 }
                                 Region::Fuzzy => {
                                     if f.is_mergeable() {
                                         // CRDT: append a delta (§6.3).
                                         if self.append_delta(&slot, entry, key, input) {
-                                            return RmwResult::Done;
+                                            return Ok(Outcome::Done);
                                         }
                                         continue;
                                     }
                                     // Defer: pending list, retried later.
                                     self.rec.fuzzy_pending.inc();
-                                    return RmwResult::Pending(
+                                    return Err(OpError::Pending(
                                         self.queue_fuzzy_retry(key, hash, input, reuse_id),
-                                    );
+                                    ));
                                 }
                                 Region::ReadOnly => {
                                     if h.is_delta() {
@@ -876,14 +1032,14 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                         // append a fresh delta instead.
                                         debug_assert!(f.is_mergeable());
                                         if self.append_delta(&slot, entry, key, input) {
-                                            return RmwResult::Done;
+                                            return Ok(Outcome::Done);
                                         }
                                         continue;
                                     }
                                     // Copy to tail with the updated value.
                                     let old = rec.read_value();
                                     if self.rcu_create(&slot, entry, key, input, Some(old)) {
-                                        return RmwResult::Done;
+                                        return Ok(Outcome::Done);
                                     }
                                     continue;
                                 }
@@ -899,23 +1055,23 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                     if f.is_mergeable() {
                                         // CRDT: no need to read the old value.
                                         if self.append_delta(&slot, entry, key, input) {
-                                            return RmwResult::Done;
+                                            return Ok(Outcome::Done);
                                         }
                                         continue;
                                     }
-                                    return RmwResult::Pending(self.issue_rmw_io(
+                                    return Err(OpError::Pending(self.issue_rmw_io(
                                         key,
                                         hash,
                                         input,
                                         daddr,
                                         entry.address(),
                                         reuse_id,
-                                    ));
+                                    )));
                                 }
                                 None => {
                                     // Absent: create from the initial value.
                                     if self.rcu_create(&slot, entry, key, input, None) {
-                                        return RmwResult::Done;
+                                        return Ok(Outcome::Done);
                                     }
                                     continue;
                                 }
@@ -931,7 +1087,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     self.count_write(&self.rec.appends);
                     let post = rec.read_value();
                     self.wal_log(crate::walrec::KIND_PUT, key, Some(&post));
-                    return RmwResult::Done;
+                    return Ok(Outcome::Done);
                 }
             }
         }
@@ -1012,14 +1168,17 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     // ============================================================== DELETE
 
     /// Deletes `key` by appending a tombstone record (§5.3). Log GC reclaims
-    /// the space (Appendix C).
-    pub fn delete(&self, key: &K) {
+    /// the space (Appendix C). Deleting an absent key is still `Done`;
+    /// refuses with [`OpError::ReadOnly`] on a degraded store.
+    pub fn delete(&self, key: &K) -> OpResult<F::Output> {
+        self.writable()?;
         let t = self.op_timer();
         self.rec.deletes.inc();
         let hash = hash_key(key);
         self.delete_internal(key, hash);
         t.observe(&self.hub.delete_latency);
         self.maybe_refresh();
+        Ok(Outcome::Done)
     }
 
     /// Tombstone append, shared by the scalar and batched paths.
@@ -1084,7 +1243,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     /// Reads a batch of keys with one shared `input`, returning one result
     /// per key in order. Equivalent to calling [`Session::read`] per key;
     /// pending results complete through [`Session::complete_pending`].
-    pub fn read_batch(&self, keys: &[K], input: &F::Input) -> Vec<ReadResult<F::Output>> {
+    pub fn read_batch(&self, keys: &[K], input: &F::Input) -> Vec<OpResult<F::Output>> {
         let inner = &self.store.inner;
         self.rec.batches.inc();
         self.rec.reads.add(keys.len() as u64);
@@ -1149,8 +1308,10 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     }
 
     /// Upserts a batch of key/value pairs. Equivalent to calling
-    /// [`Session::upsert`] per pair, in order.
-    pub fn upsert_batch(&self, pairs: &[(K, V)]) {
+    /// [`Session::upsert`] per pair, in order; on a read-only store the
+    /// whole batch is refused (no prefix is applied).
+    pub fn upsert_batch(&self, pairs: &[(K, V)]) -> Result<(), OpError> {
+        self.writable()?;
         let inner = &self.store.inner;
         self.rec.batches.inc();
         self.rec.upserts.add(pairs.len() as u64);
@@ -1164,12 +1325,17 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
             self.upsert_internal(key, hashes[i], value);
         }
         self.batch_tick(pairs.len());
+        Ok(())
     }
 
     /// RMWs a batch of key/input pairs, returning one result per op in
     /// order. Equivalent to calling [`Session::rmw`] per pair; pending
-    /// results complete through [`Session::complete_pending`].
-    pub fn rmw_batch(&self, ops: &[(K, F::Input)]) -> Vec<RmwResult> {
+    /// results complete through [`Session::complete_pending`]. On a
+    /// read-only store every slot is `Err(ReadOnly)`.
+    pub fn rmw_batch(&self, ops: &[(K, F::Input)]) -> Vec<OpResult<F::Output>> {
+        if let Err(e) = self.writable() {
+            return ops.iter().map(|_| Err(e.clone())).collect();
+        }
         let inner = &self.store.inner;
         self.rec.batches.inc();
         self.rec.rmws.add(ops.len() as u64);
@@ -1187,11 +1353,18 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         out
     }
 
-    /// Executes a heterogeneous batch, returning one [`BatchOutcome`] per op
-    /// in submission order. Equivalent to issuing each op individually.
-    pub fn execute_batch(&self, ops: &[BatchOp<K, V, F::Input>]) -> Vec<BatchOutcome<F::Output>> {
+    /// Executes a heterogeneous batch, returning one [`OpResult`] per op in
+    /// submission order. Equivalent to issuing each op individually: reads
+    /// yield `Value`/`NotFound`/`Pending`, mutations yield `Done` (or
+    /// `Pending` for an RMW that went asynchronous). On a read-only store
+    /// the reads still execute; every mutation slot is `Err(ReadOnly)` —
+    /// exactly what a protocol front-end needs to keep serving GETs while
+    /// SETs bounce (DESIGN.md §12/§13).
+    pub fn execute_batch(&self, ops: &[BatchOp<K, V, F::Input>]) -> Vec<OpResult<F::Output>> {
         let inner = &self.store.inner;
         self.rec.batches.inc();
+        // One health check per batch, applied positionally to mutations.
+        let refused = self.writable().err();
         for op in ops {
             match op {
                 BatchOp::Read { .. } => self.rec.reads.inc(),
@@ -1209,6 +1382,12 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         let mut out = Vec::with_capacity(ops.len());
         for (i, op) in ops.iter().enumerate() {
             let hash = hashes[i];
+            if let Some(e) = &refused {
+                if !matches!(op, BatchOp::Read { .. }) {
+                    out.push(Err(e.clone()));
+                    continue;
+                }
+            }
             out.push(match op {
                 BatchOp::Read { key, input } => {
                     self.read_rc_hit.set(false);
@@ -1222,18 +1401,16 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         None,
                     );
                     self.classify_read(&r);
-                    BatchOutcome::Read(r)
+                    r
                 }
                 BatchOp::Upsert { key, value } => {
                     self.upsert_internal(key, hash, value);
-                    BatchOutcome::Upsert
+                    Ok(Outcome::Done)
                 }
-                BatchOp::Rmw { key, input } => {
-                    BatchOutcome::Rmw(self.rmw_internal(key, hash, input, None))
-                }
+                BatchOp::Rmw { key, input } => self.rmw_internal(key, hash, input, None),
                 BatchOp::Delete { key } => {
                     self.delete_internal(key, hash);
-                    BatchOutcome::Delete
+                    Ok(Outcome::Done)
                 }
             });
         }
@@ -1496,20 +1673,21 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
     // ================================================== pending completion
 
     /// Processes completed asynchronous operations and fuzzy retries,
-    /// returning finished results. With `wait`, blocks until nothing is
-    /// outstanding — parked on the completion ring, not spinning.
+    /// returning finished [`Completion`]s. With `wait`, blocks until nothing
+    /// is outstanding — parked on the completion ring, not spinning.
     ///
     /// Each pass: run fuzzy retries, hand every queued SQE to the device in
     /// one `submit_all` batch, reap CQEs straight off the ring, and resume
     /// each continuation by id. Continuations that hop further down a chain
     /// queue fresh SQEs, which go out before the pass parks — the device is
     /// never idle while the session waits.
-    pub fn complete_pending(&self, wait: bool) -> Vec<CompletedOp<F::Output>> {
-        let mut done = Vec::new();
-        if self.outstanding.get() == 0 {
+    pub fn complete_pending(&self, wait: bool) -> Vec<Completion<F::Output>> {
+        let mut done = std::mem::take(&mut *self.done_backlog.borrow_mut());
+        if self.outstanding.get() == 0 && self.wal_notices.borrow().is_empty() {
             // Nothing outstanding: nothing queued, nothing parked, nothing
-            // in flight (every counted op is one of those). In particular
-            // `wait` must not touch the ring or the epoch here.
+            // in flight (every counted op is one of those), and no WAL
+            // durability notice waiting for its CQE. In particular `wait`
+            // must not touch the ring or the epoch here.
             debug_assert!(self.sq.borrow().is_empty() && self.pending.borrow().is_empty());
             self.wal_wait_if(wait);
             return done;
@@ -1522,8 +1700,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                 let op = { self.retries.borrow_mut().pop_front() }.expect("len checked");
                 self.dec_outstanding();
                 match self.rmw_internal(&op.key, op.hash, &op.input, Some(op.id)) {
-                    RmwResult::Done => done.push(CompletedOp::Rmw { id: op.id }),
-                    RmwResult::Pending(_) => { /* requeued under the same id */ }
+                    Ok(_) => done.push(Completion { id: op.id, result: Ok(Outcome::Done) }),
+                    Err(_) => { /* requeued under the same id */ }
                 }
             }
             // Batched doorbell, then reap whatever has completed so far.
@@ -1571,11 +1749,27 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
 
     /// Reaps every published CQE and resumes the continuation each one
     /// keys. Returns the number of CQEs consumed.
-    fn reap_and_run(&self, done: &mut Vec<CompletedOp<F::Output>>) -> usize {
+    fn reap_and_run(&self, done: &mut Vec<Completion<F::Output>>) -> usize {
         let mut cqes = std::mem::take(&mut *self.io_scratch.borrow_mut());
         self.ring.reap(&mut cqes);
         let reaped = cqes.len();
         for cqe in cqes.drain(..) {
+            // WAL durability notices share the ring but not the continuation
+            // table (they are acks, not I/O): route them to their own slot.
+            if self.wal_notices.borrow_mut().remove(&cqe.id) {
+                let r = cqe.result.map(|_| ());
+                if let Err(e) = &r {
+                    // A failed group commit is sticky: degrade, and latch the
+                    // session's own error so plain waits also report it.
+                    self.store.inner.health.to_read_only(HealthReason::WalFailed);
+                    let mut err = self.wal_error.borrow_mut();
+                    if err.is_none() {
+                        *err = Some(e.clone());
+                    }
+                }
+                self.wal_notice_results.borrow_mut().insert(cqe.id, r);
+                continue;
+            }
             // Scope the table borrow: continuations re-enter `park_and_enqueue`.
             let parked = self.pending.borrow_mut().remove(&cqe.id);
             let Some(Parked { mut op, issued, span }) = parked else {
@@ -1602,7 +1796,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                             // answer "key absent" — the record may exist, we
                             // just cannot prove what it held.
                             self.rec.io_failed.inc();
-                            done.push(CompletedOp::Failed { id: op.id, error: err });
+                            done.push(Completion { id: op.id, result: Err(OpError::Io(err)) });
                         }
                     }
                 }
@@ -1611,7 +1805,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     // time): permanent, no point retrying. Surface the typed
                     // failure; the fault hook has already degraded the store.
                     self.rec.io_failed.inc();
-                    done.push(CompletedOp::Failed { id: op.id, error: err });
+                    done.push(Completion { id: op.id, result: Err(OpError::Io(err)) });
                 }
                 Err(err @ faster_storage::IoError::Failed(_)) => {
                     // Transient device error: the record may well still
@@ -1630,7 +1824,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         self.reissue_io(op);
                     } else {
                         self.rec.io_failed.inc();
-                        done.push(CompletedOp::Failed { id: op.id, error: err });
+                        done.push(Completion { id: op.id, result: Err(OpError::Io(err)) });
                     }
                 }
                 Err(_) => {
@@ -1638,18 +1832,12 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     // genuinely gone — key absent along this path.
                     match op.kind {
                         PendingKind::Read => {
-                            let r = self.finish_read(&op.key, &op.input, op.acc.take());
-                            done.push(CompletedOp::Read {
-                                id: op.id,
-                                result: match r {
-                                    ReadResult::Found(o) => Some(o),
-                                    _ => None,
-                                },
-                            });
+                            let result = self.finish_read(&op.key, &op.input, op.acc.take());
+                            done.push(Completion { id: op.id, result });
                         }
                         PendingKind::Rmw => {
                             if let Some(id) = self.rmw_complete(op, None) {
-                                done.push(CompletedOp::Rmw { id });
+                                done.push(Completion { id, result: Ok(Outcome::Done) });
                             }
                         }
                         PendingKind::RmwFuzzyRetry => unreachable!("no I/O for fuzzy"),
@@ -1671,13 +1859,14 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
         &self,
         mut op: PendingOp<K, V, F::Input>,
         bytes: Vec<u8>,
-        done: &mut Vec<CompletedOp<F::Output>>,
+        done: &mut Vec<Completion<F::Output>>,
     ) {
         let parsed = RecordRef::<K, V>::parse_bytes(&bytes);
         match op.kind {
             PendingKind::Read => {
                 let f = &self.store.inner.functions;
-                let (next, finished): (Option<Address>, Option<Option<F::Output>>) = match parsed {
+                let (next, finished): (Option<Address>, Option<OpResult<F::Output>>) = match parsed
+                {
                     None => (Some(Address::INVALID), None), // padding/garbage: stop this prong
                     Some((h, k, v)) => {
                         if h.is_merge() {
@@ -1693,9 +1882,9 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                             let r = match op.acc.take() {
                                 Some(a) => {
                                     let merged = f.merge(&f.identity(), &a);
-                                    Some(f.single_reader(&op.key, &op.input, &merged))
+                                    Ok(Outcome::Value(f.single_reader(&op.key, &op.input, &merged)))
                                 }
-                                None => None,
+                                None => Err(OpError::NotFound),
                             };
                             (None, Some(r))
                         } else if h.is_delta() {
@@ -1717,12 +1906,12 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                 // the record read is still the chain head.
                                 self.try_cache_insert(&op.key, op.hash, &v, op.read_addr);
                             }
-                            (None, Some(Some(out)))
+                            (None, Some(Ok(Outcome::Value(out))))
                         }
                     }
                 };
                 if let Some(result) = finished {
-                    done.push(CompletedOp::Read { id: op.id, result });
+                    done.push(Completion { id: op.id, result });
                     return;
                 }
                 let mut next_addr = next.expect("continue");
@@ -1735,14 +1924,8 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                                 continue;
                             }
                             None => {
-                                let r = self.finish_read(&op.key, &op.input, op.acc);
-                                done.push(CompletedOp::Read {
-                                    id: op.id,
-                                    result: match r {
-                                        ReadResult::Found(o) => Some(o),
-                                        _ => None,
-                                    },
-                                });
+                                let result = self.finish_read(&op.key, &op.input, op.acc);
+                                done.push(Completion { id: op.id, result });
                                 return;
                             }
                         }
@@ -1758,16 +1941,10 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                 let fallbacks = std::mem::take(&mut op.fallbacks);
                 let r =
                     self.read_internal(&key, hash, &input, next_addr, acc, fallbacks, Some(op.id));
-                if let ReadResult::NotFound | ReadResult::Found(_) = r {
+                if !matches!(r, Err(OpError::Pending(_))) {
                     // read_internal with an id only returns these when it
                     // finished synchronously without queueing; normalize.
-                    done.push(CompletedOp::Read {
-                        id: op.id,
-                        result: match r {
-                            ReadResult::Found(o) => Some(o),
-                            _ => None,
-                        },
-                    });
+                    done.push(Completion { id: op.id, result: r });
                 }
             }
             PendingKind::Rmw => {
@@ -1776,7 +1953,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     Some((h, k, v)) if !h.is_invalid() && k == op.key && !h.is_merge() => {
                         let old = if h.is_tombstone() { None } else { Some(v) };
                         if let Some(id) = self.rmw_complete(op, old) {
-                            done.push(CompletedOp::Rmw { id });
+                            done.push(Completion { id, result: Ok(Outcome::Done) });
                         }
                     }
                     Some((h, _, _)) => {
@@ -1795,7 +1972,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                         if !next.is_valid() || next < begin {
                             // Chain exhausted: key absent.
                             if let Some(id) = self.rmw_complete(op, None) {
-                                done.push(CompletedOp::Rmw { id });
+                                done.push(Completion { id, result: Ok(Outcome::Done) });
                             }
                         } else {
                             // Another hop down the chain (fresh address,
@@ -1807,7 +1984,7 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     }
                     None => {
                         if let Some(id) = self.rmw_complete(op, None) {
-                            done.push(CompletedOp::Rmw { id });
+                            done.push(Completion { id, result: Ok(Outcome::Done) });
                         }
                     }
                 }
@@ -1838,16 +2015,16 @@ impl<K: Pod + Eq, V: Pod, F: Functions<K, V>> Session<K, V, F> {
                     // The chain changed while we were reading: restart.
                     drop(slot);
                     return match self.rmw_internal(&op.key, op.hash, &op.input, Some(op.id)) {
-                        RmwResult::Done => Some(op.id),
-                        RmwResult::Pending(_) => None,
+                        Ok(_) => Some(op.id),
+                        Err(_) => None, // requeued pending under the same id
                     };
                 }
                 if self.rcu_create(&slot, entry, &op.key, &op.input, old) {
                     Some(op.id)
                 } else {
                     match self.rmw_internal(&op.key, op.hash, &op.input, Some(op.id)) {
-                        RmwResult::Done => Some(op.id),
-                        RmwResult::Pending(_) => None,
+                        Ok(_) => Some(op.id),
+                        Err(_) => None, // requeued pending under the same id
                     }
                 }
             }

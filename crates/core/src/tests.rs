@@ -5,7 +5,7 @@ use crate::functions::{BlindKv, CountStore};
 use crate::*;
 use faster_hlog::HLogConfig;
 use faster_storage::MemDevice;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Barrier;
 
 fn count_store(cfg: FasterKvConfig) -> FasterKv<u64, u64, CountStore> {
@@ -17,19 +17,22 @@ fn read_now<F: Functions<u64, u64, Input = u64, Output = u64>>(
     key: u64,
 ) -> Option<u64> {
     match s.read(&key, &0) {
-        ReadResult::Found(v) => Some(v),
-        ReadResult::NotFound => None,
-        ReadResult::Pending(id) => {
+        Ok(Outcome::Value(v)) => Some(v),
+        Err(OpError::NotFound) => None,
+        Err(OpError::Pending(id)) => {
             let done = s.complete_pending(true);
-            for op in done {
-                if let CompletedOp::Read { id: did, result } = op {
-                    if did == id {
-                        return result;
-                    }
+            for c in done {
+                if c.id == id {
+                    return match c.result {
+                        Ok(Outcome::Value(v)) => Some(v),
+                        Err(OpError::NotFound) => None,
+                        other => panic!("pending read {id} completed oddly: {other:?}"),
+                    };
                 }
             }
             panic!("pending read {id} did not complete");
         }
+        other => panic!("read of {key} refused: {other:?}"),
     }
 }
 
@@ -38,7 +41,7 @@ fn rmw_now<F: Functions<u64, u64, Input = u64, Output = u64>>(
     key: u64,
     input: u64,
 ) {
-    if let RmwResult::Pending(_) = s.rmw(&key, &input) {
+    if let Err(OpError::Pending(_)) = s.rmw(&key, &input) {
         s.complete_pending(true);
     }
 }
@@ -48,14 +51,14 @@ fn basic_upsert_read_delete() {
     let store = count_store(FasterKvConfig::small());
     let s = store.start_session();
     assert_eq!(read_now(&s, 1), None);
-    s.upsert(&1, &100);
+    s.upsert(&1, &100).unwrap();
     assert_eq!(read_now(&s, 1), Some(100));
-    s.upsert(&1, &200);
+    s.upsert(&1, &200).unwrap();
     assert_eq!(read_now(&s, 1), Some(200));
-    s.delete(&1);
+    s.delete(&1).unwrap();
     assert_eq!(read_now(&s, 1), None);
     // Reinsert after delete.
-    s.upsert(&1, &300);
+    s.upsert(&1, &300).unwrap();
     assert_eq!(read_now(&s, 1), Some(300));
 }
 
@@ -81,7 +84,7 @@ fn rmw_after_delete_reinitializes() {
     let store = count_store(FasterKvConfig::small());
     let s = store.start_session();
     rmw_now(&s, 9, 10);
-    s.delete(&9);
+    s.delete(&9).unwrap();
     rmw_now(&s, 9, 4);
     assert_eq!(read_now(&s, 9), Some(4), "delete resets the counter");
 }
@@ -91,7 +94,7 @@ fn many_keys_round_trip() {
     let store = count_store(FasterKvConfig::small());
     let s = store.start_session();
     for k in 0..5_000u64 {
-        s.upsert(&k, &(k * 2));
+        s.upsert(&k, &(k * 2)).unwrap();
     }
     for k in 0..5_000u64 {
         assert_eq!(read_now(&s, k), Some(k * 2), "key {k}");
@@ -123,7 +126,7 @@ fn concurrent_count_store_exactness() {
             let mut rng = faster_util::XorShift64::new(t + 1);
             for _ in 0..per_thread {
                 let k = rng.next_below(keys);
-                if let RmwResult::Pending(_) = s.rmw(&k, &1) {
+                if let Err(OpError::Pending(_)) = s.rmw(&k, &1) {
                     s.complete_pending(true);
                 }
             }
@@ -146,21 +149,21 @@ fn batched_ops_match_scalar_inmemory() {
     let store = count_store(FasterKvConfig::small());
     let s = store.start_session();
     let pairs: Vec<(u64, u64)> = (0..2_000u64).map(|k| (k, k * 3)).collect();
-    s.upsert_batch(&pairs);
+    s.upsert_batch(&pairs).unwrap();
     // Batch straddles present and absent keys.
     let keys: Vec<u64> = (0..2_100u64).collect();
     let results = s.read_batch(&keys, &0);
     assert_eq!(results.len(), keys.len());
     for (k, r) in keys.iter().zip(&results) {
         match r {
-            ReadResult::Found(v) if *k < 2_000 => assert_eq!(*v, k * 3, "key {k}"),
-            ReadResult::NotFound if *k >= 2_000 => {}
+            Ok(Outcome::Value(v)) if *k < 2_000 => assert_eq!(*v, k * 3, "key {k}"),
+            Err(OpError::NotFound) if *k >= 2_000 => {}
             other => panic!("key {k}: unexpected {other:?}"),
         }
     }
     let incs: Vec<(u64, u64)> = (0..2_000u64).map(|k| (k, 5)).collect();
     for r in s.rmw_batch(&incs) {
-        assert_eq!(r, RmwResult::Done, "in-memory RMW never pends");
+        assert!(r.is_ok(), "in-memory RMW never pends: {r:?}");
     }
     assert_eq!(read_now(&s, 10), Some(35));
     // Heterogeneous batch through execute_batch, in submission order:
@@ -173,11 +176,11 @@ fn batched_ops_match_scalar_inmemory() {
         BatchOp::Read { key: 5_000, input: 0 },
     ];
     let out = s.execute_batch(&ops);
-    assert_eq!(out[0], BatchOutcome::Upsert);
-    assert_eq!(out[1], BatchOutcome::Rmw(RmwResult::Done));
-    assert_eq!(out[2], BatchOutcome::Read(ReadResult::Found(3)));
-    assert_eq!(out[3], BatchOutcome::Delete);
-    assert_eq!(out[4], BatchOutcome::Read(ReadResult::NotFound));
+    assert_eq!(out[0], Ok(Outcome::Done));
+    assert!(out[1].is_ok());
+    assert_eq!(out[2], Ok(Outcome::Value(3)));
+    assert_eq!(out[3], Ok(Outcome::Done));
+    assert_eq!(out[4], Err(OpError::NotFound));
 }
 
 #[test]
@@ -207,7 +210,7 @@ fn concurrent_batched_rmw_exactness() {
             for _ in 0..batches {
                 batch.clear();
                 batch.extend((0..batch_len).map(|_| (rng.next_below(keys), 1u64)));
-                if s.rmw_batch(&batch).iter().any(|r| matches!(r, RmwResult::Pending(_))) {
+                if s.rmw_batch(&batch).iter().any(|r| matches!(r, Err(OpError::Pending(_)))) {
                     s.complete_pending(true);
                 }
             }
@@ -242,7 +245,7 @@ fn read_batch_straddling_disk_goes_pending_and_completes() {
     let s = store.start_session();
     let n = 4_000u64;
     for k in 0..n {
-        s.upsert(&k, &(k + 1));
+        s.upsert(&k, &(k + 1)).unwrap();
     }
     store.log().flush_barrier().unwrap();
     assert!(store.log().head_address().raw() > 0, "data must have spilled");
@@ -253,20 +256,19 @@ fn read_batch_straddling_disk_goes_pending_and_completes() {
     let mut pending_seen = 0u32;
     for (k, r) in keys.iter().zip(&results) {
         match r {
-            ReadResult::Found(v) => assert_eq!(*v, k + 1, "resident key {k}"),
-            ReadResult::NotFound => assert!(*k >= n, "key {k} lost"),
-            ReadResult::Pending(id) => {
+            Ok(Outcome::Value(v)) => assert_eq!(*v, k + 1, "resident key {k}"),
+            Err(OpError::NotFound) => assert!(*k >= n, "key {k} lost"),
+            Err(OpError::Pending(id)) => {
                 pending_seen += 1;
                 pending.insert(*id, *k);
             }
+            other => panic!("key {k}: unexpected {other:?}"),
         }
     }
     assert!(pending_seen > 0, "cold keys must take the async path");
-    for op in s.complete_pending(true) {
-        if let CompletedOp::Read { id, result } = op {
-            let k = pending[&id];
-            assert_eq!(result, Some(k + 1), "pending key {k}");
-        }
+    for c in s.complete_pending(true) {
+        let k = pending[&c.id];
+        assert_eq!(c.result, Ok(Outcome::Value(k + 1)), "pending key {k}");
     }
 }
 
@@ -282,7 +284,7 @@ fn larger_than_memory_spill_and_read_back() {
     let s = store.start_session();
     let n = 4_000u64; // ~96 KB of records >> 16 KB buffer
     for k in 0..n {
-        s.upsert(&k, &(k + 1));
+        s.upsert(&k, &(k + 1)).unwrap();
     }
     store.log().flush_barrier().unwrap();
     assert!(
@@ -293,22 +295,21 @@ fn larger_than_memory_spill_and_read_back() {
     let mut pending_seen = false;
     for k in (0..n).step_by(7) {
         match s.read(&k, &0) {
-            ReadResult::Found(v) => assert_eq!(v, k + 1),
-            ReadResult::NotFound => panic!("key {k} lost"),
-            ReadResult::Pending(id) => {
+            Ok(Outcome::Value(v)) => assert_eq!(v, k + 1),
+            Err(OpError::NotFound) => panic!("key {k} lost"),
+            Err(OpError::Pending(id)) => {
                 pending_seen = true;
                 let done = s.complete_pending(true);
                 let mut found = false;
-                for op in done {
-                    if let CompletedOp::Read { id: did, result } = op {
-                        if did == id {
-                            assert_eq!(result, Some(k + 1), "key {k}");
-                            found = true;
-                        }
+                for c in done {
+                    if c.id == id {
+                        assert_eq!(c.result, Ok(Outcome::Value(k + 1)), "key {k}");
+                        found = true;
                     }
                 }
                 assert!(found, "completion for key {k}");
             }
+            other => panic!("read of {k} refused: {other:?}"),
         }
     }
     assert!(pending_seen, "cold reads must go through the async path");
@@ -325,17 +326,18 @@ fn rmw_on_disk_record_goes_pending_and_completes() {
     let store: FasterKv<u64, u64, BlindKv<u64>> =
         FasterKv::new(cfg, BlindKv::new(), MemDevice::new(2));
     let s = store.start_session();
-    s.upsert(&42, &1000);
+    s.upsert(&42, &1000).unwrap();
     // Push key 42 to disk.
     for k in 1000..4000u64 {
-        s.upsert(&k, &k);
+        s.upsert(&k, &k).unwrap();
     }
     store.log().flush_barrier().unwrap();
     match s.rmw(&42, &777) {
-        RmwResult::Pending(_) => {
+        Err(OpError::Pending(_)) => {
             s.complete_pending(true);
         }
-        RmwResult::Done => { /* possible if still resident */ }
+        Ok(_) => { /* possible if still resident */ }
+        other => panic!("rmw refused: {other:?}"),
     }
     assert_eq!(read_now(&s, 42), Some(777), "RMW (blind replace) applied after IO");
 }
@@ -351,12 +353,12 @@ fn crdt_disk_rmw_avoids_io_with_delta() {
     let s = store.start_session();
     rmw_now(&s, 5, 100);
     for k in 1000..4000u64 {
-        s.upsert(&k, &k);
+        s.upsert(&k, &k).unwrap();
     }
     store.log().flush_barrier().unwrap();
     // Key 5's base is cold now; a CRDT RMW must return Done (delta appended).
     let reads_before = store.log().device().stats().reads;
-    assert_eq!(s.rmw(&5, &11), RmwResult::Done, "CRDT RMW must not read disk (Table 2)");
+    assert!(s.rmw(&5, &11).is_ok(), "CRDT RMW must not read disk (Table 2)");
     assert_eq!(store.log().device().stats().reads, reads_before, "no device read issued");
     // The read reconciles base + delta, possibly via IO.
     assert_eq!(read_now(&s, 5), Some(111));
@@ -371,18 +373,17 @@ fn upsert_never_pends_even_below_head() {
         .with_refresh_interval(32);
     let store = count_store(cfg);
     let s = store.start_session();
-    s.upsert(&3, &1);
+    s.upsert(&3, &1).unwrap();
     for k in 1000..4000u64 {
-        s.upsert(&k, &k);
+        s.upsert(&k, &k).unwrap();
     }
     // Key 3 cold; blind update completes synchronously (Table 2).
-    s.upsert(&3, &2);
+    s.upsert(&3, &2).unwrap();
     assert_eq!(read_now(&s, 3), Some(2));
     assert_eq!(s.pending_count(), 0);
 }
 
 #[test]
-#[allow(deprecated)] // exercises the Session::stats compatibility shim
 fn table2_update_scheme_by_region() {
     // Drive the log so one key's record sits in each region, and check the
     // stats counters reflect the Table 2 actions.
@@ -396,30 +397,32 @@ fn table2_update_scheme_by_region() {
     let s = store.start_session();
 
     // Mutable region: in-place.
-    s.upsert(&1, &10);
-    let st0 = s.stats();
-    s.rmw(&1, &11);
-    assert_eq!(s.stats().in_place, st0.in_place + 1, "mutable RMW is in-place");
+    s.upsert(&1, &10).unwrap();
+    let totals = || store.metrics().sessions.totals;
+    let st0 = totals();
+    s.rmw(&1, &11).unwrap();
+    assert_eq!(totals().in_place, st0.in_place + 1, "mutable RMW is in-place");
 
     // Push key 1 into the read-only region (2 mutable pages => write ~3 pages).
     for k in 100..((3 * 4096 / 24) as u64 + 100) {
-        s.upsert(&k, &k);
+        s.upsert(&k, &k).unwrap();
     }
     s.refresh();
-    let st1 = s.stats();
+    let st1 = totals();
     match s.rmw(&1, &12) {
-        RmwResult::Done => {
-            let st2 = s.stats();
+        Ok(_) => {
+            let st2 = totals();
             assert!(
-                st2.copies > st1.copies || st2.in_place > st1.in_place,
+                st2.rcu > st1.rcu || st2.in_place > st1.in_place,
                 "read-only RMW copies to tail (or still mutable): {st2:?}"
             );
         }
-        RmwResult::Pending(_) => {
+        Err(OpError::Pending(_)) => {
             // Fuzzy-region hit: legal; complete it.
-            assert_eq!(s.stats().fuzzy_pending, st1.fuzzy_pending + 1);
+            assert_eq!(totals().fuzzy_pending, st1.fuzzy_pending + 1);
             s.complete_pending(true);
         }
+        other => panic!("rmw refused: {other:?}"),
     }
     assert_eq!(read_now(&s, 1), Some(12));
 }
@@ -463,29 +466,25 @@ fn lost_update_anomaly_prevented() {
     let per_thread = 5_000u64;
     let keys = 16u64; // few keys + tiny mutable region => fuzzy hits
     let barrier = std::sync::Arc::new(Barrier::new(threads as usize));
-    let fuzzy_total = std::sync::Arc::new(AtomicU64::new(0));
     let mut handles = Vec::new();
     for t in 0..threads {
         let store = store.clone();
         let barrier = barrier.clone();
-        let fuzzy_total = fuzzy_total.clone();
         handles.push(std::thread::spawn(move || {
             let s = store.start_session();
             barrier.wait();
             let mut rng = faster_util::XorShift64::new(t * 7 + 1);
             for i in 0..per_thread {
                 let k = rng.next_below(keys);
-                if let RmwResult::Pending(_) = s.rmw(&k, &1) {
+                if let Err(OpError::Pending(_)) = s.rmw(&k, &1) {
                     s.complete_pending(true);
                 }
                 if i % 251 == 0 {
                     // churn the log so the read-only offset keeps moving
-                    s.upsert(&(1_000_000 + t * per_thread + i), &0);
+                    s.upsert(&(1_000_000 + t * per_thread + i), &0).unwrap();
                 }
             }
             s.complete_pending(true);
-            #[allow(deprecated)] // Session::stats shim
-            fuzzy_total.fetch_add(s.stats().fuzzy_pending, Ordering::Relaxed);
         }));
     }
     for h in handles {
@@ -509,13 +508,13 @@ fn checkpoint_recover_round_trip() {
             FasterKv::new(cfg, CountStore, device.clone());
         let s = store.start_session();
         for k in 0..500u64 {
-            s.upsert(&k, &(k * 3));
+            s.upsert(&k, &(k * 3)).unwrap();
         }
         drop(s); // quiesce so the checkpoint flush trigger can fire
         data = store.checkpoint();
         // Post-checkpoint updates are allowed to be lost.
         let s2 = store.start_session();
-        s2.upsert(&0, &999_999);
+        s2.upsert(&0, &999_999).unwrap();
     }
     let store2: FasterKv<u64, u64, CountStore> =
         FasterKv::recover(cfg, CountStore, device, &data);
@@ -527,7 +526,7 @@ fn checkpoint_recover_round_trip() {
     let v0 = read_now(&s, 0);
     assert_eq!(v0, Some(0), "checkpointed value for key 0");
     // And the store keeps working.
-    s.upsert(&12345, &1);
+    s.upsert(&12345, &1).unwrap();
     assert_eq!(read_now(&s, 12345), Some(1));
 }
 
@@ -542,7 +541,7 @@ fn checkpoint_replay_catches_fuzzy_window_updates() {
     {
         let s = store.start_session();
         for k in 0..100u64 {
-            s.upsert(&k, &k);
+            s.upsert(&k, &k).unwrap();
         }
     }
     let data = store.checkpoint();
@@ -564,9 +563,9 @@ fn gc_truncate_makes_cold_keys_absent() {
         .with_refresh_interval(32);
     let store = count_store(cfg);
     let s = store.start_session();
-    s.upsert(&1, &111);
+    s.upsert(&1, &111).unwrap();
     for k in 1000..4000u64 {
-        s.upsert(&k, &k);
+        s.upsert(&k, &k).unwrap();
     }
     store.log().flush_barrier().unwrap();
     let head = store.log().head_address();
@@ -589,14 +588,14 @@ fn gc_compact_preserves_live_keys() {
     let s = store.start_session();
     // Cold live keys.
     for k in 0..50u64 {
-        s.upsert(&k, &(k + 7));
+        s.upsert(&k, &(k + 7)).unwrap();
     }
     // Overwrite some (dead old versions) and add churn.
     for k in 0..25u64 {
-        s.upsert(&k, &(k + 1000));
+        s.upsert(&k, &(k + 1000)).unwrap();
     }
     for k in 5000..8000u64 {
-        s.upsert(&k, &1);
+        s.upsert(&k, &1).unwrap();
     }
     store.log().flush_barrier().unwrap();
     s.refresh();
@@ -618,7 +617,7 @@ fn index_grow_under_store_load() {
     let store = count_store(FasterKvConfig::small());
     let s = store.start_session();
     for k in 0..2000u64 {
-        s.upsert(&k, &k);
+        s.upsert(&k, &k).unwrap();
     }
     let k_before = store.index().k_bits();
     // grow_index with an active session: pass it so waits refresh.
@@ -635,15 +634,14 @@ fn index_grow_under_store_load() {
 }
 
 #[test]
-#[allow(deprecated)] // exercises the Session::stats compatibility shim
-fn session_stats_populate() {
+fn session_op_counters_populate() {
     let store = count_store(FasterKvConfig::small());
     let s = store.start_session();
-    s.upsert(&1, &1);
+    s.upsert(&1, &1).unwrap();
     rmw_now(&s, 1, 1);
     let _ = read_now(&s, 1);
-    s.delete(&1);
-    let st = s.stats();
+    s.delete(&1).unwrap();
+    let st = store.metrics().sessions.totals;
     assert_eq!(st.upserts, 1);
     assert_eq!(st.rmws, 1);
     assert_eq!(st.reads, 1);
@@ -673,9 +671,9 @@ fn read_with_input_selects_output() {
     let store: FasterKv<u64, [u32; 4], FieldStore> =
         FasterKv::new(FasterKvConfig::small(), FieldStore, MemDevice::new(1));
     let s = store.start_session();
-    s.upsert(&1, &[10, 20, 30, 40]);
+    s.upsert(&1, &[10, 20, 30, 40]).unwrap();
     match s.read(&1, &2) {
-        ReadResult::Found(v) => assert_eq!(v, 30),
+        Ok(Outcome::Value(v)) => assert_eq!(v, 30),
         other => panic!("{other:?}"),
     }
 }
@@ -692,7 +690,7 @@ fn read_history_returns_versions_newest_first() {
         FasterKv::new(cfg, BlindKv::new(), MemDevice::new(2));
     let s = store.start_session();
     for v in 1..=5u64 {
-        s.upsert(&7, &(v * 100));
+        s.upsert(&7, &(v * 100)).unwrap();
     }
     let hist = s.read_history(&7, 10);
     assert_eq!(hist, vec![500, 400, 300, 200, 100], "newest first");
@@ -700,12 +698,12 @@ fn read_history_returns_versions_newest_first() {
     assert!(s.read_history(&99, 10).is_empty());
     // History crosses to storage when old versions are evicted.
     for k in 1000..5000u64 {
-        s.upsert(&k, &k);
+        s.upsert(&k, &k).unwrap();
     }
     store.log().flush_barrier().unwrap();
     let hist = s.read_history(&7, 10);
     assert_eq!(hist, vec![500, 400, 300, 200, 100], "history readable from disk");
     // Tombstone ends history.
-    s.delete(&7);
+    s.delete(&7).unwrap();
     assert!(s.read_history(&7, 10).is_empty());
 }

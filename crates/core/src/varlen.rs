@@ -123,7 +123,7 @@ impl<K: Pod, const CAP: usize> Functions<K, VarValue<CAP>> for VarKv<CAP> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FasterKv, FasterKvConfig, ReadResult};
+    use crate::{FasterKv, FasterKvConfig, OpError, Outcome};
     use faster_storage::MemDevice;
 
     #[test]
@@ -156,20 +156,20 @@ mod tests {
         let store: FasterKv<u64, VarValue<64>, VarKv<64>> =
             FasterKv::new(FasterKvConfig::small(), VarKv, MemDevice::new(1));
         let s = store.start_session();
-        s.upsert(&1, &VarValue::new(b"short"));
-        s.upsert(&2, &VarValue::new(&[7u8; 64]));
-        s.upsert(&1, &VarValue::new(b"a considerably longer replacement"));
+        s.upsert(&1, &VarValue::new(b"short")).unwrap();
+        s.upsert(&2, &VarValue::new(&[7u8; 64])).unwrap();
+        s.upsert(&1, &VarValue::new(b"a considerably longer replacement")).unwrap();
         match s.read(&1, &VarValue::empty()) {
-            ReadResult::Found(v) => {
+            Ok(Outcome::Value(v)) => {
                 assert_eq!(v.as_bytes(), b"a considerably longer replacement")
             }
             other => panic!("{other:?}"),
         }
         match s.read(&2, &VarValue::empty()) {
-            ReadResult::Found(v) => assert_eq!(v.as_bytes(), &[7u8; 64][..]),
+            Ok(Outcome::Value(v)) => assert_eq!(v.as_bytes(), &[7u8; 64][..]),
             other => panic!("{other:?}"),
         }
-        s.delete(&1);
-        assert!(matches!(s.read(&1, &VarValue::empty()), ReadResult::NotFound));
+        s.delete(&1).unwrap();
+        assert!(matches!(s.read(&1, &VarValue::empty()), Err(OpError::NotFound)));
     }
 }

@@ -288,7 +288,12 @@ impl Policy {
                 .prev
                 .map(|p| m.index.overflow_allocs > p.overflow_allocs)
                 .unwrap_or(false);
+            // The probe signal inflates while a chunked resize migrates
+            // buckets (every probe may walk both old and new chains), so
+            // the grow arm is gated on resize-in-progress: never stack a
+            // second grow on a signal the first one is still distorting.
             if (avg > self.cfg.grow_probe_hi || (overflow_grew && avg > self.cfg.shrink_probe_lo))
+                && m.index.resize_active == 0
                 && m.index.k_bits < self.cfg.max_k_bits
                 && self.resize_allowed(ResizeDir::Grow)
             {
@@ -555,6 +560,22 @@ mod tests {
         // Still hot next tick, but inside the cooldown window.
         let m2 = with_probe_window(&m1, 10_000, 3.0);
         assert!(p.decide(&m2).is_empty());
+    }
+
+    #[test]
+    fn grow_gated_while_resize_in_progress() {
+        let mut p = Policy::new(PolicyConfig::default());
+        let m0 = snap();
+        p.decide(&m0);
+        // A hot probe signal during a chunked resize must not stack a grow:
+        // the migration itself is what inflates the signal.
+        let mut m1 = with_probe_window(&m0, 10_000, 3.0);
+        m1.index.resize_active = 1;
+        assert!(p.decide(&m1).is_empty(), "grow fired mid-resize");
+        // The resize completes and the signal is still hot: now it fires.
+        let mut m2 = with_probe_window(&m1, 10_000, 3.0);
+        m2.index.resize_active = 0;
+        assert_eq!(p.decide(&m2), vec![Action::GrowIndex]);
     }
 
     #[test]

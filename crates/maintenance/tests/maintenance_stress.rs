@@ -17,8 +17,8 @@
 use faster_core::ckpt_manager::recover_store_with_wal;
 use faster_core::maintenance::{run_tick, MaintenanceStats, Policy, PolicyConfig};
 use faster_core::{
-    CheckpointConfig, CheckpointManager, CompletedOp, CountStore, FasterKv, FasterKvConfig,
-    ReadResult, Session,
+    CheckpointConfig, CheckpointManager, CountStore, FasterKv, FasterKvConfig, OpError, Outcome,
+    Session,
 };
 use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
@@ -45,20 +45,22 @@ fn quiet() -> PolicyConfig {
 
 fn read_blocking(session: &Session<u64, u64, CountStore>, key: u64) -> Option<u64> {
     match session.read(&key, &0) {
-        ReadResult::Found(v) => Some(v),
-        ReadResult::NotFound => None,
-        ReadResult::Pending(id) => {
-            for op in session.complete_pending(true) {
-                match op {
-                    CompletedOp::Read { id: did, result } if did == id => return result,
-                    CompletedOp::Failed { id: did, error } if did == id => {
-                        panic!("pending read {id} failed: {error}")
-                    }
-                    _ => {}
+        Ok(Outcome::Value(v)) => Some(v),
+        Err(OpError::NotFound) => None,
+        Err(OpError::Pending(id)) => {
+            for c in session.complete_pending(true) {
+                if c.id != id {
+                    continue;
                 }
+                return match c.result {
+                    Ok(Outcome::Value(v)) => Some(v),
+                    Err(OpError::NotFound) => None,
+                    other => panic!("pending read {id} failed: {other:?}"),
+                };
             }
             panic!("pending read {id} never completed")
         }
+        other => panic!("read of {key} refused: {other:?}"),
     }
 }
 
@@ -105,7 +107,7 @@ fn grow_during_upserts_case(seed: u64) {
                 for _ in 0..16 {
                     let key = w * 10_000 + rng.next_below(2048);
                     let value = rng.next_u64();
-                    session.upsert(&key, &value);
+                    session.upsert(&key, &value).expect("writable");
                     committed.borrow_mut().insert(key, value);
                 }
                 Step::Progress
@@ -208,11 +210,11 @@ fn compaction_vs_gc_clamp_case(seed: u64) {
                 for _ in 0..6 {
                     let key = rng.next_below(96);
                     if rng.next_below(8) == 0 {
-                        session.delete(&key);
+                        session.delete(&key).expect("writable");
                         oracle.borrow_mut().insert(key, None);
                     } else {
                         let value = rng.next_u64();
-                        session.upsert(&key, &value);
+                        session.upsert(&key, &value).expect("writable");
                         oracle.borrow_mut().insert(key, Some(value));
                     }
                 }
@@ -373,7 +375,7 @@ fn checkpoint_during_wal_traffic_case(seed: u64) {
                 for _ in 0..4 {
                     let key = w * 1_000 + rng.next_below(64);
                     let value = rng.next_u64();
-                    session.upsert(&key, &value);
+                    session.upsert(&key, &value).expect("writable");
                     oracle.borrow_mut().insert(key, value);
                 }
                 // Only durable (group-committed) state enters the oracle.
@@ -461,7 +463,7 @@ fn read_cache_resize_case(seed: u64) {
     {
         let session = store.start_session();
         for k in 0..KEYS {
-            session.upsert(&k, &(k + 7));
+            session.upsert(&k, &(k + 7)).expect("writable");
         }
         store.log().flush_barrier().unwrap();
     }

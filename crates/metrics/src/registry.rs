@@ -65,6 +65,7 @@ impl MetricsRegistry {
                 resize_backoffs: self.index.resize_backoffs.get(),
                 k_bits: 0,
                 buckets: 0,
+                resize_active: 0,
             },
             hlog: hlog_snapshot(&self.hlog),
             rc_log: hlog_snapshot(&self.rc_log),
@@ -165,6 +166,10 @@ pub struct IndexSnapshot {
     pub k_bits: u64,
     /// Gauge: main bucket count.
     pub buckets: u64,
+    /// Gauge: 1 while a chunked resize (grow or shrink) is in progress —
+    /// the maintenance policy must not stack another grow on the inflated
+    /// probe signal mid-migration (DESIGN.md §11).
+    pub resize_active: u64,
 }
 
 impl IndexSnapshot {
@@ -387,6 +392,7 @@ impl StoreMetrics {
         push_line(&mut out, "index.resize_backoffs", self.index.resize_backoffs);
         push_line(&mut out, "index.k_bits", self.index.k_bits);
         push_line(&mut out, "index.buckets", self.index.buckets);
+        push_line(&mut out, "index.resize_active", self.index.resize_active);
         for (prefix, h) in [("hlog", &self.hlog), ("rc_log", &self.rc_log)] {
             push_line(&mut out, &format!("{prefix}.appends"), h.appends);
             push_line(&mut out, &format!("{prefix}.alloc_retries"), h.alloc_retries);
@@ -555,6 +561,7 @@ impl StoreMetrics {
                     ("resize_backoffs", self.index.resize_backoffs.to_string()),
                     ("k_bits", self.index.k_bits.to_string()),
                     ("buckets", self.index.buckets.to_string()),
+                    ("resize_active", self.index.resize_active.to_string()),
                 ]),
             ),
             ("hlog", hlog(&self.hlog)),

@@ -1,0 +1,252 @@
+//! Over-the-wire YCSB-A throughput vs. pipeline depth, plus a durable-ack
+//! crash check (DESIGN.md §13).
+//!
+//! Phase 1 measures what the RESP front-end's pipelining→batching path is
+//! worth: a fixed number of client connections drive a 50/50 GET/SET mix
+//! (YCSB-A shape) at pipeline depth 1 and depth 64 against a WAL-backed
+//! store whose WAL device carries the NVMe latency model, so every
+//! mutation ack pays a realistic group-commit fsync. At depth 1 each
+//! round trip eats a socket RTT plus a commit barrier; at depth 64 the
+//! server turns the window into batched execution and one shared
+//! durability gate, so throughput should scale far past the
+//! `FASTER_BENCH_NET_MIN_RATIO` (default 4×) gate that
+//! `scripts/bench_smoke.sh` applies to `BENCH_net.json`.
+//!
+//! Phase 2 re-checks the ack contract under the same harness the crash
+//! tests use: pipeline a few thousand SETs, take only a prefix of the
+//! `+OK`s, kill the server with replies still in flight, recover the store
+//! from the WAL, and verify every acked key. The emitted row carries
+//! `recovered_ok`; the smoke gate fails unless it is `true`.
+//!
+//! Knobs: `FASTER_BENCH_NET_KEYS` (default 100 K), `FASTER_BENCH_NET_SECS`
+//! (seconds per depth, default 1.0), `FASTER_BENCH_NET_CONNS` (default 2),
+//! `FASTER_BENCH_NET_SETS` (durability-phase pipeline length, default
+//! 2000).
+
+use faster_core::ckpt_manager::{self, CheckpointConfig};
+use faster_core::{CountStore, FasterKv, FasterKvConfig, Outcome};
+use faster_server::{Server, ServerConfig, Store};
+use faster_storage::{Device, LatencyModel, MemDevice};
+use faster_util::XorShift64;
+use faster_wal::WalConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Minimal pipelining client: sends raw frames, counts complete replies.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        Client { stream, buf: Vec::new(), pos: 0 }
+    }
+
+    /// Length of one complete reply frame at `data`, or `None` if partial.
+    fn frame_len(data: &[u8]) -> Option<usize> {
+        let nl = data.iter().position(|&b| b == b'\n')?;
+        if data[0] != b'$' {
+            return Some(nl + 1);
+        }
+        let len: i64 = std::str::from_utf8(&data[1..nl - 1]).ok()?.parse().ok()?;
+        if len < 0 {
+            return Some(nl + 1); // nil bulk
+        }
+        let end = nl + 1 + len as usize + 2;
+        (data.len() >= end).then_some(end)
+    }
+
+    /// Blocks until `n` replies have arrived; panics on an `-ERR`.
+    fn read_replies(&mut self, n: usize) {
+        let mut got = 0usize;
+        while got < n {
+            while let Some(used) = Self::frame_len(&self.buf[self.pos..]) {
+                if self.buf[self.pos] == b'-' {
+                    let line = String::from_utf8_lossy(&self.buf[self.pos..self.pos + used]);
+                    panic!("server error reply: {}", line.trim_end());
+                }
+                self.pos += used;
+                got += 1;
+                if got == n {
+                    break;
+                }
+            }
+            if self.pos == self.buf.len() {
+                self.buf.clear();
+                self.pos = 0;
+            }
+            if got == n {
+                break;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => panic!("server closed mid-pipeline"),
+                Ok(read) => self.buf.extend_from_slice(&chunk[..read]),
+                Err(e) => panic!("client read failed: {e}"),
+            }
+        }
+    }
+}
+
+/// WAL-backed store whose commit barriers cost a modeled NVMe fsync.
+fn wal_store(keys: u64, log_dev: Arc<dyn Device>, wal_dev: Arc<dyn Device>) -> Store {
+    let cfg = FasterKvConfig::for_keys(keys)
+        .with_wal(WalConfig { batch_window: Duration::ZERO, segment_size: 1 << 20 });
+    FasterKv::new_with_wal(cfg, CountStore, log_dev, wal_dev)
+}
+
+/// Drives `conns` client threads at pipeline `depth` for `dur`; returns
+/// total completed operations.
+fn run_depth(addr: std::net::SocketAddr, conns: usize, depth: usize, keys: u64, dur: Duration) -> u64 {
+    let handles: Vec<_> = (0..conns)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let mut rng = XorShift64::new(0xBE7C_u64 + t as u64);
+                let mut frame = Vec::with_capacity(depth * 16);
+                // Warm the connection (and the server's batch path).
+                frame.extend_from_slice(b"PING\r\n");
+                c.stream.write_all(&frame).unwrap();
+                c.read_replies(1);
+                let start = Instant::now();
+                let mut ops = 0u64;
+                while start.elapsed() < dur {
+                    frame.clear();
+                    for _ in 0..depth {
+                        let k = rng.next_below(keys);
+                        // YCSB-A: half reads, half blind updates.
+                        if rng.next_below(2) == 0 {
+                            frame.extend_from_slice(format!("GET {k}\r\n").as_bytes());
+                        } else {
+                            frame.extend_from_slice(format!("SET {k} {ops}\r\n").as_bytes());
+                        }
+                    }
+                    c.stream.write_all(&frame).unwrap();
+                    c.read_replies(depth);
+                    ops += depth as u64;
+                }
+                ops
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+}
+
+fn main() {
+    let keys = env_u64("FASTER_BENCH_NET_KEYS", 100_000);
+    let conns = env_u64("FASTER_BENCH_NET_CONNS", 2) as usize;
+    let dur = Duration::from_secs_f64(env_f64("FASTER_BENCH_NET_SECS", 1.0).clamp(0.1, 30.0));
+
+    // ---- Phase 1: throughput vs. pipeline depth at a fixed conn count.
+    let store = wal_store(
+        keys,
+        MemDevice::new(4),
+        MemDevice::with_latency(1, LatencyModel::nvme()),
+    );
+    {
+        let session = store.start_session();
+        for k in 0..keys {
+            session.upsert(&k, &k).unwrap();
+        }
+        session.complete_pending(true);
+        session.wait_wal_durable().unwrap();
+    }
+    let server = Server::start(store, "127.0.0.1:0", ServerConfig::default()).expect("server");
+    println!(
+        "# net_ycsb: {keys} keys, {conns} conns, YCSB-A over RESP, NVMe-latency WAL, {:.1}s/depth",
+        dur.as_secs_f64()
+    );
+    let mut results: Vec<(usize, f64)> = Vec::new();
+    for depth in [1usize, 64] {
+        let start = Instant::now();
+        let ops = run_depth(server.local_addr(), conns, depth, keys, dur);
+        let secs = start.elapsed().as_secs_f64();
+        let kops = ops as f64 / secs / 1e3;
+        println!("net_ycsb depth={depth:<3} {kops:>9.1} Kops ({conns} conns)");
+        println!(
+            "json,{{\"bench\":\"net_ycsb\",\"depth\":{depth},\"conns\":{conns},\"ops\":{ops},\
+             \"secs\":{secs:.4},\"kops\":{kops:.1}}}"
+        );
+        results.push((depth, kops));
+    }
+    server.shutdown();
+    if let (Some(&(_, d1)), Some(&(_, d64))) = (
+        results.iter().find(|(d, _)| *d == 1),
+        results.iter().find(|(d, _)| *d == 64),
+    ) {
+        println!("speedup: depth64/depth1 {:.2}x", d64 / d1);
+    }
+
+    // ---- Phase 2: durable-ack verification through a server kill.
+    let sets = env_u64("FASTER_BENCH_NET_SETS", 2_000);
+    let log_dev: Arc<dyn Device> = MemDevice::new(2);
+    let ckpt_dev: Arc<dyn Device> = MemDevice::new(1);
+    let wal_dev: Arc<dyn Device> = MemDevice::new(1);
+    let store = wal_store(sets * 2, log_dev.clone(), wal_dev.clone());
+    let cfg = FasterKvConfig::for_keys(sets * 2)
+        .with_wal(WalConfig { batch_window: Duration::ZERO, segment_size: 1 << 20 });
+    let server = Server::start(store, "127.0.0.1:0", ServerConfig { workers: 1 }).expect("server");
+    let mut c = Client::connect(server.local_addr());
+    let mut frame = Vec::new();
+    for k in 0..sets {
+        frame.extend_from_slice(format!("SET {k} {}\r\n", k + 1).as_bytes());
+    }
+    c.stream.write_all(&frame).unwrap();
+    // Take only a prefix of the acks, then kill the server mid-pipeline.
+    let acked = sets / 4;
+    c.read_replies(acked as usize);
+    server.shutdown();
+    drop(server);
+    drop(c);
+
+    let rec = ckpt_manager::recover_store_with_wal::<u64, u64, CountStore>(
+        cfg,
+        CountStore,
+        log_dev,
+        ckpt_dev,
+        wal_dev,
+        CheckpointConfig::default(),
+    )
+    .expect("recovery after server kill");
+    let session = rec.store.start_session();
+    let mut recovered = 0u64;
+    for k in 0..acked {
+        let got = match session.read(&k, &0) {
+            Ok(Outcome::Value(v)) => Some(v),
+            Err(faster_core::OpError::Pending(_)) => session
+                .complete_pending(true)
+                .into_iter()
+                .find_map(|comp| match comp.result {
+                    Ok(Outcome::Value(v)) => Some(v),
+                    _ => None,
+                }),
+            _ => None,
+        };
+        if got == Some(k + 1) {
+            recovered += 1;
+        }
+    }
+    let ok = recovered == acked;
+    println!(
+        "net_ycsb durability: {acked}/{sets} acks taken, {recovered} recovered, ok={ok}"
+    );
+    println!(
+        "json,{{\"bench\":\"net_ycsb\",\"mode\":\"durability\",\"sets\":{sets},\
+         \"acked\":{acked},\"recovered\":{recovered},\"recovered_ok\":{ok}}}"
+    );
+}

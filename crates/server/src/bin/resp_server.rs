@@ -1,0 +1,40 @@
+//! Quick-start RESP server: a WAL-backed in-memory `FasterKv` behind the
+//! network front-end, good for poking at with `redis-cli` or `nc`.
+//!
+//! ```text
+//! cargo run --release -p faster-server --bin resp_server -- 127.0.0.1:6379
+//! nc 127.0.0.1 6379
+//! SET 1 41
+//! INCR 1
+//! GET 1
+//! ```
+//!
+//! Devices are `MemDevice`s, so the store (and its WAL) is volatile — this
+//! binary demonstrates the wire protocol and the durability-gated ack
+//! path, not persistence across process restarts.
+
+use faster_core::{CountStore, FasterKv, FasterKvConfig, WalConfig};
+use faster_server::{Server, ServerConfig};
+use faster_storage::MemDevice;
+use std::time::Duration;
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:6379".into());
+    let workers = std::env::var("FASTER_SERVER_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let cfg = FasterKvConfig::for_keys(1 << 20)
+        .with_wal(WalConfig { batch_window: Duration::ZERO, segment_size: 1 << 20 });
+    let store = FasterKv::new_with_wal(cfg, CountStore, MemDevice::new(8), MemDevice::new(2));
+    let server = Server::start(store, &addr, ServerConfig { workers })
+        .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    println!(
+        "faster-server listening on {} ({} workers) — GET/SET/DEL/INCR/INCRBY/PING/QUIT",
+        server.local_addr(),
+        workers
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,860 @@
+//! RESP network front-end (DESIGN.md §13): a TCP server that speaks the
+//! Redis serialization protocol over a `FasterKv<u64, u64, CountStore>`,
+//! turning client pipelining into the store's batched execution.
+//!
+//! ## Architecture
+//!
+//! One acceptor thread round-robins connections over `N` worker threads.
+//! Each worker owns exactly one [`Session`] — sessions are the store's unit
+//! of thread registration — plus a `poll(2)` set over its connections and a
+//! non-blocking self-pipe. The session's completion ring is wired to that
+//! pipe via [`Session::set_io_waker`], so the worker parks in **one**
+//! `poll` call that wakes for either kind of event:
+//!
+//! * socket readiness — bytes to parse, or room to flush replies;
+//! * ring CQEs — disk-read completions and WAL group-commit durability
+//!   notices, pushed by I/O and commit threads.
+//!
+//! ## Pipelining → batching
+//!
+//! Every complete frame sitting in a connection's input buffer after one
+//! read burst is decoded in one pass and driven through
+//! [`Session::execute_batch`] as a single [`BatchOp`] slice — a client
+//! pipelining at depth 64 gets the store's batched index prefetch and one
+//! health check per batch, not 64 scalar calls. Replies are queued in
+//! command order and emitted strictly in order; a reply whose operation
+//! went pending (`OpError::Pending`) or whose durability ack is still in
+//! flight holds up the replies behind it, exactly as RESP requires.
+//!
+//! ## Durability and degradation
+//!
+//! On a WAL-backed store, every mutation reply (`SET` → `+OK`, `DEL` →
+//! `:1`, `INCR` → `:n`) is **held until the covering WAL group commit is
+//! durable**: after each batch the worker registers a ring-routed
+//! durability notice ([`Session::notify_wal_durable`]) and gates those
+//! replies on it. An acked `SET` therefore survives killing the server
+//! process — the over-the-wire crash tests recover the store from the WAL
+//! and check exactly that. A store degraded to read-only (DESIGN.md §12)
+//! refuses mutations with `-READONLY <reason>` while reads keep serving.
+//!
+//! ## Wire dialect
+//!
+//! Keys and values are decimal `u64`s (the store is fixed-width).
+//! `GET`/`SET`/`DEL`/`INCR`/`INCRBY`/`PING`/`QUIT` are implemented; `DEL`
+//! always answers `:1` (the store's tombstone append does not report prior
+//! existence), and `INCR` answers the value read back after the RMW — exact
+//! for keys owned by one connection, approximate under cross-connection
+//! races on the same key.
+
+mod resp;
+
+pub use resp::Command;
+
+use faster_core::{BatchOp, CountStore, FasterKv, OpError, Outcome, Session};
+use faster_storage::IoError;
+use libc::{c_int, c_void, nfds_t, pollfd, O_NONBLOCK, POLLERR, POLLHUP, POLLIN, POLLOUT};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The store type this front-end serves: fixed-width counters, RMW = add.
+pub type Store = FasterKv<u64, u64, CountStore>;
+type WorkerSession = Session<u64, u64, CountStore>;
+
+/// Park bound when continuations may need a driving call with no wake-up
+/// event of their own (fuzzy-region RMW retries).
+const BUSY_POLL_MS: c_int = 10;
+/// Park bound when idle: shutdown poll only; every data event has a waker.
+const IDLE_POLL_MS: c_int = 200;
+
+// ----------------------------------------------------------------- self-pipe
+
+/// The write end of a worker's self-pipe, shared by the session's ring
+/// waker and the server handle. `armed` dedupes: one byte in the pipe is
+/// enough to wake `poll`, so consecutive wakes between two worker passes
+/// collapse into one write.
+struct Waker {
+    wr: c_int,
+    armed: AtomicBool,
+}
+
+impl Waker {
+    fn wake(&self) {
+        if !self.armed.swap(true, Ordering::AcqRel) {
+            let byte = 1u8;
+            // A full pipe (EAGAIN) already wakes the worker; ignore errors.
+            unsafe { libc::write(self.wr, &byte as *const u8 as *const c_void, 1) };
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { libc::close(self.wr) };
+    }
+}
+
+/// The read end, owned by its worker.
+struct PipeReader(c_int);
+
+impl PipeReader {
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { libc::read(self.0, buf.as_mut_ptr() as *mut c_void, buf.len()) };
+            if n <= 0 {
+                break; // empty (EAGAIN) or closed
+            }
+        }
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        unsafe { libc::close(self.0) };
+    }
+}
+
+fn self_pipe() -> io::Result<(PipeReader, Arc<Waker>)> {
+    let mut fds = [0 as c_int; 2];
+    if unsafe { libc::pipe2(fds.as_mut_ptr(), O_NONBLOCK) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok((PipeReader(fds[0]), Arc::new(Waker { wr: fds[1], armed: AtomicBool::new(false) })))
+}
+
+// -------------------------------------------------------------- reply queue
+
+/// How a resolved read value renders.
+#[derive(Clone, Copy)]
+enum Render {
+    /// `GET`: bulk string, or nil when absent.
+    Value,
+    /// `INCR` read-back: RESP integer.
+    Int,
+}
+
+/// What a queued reply still waits for before its payload is final.
+enum PendingOp {
+    /// A read that went to disk; the completion's value renders the reply.
+    Read { render: Render },
+    /// An `INCR` whose RMW went pending: once it applies, the worker
+    /// registers its durability gate and issues the read-back.
+    RmwThenRead { key: u64 },
+}
+
+/// One in-order reply slot. Emittable when `op` and `wal` are both `None`.
+struct Reply {
+    bytes: Vec<u8>,
+    op: Option<PendingOp>,
+    wal: Option<u64>,
+}
+
+impl Reply {
+    fn ready(bytes: Vec<u8>) -> Self {
+        Reply { bytes, op: None, wal: None }
+    }
+}
+
+// --------------------------------------------------------------- connection
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Parsed commands not yet executed. Execution drains this in segments;
+    /// a pending RMW stalls the drain (see `stall_seq`) so per-connection
+    /// serial semantics survive pipelining.
+    queued: VecDeque<Command>,
+    /// A protocol error poisoned the stream: once `queued` drains, this
+    /// `-ERR` goes out and the connection closes.
+    poisoned: Option<String>,
+    replies: VecDeque<Reply>,
+    /// Sequence number of `replies.front()`; pending-op bookkeeping
+    /// addresses replies as `(conn id, seq)` so resolution survives pops.
+    seq_base: u64,
+    /// The reply whose in-flight RMW blocks executing anything behind it.
+    /// Upserts and deletes apply synchronously and pending *reads* resolve
+    /// against the record version captured at issue time, so neither
+    /// reorders against later commands — but an RMW that went pending
+    /// applies whenever its continuation runs, and any command executed
+    /// before then would invert the connection's serial order.
+    stall_seq: Option<u64>,
+    /// Peer closed its write side, or a protocol error poisoned the stream:
+    /// stop reading, flush what is owed, then close.
+    no_more_input: bool,
+    /// Read or write failed outright: drop without flushing.
+    broken: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            queued: VecDeque::new(),
+            poisoned: None,
+            replies: VecDeque::new(),
+            seq_base: 0,
+            stall_seq: None,
+            no_more_input: false,
+            broken: false,
+        }
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq_base + self.replies.len() as u64
+    }
+
+    fn reply_mut(&mut self, seq: u64) -> Option<&mut Reply> {
+        seq.checked_sub(self.seq_base).and_then(|i| self.replies.get_mut(i as usize))
+    }
+
+    /// Reads until the socket runs dry.
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.no_more_input = true;
+                    break;
+                }
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.broken = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Writes the output buffer until the socket pushes back.
+    fn flush(&mut self) {
+        while !self.outbuf.is_empty() {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => {
+                    self.broken = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.broken = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Decodes every complete frame in the input buffer into the command
+    /// queue. A protocol error poisons the stream: already-queued commands
+    /// still execute, then the stored `-ERR` goes out and the stream
+    /// closes. `QUIT` likewise stops parsing; anything pipelined behind it
+    /// is discarded.
+    fn parse_input(&mut self) {
+        if self.broken || self.poisoned.is_some() {
+            return;
+        }
+        let mut consumed = 0usize;
+        loop {
+            match resp::parse(&self.inbuf[consumed..]) {
+                Ok(None) => break,
+                Err(resp::ParseError(msg)) => {
+                    self.poisoned = Some(format!("ERR Protocol error: {msg}"));
+                    self.no_more_input = true;
+                    consumed = self.inbuf.len();
+                    break;
+                }
+                Ok(Some((cmd, n))) => {
+                    consumed += n;
+                    let quit = cmd == Command::Quit;
+                    self.queued.push_back(cmd);
+                    if quit {
+                        self.no_more_input = true;
+                        consumed = self.inbuf.len();
+                        break;
+                    }
+                }
+            }
+        }
+        self.inbuf.drain(..consumed);
+    }
+
+    /// Everything owed has been sent and no more will be produced.
+    fn finished(&self) -> bool {
+        self.broken
+            || (self.no_more_input
+                && self.outbuf.is_empty()
+                && self.replies.is_empty()
+                && self.queued.is_empty()
+                && self.poisoned.is_none())
+    }
+}
+
+// ------------------------------------------------------------------- worker
+
+struct Worker {
+    session: WorkerSession,
+    pipe: PipeReader,
+    waker: Arc<Waker>,
+    incoming: mpsc::Receiver<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    /// Pending op id → the reply it renders.
+    ops: HashMap<u64, (u64, u64)>,
+    /// Durability notice id → replies still gated on it. An entry lives
+    /// until its result has arrived *and* no reply references it.
+    wal_refs: HashMap<u64, usize>,
+    wal_results: HashMap<u64, Result<(), IoError>>,
+}
+
+impl Worker {
+    fn run(mut self) {
+        {
+            let w = self.waker.clone();
+            self.session.set_io_waker(move || w.wake());
+        }
+        let mut pfds: Vec<pollfd> = Vec::new();
+        let mut slots: Vec<u64> = Vec::new();
+        while !self.shutdown.load(Ordering::Acquire) {
+            pfds.clear();
+            slots.clear();
+            pfds.push(pollfd { fd: self.pipe.0, events: POLLIN, revents: 0 });
+            for (&id, c) in &self.conns {
+                let mut ev = POLLIN; // HUP/ERR report regardless
+                if !c.outbuf.is_empty() {
+                    ev |= POLLOUT;
+                }
+                pfds.push(pollfd { fd: c.stream.as_raw_fd(), events: ev, revents: 0 });
+                slots.push(id);
+            }
+            // Disk reads and WAL acks wake us through the self-pipe; only
+            // driving-call-only continuations (fuzzy RMW retries) need a
+            // short park to make progress without one.
+            let timeout = if self.ops.is_empty() { IDLE_POLL_MS } else { BUSY_POLL_MS };
+            unsafe { libc::poll(pfds.as_mut_ptr(), pfds.len() as nfds_t, timeout) };
+            self.waker.armed.store(false, Ordering::Release);
+            self.pipe.drain();
+            // An idle session pins the current epoch, which would stall
+            // flushes and evictions store-wide — and with them any sibling
+            // worker stuck waiting on an allocation. Refresh every pass.
+            self.session.refresh();
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+
+            while let Ok(stream) = self.incoming.try_recv() {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let id = self.next_conn;
+                self.next_conn += 1;
+                self.conns.insert(id, Conn::new(stream));
+            }
+
+            for (i, pfd) in pfds.iter().enumerate().skip(1) {
+                if pfd.revents & (POLLIN | POLLHUP | POLLERR) != 0 {
+                    if let Some(c) = self.conns.get_mut(&slots[i - 1]) {
+                        c.fill();
+                    }
+                }
+            }
+
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for &id in &ids {
+                if let Some(c) = self.conns.get_mut(&id) {
+                    c.parse_input();
+                }
+                self.execute_queued(id);
+            }
+
+            // One non-blocking pass drives continuations and reaps both I/O
+            // completions and WAL durability CQEs off the session ring.
+            let done = self.session.complete_pending(false);
+            for comp in done {
+                self.resolve(comp.id, comp.result);
+            }
+            self.collect_wal_notices();
+            // A resolved RMW may have unstalled a connection's queue.
+            for &id in &ids {
+                self.execute_queued(id);
+            }
+
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in ids {
+                if let Some(c) = self.conns.get_mut(&id) {
+                    Self::emit_ready(c, &mut self.wal_refs, &self.wal_results);
+                    c.flush();
+                    if c.finished() {
+                        let dead = self.conns.remove(&id).expect("present");
+                        for r in &dead.replies {
+                            if let Some(nid) = r.wal {
+                                if let Some(n) = self.wal_refs.get_mut(&nid) {
+                                    *n -= 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.gc_wal_entries();
+        }
+        self.session.clear_io_waker();
+    }
+
+    /// Drains a connection's command queue in **segments**, each one
+    /// `execute_batch` call — this is where client pipelining becomes
+    /// batched execution. A segment ends either when the queue runs dry or
+    /// just after an `INCR`: its read-back must observe the store *before*
+    /// any later pipelined command applies, so the rest of the window waits
+    /// for the next segment. An `INCR` whose RMW went pending stalls the
+    /// queue entirely until its continuation applies (see
+    /// [`Conn::stall_seq`]).
+    fn execute_queued(&mut self, conn_id: u64) {
+        loop {
+            let Some(c) = self.conns.get_mut(&conn_id) else { return };
+            if c.broken || c.stall_seq.is_some() {
+                return;
+            }
+            if c.queued.is_empty() {
+                if let Some(msg) = c.poisoned.take() {
+                    let mut b = Vec::new();
+                    resp::error(&mut b, &msg);
+                    c.replies.push_back(Reply::ready(b));
+                }
+                return;
+            }
+            let mut batch: Vec<BatchOp<u64, u64, u64>> = Vec::new();
+            // (reply seq, command) for each batched op, positionally
+            // matching `batch`'s outcomes.
+            let mut batched: Vec<(u64, Command)> = Vec::new();
+            while let Some(cmd) = c.queued.pop_front() {
+                let seq = c.next_seq();
+                match cmd {
+                    Command::Ping => {
+                        let mut b = Vec::new();
+                        resp::simple(&mut b, "PONG");
+                        c.replies.push_back(Reply::ready(b));
+                    }
+                    Command::Quit => {
+                        let mut b = Vec::new();
+                        resp::simple(&mut b, "OK");
+                        c.replies.push_back(Reply::ready(b));
+                    }
+                    Command::Bad(msg) => {
+                        let mut b = Vec::new();
+                        resp::error(&mut b, &format!("ERR {msg}"));
+                        c.replies.push_back(Reply::ready(b));
+                    }
+                    Command::Get(k) => {
+                        batch.push(BatchOp::Read { key: k, input: 0 });
+                        batched.push((seq, Command::Get(k)));
+                        c.replies.push_back(Reply::ready(Vec::new()));
+                    }
+                    Command::Set(k, v) => {
+                        batch.push(BatchOp::Upsert { key: k, value: v });
+                        batched.push((seq, Command::Set(k, v)));
+                        c.replies.push_back(Reply::ready(Vec::new()));
+                    }
+                    Command::Del(k) => {
+                        batch.push(BatchOp::Delete { key: k });
+                        batched.push((seq, Command::Del(k)));
+                        c.replies.push_back(Reply::ready(Vec::new()));
+                    }
+                    Command::Incr(k, n) => {
+                        batch.push(BatchOp::Rmw { key: k, input: n });
+                        batched.push((seq, Command::Incr(k, n)));
+                        c.replies.push_back(Reply::ready(Vec::new()));
+                        break; // segment boundary: read-back comes first
+                    }
+                }
+            }
+            if batch.is_empty() {
+                continue; // only immediate commands this pass; re-check
+            }
+
+            let outcomes = self.session.execute_batch(&batch);
+            // Mutations that applied in this segment share one durability
+            // gate: the notice registered below covers the session's last
+            // appended LSN, which is ≥ every append the segment made.
+            let mut wal_gated: Vec<u64> = Vec::new();
+            for ((seq, cmd), outcome) in batched.into_iter().zip(outcomes) {
+                self.fill_reply(conn_id, seq, cmd, outcome, &mut wal_gated);
+            }
+            if !wal_gated.is_empty() {
+                if let Some(nid) = self.session.notify_wal_durable() {
+                    let c = self.conns.get_mut(&conn_id).expect("conn present");
+                    for seq in wal_gated {
+                        if let Some(r) = c.reply_mut(seq) {
+                            r.wal = Some(nid);
+                            *self.wal_refs.entry(nid).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders one batch outcome into its reply slot (or parks it pending).
+    fn fill_reply(
+        &mut self,
+        conn_id: u64,
+        seq: u64,
+        cmd: Command,
+        outcome: Result<Outcome<u64>, OpError>,
+        wal_gated: &mut Vec<u64>,
+    ) {
+        // INCR's sync read-back touches the session, so compute it before
+        // borrowing the reply slot.
+        let incr_value = match (&cmd, &outcome) {
+            (Command::Incr(k, _), Ok(Outcome::Done)) => Some(self.read_back(*k)),
+            _ => None,
+        };
+        let Some(c) = self.conns.get_mut(&conn_id) else { return };
+        let Some(reply) = c.reply_mut(seq) else { return };
+        match cmd {
+            Command::Get(_) => match outcome {
+                Ok(Outcome::Value(v)) => resp::bulk_u64(&mut reply.bytes, v),
+                Err(OpError::NotFound) => resp::nil(&mut reply.bytes),
+                Err(OpError::Pending(id)) => {
+                    reply.op = Some(PendingOp::Read { render: Render::Value });
+                    self.ops.insert(id, (conn_id, seq));
+                }
+                Err(OpError::Io(e)) => resp::error(&mut reply.bytes, &format!("ERR io: {e}")),
+                Err(e) => render_unexpected(&mut reply.bytes, &e),
+                Ok(Outcome::Done) => resp::error(&mut reply.bytes, "ERR internal: valueless read"),
+            },
+            Command::Set(..) => match outcome {
+                Ok(_) => {
+                    resp::simple(&mut reply.bytes, "OK");
+                    wal_gated.push(seq);
+                }
+                Err(e) => render_unexpected(&mut reply.bytes, &e),
+            },
+            Command::Del(_) => match outcome {
+                Ok(_) => {
+                    resp::integer(&mut reply.bytes, 1);
+                    wal_gated.push(seq);
+                }
+                Err(e) => render_unexpected(&mut reply.bytes, &e),
+            },
+            Command::Incr(k, _) => match outcome {
+                Ok(_) => {
+                    match incr_value.expect("computed above") {
+                        ReadBack::Value(v) => resp::integer(&mut reply.bytes, v),
+                        ReadBack::Pending(id) => {
+                            reply.op = Some(PendingOp::Read { render: Render::Int });
+                            self.ops.insert(id, (conn_id, seq));
+                        }
+                        ReadBack::Failed(msg) => resp::error(&mut reply.bytes, &msg),
+                    }
+                    wal_gated.push(seq);
+                }
+                Err(OpError::Pending(id)) => {
+                    reply.op = Some(PendingOp::RmwThenRead { key: k });
+                    // Nothing behind this command may execute until the RMW
+                    // applies, or the connection's serial order inverts.
+                    c.stall_seq = Some(seq);
+                    self.ops.insert(id, (conn_id, seq));
+                }
+                Err(e) => render_unexpected(&mut reply.bytes, &e),
+            },
+            Command::Ping | Command::Quit | Command::Bad(_) => unreachable!("never batched"),
+        }
+    }
+
+    /// Reads the post-RMW value for an `INCR` reply.
+    fn read_back(&self, key: u64) -> ReadBack {
+        match self.session.read(&key, &0) {
+            Ok(Outcome::Value(v)) => ReadBack::Value(v),
+            Err(OpError::Pending(id)) => ReadBack::Pending(id),
+            Err(OpError::NotFound) => {
+                // The RMW applied, so only a racing DEL can make the key
+                // vanish before the read-back.
+                ReadBack::Failed("ERR key deleted during INCR".into())
+            }
+            Err(OpError::Io(e)) => ReadBack::Failed(format!("ERR io: {e}")),
+            Err(OpError::ReadOnly(r)) => ReadBack::Failed(format!("READONLY {r}")),
+            Ok(Outcome::Done) => ReadBack::Failed("ERR internal: valueless read".into()),
+        }
+    }
+
+    /// Routes a completed pending op back into the reply it renders.
+    fn resolve(&mut self, id: u64, result: Result<Outcome<u64>, OpError>) {
+        let Some((conn_id, seq)) = self.ops.remove(&id) else { return };
+        let Some(c) = self.conns.get_mut(&conn_id) else { return };
+        let Some(reply) = c.reply_mut(seq) else { return };
+        let Some(pending) = reply.op.take() else { return };
+        match pending {
+            PendingOp::Read { render } => match (result, render) {
+                (Ok(Outcome::Value(v)), Render::Value) => resp::bulk_u64(&mut reply.bytes, v),
+                (Ok(Outcome::Value(v)), Render::Int) => resp::integer(&mut reply.bytes, v),
+                (Err(OpError::NotFound), Render::Value) => resp::nil(&mut reply.bytes),
+                (Err(OpError::NotFound), Render::Int) => {
+                    resp::error(&mut reply.bytes, "ERR key deleted during INCR");
+                }
+                (Err(OpError::Io(e)), _) => {
+                    resp::error(&mut reply.bytes, &format!("ERR io: {e}"));
+                }
+                (other, _) => {
+                    let e = other.err().unwrap_or(OpError::NotFound);
+                    render_unexpected(&mut reply.bytes, &e);
+                }
+            },
+            PendingOp::RmwThenRead { key } => match result {
+                Ok(Outcome::Done) => {
+                    // The RMW has now applied (and appended to the WAL):
+                    // register its durability gate, then read the value back.
+                    if let Some(nid) = self.session.notify_wal_durable() {
+                        reply.wal = Some(nid);
+                        *self.wal_refs.entry(nid).or_insert(0) += 1;
+                    }
+                    match self.read_back(key) {
+                        ReadBack::Value(v) => {
+                            // Re-borrow: read_back needed `&self.session`.
+                            let c = self.conns.get_mut(&conn_id).expect("present");
+                            let reply = c.reply_mut(seq).expect("present");
+                            resp::integer(&mut reply.bytes, v);
+                        }
+                        ReadBack::Pending(id2) => {
+                            let c = self.conns.get_mut(&conn_id).expect("present");
+                            let reply = c.reply_mut(seq).expect("present");
+                            reply.op = Some(PendingOp::Read { render: Render::Int });
+                            self.ops.insert(id2, (conn_id, seq));
+                        }
+                        ReadBack::Failed(msg) => {
+                            let c = self.conns.get_mut(&conn_id).expect("present");
+                            let reply = c.reply_mut(seq).expect("present");
+                            resp::error(&mut reply.bytes, &msg);
+                        }
+                    }
+                }
+                Err(OpError::Io(e)) => resp::error(&mut reply.bytes, &format!("ERR io: {e}")),
+                other => {
+                    let e = other.err().unwrap_or(OpError::NotFound);
+                    render_unexpected(&mut reply.bytes, &e);
+                }
+            },
+        }
+        // The RMW has applied (or failed for good): later commands may run.
+        // A still-pending *read-back* does not re-stall — parked reads
+        // resolve against the record version captured at issue time, so
+        // later writes cannot leak into this reply.
+        if let Some(c) = self.conns.get_mut(&conn_id) {
+            if c.stall_seq == Some(seq) {
+                c.stall_seq = None;
+            }
+        }
+    }
+
+    /// Pulls resolved durability notices out of the session.
+    fn collect_wal_notices(&mut self) {
+        let unresolved: Vec<u64> = self
+            .wal_refs
+            .keys()
+            .filter(|id| !self.wal_results.contains_key(id))
+            .copied()
+            .collect();
+        for id in unresolved {
+            if let Some(r) = self.session.take_wal_notice(id) {
+                self.wal_results.insert(id, r);
+            }
+        }
+    }
+
+    /// Emits the resolved prefix of a connection's reply queue, consuming
+    /// durability gates as it goes. A failed group commit turns the gated
+    /// reply into `-READONLY` — the mutation was applied in memory but its
+    /// durability contract is broken, and the store has already degraded.
+    fn emit_ready(
+        c: &mut Conn,
+        wal_refs: &mut HashMap<u64, usize>,
+        wal_results: &HashMap<u64, Result<(), IoError>>,
+    ) {
+        while let Some(front) = c.replies.front() {
+            if front.op.is_some() {
+                break;
+            }
+            if let Some(nid) = front.wal {
+                match wal_results.get(&nid) {
+                    None => break,
+                    Some(Ok(())) => {}
+                    Some(Err(e)) => {
+                        let front = c.replies.front_mut().expect("checked");
+                        front.bytes.clear();
+                        resp::error(&mut front.bytes, &format!("READONLY wal failed: {e}"));
+                    }
+                }
+                if let Some(n) = wal_refs.get_mut(&nid) {
+                    *n -= 1;
+                }
+            }
+            let reply = c.replies.pop_front().expect("checked");
+            c.seq_base += 1;
+            c.outbuf.extend_from_slice(&reply.bytes);
+        }
+    }
+
+    /// Drops durability bookkeeping nothing references anymore.
+    fn gc_wal_entries(&mut self) {
+        let dead: Vec<u64> = self
+            .wal_refs
+            .iter()
+            .filter(|(id, n)| **n == 0 && self.wal_results.contains_key(id))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            self.wal_refs.remove(&id);
+            self.wal_results.remove(&id);
+        }
+    }
+}
+
+enum ReadBack {
+    Value(u64),
+    Pending(u64),
+    Failed(String),
+}
+
+fn render_unexpected(out: &mut Vec<u8>, e: &OpError) {
+    match e {
+        OpError::ReadOnly(r) => resp::error(out, &format!("READONLY {r}")),
+        other => resp::error(out, &format!("ERR internal: {other}")),
+    }
+}
+
+// ------------------------------------------------------------------- server
+
+/// Front-end tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker event-loop threads (one store session each).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 2 }
+    }
+}
+
+/// A running front-end. Dropping it (or calling [`Server::shutdown`])
+/// stops the acceptor and workers and joins them.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    wakers: Vec<Arc<Waker>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting RESP connections against `store`.
+    pub fn start(store: Store, addr: &str, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = cfg.workers.max(1);
+        let mut handles = Vec::with_capacity(workers + 1);
+        let mut wakers = Vec::with_capacity(workers);
+        let mut senders = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (pipe, waker) = self_pipe()?;
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            let store = store.clone();
+            let waker2 = waker.clone();
+            let shutdown2 = shutdown.clone();
+            handles.push(std::thread::Builder::new().name(format!("faster-resp-{w}")).spawn(
+                move || {
+                    // The session registers its thread with the epoch
+                    // protector, so it is born on the worker, not moved in.
+                    let worker = Worker {
+                        session: store.start_session(),
+                        pipe,
+                        waker: waker2,
+                        incoming: rx,
+                        shutdown: shutdown2,
+                        conns: HashMap::new(),
+                        next_conn: 0,
+                        ops: HashMap::new(),
+                        wal_refs: HashMap::new(),
+                        wal_results: HashMap::new(),
+                    };
+                    worker.run();
+                },
+            )?);
+            wakers.push(waker);
+            senders.push(tx);
+        }
+        {
+            let shutdown = shutdown.clone();
+            let wakers = wakers.clone();
+            handles.push(
+                std::thread::Builder::new().name("faster-resp-accept".into()).spawn(move || {
+                    let mut next = 0usize;
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if shutdown.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                let w = next % senders.len();
+                                next += 1;
+                                if senders[w].send(stream).is_ok() {
+                                    wakers[w].wake();
+                                }
+                            }
+                            Err(_) => {
+                                if shutdown.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                // Transient accept failure (EMFILE, ...).
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                    }
+                })?,
+            );
+        }
+        Ok(Server { local_addr, shutdown, wakers, handles: Mutex::new(handles) })
+    }
+
+    /// The bound address — connect clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the acceptor and every worker, then joins them. Connections
+    /// are dropped without draining; acked replies are already durable.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for w in &self.wakers {
+            w.wake();
+        }
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.local_addr);
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

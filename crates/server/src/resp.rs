@@ -1,0 +1,289 @@
+//! RESP2 wire protocol: incremental frame parsing and reply encoding.
+//!
+//! The front-end speaks the Redis serialization protocol's client subset:
+//! commands arrive either as arrays of bulk strings (`*2\r\n$3\r\nGET\r\n...`,
+//! what every client library sends) or as space-separated inline commands
+//! (`GET 42\r\n`, what a human in `nc` types). Parsing is incremental — a
+//! frame split across TCP segments parses once the rest arrives — and
+//! pipelining falls out naturally: every complete frame sitting in the
+//! buffer is consumed in one pass, which is what the connection layer turns
+//! into one `execute_batch` call.
+//!
+//! Errors are split by blast radius: [`ParseError::Protocol`] means the
+//! stream itself is unframeable (desynchronized lengths, oversized frames)
+//! and the connection must close after an `-ERR` reply; a bad argument
+//! inside a well-formed frame is a per-command error and the stream keeps
+//! going.
+
+/// One decoded client command. Keys and values are decimal `u64`s — the
+/// store under this front-end is the fixed-width `FasterKv<u64, u64, _>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    Get(u64),
+    Set(u64, u64),
+    Del(u64),
+    /// `INCR key` / `INCRBY key n`: RMW-add through the store's CRDT path.
+    Incr(u64, u64),
+    Ping,
+    Quit,
+    /// Well-formed frame, unusable content: reply `-ERR ...`, keep the
+    /// connection.
+    Bad(String),
+}
+
+/// Stream-level failure: the connection cannot be resynchronized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+/// A frame no client legitimately sends: longer and the stream is treated
+/// as garbage rather than buffered without bound.
+const MAX_BULK: usize = 64 * 1024;
+const MAX_ARGS: usize = 1024;
+const MAX_INLINE: usize = 16 * 1024;
+
+/// Tries to decode one complete command from the front of `buf`.
+///
+/// * `Ok(Some((cmd, consumed)))` — a frame was decoded; drop `consumed`
+///   bytes from the front and call again (pipelining).
+/// * `Ok(None)` — the buffer holds only a frame prefix; read more.
+/// * `Err(_)` — the stream is desynchronized; close after erroring.
+pub fn parse(buf: &[u8]) -> Result<Option<(Command, usize)>, ParseError> {
+    let Some(&first) = buf.first() else { return Ok(None) };
+    if first == b'*' {
+        parse_array(buf)
+    } else {
+        parse_inline(buf)
+    }
+}
+
+/// Array-of-bulk-strings form: `*<n>\r\n` then `n` times `$<len>\r\n<len
+/// bytes>\r\n`.
+fn parse_array(buf: &[u8]) -> Result<Option<(Command, usize)>, ParseError> {
+    let Some((count, mut at)) = parse_int_line(buf, 1)? else { return Ok(None) };
+    if count < 0 || count as usize > MAX_ARGS {
+        return Err(ParseError(format!("invalid multibulk length {count}")));
+    }
+    let mut args: Vec<&[u8]> = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        if at >= buf.len() {
+            return Ok(None);
+        }
+        if buf[at] != b'$' {
+            return Err(ParseError("expected bulk string ($)".into()));
+        }
+        let Some((len, data_at)) = parse_int_line(buf, at + 1)? else { return Ok(None) };
+        if len < 0 || len as usize > MAX_BULK {
+            return Err(ParseError(format!("invalid bulk length {len}")));
+        }
+        let end = data_at + len as usize;
+        if buf.len() < end + 2 {
+            return Ok(None);
+        }
+        if &buf[end..end + 2] != b"\r\n" {
+            return Err(ParseError("bulk string missing terminator".into()));
+        }
+        args.push(&buf[data_at..end]);
+        at = end + 2;
+    }
+    Ok(Some((decode(&args), at)))
+}
+
+/// Inline form: one CRLF-terminated line of space-separated tokens.
+fn parse_inline(buf: &[u8]) -> Result<Option<(Command, usize)>, ParseError> {
+    let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+        if buf.len() > MAX_INLINE {
+            return Err(ParseError("inline command too long".into()));
+        }
+        return Ok(None);
+    };
+    let line = &buf[..nl];
+    let line = line.strip_suffix(b"\r").unwrap_or(line);
+    let args: Vec<&[u8]> = line.split(|&b| b == b' ').filter(|t| !t.is_empty()).collect();
+    if args.is_empty() {
+        // Bare newline: ignore (redis-cli keepalive style).
+        return Ok(Some((Command::Ping, nl + 1)));
+    }
+    Ok(Some((decode(&args), nl + 1)))
+}
+
+/// `<digits>\r\n` starting at `from`; returns the value and the offset just
+/// past the CRLF.
+fn parse_int_line(buf: &[u8], from: usize) -> Result<Option<(i64, usize)>, ParseError> {
+    let Some(rel) = buf[from.min(buf.len())..].iter().position(|&b| b == b'\n') else {
+        if buf.len() - from.min(buf.len()) > 32 {
+            return Err(ParseError("length line too long".into()));
+        }
+        return Ok(None);
+    };
+    let nl = from + rel;
+    if nl == from || buf[nl - 1] != b'\r' {
+        return Err(ParseError("length line missing CR".into()));
+    }
+    let digits = &buf[from..nl - 1];
+    let s = std::str::from_utf8(digits).map_err(|_| ParseError("non-ASCII length".into()))?;
+    let v: i64 = s.parse().map_err(|_| ParseError(format!("invalid length {s:?}")))?;
+    Ok(Some((v, nl + 1)))
+}
+
+/// Maps a tokenized frame to a [`Command`]. Content errors (wrong arity,
+/// non-numeric key) stay inside the frame: the stream is still synchronized.
+fn decode(args: &[&[u8]]) -> Command {
+    let name = args[0].to_ascii_uppercase();
+    let int = |arg: &[u8]| -> Result<u64, Command> {
+        std::str::from_utf8(arg)
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| Command::Bad("value is not an integer or out of range".into()))
+    };
+    let arity = |want: usize| -> Option<Command> {
+        (args.len() != want + 1).then(|| {
+            Command::Bad(format!(
+                "wrong number of arguments for '{}' command",
+                String::from_utf8_lossy(&name).to_lowercase()
+            ))
+        })
+    };
+    macro_rules! get {
+        ($e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(bad) => return bad,
+            }
+        };
+    }
+    match name.as_slice() {
+        b"PING" => Command::Ping,
+        b"QUIT" => Command::Quit,
+        b"GET" => arity(1).unwrap_or_else(|| Command::Get(get!(int(args[1])))),
+        b"SET" => arity(2).unwrap_or_else(|| Command::Set(get!(int(args[1])), get!(int(args[2])))),
+        b"DEL" => arity(1).unwrap_or_else(|| Command::Del(get!(int(args[1])))),
+        b"INCR" => arity(1).unwrap_or_else(|| Command::Incr(get!(int(args[1])), 1)),
+        b"INCRBY" => {
+            arity(2).unwrap_or_else(|| Command::Incr(get!(int(args[1])), get!(int(args[2]))))
+        }
+        other => Command::Bad(format!(
+            "unknown command '{}'",
+            String::from_utf8_lossy(other).to_lowercase()
+        )),
+    }
+}
+
+// ------------------------------------------------------------- reply encode
+
+/// `+<msg>\r\n`
+pub fn simple(out: &mut Vec<u8>, msg: &str) {
+    out.push(b'+');
+    out.extend_from_slice(msg.as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// `-<msg>\r\n`
+pub fn error(out: &mut Vec<u8>, msg: &str) {
+    out.push(b'-');
+    // CR/LF inside an error message would desynchronize the stream.
+    out.extend(msg.bytes().map(|b| if b == b'\r' || b == b'\n' { b' ' } else { b }));
+    out.extend_from_slice(b"\r\n");
+}
+
+/// `:<n>\r\n`
+pub fn integer(out: &mut Vec<u8>, n: u64) {
+    out.push(b':');
+    out.extend_from_slice(n.to_string().as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// `$<len>\r\n<decimal n>\r\n` — values are served as bulk strings, the way
+/// Redis serves integer-looking values.
+pub fn bulk_u64(out: &mut Vec<u8>, n: u64) {
+    let s = n.to_string();
+    out.push(b'$');
+    out.extend_from_slice(s.len().to_string().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(s.as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// `$-1\r\n` — the RESP2 nil bulk (key absent).
+pub fn nil(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"$-1\r\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(buf: &[u8]) -> (Command, usize) {
+        parse(buf).expect("parse ok").expect("complete frame")
+    }
+
+    #[test]
+    fn inline_commands_parse() {
+        assert_eq!(one(b"GET 42\r\n"), (Command::Get(42), 8));
+        assert_eq!(one(b"set 1 2\r\n").0, Command::Set(1, 2));
+        assert_eq!(one(b"DEL 7\n").0, Command::Del(7));
+        assert_eq!(one(b"INCR 3\r\n").0, Command::Incr(3, 1));
+        assert_eq!(one(b"INCRBY 3 9\r\n").0, Command::Incr(3, 9));
+        assert_eq!(one(b"PING\r\n").0, Command::Ping);
+    }
+
+    #[test]
+    fn array_commands_parse() {
+        let frame = b"*3\r\n$3\r\nSET\r\n$2\r\n10\r\n$2\r\n20\r\n";
+        assert_eq!(one(frame), (Command::Set(10, 20), frame.len()));
+        let frame = b"*2\r\n$3\r\nGET\r\n$1\r\n5\r\n";
+        assert_eq!(one(frame), (Command::Get(5), frame.len()));
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more() {
+        let frame = b"*3\r\n$3\r\nSET\r\n$2\r\n10\r\n$2\r\n20\r\n";
+        for cut in 0..frame.len() {
+            assert_eq!(parse(&frame[..cut]).unwrap(), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_consume_one_at_a_time() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"*3\r\n$3\r\nSET\r\n$1\r\n1\r\n$1\r\n9\r\n");
+        buf.extend_from_slice(b"GET 1\r\n");
+        let (c1, n1) = one(&buf);
+        assert_eq!(c1, Command::Set(1, 9));
+        let (c2, n2) = one(&buf[n1..]);
+        assert_eq!(c2, Command::Get(1));
+        assert_eq!(n1 + n2, buf.len());
+    }
+
+    #[test]
+    fn content_errors_keep_the_stream() {
+        assert!(matches!(one(b"GET abc\r\n").0, Command::Bad(_)));
+        assert!(matches!(one(b"NOPE 1\r\n").0, Command::Bad(_)));
+        assert!(matches!(one(b"GET 1 2\r\n").0, Command::Bad(_)));
+        // The next frame after a Bad still parses.
+        let buf = b"GET abc\r\nGET 4\r\n";
+        let (_, n) = one(buf);
+        assert_eq!(one(&buf[n..]).0, Command::Get(4));
+    }
+
+    #[test]
+    fn protocol_errors_poison_the_stream() {
+        assert!(parse(b"*x\r\n").is_err());
+        assert!(parse(b"*2\r\nX3\r\nGET\r\n").is_err());
+        assert!(parse(b"*1\r\n$99999999\r\n").is_err());
+        assert!(parse(b"*-5\r\n").is_err());
+    }
+
+    #[test]
+    fn encoders_round_trip_shapes() {
+        let mut out = Vec::new();
+        simple(&mut out, "OK");
+        integer(&mut out, 7);
+        bulk_u64(&mut out, 123);
+        nil(&mut out);
+        error(&mut out, "ERR bad\r\nthing");
+        assert_eq!(
+            out,
+            b"+OK\r\n:7\r\n$3\r\n123\r\n$-1\r\n-ERR bad  thing\r\n".to_vec()
+        );
+    }
+}

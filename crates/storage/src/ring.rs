@@ -31,7 +31,7 @@
 
 use crate::{IoError, ReadCallback, WriteCallback};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -172,6 +172,13 @@ pub struct CompletionRing {
     sleepers: AtomicUsize,
     gate: Mutex<()>,
     wake: Condvar,
+    /// Optional external waker, run after every publish. Lets a consumer
+    /// multiplex this ring with other event sources (e.g. socket readiness
+    /// in a poll set): the waker typically writes a self-pipe byte so one
+    /// park observes both CQEs and connection events. `has_waker` keeps the
+    /// no-waker fast path to a single relaxed load.
+    has_waker: AtomicBool,
+    waker: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 // Raw node pointers hide the auto traits; CQEs only carry owned bytes.
@@ -191,7 +198,23 @@ impl CompletionRing {
             sleepers: AtomicUsize::new(0),
             gate: Mutex::new(()),
             wake: Condvar::new(),
+            has_waker: AtomicBool::new(false),
+            waker: Mutex::new(None),
         }
+    }
+
+    /// Installs (or replaces) the external waker, invoked after every
+    /// [`CompletionRing::push`]. The waker runs on the producer's thread and
+    /// must be cheap and non-blocking (a self-pipe write, an eventfd poke).
+    pub fn set_waker(&self, waker: impl Fn() + Send + Sync + 'static) {
+        *self.waker.lock().unwrap() = Some(Box::new(waker));
+        self.has_waker.store(true, Ordering::SeqCst);
+    }
+
+    /// Removes the external waker installed by [`CompletionRing::set_waker`].
+    pub fn clear_waker(&self) {
+        self.has_waker.store(false, Ordering::SeqCst);
+        *self.waker.lock().unwrap() = None;
     }
 
     /// Publishes one CQE from any thread. Lock-free unless the consumer is
@@ -217,6 +240,11 @@ impl CompletionRing {
             // empty-check-then-wait, so the notify cannot be lost.
             let _g = self.gate.lock().unwrap();
             self.wake.notify_all();
+        }
+        if self.has_waker.load(Ordering::SeqCst) {
+            if let Some(w) = self.waker.lock().unwrap().as_ref() {
+                w();
+            }
         }
     }
 
@@ -373,6 +401,24 @@ mod tests {
         let (_, completion) = sqe.into_parts();
         completion.complete(Err(IoError::Unsupported));
         assert_eq!(rx.recv().unwrap(), Err(IoError::Unsupported));
+    }
+
+    #[test]
+    fn waker_fires_on_every_push_until_cleared() {
+        let ring = CompletionRing::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&fired);
+        ring.set_waker(move || {
+            f2.fetch_add(1, Ordering::SeqCst);
+        });
+        ring.push(Cqe { id: 1, result: Ok(Vec::new()) });
+        ring.push(Cqe { id: 2, result: Ok(Vec::new()) });
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        ring.clear_waker();
+        ring.push(Cqe { id: 3, result: Ok(Vec::new()) });
+        assert_eq!(fired.load(Ordering::SeqCst), 2, "cleared waker must not fire");
+        let mut out = Vec::new();
+        assert_eq!(ring.reap(&mut out), 3, "waker is advisory; CQEs still flow");
     }
 
     #[test]

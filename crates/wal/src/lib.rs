@@ -57,7 +57,7 @@
 //! half of the `Device::flush_barrier() -> Result` contract.
 
 use faster_metrics::WalMetrics;
-use faster_storage::{CompletionRing, Device, IoError, Sqe};
+use faster_storage::{CompletionRing, Cqe, Device, IoError, Sqe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -100,6 +100,21 @@ struct Pending {
     enqueued: Instant,
 }
 
+/// A registered durability notice ([`Wal::notify_durable`]): when every LSN
+/// ≤ `lsn` is durable (or the log fails), a [`Cqe`] carrying `id` is pushed
+/// into `ring`.
+struct Notice {
+    lsn: Lsn,
+    id: u64,
+    ring: Arc<CompletionRing>,
+}
+
+impl Notice {
+    fn deliver(self, result: Result<(), IoError>) {
+        self.ring.push(Cqe { id: self.id, result: result.map(|()| Vec::new()) });
+    }
+}
+
 struct WalState {
     /// Logical end of the log: the byte after the last record (or pad).
     tail: u64,
@@ -115,6 +130,9 @@ struct WalState {
     /// Sticky group-commit failure: set once, never cleared.
     failed: Option<IoError>,
     shutdown: bool,
+    /// Outstanding ring-routed durability notices, drained by the commit
+    /// thread on every ack (and failed wholesale on a sticky failure).
+    notices: Vec<Notice>,
 }
 
 struct Shared {
@@ -194,6 +212,7 @@ impl Wal {
                 segment_starts: scan.segment_starts,
                 failed: None,
                 shutdown: false,
+                notices: Vec::new(),
             }),
             appended: Condvar::new(),
             acked: Condvar::new(),
@@ -267,6 +286,41 @@ impl Wal {
         st.failed.as_ref().map(|e| Err(e.clone()))
     }
 
+    /// Registers a ring-routed durability notice: once every record with
+    /// LSN ≤ `lsn` is durable, a [`Cqe`] echoing `id` (empty bytes) is
+    /// pushed into `ring`; if the log fails first — or has already failed,
+    /// or is shutting down — the CQE carries the error instead. Exactly one
+    /// CQE is delivered per call, immediately when the answer is already
+    /// known. This is the parking-free counterpart of [`Wal::wait_durable`]:
+    /// a consumer multiplexing a [`CompletionRing`] (disk reads, socket
+    /// readiness) learns group-commit durability through the same reap loop
+    /// instead of blocking a thread per waiter on the condvar.
+    pub fn notify_durable(&self, lsn: Lsn, id: u64, ring: &Arc<CompletionRing>) {
+        if self.shared.durable.load(Ordering::SeqCst) >= lsn {
+            ring.push(Cqe { id, result: Ok(Vec::new()) });
+            return;
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        // Re-check under the lock: an ack that raced us has already drained
+        // the notice list and would never see this registration.
+        if self.shared.durable.load(Ordering::SeqCst) >= lsn {
+            drop(st);
+            ring.push(Cqe { id, result: Ok(Vec::new()) });
+            return;
+        }
+        if let Some(e) = st.failed.clone() {
+            drop(st);
+            ring.push(Cqe { id, result: Err(e) });
+            return;
+        }
+        if st.shutdown {
+            drop(st);
+            ring.push(Cqe { id, result: Err(IoError::Failed("WAL shut down".into())) });
+            return;
+        }
+        st.notices.push(Notice { lsn, id, ring: Arc::clone(ring) });
+    }
+
     /// Highest LSN known durable (0 = none).
     pub fn durable_lsn(&self) -> Lsn {
         self.shared.durable.load(Ordering::SeqCst)
@@ -333,6 +387,8 @@ fn commit_loop(shared: &Shared) {
         let mut st = shared.state.lock().unwrap();
         while st.pending.is_empty() {
             if st.shutdown || st.failed.is_some() {
+                let err = st.failed.clone().unwrap_or(IoError::Failed("WAL shut down".into()));
+                fail_notices(&mut st, err);
                 return;
             }
             st = shared.appended.wait(st).unwrap();
@@ -392,18 +448,42 @@ fn commit_loop(shared: &Shared) {
                 shared.metrics.group_size.record(group.len() as u64);
                 shared.metrics.commit_latency.record(oldest.elapsed().as_nanos() as u64);
                 shared.acked.notify_all();
+                // Deliver every ring-routed notice the ack covers.
+                let covered = drain_notices(&mut st, last_lsn);
+                for n in covered {
+                    n.deliver(Ok(()));
+                }
             }
             Err(e) => {
                 // Sticky: the group (and everything after) is never acked.
                 shared.metrics.commit_failures.inc();
-                st.failed = Some(e);
+                st.failed = Some(e.clone());
                 shared.acked.notify_all();
+                fail_notices(&mut st, e);
                 return;
             }
         }
         if st.shutdown && st.pending.is_empty() {
+            fail_notices(&mut st, IoError::Failed("WAL shut down".into()));
             return;
         }
+    }
+}
+
+/// Detaches the notices covered by `durable_lsn` (delivered outside the
+/// caller's lock scope would also be fine — ring pushes never block).
+fn drain_notices(st: &mut WalState, durable_lsn: Lsn) -> Vec<Notice> {
+    let (covered, keep) = std::mem::take(&mut st.notices)
+        .into_iter()
+        .partition(|n| n.lsn <= durable_lsn);
+    st.notices = keep;
+    covered
+}
+
+/// Fails every outstanding notice (sticky failure or shutdown).
+fn fail_notices(st: &mut WalState, err: IoError) {
+    for n in std::mem::take(&mut st.notices) {
+        n.deliver(Err(err.clone()));
     }
 }
 
@@ -772,6 +852,55 @@ mod tests {
         let (_w, replay2) =
             Wal::recover(dev, WalConfig::default(), Arc::new(WalMetrics::default()), 0);
         assert_eq!(replay2.len(), 2, "gen 1 then gen 2 records chain fine");
+    }
+
+    #[test]
+    fn notify_durable_delivers_cqes_for_acked_groups() {
+        let dev: Arc<dyn Device> = MemDevice::new(1);
+        let wal = fresh(dev, 2_000, 1 << 16);
+        let ring = Arc::new(CompletionRing::new());
+        let lsn = wal.append(b"hello").unwrap();
+        wal.notify_durable(lsn, 42, &ring);
+        // Park on the ring until the group commits — no condvar involved.
+        let mut out = Vec::new();
+        while out.is_empty() {
+            ring.wait_nonempty(Duration::from_millis(50));
+            ring.reap(&mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 42);
+        assert!(out[0].result.is_ok());
+        // Already durable: the CQE is pushed synchronously.
+        wal.notify_durable(lsn, 43, &ring);
+        out.clear();
+        assert_eq!(ring.reap(&mut out), 1);
+        assert_eq!(out[0].id, 43);
+        // LSN 0 (nothing appended) is trivially durable.
+        wal.notify_durable(0, 44, &ring);
+        out.clear();
+        assert_eq!(ring.reap(&mut out), 1);
+    }
+
+    #[test]
+    fn notify_durable_fails_notices_on_sticky_failure() {
+        let dev = FaultDevice::wrap(MemDevice::new(1));
+        dev.fail_flush_at(0);
+        let wal = Wal::new(dev, WalConfig { batch_window: Duration::from_millis(20), segment_size: 1 << 16 });
+        let ring = Arc::new(CompletionRing::new());
+        let lsn = wal.append(b"doomed").unwrap();
+        wal.notify_durable(lsn, 7, &ring);
+        let mut out = Vec::new();
+        while out.is_empty() {
+            ring.wait_nonempty(Duration::from_millis(50));
+            ring.reap(&mut out);
+        }
+        assert_eq!(out[0].id, 7);
+        assert!(out[0].result.is_err(), "failed group must fail its notices");
+        // Registrations after the failure learn it immediately.
+        wal.notify_durable(lsn, 8, &ring);
+        out.clear();
+        assert_eq!(ring.reap(&mut out), 1);
+        assert!(out[0].result.is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release -p faster-examples --bin checkpoint_recover`
 
 use faster_core::ckpt_manager::{self, CheckpointConfig, CheckpointManager};
-use faster_core::{CheckpointError, CountStore, FasterKv, FasterKvConfig, ReadResult};
+use faster_core::{CheckpointError, CountStore, FasterKv, FasterKvConfig, OpError, Outcome};
 use faster_storage::{Device, MemDevice};
 use std::sync::Arc;
 
@@ -21,14 +21,15 @@ fn read_blocking(
     key: u64,
 ) -> Option<u64> {
     match session.read(&key, &0) {
-        ReadResult::Found(v) => Some(v),
-        ReadResult::NotFound => None,
-        ReadResult::Pending(id) => session.complete_pending(true).into_iter().find_map(|op| {
-            match op {
-                faster_core::CompletedOp::Read { id: done, result } if done == id => result,
-                _ => None,
-            }
-        }),
+        Ok(Outcome::Value(v)) => Some(v),
+        Err(OpError::NotFound) => None,
+        Err(OpError::Pending(id)) => session
+            .complete_pending(true)
+            .into_iter()
+            .find(|c| c.id == id)
+            .and_then(|c| c.result.ok())
+            .and_then(Outcome::value),
+        other => panic!("read of {key} failed: {other:?}"),
     }
 }
 
@@ -47,7 +48,7 @@ fn main() {
             {
                 let session = store.start_session();
                 for k in 0..10_000u64 {
-                    session.upsert(&k, &(k + round));
+                    session.upsert(&k, &(k + round)).expect("store is writable");
                 }
             } // session dropped: the epoch-gated durability wait needs no idle guards
             let gen = mgr.checkpoint_store(&store).expect("commit");
@@ -59,7 +60,7 @@ fn main() {
         }
         // An update after the last commit will be lost by the "crash".
         let s2 = store.start_session();
-        s2.upsert(&0, &999_999_999);
+        s2.upsert(&0, &999_999_999).expect("store is writable");
         // <- store dropped here: simulated crash, memory gone.
     }
 
@@ -114,7 +115,7 @@ fn main() {
     println!("verified {verified}/10000 keys match generation {}'s state", rec.gen);
     // And the store continues normally, including committing new generations
     // (the damaged generation's number is never reused).
-    session.upsert(&777_777, &1);
+    session.upsert(&777_777, &1).expect("recovered store is writable");
     assert_eq!(read_blocking(&session, 777_777), Some(1));
     drop(session);
     let g = mgr.checkpoint_store(&store).expect("post-recovery commit");

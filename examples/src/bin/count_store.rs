@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p faster-examples --bin count_store`
 
-use faster_core::{CountStore, FasterKv, FasterKvConfig, ReadResult, RmwResult};
+use faster_core::{CountStore, FasterKv, FasterKvConfig, OpError, Outcome};
 use faster_storage::MemDevice;
 use faster_ycsb::{Distribution, KeyChooser};
 use rand::rngs::StdRng;
@@ -36,7 +36,7 @@ fn main() {
                 barrier.wait();
                 for i in 0..increments_per_thread {
                     let key = chooser.next_key(&mut rng);
-                    if let RmwResult::Pending(_) = session.rmw(&key, &1) {
+                    if let Err(OpError::Pending(_)) = session.rmw(&key, &1) {
                         session.complete_pending(true);
                     }
                     // §2.5: periodic CompletePending for outstanding ops.
@@ -45,19 +45,15 @@ fn main() {
                     }
                 }
                 session.complete_pending(true);
-                #[allow(deprecated)] // Session::stats shim
-                session.stats()
             })
         })
         .collect();
 
-    let mut in_place = 0;
-    let mut copies = 0;
     for h in handles {
-        let st = h.join().expect("worker");
-        in_place += st.in_place;
-        copies += st.copies;
+        h.join().expect("worker");
     }
+    let totals = store.metrics().sessions.totals;
+    let (in_place, copies) = (totals.in_place, totals.rcu);
     let secs = start.elapsed().as_secs_f64();
     let total_ops = threads * increments_per_thread;
     println!(
@@ -71,16 +67,17 @@ fn main() {
     let mut sum = 0u64;
     for k in 0..keys {
         match session.read(&k, &0) {
-            ReadResult::Found(v) => sum += v,
-            ReadResult::NotFound => {}
-            ReadResult::Pending(_) => {
+            Ok(Outcome::Value(v)) => sum += v,
+            Err(OpError::NotFound) => {}
+            Err(OpError::Pending(_)) => {
                 // Aggregate cold counters too.
-                for op in session.complete_pending(true) {
-                    if let faster_core::CompletedOp::Read { result: Some(v), .. } = op {
+                for c in session.complete_pending(true) {
+                    if let Ok(Outcome::Value(v)) = c.result {
                         sum += v;
                     }
                 }
             }
+            other => panic!("read of {k} failed: {other:?}"),
         }
     }
     assert_eq!(sum, total_ops, "every increment counted exactly once");

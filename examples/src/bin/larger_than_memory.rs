@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p faster-examples --bin larger_than_memory`
 
-use faster_core::{CountStore, FasterKv, FasterKvConfig, ReadResult};
+use faster_core::{CountStore, FasterKv, FasterKvConfig, OpError, Outcome};
 use faster_hlog::HLogConfig;
 use faster_storage::{LatencyModel, MemDevice};
 
@@ -21,7 +21,7 @@ fn main() {
     let n = 150_000u64;
     println!("loading {n} keys (~{} MB of records)...", n * 24 / (1 << 20));
     for k in 0..n {
-        session.upsert(&k, &(k * 7));
+        session.upsert(&k, &(k * 7)).expect("store is writable");
     }
     store.log().flush_barrier().unwrap();
     let r = store.log().regions();
@@ -37,21 +37,21 @@ fn main() {
     let mut verified = 0u64;
     for k in (0..n).step_by(997) {
         match session.read(&k, &0) {
-            ReadResult::Found(v) => {
+            Ok(Outcome::Value(v)) => {
                 assert_eq!(v, k * 7);
                 sync_reads += 1;
                 verified += 1;
             }
-            ReadResult::NotFound => panic!("key {k} lost"),
-            ReadResult::Pending(_) => {
+            Err(OpError::NotFound) => panic!("key {k} lost"),
+            Err(OpError::Pending(_)) => {
                 async_reads += 1;
-                for op in session.complete_pending(true) {
-                    if let faster_core::CompletedOp::Read { result, .. } = op {
-                        assert!(result.is_some(), "cold key must be found on disk");
-                        verified += 1;
-                    }
+                for c in session.complete_pending(true) {
+                    let got = c.result.expect("cold read must succeed");
+                    assert!(got.value().is_some(), "cold key must be found on disk");
+                    verified += 1;
                 }
             }
+            other => panic!("read of {k} failed: {other:?}"),
         }
     }
     println!("verified {verified} samples: {sync_reads} from memory, {async_reads} from storage");

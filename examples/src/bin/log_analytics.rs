@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release -p faster-examples --bin log_analytics`
 
 use faster_core::record::RecordRef;
-use faster_core::{CountStore, FasterKv, FasterKvConfig, RmwResult};
+use faster_core::{CountStore, FasterKv, FasterKvConfig, OpError};
 use faster_hlog::{HLogConfig, LogScanner};
 use faster_storage::MemDevice;
 use faster_ycsb::{Distribution, KeyChooser};
@@ -35,7 +35,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     for _ in 0..300_000 {
         let k = chooser.next_key(&mut rng);
-        if let RmwResult::Pending(_) = session.rmw(&k, &1) {
+        if let Err(OpError::Pending(_)) = session.rmw(&k, &1) {
             session.complete_pending(true);
         }
     }

@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --release -p faster-examples --bin quickstart`
 
-use faster_core::{BlindKv, CompletedOp, FasterKv, FasterKvConfig, ReadResult, RmwResult};
+use faster_core::prelude::*;
+use faster_core::BlindKv;
 use faster_storage::MemDevice;
 
 fn main() {
@@ -19,38 +20,39 @@ fn main() {
     // Each thread registers a session (§2.5: Acquire ... Release).
     let session = store.start_session();
 
-    // Upsert: blind write.
-    session.upsert(&1, &100);
-    session.upsert(&2, &200);
+    // Upsert: blind write. Mutations are fallible — a healthy store says Ok.
+    session.upsert(&1, &100).expect("store is writable");
+    session.upsert(&2, &200).expect("store is writable");
 
     // Read: may complete synchronously or go pending (cold data).
     match session.read(&1, &0) {
-        ReadResult::Found(v) => println!("key 1 => {v}"),
-        ReadResult::NotFound => println!("key 1 absent"),
-        ReadResult::Pending(id) => {
+        Ok(Outcome::Value(v)) => println!("key 1 => {v}"),
+        Ok(Outcome::Done) => unreachable!("reads always carry a value"),
+        Err(OpError::NotFound) => println!("key 1 absent"),
+        Err(OpError::Pending(id)) => {
             // Cold read: drive the continuation.
-            for op in session.complete_pending(true) {
-                if let CompletedOp::Read { id: done, result } = op {
-                    if done == id {
-                        println!("key 1 => {result:?} (async)");
-                    }
+            for c in session.complete_pending(true) {
+                if c.id == id {
+                    println!("key 1 => {:?} (async)", c.result.ok().and_then(Outcome::value));
                 }
             }
         }
+        Err(e) => panic!("read failed: {e}"),
     }
 
     // RMW with BlindKv semantics: replace with the input.
     match session.rmw(&2, &999) {
-        RmwResult::Done => {}
-        RmwResult::Pending(_) => {
+        Ok(_) => {}
+        Err(OpError::Pending(_)) => {
             session.complete_pending(true);
         }
+        Err(e) => panic!("rmw failed: {e}"),
     }
-    assert!(matches!(session.read(&2, &0), ReadResult::Found(999)));
+    assert!(matches!(session.read(&2, &0), Ok(Outcome::Value(999))));
 
     // Delete.
-    session.delete(&1);
-    assert!(matches!(session.read(&1, &0), ReadResult::NotFound));
+    session.delete(&1).expect("store is writable");
+    assert!(matches!(session.read(&1, &0), Err(OpError::NotFound)));
 
     println!("log regions: {:?}", store.log().regions());
     println!("quickstart OK");

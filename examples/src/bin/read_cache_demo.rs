@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p faster-examples --bin read_cache_demo`
 
-use faster_core::{BlindKv, FasterKv, FasterKvConfig, ReadResult};
+use faster_core::{BlindKv, FasterKv, FasterKvConfig, OpError, Outcome};
 use faster_hlog::HLogConfig;
 use faster_storage::{Device, LatencyModel, MemDevice};
 use faster_ycsb::{Distribution, KeyChooser};
@@ -34,7 +34,7 @@ fn run(with_cache: bool) -> (f64, u64) {
     {
         let s = store.start_session();
         for k in 0..keys {
-            s.upsert(&k, &(k * 3));
+            s.upsert(&k, &(k * 3)).expect("preload store is writable");
         }
         store.log().flush_barrier().unwrap();
     }
@@ -47,11 +47,12 @@ fn run(with_cache: bool) -> (f64, u64) {
     for _ in 0..reads {
         let k = chooser.next_key(&mut rng);
         match session.read(&k, &0) {
-            ReadResult::Found(v) => debug_assert_eq!(v, k * 3),
-            ReadResult::NotFound => panic!("key {k} lost"),
-            ReadResult::Pending(_) => {
+            Ok(Outcome::Value(v)) => debug_assert_eq!(v, k * 3),
+            Err(OpError::NotFound) => panic!("key {k} lost"),
+            Err(OpError::Pending(_)) => {
                 session.complete_pending(true);
             }
+            other => panic!("read of {k} failed: {other:?}"),
         }
     }
     let mops = reads as f64 / start.elapsed().as_secs_f64() / 1e6;

@@ -22,7 +22,7 @@
 use faster_core::checkpoint::CheckpointData;
 use faster_core::ckpt_manager::{self, CheckpointConfig, CheckpointManager};
 use faster_core::maintenance::{run_tick, MaintenanceStats, Policy, PolicyConfig};
-use faster_core::{CountStore, FasterKv, FasterKvConfig, RmwResult, Session};
+use faster_core::{CountStore, FasterKv, FasterKvConfig, OpError, Session};
 use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
 use faster_storage::{FaultDevice, FaultDomain, MemDevice, TornWrite};
@@ -97,19 +97,27 @@ fn apply_op(
     match rng.next_u64() % 8 {
         0..=2 => {
             let value = rng.next_u64() | 1;
-            session.upsert(&key, &value);
-            oracle.insert(key, value);
+            // Mirror only applied ops: a store degraded mid-workload refuses
+            // mutations, and the oracle must not drift ahead of it.
+            if session.upsert(&key, &value).is_ok() {
+                oracle.insert(key, value);
+            }
         }
         3..=4 => {
             let input = (rng.next_u64() % 1000) + 1;
-            if let RmwResult::Pending(_) = session.rmw(&key, &input) {
-                session.complete_pending(true);
+            match session.rmw(&key, &input) {
+                Ok(_) => *oracle.entry(key).or_insert(0) += input,
+                Err(OpError::Pending(_)) => {
+                    session.complete_pending(true);
+                    *oracle.entry(key).or_insert(0) += input;
+                }
+                Err(_) => {}
             }
-            *oracle.entry(key).or_insert(0) += input;
         }
         5 => {
-            session.delete(&key);
-            oracle.remove(&key);
+            if session.delete(&key).is_ok() {
+                oracle.remove(&key);
+            }
         }
         _ => {
             // Churn insert over a wide keyspace: mostly-fresh keys force tail
@@ -119,8 +127,9 @@ fn apply_op(
             // crash points would never see flush traffic.
             let churn_key = KEYSPACE + (rng.next_u64() % 4096);
             let value = rng.next_u64() | 1;
-            session.upsert(&churn_key, &value);
-            oracle.insert(churn_key, value);
+            if session.upsert(&churn_key, &value).is_ok() {
+                oracle.insert(churn_key, value);
+            }
         }
     }
 }
@@ -218,7 +227,7 @@ pub fn run_crash_recovery_case(
         }
         // The recovered store must accept and serve new traffic.
         let probe = KEYSPACE + 7777;
-        session.upsert(&probe, &424_242);
+        session.upsert(&probe, &424_242).expect("recovered store must accept writes");
         assert_eq!(
             crate::read_blocking(&session, probe),
             Some(424_242),
@@ -382,7 +391,7 @@ pub fn run_in_checkpoint_crash_case(seed: u64, point: Option<CkptCrashPoint>) ->
             );
         }
         let probe = KEYSPACE + 8888;
-        session.upsert(&probe, &515_151);
+        session.upsert(&probe, &515_151).expect("recovered store must accept writes");
         assert_eq!(
             crate::read_blocking(&session, probe),
             Some(515_151),
@@ -594,7 +603,7 @@ pub fn run_wal_crash_case(seed: u64, point: Option<WalCrashPoint>) -> WalSweepRe
     {
         let session = rec.store.start_session();
         let probe = KEYSPACE + 9999;
-        session.upsert(&probe, &616_161);
+        session.upsert(&probe, &616_161).expect("recovered store must accept writes");
         session
             .wait_wal_durable()
             .unwrap_or_else(|e| panic!("[{ctx}] resumed WAL refused a fresh group: {e}"));
@@ -846,7 +855,7 @@ pub fn run_maintenance_crash_case(seed: u64, point: Option<MaintCrashPoint>) -> 
             );
         }
         let probe = KEYSPACE + 6666;
-        session.upsert(&probe, &313_131);
+        session.upsert(&probe, &313_131).expect("recovered store must accept writes");
         assert_eq!(
             crate::read_blocking(&session, probe),
             Some(313_131),

@@ -1,7 +1,7 @@
 //! Integration-test support: shared helpers for driving a FASTER store in
 //! cross-crate tests.
 
-use faster_core::{CompletedOp, Functions, ReadResult, RmwResult, Session};
+use faster_core::{Functions, OpError, Outcome, Session};
 use faster_util::Pod;
 
 pub mod fault_harness;
@@ -11,22 +11,9 @@ pub fn read_blocking<V: Pod, F>(session: &Session<u64, V, F>, key: u64) -> Optio
 where
     F: Functions<u64, V, Input = u64>,
 {
-    match session.read(&key, &0) {
-        ReadResult::Found(v) => Some(v),
-        ReadResult::NotFound => None,
-        ReadResult::Pending(id) => {
-            let done = session.complete_pending(true);
-            for op in done {
-                match op {
-                    CompletedOp::Read { id: did, result } if did == id => return result,
-                    CompletedOp::Failed { id: did, error } if did == id => {
-                        panic!("pending read {id} failed after retries: {error}")
-                    }
-                    _ => {}
-                }
-            }
-            panic!("pending read {id} never completed");
-        }
+    match read_result(session, key) {
+        Ok(r) => r,
+        Err(e) => panic!("read of {key} failed after retries: {e}"),
     }
 }
 
@@ -41,19 +28,26 @@ where
     F: Functions<u64, V, Input = u64>,
 {
     match session.read(&key, &0) {
-        ReadResult::Found(v) => Ok(Some(v)),
-        ReadResult::NotFound => Ok(None),
-        ReadResult::Pending(id) => {
+        Ok(Outcome::Value(v)) => Ok(Some(v)),
+        Ok(Outcome::Done) => unreachable!("reads never complete as Done"),
+        Err(OpError::NotFound) => Ok(None),
+        Err(OpError::Pending(id)) => {
             let done = session.complete_pending(true);
-            for op in done {
-                match op {
-                    CompletedOp::Read { id: did, result } if did == id => return Ok(result),
-                    CompletedOp::Failed { id: did, error } if did == id => return Err(error),
-                    _ => {}
+            for c in done {
+                if c.id != id {
+                    continue;
                 }
+                return match c.result {
+                    Ok(Outcome::Value(v)) => Ok(Some(v)),
+                    Ok(Outcome::Done) => unreachable!("reads never complete as Done"),
+                    Err(OpError::NotFound) => Ok(None),
+                    Err(OpError::Io(e)) => Err(e),
+                    Err(e) => panic!("pending read {id} completed oddly: {e}"),
+                };
             }
             panic!("pending read {id} never completed");
         }
+        Err(e) => panic!("read of {key} refused: {e}"),
     }
 }
 
@@ -62,7 +56,7 @@ pub fn rmw_blocking<V: Pod, F>(session: &Session<u64, V, F>, key: u64, input: u6
 where
     F: Functions<u64, V, Input = u64>,
 {
-    if let RmwResult::Pending(_) = session.rmw(&key, &input) {
+    if let Err(OpError::Pending(_)) = session.rmw(&key, &input) {
         session.complete_pending(true);
     }
 }

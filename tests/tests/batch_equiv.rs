@@ -4,10 +4,7 @@
 //! arbitrary op sequences, arbitrary batch boundaries, and stores small
 //! enough that the log spills and reads go pending mid-batch.
 
-use faster_core::{
-    BatchOp, BatchOutcome, CompletedOp, CountStore, FasterKv, FasterKvConfig, ReadResult,
-    RmwResult,
-};
+use faster_core::{BatchOp, CountStore, FasterKv, FasterKvConfig, OpError, Outcome};
 use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
 use faster_integration_tests::{read_blocking, rmw_blocking};
@@ -77,30 +74,33 @@ proptest! {
             // Resolve: immediate results now, pending ones via one drain.
             let mut waiting: HashMap<u64, usize> = HashMap::new();
             let mut resolved: HashMap<usize, Option<u64>> = HashMap::new();
-            for (i, outcome) in outcomes.iter().enumerate() {
+            for (i, (op, outcome)) in chunk.iter().zip(outcomes.iter()).enumerate() {
+                if !matches!(op, ModelOp::Read(_)) {
+                    continue;
+                }
                 match outcome {
-                    BatchOutcome::Read(ReadResult::Found(v)) => {
+                    Ok(Outcome::Value(v)) => {
                         resolved.insert(base + i, Some(*v));
                     }
-                    BatchOutcome::Read(ReadResult::NotFound) => {
+                    Err(OpError::NotFound) => {
                         resolved.insert(base + i, None);
                     }
-                    BatchOutcome::Read(ReadResult::Pending(id)) => {
+                    Err(OpError::Pending(id)) => {
                         waiting.insert(*id, base + i);
                     }
-                    BatchOutcome::Rmw(RmwResult::Pending(_))
-                    | BatchOutcome::Rmw(RmwResult::Done)
-                    | BatchOutcome::Upsert
-                    | BatchOutcome::Delete => {}
+                    other => panic!("batched read refused: {other:?}"),
                 }
             }
             // One completion drain per batch (the intended usage pattern).
             loop {
                 for done in bs.complete_pending(true) {
-                    if let CompletedOp::Read { id, result } = done {
-                        if let Some(op_idx) = waiting.remove(&id) {
-                            resolved.insert(op_idx, result);
-                        }
+                    if let Some(op_idx) = waiting.remove(&done.id) {
+                        let value = match done.result {
+                            Ok(Outcome::Value(v)) => Some(v),
+                            Err(OpError::NotFound) => None,
+                            other => panic!("pending batched read failed: {other:?}"),
+                        };
+                        resolved.insert(op_idx, value);
                     }
                 }
                 if waiting.is_empty() {
@@ -114,11 +114,13 @@ proptest! {
 
         for (i, op) in ops.iter().enumerate() {
             match *op {
-                ModelOp::Upsert(k, v) => ss.upsert(&k, &v),
+                ModelOp::Upsert(k, v) => {
+                    ss.upsert(&k, &v).expect("scalar upsert refused");
+                }
                 ModelOp::Rmw(k, v) => rmw_blocking(&ss, k, v),
                 ModelOp::Read(k) => scalar_reads.push((i, read_blocking(&ss, k))),
                 ModelOp::Delete(k) => {
-                    ss.delete(&k);
+                    ss.delete(&k).expect("scalar delete refused");
                 }
             }
         }

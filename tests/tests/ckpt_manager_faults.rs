@@ -149,7 +149,7 @@ fn fallback_chain_walks_multiple_generations() {
         {
             let session = store.start_session();
             for k in 0..KEYSPACE {
-                session.upsert(&k, &(k * 100 + round + 1));
+                let _ = session.upsert(&k, &(k * 100 + round + 1));
             }
             session.complete_pending(true);
         }
@@ -204,7 +204,7 @@ fn gc_clamp_follows_retention() {
     {
         let session = store.start_session();
         for k in 0..KEYSPACE {
-            session.upsert(&k, &(k + 1));
+            let _ = session.upsert(&k, &(k + 1));
         }
         session.complete_pending(true);
     }
@@ -212,7 +212,7 @@ fn gc_clamp_follows_retention() {
     {
         let session = store.start_session();
         for k in 0..4000u64 {
-            session.upsert(&(KEYSPACE + k), &k);
+            let _ = session.upsert(&(KEYSPACE + k), &k);
         }
         session.complete_pending(true);
     }

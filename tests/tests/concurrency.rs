@@ -1,7 +1,7 @@
 //! Cross-crate concurrency: multiple sessions, mixed operations, spilling
 //! log, and epoch-coordinated maintenance all at once.
 
-use faster_core::{CountStore, FasterKv, FasterKvConfig, RmwResult};
+use faster_core::{CountStore, FasterKv, FasterKvConfig, OpError};
 use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
 use faster_integration_tests::read_blocking;
@@ -40,7 +40,7 @@ fn mixed_workload_with_spill_is_exact() {
                         // 60%: counted increments on the hot keys.
                         0..=5 => {
                             let k = rng.next_below(counted_keys);
-                            if let RmwResult::Pending(_) = session.rmw(&k, &1) {
+                            if let Err(OpError::Pending(_)) = session.rmw(&k, &1) {
                                 session.complete_pending(true);
                             }
                             increments.fetch_add(1, Ordering::Relaxed);
@@ -48,7 +48,7 @@ fn mixed_workload_with_spill_is_exact() {
                         // 30%: churn writes to cold keys (drives eviction).
                         6..=8 => {
                             let k = 1_000_000 + t * per_thread + i;
-                            session.upsert(&k, &i);
+                            session.upsert(&k, &i).unwrap();
                         }
                         // 10%: reads anywhere.
                         _ => {
@@ -89,7 +89,7 @@ fn sessions_register_and_release() {
     // Session slots are reusable indefinitely.
     for _ in 0..100 {
         let s = store.start_session();
-        s.upsert(&1, &1);
+        s.upsert(&1, &1).unwrap();
     }
     assert_eq!(store.epoch().active_threads(), 0);
 }
@@ -112,9 +112,9 @@ fn concurrent_deletes_and_inserts_converge() {
                 for _ in 0..5_000 {
                     let k = rng.next_below(keys);
                     if rng.next_below(2) == 0 {
-                        session.upsert(&k, &(t + 1));
+                        session.upsert(&k, &(t + 1)).unwrap();
                     } else {
-                        session.delete(&k);
+                        session.delete(&k).unwrap();
                     }
                 }
                 session.complete_pending(true);

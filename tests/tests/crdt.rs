@@ -1,7 +1,7 @@
 //! CRDT (mergeable RMW) integration: delta records across regions and their
 //! reconciliation on reads (§6.3).
 
-use faster_core::{CountStore, FasterKv, FasterKvConfig, RmwResult};
+use faster_core::{CountStore, FasterKv, FasterKvConfig};
 use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
 use faster_integration_tests::{read_blocking, rmw_blocking};
@@ -23,21 +23,20 @@ fn deltas_on_cold_keys_reconcile() {
     rmw_blocking(&session, 1, 100); // base
     // Evict key 1 far below head.
     for k in 1000..5000u64 {
-        session.upsert(&k, &k);
+        session.upsert(&k, &k).expect("writable");
     }
     store.log().flush_barrier().unwrap();
     // Three cold increments: the first appends a delta without I/O; the
     // delta lands at the tail (mutable), so the rest update it in place.
     let reads_before = store.log().device().stats().reads;
+    let m0 = store.metrics().sessions.totals;
     for _ in 0..3 {
-        assert_eq!(session.rmw(&1, &10), RmwResult::Done);
+        assert!(session.rmw(&1, &10).is_ok());
     }
     assert_eq!(store.log().device().stats().reads, reads_before);
-    #[allow(deprecated)] // Session::stats shim
-    {
-        assert!(session.stats().deltas >= 1, "stats: {:?}", session.stats());
-        assert!(session.stats().in_place >= 2, "stats: {:?}", session.stats());
-    }
+    let m1 = store.metrics().sessions.totals;
+    assert!(m1.deltas - m0.deltas >= 1, "totals: {m1:?}");
+    assert!(m1.in_place - m0.in_place >= 2, "totals: {m1:?}");
     // The read walks delta(s) then the disk base and merges.
     assert_eq!(read_blocking(&session, 1), Some(130));
 }
@@ -63,7 +62,7 @@ fn concurrent_crdt_increments_exact_across_eviction() {
                     if i % 100 == 0 {
                         // Churn cold keys so the counted keys cycle through
                         // every region (mutable, fuzzy, read-only, disk).
-                        session.upsert(&(10_000 + t * per + i), &0);
+                        session.upsert(&(10_000 + t * per + i), &0).expect("writable");
                     }
                 }
                 session.complete_pending(true);
@@ -83,7 +82,7 @@ fn delete_then_crdt_restarts_from_identity() {
     let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(1));
     let session = store.start_session();
     rmw_blocking(&session, 3, 50);
-    session.delete(&3);
+    session.delete(&3).unwrap();
     rmw_blocking(&session, 3, 5);
     assert_eq!(read_blocking(&session, 3), Some(5), "post-delete counter restarts");
 }

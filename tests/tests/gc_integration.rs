@@ -25,7 +25,7 @@ fn compaction_keeps_counters_exact() {
             rmw_blocking(&session, k, 1);
         }
         for k in 0..200u64 {
-            session.upsert(&(100_000 + round * 200 + k), &round);
+            session.upsert(&(100_000 + round * 200 + k), &round).unwrap();
         }
     }
     store.log().flush_barrier().unwrap();
@@ -49,13 +49,13 @@ fn compaction_drops_deleted_keys() {
     let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(2));
     let session = store.start_session();
     for k in 0..100u64 {
-        session.upsert(&k, &(k + 1));
+        session.upsert(&k, &(k + 1)).unwrap();
     }
     for k in 0..50u64 {
-        session.delete(&k);
+        session.delete(&k).unwrap();
     }
     for k in 10_000..13_000u64 {
-        session.upsert(&k, &1);
+        session.upsert(&k, &1).unwrap();
     }
     store.log().flush_barrier().unwrap();
     session.refresh();
@@ -73,10 +73,10 @@ fn expiration_is_observed_lazily_by_all_ops() {
     let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, MemDevice::new(2));
     let session = store.start_session();
     for k in 0..100u64 {
-        session.upsert(&k, &k);
+        session.upsert(&k, &k).unwrap();
     }
     for k in 10_000..14_000u64 {
-        session.upsert(&k, &1);
+        session.upsert(&k, &1).unwrap();
     }
     store.log().flush_barrier().unwrap();
     let head = store.log().head_address();
@@ -86,6 +86,6 @@ fn expiration_is_observed_lazily_by_all_ops() {
     assert_eq!(read_blocking(&session, 1), None);
     rmw_blocking(&session, 2, 5);
     assert_eq!(read_blocking(&session, 2), Some(5), "RMW of expired key reinitializes");
-    session.upsert(&3, &33);
+    session.upsert(&3, &33).unwrap();
     assert_eq!(read_blocking(&session, 3), Some(33));
 }

@@ -68,10 +68,10 @@ fn hybrid_log_is_approximately_time_ordered() {
     let session = store.start_session();
     // Two epochs of keys written in order.
     for k in 0..100u64 {
-        session.upsert(&k, &1);
+        session.upsert(&k, &1).unwrap();
     }
     for k in 100..200u64 {
-        session.upsert(&k, &2);
+        session.upsert(&k, &2).unwrap();
     }
     let rec_size = RecordRef::<u64, u64>::size();
     let mut first_epoch_pos = Vec::new();

@@ -60,7 +60,7 @@ fn counter_identities_hold_under_concurrency() {
                     let k = base + rng.next_below(KEYS_PER_THREAD);
                     match rng.next_below(10) {
                         0..=3 => {
-                            session.upsert(&k, &k);
+                            session.upsert(&k, &k).unwrap();
                             o.upserts += 1;
                         }
                         4..=6 => {
@@ -72,7 +72,7 @@ fn counter_identities_hold_under_concurrency() {
                             o.reads += 1;
                         }
                         _ => {
-                            session.delete(&k);
+                            session.delete(&k).unwrap();
                             o.deletes += 1;
                         }
                     }
@@ -154,10 +154,10 @@ fn read_cache_hit_accounting_matches_session_classification() {
     let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg, CountStore, MemDevice::new(2));
     let session = store.start_session();
     for k in 0..100u64 {
-        session.upsert(&k, &(k + 500));
+        session.upsert(&k, &(k + 500)).unwrap();
     }
     for k in 10_000..14_000u64 {
-        session.upsert(&k, &1); // push 0..100 to disk
+        session.upsert(&k, &1).unwrap(); // push 0..100 to disk
     }
     store.log().flush_barrier().unwrap();
 
@@ -195,9 +195,9 @@ fn batched_ops_keep_the_identities() {
     let session = store.start_session();
     let keys: Vec<u64> = (0..256u64).collect();
     let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 2)).collect();
-    session.upsert_batch(&pairs);
+    session.upsert_batch(&pairs).unwrap();
     for k in 5_000..9_000u64 {
-        session.upsert(&k, &1); // spill so some batched reads go pending
+        session.upsert(&k, &1).unwrap(); // spill so some batched reads go pending
     }
     store.log().flush_barrier().unwrap();
 

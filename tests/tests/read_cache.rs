@@ -2,7 +2,7 @@
 //! never-flushed HybridLog; repeat reads hit it without I/O; updates splice
 //! the cache copy out; eviction restores primary index addresses.
 
-use faster_core::{CountStore, FasterKv, FasterKvConfig, ReadResult, RmwResult};
+use faster_core::{CountStore, FasterKv, FasterKvConfig, Outcome};
 use faster_hlog::HLogConfig;
 use faster_index::IndexConfig;
 use faster_integration_tests::{read_blocking, rmw_blocking};
@@ -28,10 +28,10 @@ fn store_with_cold_keys(cache_pages: u64) -> FasterKv<u64, u64, CountStore> {
         FasterKv::new(cfg_with_cache(cache_pages), CountStore, MemDevice::new(2));
     let session = store.start_session();
     for k in 0..100u64 {
-        session.upsert(&k, &(k + 500));
+        session.upsert(&k, &(k + 500)).expect("writable");
     }
     for k in 10_000..14_000u64 {
-        session.upsert(&k, &1); // push 0..100 to disk
+        session.upsert(&k, &1).expect("writable"); // push 0..100 to disk
     }
     store.log().flush_barrier().unwrap();
     assert!(store.log().head_address().raw() > 0);
@@ -47,7 +47,7 @@ fn second_read_hits_cache_without_io() {
     let reads_after_first = store.log().device().stats().reads;
     // Second read: cache hit — synchronous, no device read.
     match session.read(&5, &0) {
-        ReadResult::Found(v) => assert_eq!(v, 505),
+        Ok(Outcome::Value(v)) => assert_eq!(v, 505),
         other => panic!("expected cache hit, got {other:?}"),
     }
     assert_eq!(store.log().device().stats().reads, reads_after_first, "no extra device read");
@@ -61,7 +61,7 @@ fn rmw_on_cached_key_needs_no_io() {
     let reads_before = store.log().device().stats().reads;
     // CountStore is a CRDT so the delta path would dodge I/O anyway; what we
     // check is that the cache-hit RMW path computes the right value.
-    assert_eq!(session.rmw(&7, &3), RmwResult::Done);
+    assert!(session.rmw(&7, &3).is_ok(), "cache-hit RMW must complete synchronously");
     assert_eq!(store.log().device().stats().reads, reads_before);
     assert_eq!(read_blocking(&session, 7), Some(510));
 }
@@ -71,13 +71,13 @@ fn upsert_over_cached_key_wins() {
     let store = store_with_cold_keys(8);
     let session = store.start_session();
     assert_eq!(read_blocking(&session, 9), Some(509));
-    session.upsert(&9, &42);
+    session.upsert(&9, &42).expect("writable");
     assert_eq!(read_blocking(&session, 9), Some(42));
     // And the value survives another round trip to disk. (Churn on the same
     // session: every registered session must keep refreshing — §2.5 — or
     // epoch-gated log maintenance stalls.)
     for k in 20_000..24_000u64 {
-        session.upsert(&k, &1);
+        session.upsert(&k, &1).expect("writable");
     }
     store.log().flush_barrier().unwrap();
     assert_eq!(read_blocking(&session, 9), Some(42));
@@ -88,7 +88,7 @@ fn delete_of_cached_key_sticks() {
     let store = store_with_cold_keys(8);
     let session = store.start_session();
     assert_eq!(read_blocking(&session, 11), Some(511));
-    session.delete(&11);
+    session.delete(&11).expect("writable");
     assert_eq!(read_blocking(&session, 11), None);
 }
 
@@ -116,10 +116,10 @@ fn checkpoint_with_read_cache_resolves_tagged_entries() {
             FasterKv::new(cfg_with_cache(8), CountStore, device.clone());
         let session = store.start_session();
         for k in 0..100u64 {
-            session.upsert(&k, &(k + 500));
+            session.upsert(&k, &(k + 500)).expect("writable");
         }
         for k in 10_000..14_000u64 {
-            session.upsert(&k, &1);
+            session.upsert(&k, &1).expect("writable");
         }
         store.log().flush_barrier().unwrap();
         // Cache a handful of cold keys so their index entries are tagged.

@@ -28,7 +28,7 @@ fn checkpoint_under_concurrent_updates_recovers_consistently() {
             let session = store.start_session();
             let mut i = 0u64;
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                session.upsert(&(i % 512), &i);
+                session.upsert(&(i % 512), &i).unwrap();
                 i += 1;
             }
             session.complete_pending(true);
@@ -38,7 +38,7 @@ fn checkpoint_under_concurrent_updates_recovers_consistently() {
     {
         let session = store.start_session();
         for k in 10_000..10_500u64 {
-            session.upsert(&k, &k);
+            session.upsert(&k, &k).unwrap();
         }
     }
     let data = store.checkpoint();
@@ -73,7 +73,7 @@ fn recovery_replays_fuzzy_window() {
     {
         let session = store.start_session();
         for k in 0..300u64 {
-            session.upsert(&k, &(k + 1));
+            session.upsert(&k, &(k + 1)).unwrap();
         }
     }
     let mut data = store.checkpoint();
@@ -94,9 +94,9 @@ fn injected_read_faults_do_not_wedge_sessions() {
     let device = MemDevice::new(2);
     let store: FasterKv<u64, u64, CountStore> = FasterKv::new(cfg(), CountStore, device.clone());
     let session = store.start_session();
-    session.upsert(&7, &70);
+    session.upsert(&7, &70).unwrap();
     for k in 100..4000u64 {
-        session.upsert(&k, &k); // evict key 7
+        session.upsert(&k, &k).unwrap(); // evict key 7
     }
     store.log().flush_barrier().unwrap();
     device.fail_next_reads(1);
@@ -115,7 +115,7 @@ fn checkpoint_bytes_survive_serialization() {
     {
         let session = store.start_session();
         for k in 0..100u64 {
-            session.upsert(&k, &(k * 5));
+            session.upsert(&k, &(k * 5)).unwrap();
         }
     }
     let data = store.checkpoint();

@@ -6,7 +6,7 @@
 //! prints its `(seed, crash_after, torn, drop)` tuple for local replay.
 
 use faster_core::checkpoint::CheckpointData;
-use faster_core::{CompletedOp, CountStore, FasterKv, ReadResult};
+use faster_core::{CountStore, FasterKv, OpError, Outcome};
 use faster_integration_tests::fault_harness::{
     fault_seed_range, harness_cfg, run_crash_recovery_case, KEYSPACE,
 };
@@ -67,11 +67,11 @@ fn evicted_store(
         FasterKv::new(harness_cfg(), CountStore, device);
     let session = store.start_session();
     for k in 0..KEYSPACE {
-        session.upsert(&k, &(k * 10 + 1));
+        session.upsert(&k, &(k * 10 + 1)).expect("writable");
     }
     // Push the early records out of the in-memory buffer.
     for k in 10_000..14_000u64 {
-        session.upsert(&k, &k);
+        session.upsert(&k, &k).expect("writable");
     }
     session.complete_pending(true);
     drop(session);
@@ -79,7 +79,7 @@ fn evicted_store(
     store
 }
 
-/// Reads through transient faults by re-issuing on `CompletedOp::Failed`.
+/// Reads through transient faults by re-issuing on a failed completion.
 /// Returns the final result; panics only if the op never completes at all.
 fn read_through_faults(
     session: &faster_core::Session<u64, u64, CountStore>,
@@ -87,19 +87,24 @@ fn read_through_faults(
 ) -> Option<u64> {
     for _ in 0..64 {
         match session.read(&key, &0) {
-            ReadResult::Found(v) => return Some(v),
-            ReadResult::NotFound => return None,
-            ReadResult::Pending(id) => {
+            Ok(Outcome::Value(v)) => return Some(v),
+            Err(OpError::NotFound) => return None,
+            Err(OpError::Pending(id)) => {
                 let mut failed = false;
-                for op in session.complete_pending(true) {
-                    match op {
-                        CompletedOp::Read { id: did, result } if did == id => return result,
-                        CompletedOp::Failed { id: did, .. } if did == id => failed = true,
-                        _ => {}
+                for c in session.complete_pending(true) {
+                    if c.id != id {
+                        continue;
+                    }
+                    match c.result {
+                        Ok(Outcome::Value(v)) => return Some(v),
+                        Err(OpError::NotFound) => return None,
+                        Err(OpError::Io(_)) => failed = true,
+                        other => panic!("pending read {id} completed oddly: {other:?}"),
                     }
                 }
                 assert!(failed, "pending read {id} of key {key} vanished");
             }
+            other => panic!("read of {key} refused: {other:?}"),
         }
     }
     panic!("read of key {key} failed 64 consecutive retry rounds");
@@ -145,7 +150,7 @@ fn read_fault_rate_never_fabricates_absence() {
 }
 
 /// When faults are persistent the retry budget must exhaust into an
-/// explicit `CompletedOp::Failed` — never a fabricated `Read {{ None }}`.
+/// explicit `Err(OpError::Io)` completion — never a fabricated `NotFound`.
 #[test]
 fn exhausted_retries_report_failure_not_absence() {
     let fault = FaultDevice::wrap(MemDevice::new(2));
@@ -153,26 +158,18 @@ fn exhausted_retries_report_failure_not_absence() {
     fault.set_read_fault_rate(Some(ReadFaultRate { seed: 1, num: 1, den: 1 }));
     let session = store.start_session();
     match session.read(&5, &0) {
-        ReadResult::Found(_) | ReadResult::NotFound => {
-            panic!("key 5 should be disk-resident (pending read)")
-        }
-        ReadResult::Pending(id) => {
+        Err(OpError::Pending(id)) => {
             let done = session.complete_pending(true);
             assert!(
-                done.iter().any(|op| matches!(
-                    op,
-                    CompletedOp::Failed { id: did, .. } if *did == id
-                )),
-                "persistently failing read must complete as Failed, got {done:?}"
+                done.iter().any(|c| c.id == id && matches!(c.result, Err(OpError::Io(_)))),
+                "persistently failing read must complete as an I/O error, got {done:?}"
             );
             assert!(
-                !done.iter().any(|op| matches!(
-                    op,
-                    CompletedOp::Read { id: did, result: None } if *did == id
-                )),
+                !done.iter().any(|c| c.id == id && matches!(c.result, Err(OpError::NotFound))),
                 "persistently failing read fabricated a false absent"
             );
         }
+        other => panic!("key 5 should be disk-resident (pending read), got {other:?}"),
     }
     assert_eq!(session.pending_count(), 0);
     // Clearing the fault restores the key: nothing was lost.
@@ -196,7 +193,7 @@ fn file_device_checkpoint_recovery_round_trip() {
         {
             let session = store.start_session();
             for k in 0..600u64 {
-                session.upsert(&k, &(k * 3 + 1));
+                session.upsert(&k, &(k * 3 + 1)).expect("writable");
             }
             session.complete_pending(true);
         }

@@ -24,7 +24,7 @@ fn grow_with_disk_resident_chains() {
     let session = store.start_session();
     let n = 3000u64;
     for k in 0..n {
-        session.upsert(&k, &(k + 9));
+        session.upsert(&k, &(k + 9)).unwrap();
     }
     store.log().flush_barrier().unwrap();
     assert!(store.log().head_address().raw() > 0, "chains must reach disk");
@@ -42,7 +42,7 @@ fn shrink_with_disk_resident_chains_links_meta_records() {
     let session = store.start_session();
     let n = 3000u64;
     for k in 0..n {
-        session.upsert(&k, &(k * 2));
+        session.upsert(&k, &(k * 2)).unwrap();
     }
     store.log().flush_barrier().unwrap();
     assert!(store.log().head_address().raw() > 0);
@@ -52,7 +52,7 @@ fn shrink_with_disk_resident_chains_links_meta_records() {
         assert_eq!(read_blocking(&session, k), Some(k * 2), "key {k} after shrink");
     }
     // And the store remains writable.
-    session.upsert(&1, &42);
+    session.upsert(&1, &42).unwrap();
     assert_eq!(read_blocking(&session, 1), Some(42));
 }
 
@@ -62,7 +62,7 @@ fn grow_during_concurrent_traffic() {
     {
         let s = store.start_session();
         for k in 0..2000u64 {
-            s.upsert(&k, &k);
+            s.upsert(&k, &k).unwrap();
         }
     }
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -82,7 +82,7 @@ fn grow_during_concurrent_traffic() {
                 // time, even when saturated ops share a single core.
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     let k = rng.next_below(2000);
-                    session.upsert(&k, &k);
+                    session.upsert(&k, &k).unwrap();
                     let _ = session.read(&k, &0);
                     session.complete_pending(false);
                 }
@@ -124,7 +124,7 @@ fn shrink_during_concurrent_traffic() {
     {
         let s = store.start_session();
         for k in 0..2000u64 {
-            s.upsert(&k, &(k + 3));
+            s.upsert(&k, &(k + 3)).unwrap();
         }
     }
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -140,7 +140,7 @@ fn shrink_during_concurrent_traffic() {
                 barrier.wait();
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     let k = rng.next_below(2000);
-                    session.upsert(&k, &(k + 3));
+                    session.upsert(&k, &(k + 3)).unwrap();
                     let _ = session.read(&k, &0);
                     session.complete_pending(false);
                 }
@@ -195,11 +195,11 @@ proptest! {
         // Filler volume guarantees chains spill to disk regardless of how
         // few random keys this case drew.
         for k in 10_000..12_500u64 {
-            session.upsert(&k, &k);
+            session.upsert(&k, &k).unwrap();
             model.insert(k, k);
         }
         for &(k, v) in &keys {
-            session.upsert(&k, &v);
+            session.upsert(&k, &v).unwrap();
             model.insert(k, v);
         }
         store.log().flush_barrier().unwrap();
@@ -212,7 +212,7 @@ proptest! {
         for (i, &(k, _)) in keys.iter().enumerate() {
             if (i as u64).is_multiple_of(update_stride) {
                 let v2 = model[&k].wrapping_add(1);
-                session.upsert(&k, &v2);
+                session.upsert(&k, &v2).unwrap();
                 model.insert(k, v2);
             }
         }

@@ -1,0 +1,373 @@
+//! Over-the-wire protocol tests for the RESP front-end (DESIGN.md §13).
+//!
+//! Everything here talks to a real `faster-server` instance through a TCP
+//! socket — no store shortcuts — so the full stack is under test: frame
+//! parsing, pipelined batch execution, in-order reply emission across
+//! pending disk reads, WAL-durability-gated mutation acks, `-READONLY`
+//! degradation, and acked-write recovery after killing the server mid
+//! pipeline (reusing the WAL crash harness's store configuration).
+
+use faster_core::ckpt_manager::{self, CheckpointConfig};
+use faster_core::{CountStore, FasterKv, FasterKvConfig};
+use faster_hlog::HLogConfig;
+use faster_index::IndexConfig;
+use faster_integration_tests::fault_harness::wal_harness_cfg;
+use faster_server::{Server, ServerConfig, Store};
+use faster_storage::{Device, FaultDevice, MemDevice};
+use faster_util::XorShift64;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ------------------------------------------------------------- test client
+
+/// One decoded RESP reply, as a blocking test client sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Reply {
+    Simple(String),
+    Error(String),
+    Int(u64),
+    Bulk(String),
+    Nil,
+}
+
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to server");
+        stream.set_nodelay(true).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        Client { stream, buf: Vec::new(), pos: 0 }
+    }
+
+    fn send(&mut self, data: &[u8]) {
+        self.stream.write_all(data).expect("send");
+    }
+
+    /// Reads one reply frame; `None` once the server closes the connection.
+    fn read_reply(&mut self) -> Option<Reply> {
+        loop {
+            if let Some((reply, used)) = self.try_decode() {
+                self.pos += used;
+                if self.pos == self.buf.len() {
+                    self.buf.clear();
+                    self.pos = 0;
+                }
+                return Some(reply);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("client read failed: {e}"),
+            }
+        }
+    }
+
+    fn try_decode(&self) -> Option<(Reply, usize)> {
+        let data = &self.buf[self.pos..];
+        let nl = data.iter().position(|&b| b == b'\n')?;
+        let line = std::str::from_utf8(&data[..nl - 1]).expect("ASCII reply line");
+        let rest = &line[1..];
+        match data[0] {
+            b'+' => Some((Reply::Simple(rest.into()), nl + 1)),
+            b'-' => Some((Reply::Error(rest.into()), nl + 1)),
+            b':' => Some((Reply::Int(rest.parse().expect("integer reply")), nl + 1)),
+            b'$' => {
+                let len: i64 = rest.parse().expect("bulk length");
+                if len < 0 {
+                    return Some((Reply::Nil, nl + 1));
+                }
+                let start = nl + 1;
+                let end = start + len as usize;
+                if data.len() < end + 2 {
+                    return None;
+                }
+                let s = std::str::from_utf8(&data[start..end]).expect("bulk payload");
+                Some((Reply::Bulk(s.into()), end + 2))
+            }
+            other => panic!("unexpected reply prefix {:?}", other as char),
+        }
+    }
+}
+
+/// A store small enough that the workload spills to "disk" (MemDevice), so
+/// pipelined GETs exercise the pending-read reply path, not just memory.
+fn spilling_store() -> Store {
+    let cfg = FasterKvConfig::small()
+        .with_index(IndexConfig { k_bits: 8, tag_bits: 15, max_resize_chunks: 4 })
+        .with_log(HLogConfig { page_bits: 12, buffer_pages: 8, mutable_pages: 2, io_threads: 2 })
+        .with_max_sessions(16)
+        .with_refresh_interval(64);
+    FasterKv::new(cfg, CountStore, MemDevice::new(2))
+}
+
+// ------------------------------------------------------------------- tests
+
+#[test]
+fn ping_and_quit() {
+    let server = Server::start(spilling_store(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr());
+    c.send(b"PING\r\n");
+    assert_eq!(c.read_reply(), Some(Reply::Simple("PONG".into())));
+    c.send(b"*1\r\n$4\r\nPING\r\n");
+    assert_eq!(c.read_reply(), Some(Reply::Simple("PONG".into())));
+    c.send(b"QUIT\r\n");
+    assert_eq!(c.read_reply(), Some(Reply::Simple("OK".into())));
+    assert_eq!(c.read_reply(), None, "server must close after QUIT");
+}
+
+/// The tentpole behavior: a seeded pipelined mixed workload over one
+/// connection, checked command-by-command against an oracle. Single
+/// connection ⇒ strictly serial store semantics, so every reply is exactly
+/// predictable, including INCR read-backs — even when cold GETs go pending
+/// and must not reorder the reply stream.
+#[test]
+fn pipelined_mixed_workload_matches_oracle() {
+    let store = spilling_store();
+    // Preload a wide cold range so lookups leave the mutable region.
+    {
+        let session = store.start_session();
+        for k in 0..6_000u64 {
+            session.upsert(&(10_000 + k), &k).unwrap();
+        }
+        session.complete_pending(true);
+        store.log().flush_barrier().unwrap();
+    }
+    let server = Server::start(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr());
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    // The preloaded cold keys are part of the oracle too.
+    for k in 0..6_000u64 {
+        oracle.insert(10_000 + k, k);
+    }
+
+    let mut rng = XorShift64::new(0x5EED);
+    let mut sent = 0u64;
+    while sent < 4_000 {
+        let depth = 1 + rng.next_below(64);
+        let mut frame = Vec::new();
+        let mut expected: Vec<Reply> = Vec::new();
+        for _ in 0..depth {
+            // Mostly the hot keyspace; one slot in eight probes cold keys.
+            let key = if rng.next_below(8) == 0 {
+                10_000 + rng.next_below(6_000)
+            } else {
+                rng.next_below(512)
+            };
+            match rng.next_below(10) {
+                0..=3 => {
+                    let v = rng.next_below(1 << 20);
+                    frame.extend_from_slice(format!("SET {key} {v}\r\n").as_bytes());
+                    oracle.insert(key, v);
+                    expected.push(Reply::Simple("OK".into()));
+                }
+                4..=6 => {
+                    frame.extend_from_slice(format!("GET {key}\r\n").as_bytes());
+                    expected.push(match oracle.get(&key) {
+                        Some(v) => Reply::Bulk(v.to_string()),
+                        None => Reply::Nil,
+                    });
+                }
+                7..=8 => {
+                    let n = 1 + rng.next_below(100);
+                    frame.extend_from_slice(format!("INCRBY {key} {n}\r\n").as_bytes());
+                    let v = oracle.entry(key).or_insert(0);
+                    *v += n;
+                    expected.push(Reply::Int(*v));
+                }
+                _ => {
+                    frame.extend_from_slice(format!("DEL {key}\r\n").as_bytes());
+                    oracle.remove(&key);
+                    expected.push(Reply::Int(1));
+                }
+            }
+        }
+        sent += depth;
+        c.send(&frame);
+        for (i, want) in expected.iter().enumerate() {
+            let got = c.read_reply().expect("reply stream ended early");
+            assert_eq!(&got, want, "pipelined op {i} of window ending at {sent}");
+        }
+    }
+}
+
+/// Several concurrent connections over disjoint key ranges: replies stay
+/// per-connection exact while workers multiplex them.
+#[test]
+fn concurrent_connections_stay_isolated() {
+    let server = Server::start(
+        spilling_store(),
+        "127.0.0.1:0",
+        ServerConfig { workers: 3 },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..6u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let base = t * 1_000;
+                let mut rng = XorShift64::new(0xFACE + t);
+                let mut oracle: HashMap<u64, u64> = HashMap::new();
+                for round in 0..40 {
+                    let depth = 1 + rng.next_below(32);
+                    let mut frame = Vec::new();
+                    let mut expected = Vec::new();
+                    for _ in 0..depth {
+                        let key = base + rng.next_below(200);
+                        if rng.next_below(2) == 0 {
+                            let v = rng.next_below(1 << 16);
+                            frame.extend_from_slice(format!("SET {key} {v}\r\n").as_bytes());
+                            oracle.insert(key, v);
+                            expected.push(Reply::Simple("OK".into()));
+                        } else {
+                            frame.extend_from_slice(format!("GET {key}\r\n").as_bytes());
+                            expected.push(match oracle.get(&key) {
+                                Some(v) => Reply::Bulk(v.to_string()),
+                                None => Reply::Nil,
+                            });
+                        }
+                    }
+                    c.send(&frame);
+                    for want in &expected {
+                        let got = c.read_reply().expect("reply stream ended early");
+                        assert_eq!(&got, want, "thread {t} round {round}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+}
+
+#[test]
+fn malformed_frames_error_and_close() {
+    let server = Server::start(spilling_store(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    // Stream-level garbage: one -ERR, then the connection closes.
+    let mut c = Client::connect(server.local_addr());
+    c.send(b"*not-a-number\r\n");
+    match c.read_reply() {
+        Some(Reply::Error(e)) => assert!(e.contains("Protocol error"), "got {e:?}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    assert_eq!(c.read_reply(), None, "desynchronized stream must close");
+
+    // Same for a desynchronized bulk header inside an array frame.
+    let mut c = Client::connect(server.local_addr());
+    c.send(b"*2\r\nX3\r\nGET\r\n");
+    assert!(matches!(c.read_reply(), Some(Reply::Error(_))));
+    assert_eq!(c.read_reply(), None);
+
+    // Content-level errors keep the stream: bad integer, unknown command,
+    // wrong arity — each answers -ERR and the next command still works.
+    let mut c = Client::connect(server.local_addr());
+    c.send(b"GET notanumber\r\nFLURB 1\r\nSET 1\r\nPING\r\n");
+    for _ in 0..3 {
+        assert!(matches!(c.read_reply(), Some(Reply::Error(_))));
+    }
+    assert_eq!(c.read_reply(), Some(Reply::Simple("PONG".into())));
+}
+
+/// A dead WAL degrades the store to read-only (DESIGN.md §12): the SET
+/// whose group commit failed answers `-READONLY` (its ack gate broke), the
+/// degradation is sticky for later mutations, and reads keep serving.
+#[test]
+fn read_only_degradation_maps_to_readonly_errors() {
+    let wal_fault = FaultDevice::wrap(MemDevice::new(1));
+    let store: Store = FasterKv::new_with_wal(
+        wal_harness_cfg(),
+        CountStore,
+        MemDevice::new(2),
+        wal_fault.clone(),
+    );
+    let server = Server::start(store, "127.0.0.1:0", ServerConfig { workers: 1 }).unwrap();
+    let mut c = Client::connect(server.local_addr());
+
+    // Healthy first: a durable SET acks and reads back.
+    c.send(b"SET 1 11\r\nGET 1\r\n");
+    assert_eq!(c.read_reply(), Some(Reply::Simple("OK".into())));
+    assert_eq!(c.read_reply(), Some(Reply::Bulk("11".into())));
+
+    // The next WAL barrier fails: its group commit cannot ack, and a WAL
+    // failure is sticky — the log refuses every commit from then on.
+    wal_fault.fail_flush_at(0);
+    c.send(b"SET 2 22\r\n");
+    match c.read_reply() {
+        Some(Reply::Error(e)) => {
+            assert!(e.starts_with("READONLY"), "expected -READONLY, got {e:?}")
+        }
+        other => panic!("expected -READONLY, got {other:?}"),
+    }
+
+    // Sticky: later mutations are refused up front, reads still serve.
+    c.send(b"SET 3 33\r\nDEL 1\r\nINCR 4\r\nGET 1\r\n");
+    for _ in 0..3 {
+        match c.read_reply() {
+            Some(Reply::Error(e)) => {
+                assert!(e.starts_with("READONLY"), "expected -READONLY, got {e:?}")
+            }
+            other => panic!("expected -READONLY, got {other:?}"),
+        }
+    }
+    assert_eq!(c.read_reply(), Some(Reply::Bulk("11".into())), "reads must keep serving");
+}
+
+/// Kill-the-server-mid-pipeline durability: acked SETs survive. The client
+/// pipelines hundreds of SETs, collects only a prefix of the acks, and the
+/// server is torn down with replies still in flight; recovery from the WAL
+/// (same recovery path the crash harness sweeps) must contain every key
+/// whose `+OK` was actually received.
+#[test]
+fn killed_mid_pipeline_recovers_every_acked_set() {
+    let log_dev: Arc<dyn Device> = MemDevice::new(2);
+    let ckpt_dev: Arc<dyn Device> = MemDevice::new(1);
+    let wal_dev: Arc<dyn Device> = MemDevice::new(1);
+    let store: Store =
+        FasterKv::new_with_wal(wal_harness_cfg(), CountStore, log_dev.clone(), wal_dev.clone());
+    let server = Server::start(store, "127.0.0.1:0", ServerConfig { workers: 1 }).unwrap();
+
+    let mut c = Client::connect(server.local_addr());
+    const SETS: u64 = 400;
+    const TAKE_ACKS: u64 = 120;
+    let mut frame = Vec::new();
+    for k in 0..SETS {
+        frame.extend_from_slice(format!("SET {k} {}\r\n", k + 1).as_bytes());
+    }
+    c.send(&frame);
+    // Collect a prefix of the acks, then kill the server mid-pipeline.
+    for k in 0..TAKE_ACKS {
+        assert_eq!(c.read_reply(), Some(Reply::Simple("OK".into())), "ack {k}");
+    }
+    server.shutdown();
+    drop(server);
+    drop(c);
+
+    let rec = ckpt_manager::recover_store_with_wal::<u64, u64, CountStore>(
+        wal_harness_cfg(),
+        CountStore,
+        log_dev,
+        ckpt_dev,
+        wal_dev,
+        CheckpointConfig::default(),
+    )
+    .expect("recovery after server kill");
+    let session = rec.store.start_session();
+    for k in 0..TAKE_ACKS {
+        assert_eq!(
+            faster_integration_tests::read_blocking(&session, k),
+            Some(k + 1),
+            "acked SET {k} lost after killing the server"
+        );
+    }
+}

@@ -20,7 +20,7 @@
 //! other fault sweeps.
 
 use faster_core::ckpt_manager::{self, CheckpointConfig, CheckpointManager};
-use faster_core::{CountStore, FasterKv, HealthReason, StoreError, StoreHealth};
+use faster_core::{CountStore, FasterKv, HealthReason, OpError, StoreHealth};
 use faster_integration_tests::fault_harness::{fault_seed_range, harness_cfg, KEYSPACE};
 use faster_integration_tests::{read_blocking, read_result};
 use faster_maintenance::Actuators;
@@ -52,8 +52,11 @@ fn run_workload(
     for _ in 0..ops {
         let key = rng.next_u64() % KEYSPACE;
         let value = rng.next_u64() | 1;
-        session.upsert(&key, &value);
-        oracle.insert(key, value);
+        // Mirror only applied writes: once a scenario degrades the store
+        // mid-workload, refused upserts must not advance the oracle.
+        if session.upsert(&key, &value).is_ok() {
+            oracle.insert(key, value);
+        }
     }
     session.complete_pending(true);
 }
@@ -153,7 +156,7 @@ fn transient_write_fault_at_every_position_is_absorbed() {
 /// allocation wedge — the workload below runs to completion), and the
 /// store flips to `ReadOnly(FlushQuarantine)`. Reads of intact state keep
 /// serving, reads into quarantined pages return `Corrupt`, the fallible
-/// mutation API returns `StoreError::ReadOnly`, and maintenance actuators
+/// mutation API returns `OpError::ReadOnly`, and maintenance actuators
 /// refuse to run.
 #[test]
 fn permanent_flush_failure_degrades_to_read_only() {
@@ -180,8 +183,9 @@ fn permanent_flush_failure_degrades_to_read_only() {
             for i in 0..2000u64 {
                 let key = 10_000 + i;
                 let value = rng.next_u64() | 1;
-                session.upsert(&key, &value);
-                oracle.insert(key, value);
+                if session.upsert(&key, &value).is_ok() {
+                    oracle.insert(key, value);
+                }
             }
             session.complete_pending(true);
         }
@@ -215,16 +219,16 @@ fn permanent_flush_failure_degrades_to_read_only() {
         let session = store.start_session();
         // The fallible mutation API reports the degradation...
         assert!(
-            matches!(session.try_upsert(&1, &1), Err(StoreError::ReadOnly(_))),
-            "[{ctx}] try_upsert must refuse on a read-only store"
+            matches!(session.upsert(&1, &1), Err(OpError::ReadOnly(_))),
+            "[{ctx}] upsert must refuse on a read-only store"
         );
         assert!(
-            matches!(session.try_rmw(&1, &1), Err(StoreError::ReadOnly(_))),
-            "[{ctx}] try_rmw must refuse on a read-only store"
+            matches!(session.rmw(&1, &1), Err(OpError::ReadOnly(_))),
+            "[{ctx}] rmw must refuse on a read-only store"
         );
         assert!(
-            matches!(session.try_delete(&1), Err(StoreError::ReadOnly(_))),
-            "[{ctx}] try_delete must refuse on a read-only store"
+            matches!(session.delete(&1), Err(OpError::ReadOnly(_))),
+            "[{ctx}] delete must refuse on a read-only store"
         );
         // ...while reads still serve: resident state exactly, quarantined
         // pages as a typed Corrupt (never fabricated data, never a wedge).
@@ -311,7 +315,7 @@ fn corrupted_sectors_never_serve_wrong_data() {
         );
         // Degraded is not read-only: new writes are still safe.
         assert!(
-            session.try_upsert(&(KEYSPACE + 1), &7).is_ok(),
+            session.upsert(&(KEYSPACE + 1), &7).is_ok(),
             "[{ctx}] a degraded store must still accept writes"
         );
     }
@@ -346,7 +350,7 @@ fn device_full_flips_read_only() {
     // Full is permanent: no retry storm, immediate quarantine.
     assert!(m.hlog.pages_quarantined > 0);
     let session = store.start_session();
-    assert!(matches!(session.try_upsert(&1, &1), Err(StoreError::ReadOnly(_))));
+    assert!(matches!(session.upsert(&1, &1), Err(OpError::ReadOnly(_))));
     // Intact (still-resident) state keeps serving.
     let mut served = 0u64;
     for (&key, &want) in &oracle {
@@ -371,14 +375,14 @@ fn wal_failure_flips_read_only() {
         FasterKv::new_with_wal(wal_harness_cfg(), CountStore, log_dev, wal_fault.clone());
     {
         let session = store.start_session();
-        session.upsert(&1, &11);
+        session.upsert(&1, &11).expect("writable");
         session.wait_wal_durable().expect("healthy WAL must commit");
     }
     assert_eq!(store.health(), StoreHealth::Healthy);
 
     wal_fault.fail_next_writes(u32::MAX);
     let session = store.start_session();
-    session.upsert(&2, &22);
+    let _ = session.upsert(&2, &22);
     assert!(
         session.wait_wal_durable().is_err(),
         "dead WAL must fail the durability wait"
@@ -388,14 +392,14 @@ fn wal_failure_flips_read_only() {
         StoreHealth::ReadOnly(HealthReason::WalFailed),
         "WAL failure must flip the store read-only"
     );
-    assert!(matches!(session.try_upsert(&3, &33), Err(StoreError::ReadOnly(_))));
+    assert!(matches!(session.upsert(&3, &33), Err(OpError::ReadOnly(_))));
     // The log itself is fine: already-written state still reads back.
     assert_eq!(read_blocking(&session, 1), Some(11));
     assert_eq!(store.metrics().health.reason, "wal_failed");
 }
 
 /// Scenario 6: the degradation flip races live multi-threaded traffic.
-/// Writer threads hammer the legacy (infallible) API while the device dies
+/// Writer threads hammer the mutation API while the device dies
 /// under them; the run must terminate (no allocation wedge), never panic,
 /// and settle into a read-only store whose surviving state still serves.
 #[test]
@@ -425,14 +429,16 @@ fn degradation_races_foreground_traffic() {
                         let key = rng.next_u64() % KEYSPACE;
                         match rng.next_u64() % 4 {
                             0 => {
-                                // The fallible API may refuse (Ok) once the
-                                // flip lands; it must never panic.
-                                let _ = session.try_upsert(&key, &(i | 1));
+                                // The mutation may refuse once the flip
+                                // lands; it must never panic.
+                                let _ = session.upsert(&key, &(i | 1));
                             }
                             1 => {
                                 let _ = read_result(&session, key);
                             }
-                            _ => session.upsert(&key, &(i | 1)),
+                            _ => {
+                                let _ = session.upsert(&key, &(i | 1));
+                            }
                         }
                     }
                     session.complete_pending(true);

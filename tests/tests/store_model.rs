@@ -49,7 +49,7 @@ proptest! {
         for op in &ops {
             match *op {
                 ModelOp::Upsert(k, v) => {
-                    session.upsert(&k, &v);
+                    session.upsert(&k, &v).unwrap();
                     model.insert(k, v);
                 }
                 ModelOp::Rmw(k, v) => {
@@ -62,7 +62,7 @@ proptest! {
                         "read {} diverged", k);
                 }
                 ModelOp::Delete(k) => {
-                    session.delete(&k);
+                    session.delete(&k).unwrap();
                     model.remove(&k);
                 }
             }

@@ -129,7 +129,7 @@ fn checkpoint_records_cutoff_and_replays_only_the_suffix() {
     {
         let session = store.start_session();
         for k in 0..KEYSPACE {
-            session.upsert(&k, &(k + 1));
+            let _ = session.upsert(&k, &(k + 1));
         }
         session.wait_wal_durable().unwrap();
     }
@@ -141,9 +141,9 @@ fn checkpoint_records_cutoff_and_replays_only_the_suffix() {
     {
         let session = store.start_session();
         for k in 0..KEYSPACE / 2 {
-            session.upsert(&k, &(k + 1000));
+            let _ = session.upsert(&k, &(k + 1000));
         }
-        session.delete(&7);
+        let _ = session.delete(&7);
         session.wait_wal_durable().unwrap();
     }
     drop(store);
@@ -199,7 +199,7 @@ fn truncation_after_checkpoint_leaves_wal_recoverable() {
         {
             let session = store.start_session();
             for k in 0..KEYSPACE {
-                session.upsert(&k, &(k + 100 * round + 1));
+                let _ = session.upsert(&k, &(k + 100 * round + 1));
             }
             session.wait_wal_durable().unwrap();
         }
@@ -228,7 +228,7 @@ fn truncation_after_checkpoint_leaves_wal_recoverable() {
         assert_eq!(session_read(&session, k), Some(k + 101), "key {k}");
     }
     // And the resumed WAL keeps acking.
-    session.upsert(&1, &999);
+    let _ = session.upsert(&1, &999);
     session.wait_wal_durable().unwrap();
 }
 
@@ -249,13 +249,13 @@ fn failed_barrier_never_acks_a_group() {
     wal_fault.fail_flush_at(0);
 
     let session = store.start_session();
-    session.upsert(&1, &11);
+    let _ = session.upsert(&1, &11);
     let err = session.wait_wal_durable();
     assert!(err.is_err(), "group acked across a failed barrier: {err:?}");
     assert!(matches!(session.poll_wal_durable(), Some(Err(_))));
 
     // Sticky: later mutations apply in memory but never become durable.
-    session.upsert(&2, &22);
+    let _ = session.upsert(&2, &22);
     assert!(session.wait_wal_durable().is_err());
     assert!(session.complete_pending(true).is_empty()); // returns, no hang
 
@@ -321,7 +321,7 @@ fn wal_group_writes_are_ring_routed() {
     {
         let session = store.start_session();
         for k in 0..KEYSPACE {
-            session.upsert(&k, &(k + 1));
+            let _ = session.upsert(&k, &(k + 1));
             // Zero batch window: each acked wait closes (at least) one
             // group, so the run commits many independent group writes.
             session.wait_wal_durable().unwrap();
