@@ -269,14 +269,17 @@ impl Conn {
         let mut consumed = 0usize;
         loop {
             match resp::parse(&self.inbuf[consumed..]) {
-                Ok(None) => break,
+                Ok(resp::Parsed::Partial) => break,
+                // Bare newlines and `*0` arrays: dropped without a reply,
+                // the way Redis treats them.
+                Ok(resp::Parsed::Empty(n)) => consumed += n,
                 Err(resp::ParseError(msg)) => {
                     self.poisoned = Some(format!("ERR Protocol error: {msg}"));
                     self.no_more_input = true;
                     consumed = self.inbuf.len();
                     break;
                 }
-                Ok(Some((cmd, n))) => {
+                Ok(resp::Parsed::Frame(cmd, n)) => {
                     consumed += n;
                     let quit = cmd == Command::Quit;
                     self.queued.push_back(cmd);
@@ -345,8 +348,15 @@ impl Worker {
             // short park to make progress without one.
             let timeout = if self.ops.is_empty() { IDLE_POLL_MS } else { BUSY_POLL_MS };
             unsafe { libc::poll(pfds.as_mut_ptr(), pfds.len() as nfds_t, timeout) };
-            self.waker.armed.store(false, Ordering::Release);
+            // Drain BEFORE clearing the dedupe flag. Once `armed` is false,
+            // a wake() writes a byte that no drain consumes until after the
+            // next poll, so it can never be silently absorbed; clearing
+            // first opens a window where a wake's byte lands in the drain
+            // while `armed` stays true, suppressing every later wake for a
+            // full idle park. (A byte written between the store and the
+            // poll just makes that poll return immediately — harmless.)
             self.pipe.drain();
+            self.waker.armed.store(false, Ordering::Release);
             // An idle session pins the current epoch, which would stall
             // flushes and evictions store-wide — and with them any sibling
             // worker stuck waiting on an allocation. Refresh every pass.

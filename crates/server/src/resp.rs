@@ -41,14 +41,23 @@ const MAX_BULK: usize = 64 * 1024;
 const MAX_ARGS: usize = 1024;
 const MAX_INLINE: usize = 16 * 1024;
 
+/// Outcome of one parse attempt against the front of the buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// A frame decoded to a command; drop `usize` bytes and call again.
+    Frame(Command, usize),
+    /// A complete but command-less frame — a bare newline or a legal
+    /// `*0\r\n` empty array. Redis ignores both silently: drop the bytes,
+    /// produce no reply.
+    Empty(usize),
+    /// The buffer holds only a frame prefix; read more.
+    Partial,
+}
+
 /// Tries to decode one complete command from the front of `buf`.
-///
-/// * `Ok(Some((cmd, consumed)))` — a frame was decoded; drop `consumed`
-///   bytes from the front and call again (pipelining).
-/// * `Ok(None)` — the buffer holds only a frame prefix; read more.
-/// * `Err(_)` — the stream is desynchronized; close after erroring.
-pub fn parse(buf: &[u8]) -> Result<Option<(Command, usize)>, ParseError> {
-    let Some(&first) = buf.first() else { return Ok(None) };
+/// `Err(_)` means the stream is desynchronized; close after erroring.
+pub fn parse(buf: &[u8]) -> Result<Parsed, ParseError> {
+    let Some(&first) = buf.first() else { return Ok(Parsed::Partial) };
     if first == b'*' {
         parse_array(buf)
     } else {
@@ -58,26 +67,31 @@ pub fn parse(buf: &[u8]) -> Result<Option<(Command, usize)>, ParseError> {
 
 /// Array-of-bulk-strings form: `*<n>\r\n` then `n` times `$<len>\r\n<len
 /// bytes>\r\n`.
-fn parse_array(buf: &[u8]) -> Result<Option<(Command, usize)>, ParseError> {
-    let Some((count, mut at)) = parse_int_line(buf, 1)? else { return Ok(None) };
+fn parse_array(buf: &[u8]) -> Result<Parsed, ParseError> {
+    let Some((count, mut at)) = parse_int_line(buf, 1)? else { return Ok(Parsed::Partial) };
     if count < 0 || count as usize > MAX_ARGS {
         return Err(ParseError(format!("invalid multibulk length {count}")));
+    }
+    if count == 0 {
+        return Ok(Parsed::Empty(at));
     }
     let mut args: Vec<&[u8]> = Vec::with_capacity(count as usize);
     for _ in 0..count {
         if at >= buf.len() {
-            return Ok(None);
+            return Ok(Parsed::Partial);
         }
         if buf[at] != b'$' {
             return Err(ParseError("expected bulk string ($)".into()));
         }
-        let Some((len, data_at)) = parse_int_line(buf, at + 1)? else { return Ok(None) };
+        let Some((len, data_at)) = parse_int_line(buf, at + 1)? else {
+            return Ok(Parsed::Partial);
+        };
         if len < 0 || len as usize > MAX_BULK {
             return Err(ParseError(format!("invalid bulk length {len}")));
         }
         let end = data_at + len as usize;
         if buf.len() < end + 2 {
-            return Ok(None);
+            return Ok(Parsed::Partial);
         }
         if &buf[end..end + 2] != b"\r\n" {
             return Err(ParseError("bulk string missing terminator".into()));
@@ -85,25 +99,24 @@ fn parse_array(buf: &[u8]) -> Result<Option<(Command, usize)>, ParseError> {
         args.push(&buf[data_at..end]);
         at = end + 2;
     }
-    Ok(Some((decode(&args), at)))
+    Ok(Parsed::Frame(decode(&args), at))
 }
 
 /// Inline form: one CRLF-terminated line of space-separated tokens.
-fn parse_inline(buf: &[u8]) -> Result<Option<(Command, usize)>, ParseError> {
+fn parse_inline(buf: &[u8]) -> Result<Parsed, ParseError> {
     let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
         if buf.len() > MAX_INLINE {
             return Err(ParseError("inline command too long".into()));
         }
-        return Ok(None);
+        return Ok(Parsed::Partial);
     };
     let line = &buf[..nl];
     let line = line.strip_suffix(b"\r").unwrap_or(line);
     let args: Vec<&[u8]> = line.split(|&b| b == b' ').filter(|t| !t.is_empty()).collect();
     if args.is_empty() {
-        // Bare newline: ignore (redis-cli keepalive style).
-        return Ok(Some((Command::Ping, nl + 1)));
+        return Ok(Parsed::Empty(nl + 1));
     }
-    Ok(Some((decode(&args), nl + 1)))
+    Ok(Parsed::Frame(decode(&args), nl + 1))
 }
 
 /// `<digits>\r\n` starting at `from`; returns the value and the offset just
@@ -128,7 +141,9 @@ fn parse_int_line(buf: &[u8], from: usize) -> Result<Option<(i64, usize)>, Parse
 /// Maps a tokenized frame to a [`Command`]. Content errors (wrong arity,
 /// non-numeric key) stay inside the frame: the stream is still synchronized.
 fn decode(args: &[&[u8]]) -> Command {
-    let name = args[0].to_ascii_uppercase();
+    // Callers filter empty frames out before decoding; never index blind.
+    let Some(first) = args.first() else { return Command::Bad("empty command".into()) };
+    let name = first.to_ascii_uppercase();
     let int = |arg: &[u8]| -> Result<u64, Command> {
         std::str::from_utf8(arg)
             .ok()
@@ -213,7 +228,10 @@ mod tests {
     use super::*;
 
     fn one(buf: &[u8]) -> (Command, usize) {
-        parse(buf).expect("parse ok").expect("complete frame")
+        match parse(buf).expect("parse ok") {
+            Parsed::Frame(cmd, n) => (cmd, n),
+            other => panic!("expected a command frame, got {other:?}"),
+        }
     }
 
     #[test]
@@ -238,8 +256,25 @@ mod tests {
     fn partial_frames_wait_for_more() {
         let frame = b"*3\r\n$3\r\nSET\r\n$2\r\n10\r\n$2\r\n20\r\n";
         for cut in 0..frame.len() {
-            assert_eq!(parse(&frame[..cut]).unwrap(), None, "cut={cut}");
+            assert_eq!(parse(&frame[..cut]).unwrap(), Parsed::Partial, "cut={cut}");
         }
+    }
+
+    #[test]
+    fn empty_frames_are_consumed_silently() {
+        // A legal empty array must not reach decode() (it used to panic
+        // at args[0] and kill the worker) and must produce no reply.
+        assert_eq!(parse(b"*0\r\n").unwrap(), Parsed::Empty(4));
+        assert_eq!(parse(b"*0\r\nGET 1\r\n").unwrap(), Parsed::Empty(4));
+        // Bare newlines likewise: Redis ignores empty inline commands, so
+        // no synthesized PING/PONG that would shift reply pairing.
+        assert_eq!(parse(b"\r\n").unwrap(), Parsed::Empty(2));
+        assert_eq!(parse(b"\n").unwrap(), Parsed::Empty(1));
+        assert_eq!(parse(b"   \r\n").unwrap(), Parsed::Empty(5));
+        // The command behind a skipped frame still parses.
+        let buf = b"*0\r\nGET 4\r\n";
+        let Parsed::Empty(n) = parse(buf).unwrap() else { panic!("expected empty") };
+        assert_eq!(one(&buf[n..]).0, Command::Get(4));
     }
 
     #[test]

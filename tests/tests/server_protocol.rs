@@ -279,6 +279,29 @@ fn malformed_frames_error_and_close() {
     assert_eq!(c.read_reply(), Some(Reply::Simple("PONG".into())));
 }
 
+/// A legal empty array (`*0\r\n`) and stray newlines are ignored silently —
+/// no reply, no reply-pairing shift, and (the regression that matters) no
+/// worker-thread panic: `*0` used to index `args[0]` in decode() and kill
+/// the worker, hanging every connection routed to it.
+#[test]
+fn empty_frames_are_ignored_and_do_not_kill_the_worker() {
+    let server = Server::start(spilling_store(), "127.0.0.1:0", ServerConfig { workers: 1 }).unwrap();
+
+    let mut c = Client::connect(server.local_addr());
+    // Empty frames interleaved with real commands, pipelined in one burst:
+    // the only replies are the real commands', in order.
+    c.send(b"*0\r\n\r\n\nSET 9 90\r\n*0\r\nGET 9\r\n   \r\nPING\r\n");
+    assert_eq!(c.read_reply(), Some(Reply::Simple("OK".into())));
+    assert_eq!(c.read_reply(), Some(Reply::Bulk("90".into())));
+    assert_eq!(c.read_reply(), Some(Reply::Simple("PONG".into())));
+
+    // With workers=1, a panicked worker would strand this new connection;
+    // it serving proves the empty array did not take the event loop down.
+    let mut c2 = Client::connect(server.local_addr());
+    c2.send(b"*0\r\n*1\r\n$4\r\nPING\r\n");
+    assert_eq!(c2.read_reply(), Some(Reply::Simple("PONG".into())));
+}
+
 /// A dead WAL degrades the store to read-only (DESIGN.md §12): the SET
 /// whose group commit failed answers `-READONLY` (its ack gate broke), the
 /// degradation is sticky for later mutations, and reads keep serving.
